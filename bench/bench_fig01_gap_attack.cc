@@ -1,0 +1,88 @@
+/// Figure 1 — "The gap in the query distribution reveals the displacement."
+///
+/// Reproduces the paper's motivating attack: domain [0, 100], fixed query
+/// length k = 10, secret offset j = 20. Executing all valid range queries
+/// through naive MOPE leaves a band of never-queried (shifted) start points
+/// just below the wrap, and the adversary reads the offset straight off the
+/// histogram. A second run uses sampled skewed queries to show the attack
+/// still works against realistic streams.
+
+#include <cstdio>
+
+#include "attack/gap_attack.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+
+namespace mope {
+namespace {
+
+void RunExhaustive() {
+  constexpr uint64_t kDomain = 101;  // [0, 100]
+  constexpr uint64_t kK = 10;
+  constexpr uint64_t kOffset = 20;
+
+  attack::GapAttack attack(kDomain);
+  for (uint64_t start = 0; start + kK <= kDomain; ++start) {
+    attack.ObserveStart((start + kOffset) % kDomain);
+  }
+
+  std::printf(
+      "\nAll valid length-%llu queries executed once; observed (shifted) "
+      "start histogram:\n\n",
+      static_cast<unsigned long long>(kK));
+  std::printf("%s\n", attack.observed().ToAscii(50, 21).c_str());
+
+  const auto estimate = attack.EstimateOffset();
+  std::printf("longest uncovered arc : %llu start points\n",
+              static_cast<unsigned long long>(attack.LongestGap()));
+  std::printf("true offset j         : %llu\n",
+              static_cast<unsigned long long>(kOffset));
+  std::printf("recovered offset      : %s\n",
+              estimate.ok() ? std::to_string(estimate.value()).c_str()
+                            : estimate.status().ToString().c_str());
+}
+
+void RunSampled() {
+  constexpr uint64_t kDomain = 1000;
+  constexpr uint64_t kK = 25;
+  Rng rng(0xF161);
+
+  std::printf(
+      "\nSampled skewed workloads (10k queries each), larger domain "
+      "M = %llu, k = %llu:\n\n",
+      static_cast<unsigned long long>(kDomain),
+      static_cast<unsigned long long>(kK));
+  bench::TablePrinter table({"offset j", "recovered", "gap length", "hit"});
+  int hits = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const uint64_t offset = rng.UniformUint64(kDomain);
+    std::vector<double> w(kDomain, 0.0);
+    for (uint64_t s = 0; s + kK <= kDomain; ++s) {
+      w[s] = 1.0 / static_cast<double>(1 + (s % 37));
+    }
+    auto q = dist::Distribution::FromWeights(std::move(w));
+    MOPE_CHECK(q.ok(), "weights");
+    attack::GapAttack attack(kDomain);
+    for (int i = 0; i < 10000; ++i) {
+      attack.ObserveStart((q->Sample(&rng) + offset) % kDomain);
+    }
+    const auto est = attack.EstimateOffset();
+    const bool hit = est.ok() && est.value() == offset;
+    hits += hit ? 1 : 0;
+    table.Row({std::to_string(offset),
+               est.ok() ? std::to_string(est.value()) : "none",
+               std::to_string(attack.LongestGap()), hit ? "yes" : "no"});
+  }
+  std::printf("\nrecovered %d/8 offsets exactly.\n", hits);
+}
+
+}  // namespace
+}  // namespace mope
+
+int main() {
+  mope::bench::PrintHeader(
+      "Figure 1", "the gap attack on naive MOPE query execution");
+  mope::RunExhaustive();
+  mope::RunSampled();
+  return 0;
+}

@@ -1,0 +1,16 @@
+/// Figure 5 — Bandwidth (5a) and Requests (5b) costs for the Adult query
+/// distribution with sigma = 5 and 10, under QueryU ("n/a") and QueryP with
+/// periods 5 and 10.
+///
+/// The Adult domain (74 ages) is padded to 80 so the paper's periods divide
+/// it, as QueryP requires (rho | M); the pad carries no records or queries.
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 5", "Adult cost vs period");
+  mope::bench::RunPeriodSweep(mope::workload::DatasetKind::kAdult,
+                              {5.0, 10.0}, /*k=*/10, {0, 5, 10},
+                              /*pad_to=*/80, /*num_queries=*/2000);
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// Figure 6 — Bandwidth (6a) and Requests (6b) costs for the Covertype
+/// (elevation) query distribution with sigma = 5 and 10, periods
+/// n/a, 25, 50, 100, 200.
+///
+/// Covertype's elevation histogram is smooth, so QueryP's class maxima stay
+/// close to the global maximum and the periodic algorithm helps far less
+/// than on Adult/SanFran — the paper's observation in Section 6.1.2.
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 6", "Covertype cost vs period");
+  mope::bench::RunPeriodSweep(mope::workload::DatasetKind::kCovertype,
+                              {5.0, 10.0}, /*k=*/10, {0, 25, 50, 100, 200},
+                              /*pad_to=*/0, /*num_queries=*/1000);
+  return 0;
+}

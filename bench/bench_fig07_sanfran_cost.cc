@@ -1,0 +1,17 @@
+/// Figure 7 — Bandwidth (7a) and Requests (7b) costs for the SanFran
+/// (road-network longitude) query distribution with sigma = 5, 10 and 25,
+/// periods n/a, 25, 50, 100, 200, 400.
+///
+/// SanFran's isolated dense bins give eta_Q << mu_Q, so even small periods
+/// slash the fake-query cost — the paper's best case for QueryP.
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 7", "SanFran cost vs period");
+  mope::bench::RunPeriodSweep(mope::workload::DatasetKind::kSanFran,
+                              {5.0, 10.0, 25.0}, /*k=*/10,
+                              {0, 25, 50, 100, 200, 400},
+                              /*pad_to=*/0, /*num_queries=*/400);
+  return 0;
+}

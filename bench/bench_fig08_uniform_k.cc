@@ -1,0 +1,18 @@
+/// Figure 8 — Bandwidth (8a) and Requests (8b) costs for the Uniform query
+/// pattern across fixed lengths k, QueryP with period 25, sigma = 5/10/25.
+///
+/// Bandwidth grows with k (each fake fetches a k-wide range) while Requests
+/// falls (fewer tau_k pieces per query) — pick k above the median query
+/// length (Section 6.2).
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 8", "Uniform cost vs fixed length k");
+  mope::bench::RunLengthSweep(mope::workload::DatasetKind::kUniform,
+                              {5.0, 10.0, 25.0},
+                              {5, 10, 25, 50, 100, 200, 400, 800},
+                              /*period=*/25, /*pad_to=*/0,
+                              /*num_queries=*/400);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// Figure 9 — Bandwidth (9a) and Requests (9b) costs for the Zipf
+/// (power-law) query pattern across fixed lengths k, period 25.
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 9", "Zipf cost vs fixed length k");
+  mope::bench::RunLengthSweep(mope::workload::DatasetKind::kZipf,
+                              {5.0, 10.0, 25.0},
+                              {5, 10, 25, 50, 100, 200, 400, 800},
+                              /*period=*/25, /*pad_to=*/0,
+                              /*num_queries=*/400);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// Figure 10 — Bandwidth (10a) and Requests (10b) costs for the Adult query
+/// pattern across fixed lengths k = 5, 10, 25, period 25 (domain padded to
+/// 100 so the period divides it).
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 10", "Adult cost vs fixed length k");
+  mope::bench::RunLengthSweep(mope::workload::DatasetKind::kAdult,
+                              {5.0, 10.0}, {5, 10, 25},
+                              /*period=*/25, /*pad_to=*/100,
+                              /*num_queries=*/2000);
+  return 0;
+}

@@ -1,0 +1,13 @@
+/// Figure 11 — Bandwidth (11a) and Requests (11b) costs for the Covertype
+/// query pattern across fixed lengths k, period 25.
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 11", "Covertype cost vs fixed length k");
+  mope::bench::RunLengthSweep(mope::workload::DatasetKind::kCovertype,
+                              {5.0, 10.0}, {5, 10, 25, 50, 100, 200, 400},
+                              /*period=*/25, /*pad_to=*/0,
+                              /*num_queries=*/600);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// Figure 12 — Bandwidth (12a) and Requests (12b) costs for the SanFran
+/// query pattern across fixed lengths k, period 25.
+
+#include "bench/bench_util.h"
+
+int main() {
+  mope::bench::PrintHeader("Figure 12", "SanFran cost vs fixed length k");
+  mope::bench::RunLengthSweep(mope::workload::DatasetKind::kSanFran,
+                              {5.0, 10.0, 25.0},
+                              {5, 10, 25, 50, 100, 200, 400, 800},
+                              /*period=*/25, /*pad_to=*/0,
+                              /*num_queries=*/300);
+  return 0;
+}

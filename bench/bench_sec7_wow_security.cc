@@ -1,0 +1,92 @@
+/// Section 7 — empirical window one-wayness (WOW*-L / WOW*-D, Figure 17).
+///
+/// Runs the location and distance one-wayness games against the ideal
+/// objects for each scheme/query-algorithm pair and prints the measured
+/// adversary success rates next to the paper's analytical reference points:
+///
+///   * plain OPE           : location leaks (~half the high bits);
+///   * MOPE, naive queries : the gap attack recovers j, location leaks again;
+///   * MOPE + QueryU       : location advantage ~ w/M        (Theorem 3);
+///   * MOPE + QueryP[rho]  : location advantage <= rho*w/M   (Theorem 5);
+///   * distance            : leaks ~sqrt(M) for every scheme (Theorems 2/4).
+
+#include <cstdio>
+
+#include "attack/wow.h"
+#include "bench/bench_util.h"
+
+namespace mope {
+namespace {
+
+void Run() {
+  attack::WowConfig config;
+  config.domain = 1024;
+  config.range = 8192;
+  config.db_size = 24;
+  config.window = 48;
+  config.num_queries = 60000;
+  config.k = 8;
+  config.period = 32;
+  config.trials = 150;
+
+  // Skewed user query distribution (class-structured, so QueryP's phase
+  // attack has signal to find — the honest worst case for it).
+  std::vector<double> w(config.domain);
+  for (uint64_t i = 0; i < config.domain; ++i) {
+    w[i] = (i % 32 < 8) ? 1.0 : 0.03;
+  }
+  auto q = dist::Distribution::FromWeights(std::move(w));
+  MOPE_CHECK(q.ok(), "weights");
+
+  std::printf(
+      "\nM = %llu, N = %llu, n = %llu, w = %llu, q = %llu, k = %llu, "
+      "rho = %llu, %llu trials\n",
+      static_cast<unsigned long long>(config.domain),
+      static_cast<unsigned long long>(config.range),
+      static_cast<unsigned long long>(config.db_size),
+      static_cast<unsigned long long>(config.window),
+      static_cast<unsigned long long>(config.num_queries),
+      static_cast<unsigned long long>(config.k),
+      static_cast<unsigned long long>(config.period),
+      static_cast<unsigned long long>(config.trials));
+  const double wm = static_cast<double>(config.window + 1) /
+                    static_cast<double>(config.domain);
+  std::printf("random-guess location baseline w/M = %.3f; QueryP bound "
+              "rho*w/M = %.3f\n",
+              wm, static_cast<double>(config.period) * wm);
+
+  struct SchemeRow {
+    const char* name;
+    attack::WowScheme scheme;
+  };
+  const SchemeRow schemes[] = {
+      {"plain OPE", attack::WowScheme::kOpe},
+      {"MOPE, naive queries", attack::WowScheme::kMopeNaive},
+      {"MOPE + QueryU", attack::WowScheme::kMopeQueryU},
+      {"MOPE + QueryP[32]", attack::WowScheme::kMopeQueryP},
+  };
+
+  Rng rng(0x5EC7);
+  bench::TablePrinter table(
+      {"scheme", "loc adv", "dist adv", "offset rec"}, 22);
+  for (const SchemeRow& s : schemes) {
+    auto result = attack::RunWowExperiment(config, s.scheme, &*q, &rng);
+    MOPE_CHECK(result.ok(), "experiment");
+    table.Row({s.name, bench::Fmt(result->location_advantage, 3),
+               bench::Fmt(result->distance_advantage, 3),
+               bench::Fmt(result->offset_recovery_rate, 3)});
+  }
+  std::printf(
+      "\nreading: QueryU pushes location advantage to the w/M floor while\n"
+      "QueryP trades some of that margin (bounded by rho*w/M) for its much\n"
+      "lower fake-query cost; distance leaks for the whole OPE family.\n");
+}
+
+}  // namespace
+}  // namespace mope
+
+int main() {
+  mope::bench::PrintHeader("Section 7", "empirical WOW*-L / WOW*-D games");
+  mope::Run();
+  return 0;
+}

@@ -1,0 +1,212 @@
+#ifndef MOPE_BENCH_BENCH_UTIL_H_
+#define MOPE_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared helpers for the figure-reproduction benches: fixed-width table
+/// printing (every bench prints the series of its paper figure), workload
+/// setup, and a wall-clock stopwatch.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "query/algorithms.h"
+#include "query/cost.h"
+#include "workload/datasets.h"
+#include "workload/generator.h"
+
+namespace mope::bench {
+
+/// Prints a banner naming the figure being reproduced.
+inline void PrintHeader(const std::string& figure, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), what.c_str());
+}
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& col : columns_) {
+      std::printf("%*s", width_, col.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%*s", width_, "------------");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const auto& cell : cells) {
+      std::printf("%*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtMs(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ms);
+  }
+  return buf;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One dataset-driven cost experiment (the common core of Figs. 5-12):
+/// generate `num_queries` user queries (centers from the dataset, lengths
+/// from |N(0, sigma^2)|), run them through QueryU (period == 0) or
+/// QueryP[period], and evaluate the Section 6 cost functions against a
+/// deterministically-populated database of `num_records` records.
+struct CostRunResult {
+  double bandwidth = 0.0;
+  double requests = 0.0;
+};
+
+/// Pads a distribution with zero-probability elements up to `size` (used to
+/// make the Adult domain divisible by the Figure 5/10 periods; queries never
+/// land in the pad, fake queries may).
+inline dist::Distribution PadDistribution(const dist::Distribution& d,
+                                          uint64_t size) {
+  MOPE_CHECK(size >= d.size(), "pad size must not shrink the domain");
+  std::vector<double> weights(d.probs());
+  weights.resize(size, 0.0);
+  auto padded = dist::Distribution::FromWeights(std::move(weights));
+  MOPE_CHECK(padded.ok(), "padding failed");
+  return std::move(padded).value();
+}
+
+inline CostRunResult RunCostExperiment(workload::DatasetKind kind,
+                                       double sigma, uint64_t k,
+                                       uint64_t period, uint64_t num_queries,
+                                       uint64_t pad_to = 0,
+                                       uint64_t seed = 0xC057) {
+  dist::Distribution data = workload::MakeDataset(kind);
+  if (pad_to > data.size()) data = PadDistribution(data, pad_to);
+  Rng rng(seed ^ (period * 0x9E37) ^ k ^ static_cast<uint64_t>(sigma * 7));
+
+  // Database contents follow the dataset distribution.
+  const query::RecordCounter counter(
+      workload::DeterministicCounts(data, 50 * data.size()));
+
+  // Query-start distribution learned from a large sample (the proxy's
+  // a-priori knowledge in the non-adaptive algorithms).
+  const dist::Distribution starts =
+      workload::BuildStartDistribution(data, {sigma}, k, 20000, &rng);
+
+  const query::QueryConfig config{data.size(), k};
+  std::unique_ptr<query::QueryAlgorithm> algorithm;
+  if (period == 0) {
+    auto alg = query::UniformQueryAlgorithm::Create(config, starts);
+    MOPE_CHECK(alg.ok(), "QueryU creation failed");
+    algorithm = std::move(alg).value();
+  } else {
+    auto alg = query::PeriodicQueryAlgorithm::Create(config, starts, period);
+    MOPE_CHECK(alg.ok(), "QueryP creation failed");
+    algorithm = std::move(alg).value();
+  }
+
+  query::CostAccumulator cost(&counter, k);
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    const query::RangeQuery q = workload::GenerateQuery(data, {sigma}, &rng);
+    auto batch = algorithm->Process(q, &rng);
+    MOPE_CHECK(batch.ok(), "query processing failed");
+    cost.AddBatch(q, *batch);
+  }
+  return CostRunResult{cost.Bandwidth(), cost.Requests()};
+}
+
+/// Formats a period column value ("n/a" for QueryU).
+inline std::string PeriodLabel(uint64_t period) {
+  return period == 0 ? "n/a" : std::to_string(period);
+}
+
+/// The Figures 5-7 shape: Bandwidth and Requests vs period, one curve per
+/// sigma. `pad_to` pads the domain so every period divides it (0 = none).
+inline void RunPeriodSweep(workload::DatasetKind kind,
+                           const std::vector<double>& sigmas, uint64_t k,
+                           const std::vector<uint64_t>& periods,
+                           uint64_t pad_to, uint64_t num_queries) {
+  const std::string name = workload::DatasetName(kind);
+  for (const char* metric : {"Bandwidth", "Requests"}) {
+    std::printf("\n%s cost — %s query distribution (k = %llu):\n", metric,
+                name.c_str(), static_cast<unsigned long long>(k));
+    std::vector<std::string> header{"period"};
+    for (double sigma : sigmas) {
+      header.push_back(name + std::to_string(static_cast<int>(sigma)));
+    }
+    TablePrinter table(header, 16);
+    for (uint64_t period : periods) {
+      std::vector<std::string> row{PeriodLabel(period)};
+      for (double sigma : sigmas) {
+        const CostRunResult r =
+            RunCostExperiment(kind, sigma, k, period, num_queries, pad_to);
+        row.push_back(
+            Fmt(metric[0] == 'B' ? r.bandwidth : r.requests));
+      }
+      table.Row(row);
+    }
+  }
+}
+
+/// The Figures 8-12 shape: Bandwidth and Requests vs fixed length k at a
+/// fixed period, one curve per sigma.
+inline void RunLengthSweep(workload::DatasetKind kind,
+                           const std::vector<double>& sigmas,
+                           const std::vector<uint64_t>& ks, uint64_t period,
+                           uint64_t pad_to, uint64_t num_queries) {
+  const std::string name = workload::DatasetName(kind);
+  for (const char* metric : {"Bandwidth", "Requests"}) {
+    std::printf("\n%s cost — %s query pattern (period = %s):\n", metric,
+                name.c_str(), PeriodLabel(period).c_str());
+    std::vector<std::string> header{"length k"};
+    for (double sigma : sigmas) {
+      header.push_back(name + std::to_string(static_cast<int>(sigma)));
+    }
+    TablePrinter table(header, 16);
+    for (uint64_t k : ks) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (double sigma : sigmas) {
+        const CostRunResult r =
+            RunCostExperiment(kind, sigma, k, period, num_queries, pad_to);
+        row.push_back(
+            Fmt(metric[0] == 'B' ? r.bandwidth : r.requests));
+      }
+      table.Row(row);
+    }
+  }
+}
+
+}  // namespace mope::bench
+
+#endif  // MOPE_BENCH_BENCH_UTIL_H_

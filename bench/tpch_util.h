@@ -1,0 +1,93 @@
+#ifndef MOPE_BENCH_TPCH_UTIL_H_
+#define MOPE_BENCH_TPCH_UTIL_H_
+
+/// \file tpch_util.h
+/// Shared TPC-H setup for the Figure 13-16 benches: a plaintext catalog for
+/// the unencrypted baselines, encrypted systems per proxy configuration,
+/// and start-point distributions for the Q4/Q6/Q14 range templates.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "engine/table.h"
+#include "proxy/system.h"
+#include "sql/planner.h"
+#include "workload/tpch.h"
+
+namespace mope::bench {
+
+/// Scale used by the runtime benches. The paper uses SF = 1 on PostgreSQL;
+/// Figures 13-15 report relative runtimes, which survive scaling
+/// (DESIGN.md §3). 0.002 -> ~12k LINEITEM rows.
+inline constexpr double kBenchScaleFactor = 0.002;
+
+/// Start-point distribution of a range-query template after τk
+/// decomposition (what the proxy's non-adaptive algorithms are given).
+inline dist::Distribution TemplateStarts(
+    const std::function<query::RangeQuery(mope::BitSource*)>& sample_range,
+    uint64_t k, uint64_t samples, mope::BitSource* rng) {
+  Histogram hist(workload::kTpchDateDomain);
+  for (uint64_t i = 0; i < samples; ++i) {
+    const query::RangeQuery q = sample_range(rng);
+    for (const auto& piece :
+         query::Decompose(q, k, workload::kTpchDateDomain)) {
+      hist.Add(piece.start);
+    }
+  }
+  auto d = dist::Distribution::FromHistogram(hist);
+  MOPE_CHECK(d.ok(), "template starts");
+  return std::move(d).value();
+}
+
+/// Plaintext catalog (lineitem indexed on l_shipdate, orders on
+/// o_orderdate) for baselines.
+inline std::unique_ptr<engine::Catalog> MakePlainCatalog(
+    const workload::TpchData& data) {
+  auto catalog = std::make_unique<engine::Catalog>();
+  auto li = catalog->CreateTable("lineitem", data.lineitem_schema);
+  MOPE_CHECK(li.ok(), "lineitem");
+  for (const auto& row : data.lineitem) {
+    MOPE_CHECK((*li)->Insert(row).ok(), "insert");
+  }
+  MOPE_CHECK((*li)->CreateIndex("l_shipdate").ok(), "index");
+  auto ord = catalog->CreateTable("orders", data.orders_schema);
+  MOPE_CHECK(ord.ok(), "orders");
+  for (const auto& row : data.orders) {
+    MOPE_CHECK((*ord)->Insert(row).ok(), "insert");
+  }
+  MOPE_CHECK((*ord)->CreateIndex("o_orderdate").ok(), "index");
+  auto part = catalog->CreateTable("part", data.part_schema);
+  MOPE_CHECK(part.ok(), "part");
+  for (const auto& row : data.part) {
+    MOPE_CHECK((*part)->Insert(row).ok(), "insert");
+  }
+  return catalog;
+}
+
+/// Encrypted system over LINEITEM with the given query-algorithm settings
+/// on l_shipdate. period == 0 selects QueryU.
+inline std::unique_ptr<proxy::MopeSystem> MakeEncryptedLineitem(
+    const workload::TpchData& data, const dist::Distribution& starts,
+    uint64_t k, uint64_t period, size_t batch_size, uint64_t seed = 0x79C4) {
+  auto system = std::make_unique<proxy::MopeSystem>(seed);
+  proxy::EncryptedColumnSpec spec;
+  spec.column = "l_shipdate";
+  spec.domain = workload::kTpchDateDomain;
+  spec.k = k;
+  spec.mode =
+      period == 0 ? proxy::QueryMode::kUniform : proxy::QueryMode::kPeriodic;
+  spec.period = period;
+  spec.batch_size = batch_size;
+  MOPE_CHECK(system
+                 ->LoadTable("lineitem", data.lineitem_schema, data.lineitem,
+                             spec, &starts)
+                 .ok(),
+             "encrypted load");
+  return system;
+}
+
+}  // namespace mope::bench
+
+#endif  // MOPE_BENCH_TPCH_UTIL_H_

@@ -1,0 +1,159 @@
+/// mope_shell — an interactive SQL shell over the encrypted system.
+///
+/// Boots the three-party architecture with a TPC-H-style warehouse whose
+/// l_shipdate column is MOPE-encrypted, then reads SQL from stdin and runs
+/// it through the CryptDB-style EncryptedSqlSession: range predicates on
+/// l_shipdate are rewritten into mixed real+fake encrypted range queries;
+/// everything else executes client-side over the fetched rows.
+///
+/// Usage:
+///   mope_shell                      # interactive (reads stdin)
+///   echo "SELECT ..." | mope_shell  # scripted
+///   mope_shell -c "SELECT ..."      # one-shot
+///
+/// Meta-commands: \help  \stats  \rotate  \tables  \snapshot PATH  \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/snapshot.h"
+#include "proxy/sql_session.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using namespace mope;  // NOLINT
+
+void PrintResult(const sql::SqlResult& result) {
+  for (const auto& col : result.columns) std::printf("%18s", col.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < result.columns.size(); ++i) std::printf("%18s", "---");
+  std::printf("\n");
+  size_t shown = 0;
+  for (const auto& row : result.rows) {
+    for (const auto& value : row) {
+      std::printf("%18s", engine::ValueToString(value).c_str());
+    }
+    std::printf("\n");
+    if (++shown == 25 && result.rows.size() > 25) {
+      std::printf("... (%zu rows total)\n", result.rows.size());
+      break;
+    }
+  }
+  std::printf("(%zu rows)\n", result.rows.size());
+}
+
+void PrintHelp() {
+  std::printf(
+      "Encrypted SQL over MOPE. The LINEITEM table's l_shipdate column is\n"
+      "encrypted (day index, 0 = 1992-01-01); queries need a range predicate\n"
+      "on it. The PART table is attached client-side for joins.\n\n"
+      "  SELECT SUM(l_extendedprice * l_discount) FROM lineitem\n"
+      "    WHERE l_shipdate BETWEEN 366 AND 730 AND l_discount < 0.05\n\n"
+      "meta-commands:\n"
+      "  \\help           this text        \\stats   session traffic\n"
+      "  \\tables         schemas          \\rotate  rotate the MOPE key\n"
+      "  \\snapshot PATH  persist the encrypted server catalog\n"
+      "  \\quit           exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::TpchConfig config;
+  config.scale_factor = 0.002;
+  const workload::TpchData data = workload::GenerateTpch(config);
+
+  proxy::MopeSystem system(0x5811);
+  proxy::EncryptedColumnSpec spec;
+  spec.column = "l_shipdate";
+  spec.domain = workload::kTpchDateDomain;
+  spec.k = 30;
+  spec.mode = proxy::QueryMode::kAdaptiveUniform;
+  spec.batch_size = 64;
+  auto status = system.LoadTable("lineitem", data.lineitem_schema,
+                                 data.lineitem, spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  proxy::EncryptedSqlSession session(&system);
+  status = session.AttachClientTable("part", data.part_schema, data.part);
+  if (!status.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto run = [&session](const std::string& sql) {
+    auto result = session.Execute(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(*result);
+    const auto& stats = session.last_stats();
+    std::printf(
+        "[traffic: %llu real + %llu fake queries in %llu requests; "
+        "%llu rows fetched]\n",
+        static_cast<unsigned long long>(stats.real_queries),
+        static_cast<unsigned long long>(stats.fake_queries),
+        static_cast<unsigned long long>(stats.server_requests),
+        static_cast<unsigned long long>(stats.rows_fetched));
+  };
+
+  if (argc == 3 && std::string(argv[1]) == "-c") {
+    run(argv[2]);
+    return 0;
+  }
+
+  std::printf("mope_shell — %zu LINEITEM rows, l_shipdate MOPE-encrypted.\n",
+              data.lineitem.size());
+  std::printf("Type \\help for help.\n");
+  std::string line;
+  while (true) {
+    std::printf("mope> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\help") {
+      PrintHelp();
+    } else if (line == "\\stats") {
+      auto proxy = system.GetProxy("lineitem", "l_shipdate");
+      if (proxy.ok()) {
+        const auto& totals = (*proxy)->totals();
+        std::printf("session totals: %llu real, %llu fake, %llu requests, "
+                    "%llu rows shipped\n",
+                    static_cast<unsigned long long>(totals.real_queries_sent),
+                    static_cast<unsigned long long>(totals.fake_queries_sent),
+                    static_cast<unsigned long long>(totals.server_requests),
+                    static_cast<unsigned long long>(totals.rows_received));
+      }
+    } else if (line == "\\rotate") {
+      auto rotated = system.RotateKey("lineitem", "l_shipdate");
+      if (rotated.ok()) {
+        std::printf("re-encrypted %llu rows under a fresh key/offset\n",
+                    static_cast<unsigned long long>(rotated.value()));
+      } else {
+        std::printf("error: %s\n", rotated.status().ToString().c_str());
+      }
+    } else if (line.rfind("\\snapshot ", 0) == 0) {
+      // The snapshot is pure ciphertext — safe to persist server-side.
+      const std::string path = line.substr(10);
+      auto saved = engine::SaveCatalog(*system.server()->catalog(), path);
+      std::printf("%s\n", saved.ok()
+                              ? ("saved encrypted catalog to " + path).c_str()
+                              : saved.ToString().c_str());
+    } else if (line == "\\tables") {
+      std::printf("lineitem(l_orderkey, l_partkey, l_quantity, "
+                  "l_extendedprice, l_discount, l_shipdate*, l_commitdate, "
+                  "l_receiptdate, l_returnflag)   * = MOPE-encrypted\n"
+                  "part(p_partkey, p_type, p_ispromo, p_retailprice)   "
+                  "[client-side]\n");
+    } else {
+      run(line);
+    }
+  }
+  return 0;
+}

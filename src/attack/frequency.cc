@@ -1,0 +1,101 @@
+#include "attack/frequency.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+namespace mope::attack {
+
+std::vector<FrequencyGuess> FrequencyMatch(
+    const std::vector<uint64_t>& ciphertexts, const dist::Distribution& aux) {
+  // Observed histogram over distinct ciphertexts.
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t c : ciphertexts) ++counts[c];
+
+  // Distinct ciphertexts by descending frequency (ties: ascending value,
+  // deterministic).
+  std::vector<std::pair<uint64_t, uint64_t>> by_freq(counts.begin(),
+                                                     counts.end());
+  std::sort(by_freq.begin(), by_freq.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  // Auxiliary values by descending probability.
+  std::vector<uint64_t> aux_rank(aux.size());
+  std::iota(aux_rank.begin(), aux_rank.end(), 0);
+  std::sort(aux_rank.begin(), aux_rank.end(), [&aux](uint64_t a, uint64_t b) {
+    if (aux.prob(a) != aux.prob(b)) return aux.prob(a) > aux.prob(b);
+    return a < b;
+  });
+
+  std::vector<FrequencyGuess> guesses;
+  guesses.reserve(by_freq.size());
+  for (size_t rank = 0; rank < by_freq.size(); ++rank) {
+    FrequencyGuess guess;
+    guess.ciphertext = by_freq[rank].first;
+    guess.count = by_freq[rank].second;
+    guess.guessed_plaintext =
+        rank < aux_rank.size() ? aux_rank[rank] : aux_rank.back();
+    guesses.push_back(guess);
+  }
+  std::sort(guesses.begin(), guesses.end(),
+            [](const FrequencyGuess& a, const FrequencyGuess& b) {
+              return a.ciphertext < b.ciphertext;
+            });
+  return guesses;
+}
+
+Result<uint64_t> CyclicFrequencyMatch(
+    const std::vector<uint64_t>& ciphertexts, const dist::Distribution& aux) {
+  const uint64_t m = aux.size();
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t c : ciphertexts) ++counts[c];
+  if (counts.size() != m) {
+    return Status::NotFound(
+        "cyclic matching needs a dense column (every value present)");
+  }
+  // Observed relative frequencies in ciphertext (= shifted-plaintext) order.
+  std::vector<double> observed;
+  observed.reserve(m);
+  const double total = static_cast<double>(ciphertexts.size());
+  for (const auto& [cipher, count] : counts) {
+    observed.push_back(static_cast<double>(count) / total);
+  }
+  // Best cyclic alignment: observed[i] ~ aux[(i - j) mod m].
+  double best = std::numeric_limits<double>::infinity();
+  uint64_t best_offset = 0;
+  for (uint64_t j = 0; j < m; ++j) {
+    double dist = 0.0;
+    for (uint64_t i = 0; i < m; ++i) {
+      const double d = observed[i] - aux.prob((i + m - j) % m);
+      dist += d * d;
+    }
+    if (dist < best) {
+      best = dist;
+      best_offset = j;
+    }
+  }
+  return best_offset;
+}
+
+double FrequencyMatchAccuracy(const std::vector<FrequencyGuess>& guesses,
+                              const std::vector<uint64_t>& ciphertexts,
+                              const std::vector<uint64_t>& truths) {
+  MOPE_CHECK(ciphertexts.size() == truths.size(), "vectors must align");
+  if (ciphertexts.empty()) return 0.0;
+  std::map<uint64_t, uint64_t> guess_of;
+  for (const FrequencyGuess& g : guesses) {
+    guess_of[g.ciphertext] = g.guessed_plaintext;
+  }
+  uint64_t hits = 0;
+  for (size_t i = 0; i < ciphertexts.size(); ++i) {
+    const auto it = guess_of.find(ciphertexts[i]);
+    if (it != guess_of.end() && it->second == truths[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ciphertexts.size());
+}
+
+}  // namespace mope::attack

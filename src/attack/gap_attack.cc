@@ -1,0 +1,93 @@
+#include "attack/gap_attack.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mope::attack {
+
+namespace {
+
+/// Finds the longest circular run of zero bins; returns {start, length},
+/// length 0 when there is none.
+std::pair<uint64_t, uint64_t> LongestZeroRun(const Histogram& h) {
+  const uint64_t m = h.size();
+  // Doubling pass handles wrap-around runs; a run is capped at m.
+  uint64_t best_start = 0, best_len = 0;
+  uint64_t run_start = 0, run_len = 0;
+  for (uint64_t i = 0; i < 2 * m; ++i) {
+    if (h.count(i % m) == 0) {
+      if (run_len == 0) run_start = i;
+      if (++run_len > best_len && run_start < m) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_len = 0;
+    }
+    if (best_len >= m) break;
+  }
+  if (best_len > m) best_len = m;
+  return {best_start % m, best_len};
+}
+
+}  // namespace
+
+uint64_t GapAttack::LongestGap() const {
+  return LongestZeroRun(observed_).second;
+}
+
+Result<uint64_t> GapAttack::EstimateOffset() const {
+  const auto [start, len] = LongestZeroRun(observed_);
+  if (len == 0) {
+    return Status::NotFound("no gap: every start point has been observed");
+  }
+  if (len >= observed_.size()) {
+    return Status::InvalidArgument("no queries observed yet");
+  }
+  // The never-queried band ends just below the wrap point: the shifted
+  // position of plaintext 0 is one past the gap.
+  return (start + len) % observed_.size();
+}
+
+Result<uint64_t> EstimatePhase(const Histogram& observed,
+                               const dist::Distribution& perceived,
+                               uint64_t period) {
+  const uint64_t m = observed.size();
+  if (perceived.size() != m) {
+    return Status::InvalidArgument("histogram/distribution size mismatch");
+  }
+  if (period == 0 || m % period != 0) {
+    return Status::InvalidArgument("period must divide the domain");
+  }
+  if (observed.total() == 0) {
+    return Status::InvalidArgument("no observations");
+  }
+
+  // The perceived distribution is ρ-periodic, so shifting it by φ only
+  // depends on φ mod ρ: evaluate the log-likelihood of the observations for
+  // each of the ρ candidate phases.
+  double best_ll = -std::numeric_limits<double>::infinity();
+  uint64_t best_phase = 0;
+  for (uint64_t phase = 0; phase < period; ++phase) {
+    double ll = 0.0;
+    for (uint64_t i = 0; i < m; ++i) {
+      const uint64_t c = observed.count(i);
+      if (c == 0) continue;
+      // Observation at shifted position i has probability
+      // perceived((i - phase) mod m) when the true offset is == phase.
+      const double p = perceived.prob((i + m - phase) % m);
+      if (p <= 0.0) {
+        ll = -std::numeric_limits<double>::infinity();
+        break;
+      }
+      ll += static_cast<double>(c) * std::log(p);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_phase = phase;
+    }
+  }
+  return best_phase;
+}
+
+}  // namespace mope::attack

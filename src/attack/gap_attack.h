@@ -1,0 +1,65 @@
+#ifndef MOPE_ATTACK_GAP_ATTACK_H_
+#define MOPE_ATTACK_GAP_ATTACK_H_
+
+/// \file gap_attack.h
+/// The gap attack of Boldyreva et al. that motivates the whole paper
+/// (Figure 1), plus the phase attack that bounds what QueryP leaks.
+///
+/// An honest-but-curious server watching naive MOPE range queries observes
+/// start points whose *shifted* values mL + j (mod M) never fall in the
+/// width-(k-1)-ish band just below j: valid queries never straddle the
+/// domain wrap. After enough queries the largest uncovered circular arc
+/// pins down the secret offset. (The adversary works in rank space: with
+/// ciphertext order visible, observed ciphertext start points can be ranked
+/// into shifted-domain positions.)
+///
+/// Against QueryP the perceived distribution is ρ-periodic; the best an
+/// adversary can do is recover j mod ρ by maximum-likelihood matching of
+/// the observed start histogram against the ρ cyclic shifts of the known
+/// perceived distribution — exactly the log ρ least-significant bits the
+/// Section 7.4 analysis says are forfeited.
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+
+namespace mope::attack {
+
+/// Accumulates observed (shifted-domain) query start points and estimates
+/// the secret offset from the largest uncovered circular arc.
+class GapAttack {
+ public:
+  explicit GapAttack(uint64_t domain) : observed_(domain) {}
+
+  /// Records one observed query start (in shifted/rank space).
+  void ObserveStart(uint64_t shifted_start) { observed_.Add(shifted_start); }
+
+  const Histogram& observed() const { return observed_; }
+
+  /// Offset estimate: one past the end of the longest circular run of
+  /// never-observed start points. Fails when every point was observed
+  /// (no gap to orient by).
+  Result<uint64_t> EstimateOffset() const;
+
+  /// Length of the longest uncovered circular arc (0 when fully covered).
+  uint64_t LongestGap() const;
+
+ private:
+  Histogram observed_;
+};
+
+/// Maximum-likelihood phase recovery against QueryP: given the ρ-periodic
+/// perceived distribution the proxy realizes (known to an adversary that
+/// knows Q — Section 3.2) and the observed start histogram, returns the
+/// phase φ in [0, ρ) maximizing the log-likelihood of the observations
+/// under the perceived distribution cyclically shifted by φ. A correct
+/// recovery means φ == j mod ρ.
+Result<uint64_t> EstimatePhase(const Histogram& observed,
+                               const dist::Distribution& perceived,
+                               uint64_t period);
+
+}  // namespace mope::attack
+
+#endif  // MOPE_ATTACK_GAP_ATTACK_H_

@@ -1,0 +1,56 @@
+#include "attack/known_plaintext.h"
+
+#include <cmath>
+
+namespace mope::attack {
+
+KnownPlaintextAttack::KnownPlaintextAttack(std::vector<uint64_t> ciphertexts,
+                                           uint64_t domain, uint64_t range)
+    : ciphertexts_(std::move(ciphertexts)), domain_(domain), range_(range) {
+  MOPE_CHECK(domain_ > 0 && range_ >= domain_, "invalid attack parameters");
+}
+
+void KnownPlaintextAttack::Expose(uint64_t plaintext, uint64_t ciphertext) {
+  has_pair_ = true;
+  known_plain_ = plaintext;
+  known_cipher_ = ciphertext;
+}
+
+uint64_t KnownPlaintextAttack::EstimatePlaintext(uint64_t ciphertext) const {
+  // Scaling estimate of the shifted plaintext behind a ciphertext: a random
+  // OPF concentrates around the diagonal c ~ s * N / M.
+  const auto shifted_of = [this](uint64_t c) {
+    uint64_t s = static_cast<uint64_t>(std::llround(
+        static_cast<double>(c) * static_cast<double>(domain_) /
+        static_cast<double>(range_)));
+    return s >= domain_ ? domain_ - 1 : s;
+  };
+  const uint64_t shifted = shifted_of(ciphertext);
+  if (!has_pair_) {
+    // No anchor: the shifted estimate is all we have; the modular offset
+    // makes it independent of the true plaintext.
+    return shifted;
+  }
+  // The exposed pair reveals the offset: j ~ shifted(known_c) - known_m.
+  const uint64_t offset_estimate =
+      (shifted_of(known_cipher_) + domain_ - known_plain_ % domain_) % domain_;
+  return (shifted + domain_ - offset_estimate) % domain_;
+}
+
+double KnownPlaintextAttack::EvaluateAccuracy(
+    const std::vector<uint64_t>& true_plaintexts, uint64_t window) const {
+  MOPE_CHECK(true_plaintexts.size() == ciphertexts_.size(),
+             "plaintext/ciphertext vectors must align");
+  if (ciphertexts_.empty()) return 0.0;
+  uint64_t hits = 0;
+  for (size_t i = 0; i < ciphertexts_.size(); ++i) {
+    const uint64_t est = EstimatePlaintext(ciphertexts_[i]);
+    const uint64_t truth = true_plaintexts[i];
+    const uint64_t diff = est >= truth ? est - truth : truth - est;
+    const uint64_t modular = std::min(diff, domain_ - diff);
+    if (modular <= window) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ciphertexts_.size());
+}
+
+}  // namespace mope::attack

@@ -1,0 +1,189 @@
+#include "attack/wow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "attack/gap_attack.h"
+#include "common/interval.h"
+#include "dist/completion.h"
+#include "ope/ideal.h"
+
+namespace mope::attack {
+
+namespace {
+
+/// Random n-subset of {0..domain-1} by sequential selection sampling.
+std::vector<uint64_t> SampleDatabase(uint64_t domain, uint64_t n,
+                                     mope::BitSource* rng) {
+  std::vector<uint64_t> db;
+  db.reserve(n);
+  uint64_t needed = n;
+  for (uint64_t v = 0; v < domain && needed > 0; ++v) {
+    if (rng->UniformUint64(domain - v) < needed) {
+      db.push_back(v);
+      --needed;
+    }
+  }
+  return db;
+}
+
+/// The scaling estimator: the shifted plaintext most likely to produce
+/// ciphertext c under a random OPF is ~ c * M / N.
+uint64_t ScaleToDomain(uint64_t cipher, uint64_t domain, uint64_t range) {
+  const double est = static_cast<double>(cipher) * static_cast<double>(domain) /
+                     static_cast<double>(range);
+  uint64_t s = static_cast<uint64_t>(std::llround(est));
+  if (s >= domain) s = domain - 1;
+  return s;
+}
+
+}  // namespace
+
+Result<WowResult> RunWowExperiment(const WowConfig& config, WowScheme scheme,
+                                   const dist::Distribution* q_starts,
+                                   mope::BitSource* rng) {
+  const uint64_t m_count = config.domain;
+  const uint64_t n_count = config.range;
+  if (n_count < m_count || config.db_size < 2 || config.db_size > m_count) {
+    return Status::InvalidArgument("invalid WOW configuration");
+  }
+  if (scheme == WowScheme::kMopeQueryP &&
+      (config.period == 0 || m_count % config.period != 0)) {
+    return Status::InvalidArgument("period must divide the domain");
+  }
+  if (config.k == 0 || config.k >= m_count) {
+    return Status::InvalidArgument("k must be in [1, domain)");
+  }
+
+  dist::Distribution user_q =
+      q_starts != nullptr ? *q_starts : dist::Distribution::Uniform(m_count);
+  if (user_q.size() != m_count) {
+    return Status::InvalidArgument("query distribution size mismatch");
+  }
+
+  // Perceived distribution for QueryP (what the adversary, knowing Q, can
+  // precompute): P_rho in user-plaintext start space.
+  dist::Distribution perceived = dist::Distribution::Uniform(m_count);
+  if (scheme == WowScheme::kMopeQueryP) {
+    MOPE_ASSIGN_OR_RETURN(dist::MixPlan plan,
+                          dist::MakePeriodicPlan(user_q, config.period));
+    perceived = plan.perceived;
+  }
+
+  uint64_t loc_wins = 0, dist_wins = 0, offset_hits = 0;
+
+  for (uint64_t trial = 0; trial < config.trials; ++trial) {
+    // --- Sample the ideal object and the database.
+    const ope::RandomMopf mopf =
+        ope::RandomMopf::Sample(m_count, n_count, rng);
+    const uint64_t offset = (scheme == WowScheme::kOpe) ? 0 : mopf.offset();
+    // For kOpe we play against the un-shifted OPF: emulate by treating the
+    // shifted value as the plaintext itself.
+    auto encrypt = [&](uint64_t m) {
+      return (scheme == WowScheme::kOpe)
+                 ? mopf.Encrypt((m + m_count - mopf.offset()) % m_count)
+                 : mopf.Encrypt(m);
+    };
+
+    const std::vector<uint64_t> db =
+        SampleDatabase(m_count, config.db_size, rng);
+    const uint64_t m1 = db[rng->UniformUint64(db.size())];
+    uint64_t m2 = m1;
+    while (m2 == m1) m2 = db[rng->UniformUint64(db.size())];
+    const uint64_t c1 = encrypt(m1);
+    const uint64_t c2 = encrypt(m2);
+
+    // --- Show the adversary q encrypted queries (modelled in rank space:
+    // the adversary observes each query's shifted start point).
+    GapAttack gap(m_count);
+    Histogram observed(m_count);
+    const bool observe_queries = (scheme != WowScheme::kOpe);
+    if (observe_queries) {
+      for (uint64_t i = 0; i < config.num_queries; ++i) {
+        uint64_t shifted_start = 0;
+        switch (scheme) {
+          case WowScheme::kMopeNaive: {
+            // Real user queries only: valid (non-wrapping) starts.
+            uint64_t start = user_q.Sample(rng);
+            while (start > m_count - config.k) start = user_q.Sample(rng);
+            shifted_start = (start + offset) % m_count;
+            break;
+          }
+          case WowScheme::kMopeQueryU:
+            // Mixing makes the perceived start uniform over the whole
+            // domain — independent of the offset.
+            shifted_start = rng->UniformUint64(m_count);
+            break;
+          case WowScheme::kMopeQueryP:
+            shifted_start = (perceived.Sample(rng) + offset) % m_count;
+            break;
+          case WowScheme::kOpe:
+            break;
+        }
+        gap.ObserveStart(shifted_start);
+        observed.Add(shifted_start);
+      }
+    }
+
+    // --- Offset estimation.
+    uint64_t offset_estimate = 0;
+    switch (scheme) {
+      case WowScheme::kOpe:
+        offset_estimate = 0;
+        break;
+      case WowScheme::kMopeNaive: {
+        auto est = gap.EstimateOffset();
+        offset_estimate = est.ok() ? est.value() : rng->UniformUint64(m_count);
+        break;
+      }
+      case WowScheme::kMopeQueryU: {
+        // Uniform perceived distribution: the gap attack has nothing to
+        // orient by; with q >> M log M every start has been seen and the
+        // estimator refuses. Guess at random.
+        auto est = gap.EstimateOffset();
+        offset_estimate = est.ok() ? est.value() : rng->UniformUint64(m_count);
+        break;
+      }
+      case WowScheme::kMopeQueryP: {
+        MOPE_ASSIGN_OR_RETURN(uint64_t phase,
+                              EstimatePhase(observed, perceived, config.period));
+        // Low bits recovered; high bits unguessable.
+        offset_estimate =
+            phase + config.period *
+                        rng->UniformUint64(m_count / config.period);
+        break;
+      }
+    }
+    if (observe_queries && offset_estimate == offset) ++offset_hits;
+
+    // --- Location game: scale the ciphertext, un-shift, window around it.
+    const uint64_t shifted_est = ScaleToDomain(c1, m_count, n_count);
+    const uint64_t m_est =
+        (shifted_est + m_count - offset_estimate % m_count) % m_count;
+    const uint64_t x =
+        (m_est + m_count - std::min(config.window / 2, m_count - 1)) % m_count;
+    const ModularInterval window(
+        x, std::min(config.window + 1, m_count), m_count);
+    if (window.Contains(m1)) ++loc_wins;
+
+    // --- Distance game: scale the ciphertext gap.
+    const uint64_t cdist = (c1 > c2) ? c1 - c2 : c2 - c1;
+    const uint64_t d_est = ScaleToDomain(cdist, m_count, n_count);
+    const uint64_t true_dist = (m1 > m2) ? m1 - m2 : m2 - m1;
+    const uint64_t dx =
+        d_est > config.window / 2 ? d_est - config.window / 2 : 0;
+    if (true_dist >= dx && true_dist <= dx + config.window) ++dist_wins;
+  }
+
+  WowResult result;
+  result.location_advantage =
+      static_cast<double>(loc_wins) / static_cast<double>(config.trials);
+  result.distance_advantage =
+      static_cast<double>(dist_wins) / static_cast<double>(config.trials);
+  result.offset_recovery_rate =
+      static_cast<double>(offset_hits) / static_cast<double>(config.trials);
+  return result;
+}
+
+}  // namespace mope::attack

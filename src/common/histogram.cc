@@ -1,0 +1,119 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace mope {
+
+void Histogram::Add(uint64_t bin, uint64_t weight) {
+  MOPE_CHECK(bin < counts_.size(), "histogram bin out of range");
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+void Histogram::Remove(uint64_t bin, uint64_t weight) {
+  MOPE_CHECK(bin < counts_.size(), "histogram bin out of range");
+  MOPE_CHECK(counts_[bin] >= weight, "histogram bin underflow");
+  counts_[bin] -= weight;
+  total_ -= weight;
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::Probability(uint64_t bin) const {
+  MOPE_CHECK(bin < counts_.size(), "histogram bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  if (total_ == 0) return probs;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return probs;
+}
+
+uint64_t Histogram::MaxCount() const {
+  uint64_t best = 0;
+  for (uint64_t c : counts_) best = std::max(best, c);
+  return best;
+}
+
+uint64_t Histogram::ArgMax() const {
+  MOPE_CHECK(!counts_.empty(), "ArgMax of empty histogram");
+  return static_cast<uint64_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+double Histogram::ChiSquareVsUniform() const {
+  if (counts_.empty() || total_ == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total_) / static_cast<double>(counts_.size());
+  double chi2 = 0.0;
+  for (uint64_t c : counts_) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double Histogram::ChiSquareVs(const std::vector<double>& expected) const {
+  MOPE_CHECK(expected.size() == counts_.size(), "expected size mismatch");
+  if (total_ == 0) return 0.0;
+  double chi2 = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double e = expected[i] * static_cast<double>(total_);
+    if (e <= 0.0) {
+      if (counts_[i] > 0) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double d = static_cast<double>(counts_[i]) - e;
+    chi2 += d * d / e;
+  }
+  return chi2;
+}
+
+double Histogram::TotalVariationDistance(const Histogram& other) const {
+  MOPE_CHECK(other.size() == size(), "TV distance requires equal sizes");
+  const auto p = Normalized();
+  const auto q = other.Normalized();
+  double tv = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) tv += std::abs(p[i] - q[i]);
+  return tv / 2.0;
+}
+
+std::string Histogram::ToAscii(int width, int max_rows) const {
+  if (counts_.empty()) return "(empty histogram)\n";
+  // Re-bin into at most max_rows rows.
+  const size_t n = counts_.size();
+  const size_t rows = std::min<size_t>(static_cast<size_t>(max_rows), n);
+  std::vector<uint64_t> binned(rows, 0);
+  for (size_t i = 0; i < n; ++i) binned[i * rows / n] += counts_[i];
+  const uint64_t peak = *std::max_element(binned.begin(), binned.end());
+  std::string out;
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t lo = r * n / rows;
+    const size_t hi = (r + 1) * n / rows - 1;
+    char label[48];
+    std::snprintf(label, sizeof(label), "[%6zu,%6zu] %8llu |", lo, hi,
+                  static_cast<unsigned long long>(binned[r]));
+    out += label;
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(binned[r]) /
+                                     static_cast<double>(peak) * width);
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mope

@@ -1,0 +1,73 @@
+#ifndef MOPE_COMMON_HISTOGRAM_H_
+#define MOPE_COMMON_HISTOGRAM_H_
+
+/// \file histogram.h
+/// Integer-count histogram over a finite domain {0, ..., size-1}.
+///
+/// Used (a) by the proxy to represent the user's query-start distribution
+/// (Section 3.1 reduces all queries to fixed-length-k queries so a single
+/// O(M) histogram over start points suffices), and (b) by experiments to
+/// measure perceived query distributions at the adversary.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mope {
+
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Histogram with `size` zeroed bins.
+  explicit Histogram(uint64_t size) : counts_(size, 0), total_(0) {}
+
+  uint64_t size() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  uint64_t count(uint64_t bin) const { return counts_[bin]; }
+
+  /// Adds `weight` observations of `bin`.
+  void Add(uint64_t bin, uint64_t weight = 1);
+
+  /// Removes `weight` observations of `bin`. Precondition: count >= weight.
+  void Remove(uint64_t bin, uint64_t weight = 1);
+
+  /// Resets all bins to zero.
+  void Clear();
+
+  /// Empirical probability of `bin`; 0 when the histogram is empty.
+  double Probability(uint64_t bin) const;
+
+  /// Normalized probabilities for all bins (empty histogram -> all zeros).
+  std::vector<double> Normalized() const;
+
+  /// Largest bin count.
+  uint64_t MaxCount() const;
+
+  /// Index of the largest bin (first one on ties).
+  uint64_t ArgMax() const;
+
+  /// Pearson chi-square statistic against a uniform distribution over all
+  /// bins. Small values (relative to size-1 degrees of freedom) indicate the
+  /// histogram is consistent with uniform — the perceived-distribution check
+  /// for QueryU.
+  double ChiSquareVsUniform() const;
+
+  /// Chi-square statistic against an arbitrary expected distribution
+  /// (probabilities; bins with expected 0 must have count 0 or contribute inf).
+  double ChiSquareVs(const std::vector<double>& expected) const;
+
+  /// Total variation distance between this histogram's empirical distribution
+  /// and `other`'s. Both must have the same size.
+  double TotalVariationDistance(const Histogram& other) const;
+
+  /// Multi-line ASCII rendering (for the figure benches), `width` chars wide.
+  std::string ToAscii(int width = 60, int max_rows = 20) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mope
+
+#endif  // MOPE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#ifndef MOPE_COMMON_MATH_UTIL_H_
+#define MOPE_COMMON_MATH_UTIL_H_
+
+/// \file math_util.h
+/// Numeric helpers shared by the HGD sampler, the security experiments and
+/// the statistics in tests: log-space combinatorics and distribution tails.
+
+#include <cstdint>
+
+namespace mope {
+
+/// log(n!) via lgamma; exact for the integer arguments we use.
+double LogFactorial(uint64_t n);
+
+/// log C(n, k); -inf when k > n.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// Log of the hypergeometric pmf:
+///   P[X = k] for X ~ HG(total=N, success=K, draws=n)
+///           = C(K, k) * C(N-K, n-k) / C(N, n).
+/// Returns -inf outside the support max(0, n-(N-K)) <= k <= min(n, K).
+double LogHypergeometricPmf(uint64_t total, uint64_t success, uint64_t draws,
+                            uint64_t k);
+
+/// Mean of HG(total, success, draws) = draws * success / total.
+double HypergeometricMean(uint64_t total, uint64_t success, uint64_t draws);
+
+/// Approximate upper critical value of the chi-square distribution with df
+/// degrees of freedom at significance alpha (Wilson-Hilferty cube
+/// approximation). Good to a few percent for df >= 5 — sufficient for the
+/// goodness-of-fit assertions in tests.
+double ChiSquareCriticalValue(double df, double alpha);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9).
+double NormalQuantile(double p);
+
+/// ceil(a / b) for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Floor of log2(x); precondition x >= 1.
+int FloorLog2(uint64_t x);
+
+/// Greatest common divisor.
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+}  // namespace mope
+
+#endif  // MOPE_COMMON_MATH_UTIL_H_

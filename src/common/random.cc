@@ -1,0 +1,107 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace mope {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t BitSource::UniformUint64(uint64_t bound) {
+  MOPE_CHECK(bound > 0, "UniformUint64 bound must be positive");
+  // Rejection sampling over the largest multiple of `bound` that fits.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+  uint64_t w;
+  do {
+    w = NextWord();
+  } while (w >= limit && limit != 0);
+  return w % bound;
+}
+
+int64_t BitSource::UniformInt64(int64_t lo, int64_t hi) {
+  MOPE_CHECK(lo <= hi, "UniformInt64 requires lo <= hi");
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextWord());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformUint64(span));
+}
+
+double BitSource::UniformDouble() {
+  return static_cast<double>(NextWord() >> 11) * 0x1.0p-53;
+}
+
+bool BitSource::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t BitSource::Geometric(double p) {
+  MOPE_CHECK(p > 0.0 && p <= 1.0, "Geometric requires p in (0, 1]");
+  if (p == 1.0) return 0;
+  // Inversion: floor(log(U) / log(1-p)).
+  double u = UniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g < 0) g = 0;
+  // Cap to avoid overflow on pathological p close to 0.
+  if (g > 9.0e18) g = 9.0e18;
+  return static_cast<uint64_t>(g);
+}
+
+double BitSource::Gaussian() {
+  // Box-Muller transform; discard the second variate for stream determinism.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.Next();
+}
+
+uint64_t Rng::NextWord() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void Rng::LongJump() {
+  static constexpr uint64_t kJump[] = {0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL,
+                                       0x77710069854EE241ULL, 0x39109BB02ACBE635ULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      NextWord();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+}  // namespace mope

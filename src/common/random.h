@@ -1,0 +1,94 @@
+#ifndef MOPE_COMMON_RANDOM_H_
+#define MOPE_COMMON_RANDOM_H_
+
+/// \file random.h
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// The library never uses std::mt19937 or std::random_device internally:
+/// all simulation randomness flows through `Rng` (xoshiro256**) so that
+/// experiments are reproducible from a single seed, and all *cryptographic*
+/// randomness flows through crypto::CtrDrbg (see crypto/drbg.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mope {
+
+/// Entropy source interface: a stream of uniform 64-bit words. Both the
+/// simulation RNG and the crypto DRBG implement this, so distribution
+/// samplers can be reused for experiments and for PRF-coin-driven encryption.
+class BitSource {
+ public:
+  virtual ~BitSource() = default;
+
+  /// Next uniform 64-bit word.
+  virtual uint64_t NextWord() = 0;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses rejection sampling; unbiased.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Number of failures before the first success of a Bernoulli(p) sequence,
+  /// i.e. Geometric with support {0, 1, 2, ...}. Precondition: p in (0, 1].
+  uint64_t Geometric(double p);
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream stays deterministic and stateless).
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+};
+
+/// SplitMix64: used for seeding and for cheap hashing of seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's simulation RNG.
+/// Fast, 256-bit state, passes BigCrush; NOT cryptographically secure.
+class Rng final : public BitSource {
+ public:
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t NextWord() override;
+
+  /// Long-jump: advances the stream by 2^192 steps, yielding an independent
+  /// substream (used to hand disjoint streams to parallel experiments).
+  void LongJump();
+
+  /// Fisher-Yates shuffle of a vector, in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace mope
+
+#endif  // MOPE_COMMON_RANDOM_H_

@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+#include <cstdio>
+
+namespace mope {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kOutOfRange: return "out of range";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kAlreadyExists: return "already exists";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kNotSupported: return "not supported";
+    case StatusCode::kParseError: return "parse error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "MOPE_CHECK failed at %s:%d: %s\n", file, line, what);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mope

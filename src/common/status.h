@@ -1,0 +1,178 @@
+#ifndef MOPE_COMMON_STATUS_H_
+#define MOPE_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error handling for the MOPE library.
+///
+/// Following the convention of production database codebases (RocksDB, Arrow),
+/// recoverable errors are reported through `Status` / `Result<T>` return
+/// values rather than exceptions. Programming errors (violated preconditions
+/// inside the library itself) abort via MOPE_CHECK.
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mope {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a value outside the documented domain.
+  kOutOfRange = 2,        ///< Plaintext/ciphertext outside [1, M] / [1, N].
+  kNotFound = 3,          ///< Key/table/index lookup failed.
+  kAlreadyExists = 4,     ///< Insert of a duplicate table / unique key.
+  kCorruption = 5,        ///< Ciphertext does not decrypt to any plaintext.
+  kNotSupported = 6,      ///< Feature outside the supported SQL/engine subset.
+  kParseError = 7,        ///< SQL text could not be parsed.
+  kInternal = 8,          ///< Invariant violation detected at runtime.
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "not found", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to return by value: the success path
+/// carries a single enum; the error path allocates for its message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error return type. Holds either a `T` or a non-OK `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status: `return Status::InvalidArgument(...);`.
+  /// Constructing a Result from an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::abort();  // Result from OK status: no value to hold.
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define MOPE_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::mope::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define MOPE_CONCAT_IMPL(x, y) x##y
+#define MOPE_CONCAT(x, y) MOPE_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define MOPE_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto MOPE_CONCAT(_res_, __LINE__) = (rexpr);                       \
+  if (!MOPE_CONCAT(_res_, __LINE__).ok())                            \
+    return MOPE_CONCAT(_res_, __LINE__).status();                    \
+  lhs = std::move(MOPE_CONCAT(_res_, __LINE__)).value()
+
+/// Aborts with a message when an internal invariant is violated.
+#define MOPE_CHECK(cond, what)                                        \
+  do {                                                                \
+    if (!(cond)) ::mope::internal::CheckFailed(__FILE__, __LINE__, what); \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* what);
+}  // namespace internal
+
+}  // namespace mope
+
+#endif  // MOPE_COMMON_STATUS_H_

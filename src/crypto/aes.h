@@ -1,0 +1,61 @@
+#ifndef MOPE_CRYPTO_AES_H_
+#define MOPE_CRYPTO_AES_H_
+
+/// \file aes.h
+/// AES-128 block cipher (FIPS-197), both directions.
+///
+/// Implemented from scratch for this offline reproduction. The OPE scheme of
+/// Boldyreva et al. only needs the forward direction (a PRF built from AES
+/// in CBC-MAC / CTR modes — see prf.h, drbg.h); the inverse cipher exists
+/// for the deterministic-encryption layer of the mutable-OPE baseline
+/// (ope/mutable_ope.h).
+///
+/// This is a straightforward S-box implementation: constant-time properties
+/// are NOT claimed; the threat model of the paper is an honest-but-curious
+/// *server*, not a local side-channel attacker.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace mope::crypto {
+
+/// A 128-bit block.
+using Block = std::array<uint8_t, 16>;
+
+/// A 128-bit key.
+using Key128 = std::array<uint8_t, 16>;
+
+/// AES-128 with a fixed key; the key schedule is expanded at construction.
+class Aes128 {
+ public:
+  explicit Aes128(const Key128& key);
+
+  /// Encrypts one 16-byte block: out = AES-128_K(in). in == out is allowed.
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Convenience overload on Block values.
+  Block EncryptBlock(const Block& in) const {
+    Block out;
+    EncryptBlock(in.data(), out.data());
+    return out;
+  }
+
+  /// Decrypts one 16-byte block (inverse cipher). in == out is allowed.
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  Block DecryptBlock(const Block& in) const {
+    Block out;
+    DecryptBlock(in.data(), out.data());
+    return out;
+  }
+
+ private:
+  static constexpr int kRounds = 10;
+  // 11 round keys x 16 bytes.
+  std::array<uint8_t, 16 * (kRounds + 1)> round_keys_;
+};
+
+}  // namespace mope::crypto
+
+#endif  // MOPE_CRYPTO_AES_H_

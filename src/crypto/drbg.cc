@@ -1,0 +1,26 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+namespace mope::crypto {
+
+void CtrDrbg::Refill() {
+  Block ctr{};
+  for (int i = 0; i < 8; ++i) {
+    ctr[15 - i] = static_cast<uint8_t>(counter_ >> (8 * i));
+  }
+  ++counter_;
+  buffer_ = aes_.EncryptBlock(ctr);
+  buffered_words_ = 2;
+}
+
+uint64_t CtrDrbg::NextWord() {
+  if (buffered_words_ == 0) Refill();
+  const int idx = 2 - buffered_words_;
+  --buffered_words_;
+  uint64_t w = 0;
+  std::memcpy(&w, buffer_.data() + 8 * idx, 8);
+  return w;
+}
+
+}  // namespace mope::crypto

@@ -1,0 +1,38 @@
+#ifndef MOPE_CRYPTO_DRBG_H_
+#define MOPE_CRYPTO_DRBG_H_
+
+/// \file drbg.h
+/// Deterministic random bit generator: AES-128 in counter mode.
+///
+/// Given a 16-byte seed (used as the AES key), the DRBG emits the keystream
+/// AES_seed(0), AES_seed(1), ... as uniform 64-bit words. It implements the
+/// library-wide BitSource interface so the hypergeometric sampler and the
+/// distribution samplers can run off either true experiment randomness (Rng)
+/// or PRF-derived encryption coins (this class) without code changes.
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "crypto/aes.h"
+
+namespace mope::crypto {
+
+class CtrDrbg final : public mope::BitSource {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit CtrDrbg(const Key128& seed) : aes_(seed) {}
+
+  uint64_t NextWord() override;
+
+ private:
+  void Refill();
+
+  Aes128 aes_;
+  uint64_t counter_ = 0;
+  Block buffer_{};
+  int buffered_words_ = 0;  // how many 8-byte words remain in buffer_
+};
+
+}  // namespace mope::crypto
+
+#endif  // MOPE_CRYPTO_DRBG_H_

@@ -1,0 +1,110 @@
+#include "crypto/hgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mope::crypto {
+
+namespace {
+
+/// pmf ratio p(k+1) / p(k) for HG(total, success, draws).
+inline double RatioUp(uint64_t total, uint64_t success, uint64_t draws,
+                      uint64_t k) {
+  const double num = static_cast<double>(success - k) *
+                     static_cast<double>(draws - k);
+  const double den = static_cast<double>(k + 1) *
+                     static_cast<double>(total - success - draws + k + 1);
+  return num / den;
+}
+
+}  // namespace
+
+uint64_t SampleHypergeometric(uint64_t total, uint64_t success, uint64_t draws,
+                              mope::BitSource* bits) {
+  MOPE_CHECK(success <= total && draws <= total, "HGD parameters out of range");
+
+  // Support: lo <= X <= hi.
+  const uint64_t fail = total - success;
+  const uint64_t lo = (draws > fail) ? draws - fail : 0;
+  const uint64_t hi = std::min(draws, success);
+  if (lo == hi) {
+    // Degenerate (e.g. success == 0 or draws == 0 or draws == total).
+    // Still consume one double so coin usage is parameter-independent.
+    (void)bits->UniformDouble();
+    return lo;
+  }
+
+  const double u = bits->UniformDouble();
+
+  // Anchor at the mode: floor((draws+1)(success+1) / (total+2)).
+  uint64_t mode = static_cast<uint64_t>(
+      (static_cast<double>(draws) + 1.0) * (static_cast<double>(success) + 1.0) /
+      (static_cast<double>(total) + 2.0));
+  mode = std::clamp(mode, lo, hi);
+
+  const double log_pmode =
+      mope::LogHypergeometricPmf(total, success, draws, mode);
+  const double pmode = std::exp(log_pmode);
+
+  // Alternating outward sweep: mode, mode+1, mode-1, mode+2, mode-2, ...
+  // Accumulate probability mass until it exceeds u * (total mass). Because we
+  // visit bins in (approximately) decreasing-probability order, the expected
+  // number of visited bins is O(stddev).
+  double cum = pmode;
+  double p_up = pmode;    // pmf at the current upper frontier
+  double p_down = pmode;  // pmf at the current lower frontier
+  uint64_t up = mode;
+  uint64_t down = mode;
+
+  if (u * 1.0 <= cum) return mode;
+
+  while (true) {
+    bool advanced = false;
+    if (up < hi) {
+      p_up *= RatioUp(total, success, draws, up);
+      ++up;
+      cum += p_up;
+      advanced = true;
+      if (u <= cum) return up;
+    }
+    if (down > lo) {
+      // p(k-1) = p(k) / ratio_up(k-1).
+      p_down /= RatioUp(total, success, draws, down - 1);
+      --down;
+      cum += p_down;
+      advanced = true;
+      if (u <= cum) return down;
+    }
+    if (!advanced) {
+      // Exhausted the support; numeric round-off left cum slightly below u.
+      // Return the tail bin on the heavier side.
+      return (u > 0.5) ? hi : lo;
+    }
+  }
+}
+
+uint64_t SampleHypergeometricLinear(uint64_t total, uint64_t success,
+                                    uint64_t draws, mope::BitSource* bits) {
+  MOPE_CHECK(success <= total && draws <= total, "HGD parameters out of range");
+  const uint64_t fail = total - success;
+  const uint64_t lo = (draws > fail) ? draws - fail : 0;
+  const uint64_t hi = std::min(draws, success);
+  if (lo == hi) {
+    (void)bits->UniformDouble();
+    return lo;
+  }
+  const double u = bits->UniformDouble();
+  double p = std::exp(mope::LogHypergeometricPmf(total, success, draws, lo));
+  double cum = p;
+  uint64_t k = lo;
+  while (u > cum && k < hi) {
+    p *= RatioUp(total, success, draws, k);
+    ++k;
+    cum += p;
+  }
+  return k;
+}
+
+}  // namespace mope::crypto

@@ -1,0 +1,94 @@
+#include "dist/completion.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mope::dist {
+
+namespace {
+
+/// Treats mixing weights that are almost-one as exactly one: when the user's
+/// distribution already equals the target, µM - 1 == 0 and the completion is
+/// undefined (and unneeded).
+constexpr double kAlphaOneEps = 1e-12;
+
+}  // namespace
+
+Result<MixPlan> MakeUniformPlan(const Distribution& q) {
+  const uint64_t m = q.size();
+  const double mu = q.max_prob();
+  const double denom = mu * static_cast<double>(m) - 1.0;
+
+  MixPlan plan;
+  plan.perceived = Distribution::Uniform(m);
+  if (denom <= kAlphaOneEps) {
+    // Q is already uniform: always execute the real query.
+    plan.alpha = 1.0;
+    plan.completion = Distribution::Uniform(m);
+    return plan;
+  }
+  plan.alpha = 1.0 / (mu * static_cast<double>(m));
+
+  std::vector<double> weights(m);
+  for (uint64_t i = 0; i < m; ++i) weights[i] = mu - q.prob(i);
+  MOPE_ASSIGN_OR_RETURN(plan.completion,
+                        Distribution::FromWeights(std::move(weights)));
+  return plan;
+}
+
+Result<double> AverageClassMaximum(const Distribution& q, uint64_t period) {
+  const uint64_t m = q.size();
+  if (period == 0 || period > m) {
+    return Status::InvalidArgument("period must be in [1, M]");
+  }
+  if (m % period != 0) {
+    return Status::InvalidArgument("period " + std::to_string(period) +
+                                   " must divide the domain size " +
+                                   std::to_string(m));
+  }
+  std::vector<double> class_max(period, 0.0);
+  for (uint64_t i = 0; i < m; ++i) {
+    class_max[i % period] = std::max(class_max[i % period], q.prob(i));
+  }
+  double eta = 0.0;
+  for (double v : class_max) eta += v;
+  return eta / static_cast<double>(period);
+}
+
+Result<MixPlan> MakePeriodicPlan(const Distribution& q, uint64_t period) {
+  const uint64_t m = q.size();
+  MOPE_ASSIGN_OR_RETURN(double eta, AverageClassMaximum(q, period));
+
+  // Class maxima η_j, reused for both the completion and the target P_ρ.
+  std::vector<double> class_max(period, 0.0);
+  for (uint64_t i = 0; i < m; ++i) {
+    class_max[i % period] = std::max(class_max[i % period], q.prob(i));
+  }
+
+  // Target P_ρ(i) = η_{i mod ρ} / (η·M): periodic, sums to 1.
+  std::vector<double> target(m);
+  for (uint64_t i = 0; i < m; ++i) target[i] = class_max[i % period];
+  MixPlan plan;
+  MOPE_ASSIGN_OR_RETURN(plan.perceived,
+                        Distribution::FromWeights(std::move(target)));
+
+  const double denom = eta * static_cast<double>(m) - 1.0;
+  if (denom <= kAlphaOneEps) {
+    // Q is already ρ-periodic (e.g. period == M): forward everything.
+    plan.alpha = 1.0;
+    plan.completion = plan.perceived;
+    return plan;
+  }
+  plan.alpha = 1.0 / (eta * static_cast<double>(m));
+
+  std::vector<double> weights(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    weights[i] = class_max[i % period] - q.prob(i);
+  }
+  MOPE_ASSIGN_OR_RETURN(plan.completion,
+                        Distribution::FromWeights(std::move(weights)));
+  return plan;
+}
+
+}  // namespace mope::dist

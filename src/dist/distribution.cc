@@ -1,0 +1,78 @@
+#include "dist/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mope::dist {
+
+Distribution::Distribution(std::vector<double> probs)
+    : probs_(std::move(probs)) {
+  cdf_.resize(probs_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i];
+    cdf_[i] = acc;
+    if (probs_[i] > max_prob_) {
+      max_prob_ = probs_[i];
+      argmax_ = i;
+    }
+  }
+  // Pin the final CDF entry so Sample can never fall off the end.
+  if (!cdf_.empty()) cdf_.back() = 1.0;
+}
+
+Result<Distribution> Distribution::FromWeights(std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("distribution needs at least one element");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || std::isnan(w)) {  // also catches NaN
+      return Status::InvalidArgument("distribution weights must be >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("distribution weights sum to zero");
+  }
+  for (double& w : weights) w /= total;
+  return Distribution(std::move(weights));
+}
+
+Result<Distribution> Distribution::FromHistogram(const Histogram& hist) {
+  if (hist.total() == 0) {
+    return Status::InvalidArgument("histogram has no observations");
+  }
+  return Distribution(hist.Normalized());
+}
+
+Distribution Distribution::Uniform(uint64_t size) {
+  MOPE_CHECK(size > 0, "uniform distribution needs size > 0");
+  return Distribution(
+      std::vector<double>(size, 1.0 / static_cast<double>(size)));
+}
+
+Distribution Distribution::PointMass(uint64_t size, uint64_t at) {
+  MOPE_CHECK(size > 0 && at < size, "point mass location out of range");
+  std::vector<double> probs(size, 0.0);
+  probs[at] = 1.0;
+  return Distribution(std::move(probs));
+}
+
+uint64_t Distribution::Sample(mope::BitSource* bits) const {
+  const double u = bits->UniformDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return probs_.size() - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double Distribution::TotalVariationDistance(const Distribution& other) const {
+  MOPE_CHECK(other.size() == size(), "TV distance requires equal sizes");
+  double tv = 0.0;
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    tv += std::abs(probs_[i] - other.probs_[i]);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace mope::dist

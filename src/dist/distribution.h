@@ -1,0 +1,63 @@
+#ifndef MOPE_DIST_DISTRIBUTION_H_
+#define MOPE_DIST_DISTRIBUTION_H_
+
+/// \file distribution.h
+/// Discrete probability distributions over {0, ..., size-1} with exact
+/// inversion sampling — the representation the proxy uses for the user's
+/// query-start distribution Q (Section 3.1 reduces every query to a
+/// fixed-length-k query, so a distribution over M start points suffices).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace mope::dist {
+
+class Distribution {
+ public:
+  /// Builds from non-negative weights (need not sum to 1; normalized here).
+  /// Fails when the vector is empty, contains a negative/NaN weight, or sums
+  /// to zero.
+  static Result<Distribution> FromWeights(std::vector<double> weights);
+
+  /// Builds from a histogram with at least one observation.
+  static Result<Distribution> FromHistogram(const Histogram& hist);
+
+  /// The uniform distribution on `size` elements.
+  static Distribution Uniform(uint64_t size);
+
+  /// A point mass at `at` on a domain of `size` elements.
+  static Distribution PointMass(uint64_t size, uint64_t at);
+
+  uint64_t size() const { return probs_.size(); }
+  double prob(uint64_t i) const { return probs_[i]; }
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// µ_D: the largest single-element probability.
+  double max_prob() const { return max_prob_; }
+
+  /// Index attaining max_prob (first on ties).
+  uint64_t argmax() const { return argmax_; }
+
+  /// Inversion sampling ("inversion method", Devroye 1986): one uniform
+  /// double, then a binary search over the cached CDF.
+  uint64_t Sample(mope::BitSource* bits) const;
+
+  /// Total variation distance to another distribution of the same size.
+  double TotalVariationDistance(const Distribution& other) const;
+
+ private:
+  explicit Distribution(std::vector<double> probs);
+
+  std::vector<double> probs_;
+  std::vector<double> cdf_;
+  double max_prob_ = 0.0;
+  uint64_t argmax_ = 0;
+};
+
+}  // namespace mope::dist
+
+#endif  // MOPE_DIST_DISTRIBUTION_H_

@@ -1,0 +1,59 @@
+#ifndef MOPE_DIST_QUERY_BUFFER_H_
+#define MOPE_DIST_QUERY_BUFFER_H_
+
+/// \file query_buffer.h
+/// The online query-distribution estimator of Section 4.
+///
+/// The adaptive algorithms do not assume the user's query distribution is
+/// known a priori; instead the proxy maintains a buffer of the query starts
+/// seen so far and treats the buffer as the current histogram estimate of Q.
+/// Sampling a "real" query uniformly from the buffer (with replacement, the
+/// buffer unmodified) is identical to sampling from the current estimate —
+/// the property the security argument of Section 7 relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/completion.h"
+
+namespace mope::dist {
+
+class QueryBuffer {
+ public:
+  /// Buffer over query-start domain {0, ..., domain-1}.
+  explicit QueryBuffer(uint64_t domain);
+
+  uint64_t domain() const { return histogram_.size(); }
+  uint64_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Records one observed real-query start point.
+  void Add(uint64_t start);
+
+  /// Uniform draw from the buffer with replacement (the buffer itself is
+  /// unmodified) — equivalent to a draw from the current estimate of Q.
+  uint64_t SampleReal(mope::BitSource* bits) const;
+
+  /// The buffer as a histogram over the domain.
+  const Histogram& histogram() const { return histogram_; }
+
+  /// Current estimate of Q. Fails when the buffer is empty.
+  Result<Distribution> Estimate() const;
+
+  /// Mixing plan against the uniform target, from the current estimate.
+  Result<MixPlan> UniformPlan() const;
+
+  /// Mixing plan against the ρ-periodic target, from the current estimate.
+  Result<MixPlan> PeriodicPlan(uint64_t period) const;
+
+ private:
+  std::vector<uint64_t> entries_;
+  Histogram histogram_;
+};
+
+}  // namespace mope::dist
+
+#endif  // MOPE_DIST_QUERY_BUFFER_H_

@@ -1,0 +1,301 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+namespace mope::engine {
+
+Result<std::vector<Row>> Collect(Operator* op) {
+  MOPE_RETURN_NOT_OK(op->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    MOPE_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Segment> CoalesceSegments(std::vector<Segment> segments) {
+  if (segments.empty()) return segments;
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.lo < b.lo; });
+  std::vector<Segment> merged;
+  merged.push_back(segments.front());
+  for (size_t i = 1; i < segments.size(); ++i) {
+    Segment& last = merged.back();
+    // Merge overlapping or exactly-adjacent segments.
+    if (segments[i].lo <= last.hi || segments[i].lo == last.hi + 1) {
+      last.hi = std::max(last.hi, segments[i].hi);
+    } else {
+      merged.push_back(segments[i]);
+    }
+  }
+  return merged;
+}
+
+Status SeqScanOp::Open() {
+  next_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* out) {
+  if (next_ >= table_->row_count()) return false;
+  *out = table_->row(next_++);
+  return true;
+}
+
+IndexRangeScanOp::IndexRangeScanOp(const Table* table, const BPlusTree* index,
+                                   std::vector<Segment> segments)
+    : table_(table),
+      index_(index),
+      segments_(CoalesceSegments(std::move(segments))) {}
+
+Status IndexRangeScanOp::Open() {
+  row_ids_.clear();
+  next_ = 0;
+  entries_visited_ = 0;
+  for (const Segment& seg : segments_) {
+    entries_visited_ += index_->ScanRange(
+        seg.lo, seg.hi,
+        [this](uint64_t, uint64_t rid) { row_ids_.push_back(rid); });
+  }
+  return Status::OK();
+}
+
+Result<bool> IndexRangeScanOp::Next(Row* out) {
+  if (next_ >= row_ids_.size()) return false;
+  *out = table_->row(row_ids_[next_++]);
+  return true;
+}
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    MOPE_ASSIGN_OR_RETURN(bool pass, pred_(*out));
+    if (pass) return true;
+  }
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row row;
+  MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+  if (!has) return false;
+  out->clear();
+  out->reserve(columns_.size());
+  for (size_t col : columns_) {
+    if (col >= row.size()) {
+      return Status::Internal("projection column out of range");
+    }
+    out->push_back(std::move(row[col]));
+  }
+  return true;
+}
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> left,
+                       std::unique_ptr<Operator> right, size_t left_key_col,
+                       size_t right_key_col)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_col_(left_key_col),
+      right_key_col_(right_key_col) {}
+
+Status HashJoinOp::Open() {
+  MOPE_RETURN_NOT_OK(left_->Open());
+  MOPE_RETURN_NOT_OK(right_->Open());
+  build_.clear();
+  probing_ = false;
+  // Build phase over the right child.
+  Row row;
+  while (true) {
+    auto has = right_->Next(&row);
+    MOPE_RETURN_NOT_OK(has.status());
+    if (!has.value()) break;
+    if (right_key_col_ >= row.size() ||
+        !std::holds_alternative<int64_t>(row[right_key_col_])) {
+      return Status::InvalidArgument("join key must be an int column");
+    }
+    build_.emplace(std::get<int64_t>(row[right_key_col_]), row);
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (probing_) {
+      if (probe_range_.first != probe_range_.second) {
+        *out = current_left_;
+        const Row& right_row = probe_range_.first->second;
+        out->insert(out->end(), right_row.begin(), right_row.end());
+        ++probe_range_.first;
+        return true;
+      }
+      probing_ = false;
+    }
+    MOPE_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+    if (!has) return false;
+    if (left_key_col_ >= current_left_.size() ||
+        !std::holds_alternative<int64_t>(current_left_[left_key_col_])) {
+      return Status::InvalidArgument("join key must be an int column");
+    }
+    probe_range_ =
+        build_.equal_range(std::get<int64_t>(current_left_[left_key_col_]));
+    probing_ = true;
+  }
+}
+
+namespace {
+
+/// Three-way value comparison for sorting: numbers before strings; numbers
+/// compare with promotion, strings lexicographically.
+int CompareForSort(const Value& a, const Value& b) {
+  const bool a_str = std::holds_alternative<std::string>(a);
+  const bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str != b_str) return a_str ? 1 : -1;
+  if (a_str) {
+    const auto& sa = std::get<std::string>(a);
+    const auto& sb = std::get<std::string>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  const double da = std::holds_alternative<int64_t>(a)
+                        ? static_cast<double>(std::get<int64_t>(a))
+                        : std::get<double>(a);
+  const double db = std::holds_alternative<int64_t>(b)
+                        ? static_cast<double>(std::get<int64_t>(b))
+                        : std::get<double>(b);
+  return da < db ? -1 : (da == db ? 0 : 1);
+}
+
+}  // namespace
+
+Status SortOp::Open() {
+  MOPE_ASSIGN_OR_RETURN(rows_, Collect(child_.get()));
+  next_ = 0;
+  for (const SortKey& key : keys_) {
+    if (rows_.empty()) break;
+    if (key.column >= rows_.front().size()) {
+      return Status::InvalidArgument("sort column out of range");
+    }
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const SortKey& key : keys_) {
+                       const int cmp =
+                           CompareForSort(a[key.column], b[key.column]);
+                       if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (next_ >= rows_.size()) return false;
+  *out = rows_[next_++];
+  return true;
+}
+
+AggregateOp::AggregateOp(std::unique_ptr<Operator> child,
+                         std::vector<AggSpec> aggs)
+    : child_(std::move(child)), aggs_(std::move(aggs)) {}
+
+AggregateOp::AggregateOp(std::unique_ptr<Operator> child, size_t group_by_col,
+                         std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      aggs_(std::move(aggs)),
+      has_group_by_(true),
+      group_by_col_(group_by_col) {}
+
+Row AggregateOp::Finalize(int64_t group_key,
+                          const std::vector<AggState>& states) const {
+  Row out;
+  if (has_group_by_) out.push_back(group_key);
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggState& st = states[i];
+    switch (aggs_[i].kind) {
+      case AggKind::kCount:
+        out.push_back(static_cast<int64_t>(st.count));
+        break;
+      case AggKind::kSum:
+        out.push_back(st.sum);
+        break;
+      case AggKind::kAvg:
+        out.push_back(st.count == 0 ? 0.0
+                                    : st.sum / static_cast<double>(st.count));
+        break;
+      case AggKind::kMin:
+        out.push_back(st.seen ? st.min : 0.0);
+        break;
+      case AggKind::kMax:
+        out.push_back(st.seen ? st.max : 0.0);
+        break;
+    }
+  }
+  return out;
+}
+
+Status AggregateOp::Open() {
+  MOPE_RETURN_NOT_OK(child_->Open());
+  results_.clear();
+  next_ = 0;
+
+  std::map<int64_t, std::vector<AggState>> groups;
+  std::vector<AggState> scalar(aggs_.size());
+  bool any_row = false;
+
+  Row row;
+  while (true) {
+    auto has = child_->Next(&row);
+    MOPE_RETURN_NOT_OK(has.status());
+    if (!has.value()) break;
+    any_row = true;
+
+    std::vector<AggState>* states = &scalar;
+    int64_t key = 0;
+    if (has_group_by_) {
+      if (group_by_col_ >= row.size() ||
+          !std::holds_alternative<int64_t>(row[group_by_col_])) {
+        return Status::InvalidArgument("group-by column must be int");
+      }
+      key = std::get<int64_t>(row[group_by_col_]);
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) it->second.resize(aggs_.size());
+      states = &it->second;
+    }
+
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      AggState& st = (*states)[i];
+      ++st.count;
+      if (aggs_[i].kind == AggKind::kCount) continue;
+      if (!aggs_[i].extract) {
+        return Status::InvalidArgument("aggregate needs a value extractor");
+      }
+      auto v = aggs_[i].extract(row);
+      MOPE_RETURN_NOT_OK(v.status());
+      st.sum += v.value();
+      if (!st.seen || v.value() < st.min) st.min = v.value();
+      if (!st.seen || v.value() > st.max) st.max = v.value();
+      st.seen = true;
+    }
+  }
+
+  if (has_group_by_) {
+    for (const auto& [key, states] : groups) {
+      results_.push_back(Finalize(key, states));
+    }
+  } else {
+    // Scalar aggregation yields one row even over empty input (COUNT = 0).
+    (void)any_row;
+    results_.push_back(Finalize(0, scalar));
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateOp::Next(Row* out) {
+  if (next_ >= results_.size()) return false;
+  *out = results_[next_++];
+  return true;
+}
+
+}  // namespace mope::engine

@@ -1,0 +1,250 @@
+#ifndef MOPE_ENGINE_EXECUTOR_H_
+#define MOPE_ENGINE_EXECUTOR_H_
+
+/// \file executor.h
+/// Volcano-style (pull-based) physical operators over engine tables.
+///
+/// The subset matches what the paper's workload needs: sequential and
+/// B+-tree index range scans, *multi-range* scans (the Section 5.1
+/// multiple-query optimization: many OR-ed range predicates answered in one
+/// pass over a shared index), filters, hash joins (TPC-H Q14 joins LINEITEM
+/// with PART), projections, and scalar/grouped aggregation (SUM / COUNT /
+/// AVG / MIN / MAX).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace mope::engine {
+
+/// Pull-based operator interface.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (and its children) for iteration.
+  virtual Status Open() = 0;
+
+  /// Produces the next row into *out; returns false when exhausted.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  /// Number of output columns.
+  virtual size_t output_width() const = 0;
+};
+
+/// Drains an operator tree into a materialized vector of rows.
+Result<std::vector<Row>> Collect(Operator* op);
+
+/// Sorts segments and merges overlapping or adjacent ones — the shared-scan
+/// preparation for disjunctive range predicates. The result is disjoint and
+/// ascending, so a multi-range scan touches every qualifying row exactly once.
+std::vector<Segment> CoalesceSegments(std::vector<Segment> segments);
+
+/// Full-table scan.
+class SeqScanOp final : public Operator {
+ public:
+  explicit SeqScanOp(const Table* table) : table_(table) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override {
+    return table_->schema().num_columns();
+  }
+
+ private:
+  const Table* table_;
+  RowId next_ = 0;
+};
+
+/// B+-tree range scan over one or more (coalesced) key segments. Emits full
+/// rows in key order; per-scan statistics are exposed for the benches.
+class IndexRangeScanOp final : public Operator {
+ public:
+  /// `segments` are inclusive ciphertext intervals; they are coalesced at
+  /// construction so overlapping query ranges share one index sweep.
+  IndexRangeScanOp(const Table* table, const BPlusTree* index,
+                   std::vector<Segment> segments);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override {
+    return table_->schema().num_columns();
+  }
+
+  /// Index entries visited during the last Open/odrain cycle.
+  uint64_t entries_visited() const { return entries_visited_; }
+  size_t segments_scanned() const { return segments_.size(); }
+
+ private:
+  const Table* table_;
+  const BPlusTree* index_;
+  std::vector<Segment> segments_;
+  std::vector<RowId> row_ids_;
+  size_t next_ = 0;
+  uint64_t entries_visited_ = 0;
+};
+
+/// Row predicate; errors propagate out of Next.
+using Predicate = std::function<Result<bool>(const Row&)>;
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, Predicate pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override { return child_->output_width(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Predicate pred_;
+};
+
+/// Keeps the given column subset, in order.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<size_t> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override { return columns_.size(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<size_t> columns_;
+};
+
+/// Hash join on int64 equality: builds on the right child, probes with the
+/// left. Output rows are left columns followed by right columns.
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+             size_t left_key_col, size_t right_key_col);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override {
+    return left_->output_width() + right_->output_width();
+  }
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  size_t left_key_col_;
+  size_t right_key_col_;
+  std::unordered_multimap<int64_t, Row> build_;
+  Row current_left_;
+  std::pair<std::unordered_multimap<int64_t, Row>::const_iterator,
+            std::unordered_multimap<int64_t, Row>::const_iterator>
+      probe_range_;
+  bool probing_ = false;
+};
+
+/// Materializing sort. Keys are extracted per row; rows compare by the key
+/// sequence (numeric promotion applies; ties keep input order — the sort is
+/// stable).
+class SortOp final : public Operator {
+ public:
+  struct SortKey {
+    size_t column = 0;
+    bool descending = false;
+  };
+
+  SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override { return child_->output_width(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+/// Emits at most `limit` rows from its child.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (emitted_ >= limit_) return false;
+    MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (has) ++emitted_;
+    return has;
+  }
+
+  size_t output_width() const override { return child_->output_width(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+/// Aggregate function kinds.
+enum class AggKind : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+/// One aggregate: a kind plus a numeric extractor evaluated per input row
+/// (COUNT ignores the extractor, which may be null).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  std::function<Result<double>(const Row&)> extract;
+};
+
+/// Scalar or grouped aggregation. With no group-by column the output is a
+/// single row of aggregate values (doubles, except COUNT which is int64).
+/// With a group-by column the output is (group_key, aggs...) per group, in
+/// ascending group-key order.
+class AggregateOp final : public Operator {
+ public:
+  AggregateOp(std::unique_ptr<Operator> child, std::vector<AggSpec> aggs);
+  AggregateOp(std::unique_ptr<Operator> child, size_t group_by_col,
+              std::vector<AggSpec> aggs);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  size_t output_width() const override {
+    return aggs_.size() + (has_group_by_ ? 1 : 0);
+  }
+
+ private:
+  struct AggState {
+    double sum = 0.0;
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    bool seen = false;
+  };
+
+  Row Finalize(int64_t group_key, const std::vector<AggState>& states) const;
+
+  std::unique_ptr<Operator> child_;
+  std::vector<AggSpec> aggs_;
+  bool has_group_by_ = false;
+  size_t group_by_col_ = 0;
+  std::vector<Row> results_;
+  size_t next_ = 0;
+};
+
+}  // namespace mope::engine
+
+#endif  // MOPE_ENGINE_EXECUTOR_H_

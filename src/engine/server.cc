@@ -1,0 +1,90 @@
+#include "engine/server.h"
+
+#include <array>
+
+namespace mope::engine {
+
+Result<std::vector<Segment>> DbServer::PrepareSegments(
+    const std::string& table, const std::string& column,
+    const std::vector<ModularInterval>& ranges, const Table** table_out,
+    const BPlusTree** index_out) {
+  MOPE_ASSIGN_OR_RETURN(Table * tbl, catalog_.GetTable(table));
+  MOPE_ASSIGN_OR_RETURN(const BPlusTree* index, tbl->GetIndex(column));
+  *table_out = tbl;
+  *index_out = index;
+
+  std::vector<Segment> segments;
+  segments.reserve(ranges.size());
+  for (const ModularInterval& range : ranges) {
+    std::array<Segment, 2> parts;
+    const int n = range.ToSegments(&parts);
+    for (int i = 0; i < n; ++i) segments.push_back(parts[i]);
+  }
+
+  ++stats_.batches_received;
+  stats_.ranges_received += ranges.size();
+  return segments;
+}
+
+Result<std::vector<Row>> DbServer::ExecuteRangeBatch(
+    const std::string& table, const std::string& column,
+    const std::vector<ModularInterval>& ranges) {
+  const Table* tbl = nullptr;
+  const BPlusTree* index = nullptr;
+  MOPE_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                        PrepareSegments(table, column, ranges, &tbl, &index));
+
+  IndexRangeScanOp scan(tbl, index, std::move(segments));
+  MOPE_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(&scan));
+  stats_.segments_scanned += scan.segments_scanned();
+  stats_.entries_visited += scan.entries_visited();
+  stats_.rows_returned += rows.size();
+  return rows;
+}
+
+Result<std::vector<std::pair<RowId, Row>>> DbServer::ExecuteRangeBatchWithIds(
+    const std::string& table, const std::string& column,
+    const std::vector<ModularInterval>& ranges) {
+  const Table* tbl = nullptr;
+  const BPlusTree* index = nullptr;
+  MOPE_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                        PrepareSegments(table, column, ranges, &tbl, &index));
+
+  std::vector<std::pair<RowId, Row>> rows;
+  for (const Segment& seg : CoalesceSegments(std::move(segments))) {
+    stats_.entries_visited += index->ScanRange(
+        seg.lo, seg.hi, [&rows, tbl](uint64_t, uint64_t rid) {
+          rows.emplace_back(rid, tbl->row(rid));
+        });
+    ++stats_.segments_scanned;
+  }
+  stats_.rows_returned += rows.size();
+  return rows;
+}
+
+Result<uint64_t> DbServer::CountRangeBatch(
+    const std::string& table, const std::string& column,
+    const std::vector<ModularInterval>& ranges) {
+  const Table* tbl = nullptr;
+  const BPlusTree* index = nullptr;
+  MOPE_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                        PrepareSegments(table, column, ranges, &tbl, &index));
+
+  uint64_t count = 0;
+  for (const Segment& seg : CoalesceSegments(std::move(segments))) {
+    count += index->ScanRange(seg.lo, seg.hi, [](uint64_t, uint64_t) {});
+    ++stats_.segments_scanned;
+  }
+  stats_.entries_visited += count;
+  stats_.rows_returned += count;
+  return count;
+}
+
+Result<std::vector<Row>> DbServer::ExecutePlan(Operator* plan) {
+  MOPE_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(plan));
+  ++stats_.batches_received;
+  stats_.rows_returned += rows.size();
+  return rows;
+}
+
+}  // namespace mope::engine

@@ -1,0 +1,82 @@
+#ifndef MOPE_ENGINE_SERVER_H_
+#define MOPE_ENGINE_SERVER_H_
+
+/// \file server.h
+/// The untrusted database server of the paper's architecture (Figure 4).
+///
+/// The server is an *unmodified* DBMS: it holds tables whose range-queryable
+/// columns contain MOPE ciphertexts (plain integers from its point of view),
+/// maintains ordinary B+-tree indexes over them, and answers batches of
+/// (possibly wrap-around) range queries — including many ranges OR-ed into a
+/// single request, which it answers with one shared coalesced index sweep
+/// (the Section 5.1 multiple-query optimization). It never sees a key, a
+/// plaintext, or which queries are real.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/table.h"
+
+namespace mope::engine {
+
+/// Cumulative server-side counters (what a cloud provider would bill).
+struct ServerStats {
+  uint64_t batches_received = 0;  ///< Requests (one per server round trip).
+  uint64_t ranges_received = 0;   ///< Individual range predicates seen.
+  uint64_t segments_scanned = 0;  ///< Coalesced index sweeps performed.
+  uint64_t entries_visited = 0;   ///< Index entries touched.
+  uint64_t rows_returned = 0;     ///< Result rows shipped back (bandwidth).
+};
+
+class DbServer {
+ public:
+  DbServer() = default;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Executes one batch of ciphertext range predicates (each an interval on
+  /// the ciphertext space, wrapping allowed) against the index on `column`
+  /// of `table`. All ranges in the batch share a single coalesced sweep and
+  /// each qualifying row is returned exactly once.
+  Result<std::vector<Row>> ExecuteRangeBatch(
+      const std::string& table, const std::string& column,
+      const std::vector<ModularInterval>& ranges);
+
+  /// Like ExecuteRangeBatch, but each row is returned together with its
+  /// stable row id (DBMSes expose this as ctid/rowid); the proxy uses the
+  /// ids to deduplicate rows that multiple overlapping requests returned.
+  Result<std::vector<std::pair<RowId, Row>>> ExecuteRangeBatchWithIds(
+      const std::string& table, const std::string& column,
+      const std::vector<ModularInterval>& ranges);
+
+  /// Like ExecuteRangeBatch but only returns the number of qualifying rows
+  /// (still updates the counters; used by benches that do not need rows).
+  Result<uint64_t> CountRangeBatch(const std::string& table,
+                                   const std::string& column,
+                                   const std::vector<ModularInterval>& ranges);
+
+  /// Runs an arbitrary operator tree (the SQL path uses this).
+  Result<std::vector<Row>> ExecutePlan(Operator* plan);
+
+  const ServerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServerStats{}; }
+
+ private:
+  Result<std::vector<Segment>> PrepareSegments(
+      const std::string& table, const std::string& column,
+      const std::vector<ModularInterval>& ranges, const Table** table_out,
+      const BPlusTree** index_out);
+
+  Catalog catalog_;
+  ServerStats stats_;
+};
+
+}  // namespace mope::engine
+
+#endif  // MOPE_ENGINE_SERVER_H_

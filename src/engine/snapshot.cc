@@ -1,0 +1,228 @@
+#include "engine/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mope::engine {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'P', 'E', 'S', 'N', 'P', '1'};
+
+// --- Writer helpers -------------------------------------------------------
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt:
+      out->push_back(0);
+      PutU64(out, static_cast<uint64_t>(std::get<int64_t>(v)));
+      break;
+    case ValueType::kDouble: {
+      out->push_back(1);
+      uint64_t bits;
+      const double d = std::get<double>(v);
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      out->push_back(2);
+      PutString(out, std::get<std::string>(v));
+      break;
+  }
+}
+
+// --- Reader helpers -------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > bytes_.size()) {
+      return Status::Corruption("snapshot truncated");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint8_t> Byte() {
+    if (pos_ >= bytes_.size()) {
+      return Status::Corruption("snapshot truncated");
+    }
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  Result<std::string> String() {
+    MOPE_ASSIGN_OR_RETURN(uint64_t len, U64());
+    if (len > bytes_.size() - pos_) {
+      return Status::Corruption("snapshot string length out of bounds");
+    }
+    std::string s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Result<Value> ReadValue() {
+    MOPE_ASSIGN_OR_RETURN(uint8_t tag, Byte());
+    switch (tag) {
+      case 0: {
+        MOPE_ASSIGN_OR_RETURN(uint64_t bits, U64());
+        return Value{static_cast<int64_t>(bits)};
+      }
+      case 1: {
+        MOPE_ASSIGN_OR_RETURN(uint64_t bits, U64());
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return Value{d};
+      }
+      case 2: {
+        MOPE_ASSIGN_OR_RETURN(std::string s, String());
+        return Value{std::move(s)};
+      }
+      default:
+        return Status::Corruption("unknown value tag in snapshot");
+    }
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> SerializeCatalog(const Catalog& catalog) {
+  std::string out(kMagic, sizeof(kMagic));
+  const auto names = catalog.TableNames();
+  PutU64(&out, names.size());
+  for (const std::string& name : names) {
+    MOPE_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    PutString(&out, name);
+
+    const Schema& schema = table->schema();
+    PutU64(&out, schema.num_columns());
+    for (const Column& col : schema.columns()) {
+      PutString(&out, col.name);
+      out.push_back(static_cast<char>(col.type));
+    }
+
+    std::string indexed;
+    uint64_t index_count = 0;
+    for (const Column& col : schema.columns()) {
+      if (table->HasIndex(col.name)) {
+        PutString(&indexed, col.name);
+        ++index_count;
+      }
+    }
+    PutU64(&out, index_count);
+    out.append(indexed);
+
+    PutU64(&out, table->row_count());
+    for (RowId r = 0; r < table->row_count(); ++r) {
+      for (const Value& v : table->row(r)) PutValue(&out, v);
+    }
+  }
+  return out;
+}
+
+Result<Catalog> DeserializeCatalog(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a MOPE snapshot");
+  }
+  const std::string body = bytes.substr(sizeof(kMagic));
+  Reader reader(body);
+
+  Catalog catalog;
+  MOPE_ASSIGN_OR_RETURN(uint64_t num_tables, reader.U64());
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    MOPE_ASSIGN_OR_RETURN(std::string name, reader.String());
+
+    MOPE_ASSIGN_OR_RETURN(uint64_t num_columns, reader.U64());
+    if (num_columns == 0 || num_columns > 4096) {
+      return Status::Corruption("implausible column count in snapshot");
+    }
+    std::vector<Column> columns;
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      Column col;
+      MOPE_ASSIGN_OR_RETURN(col.name, reader.String());
+      MOPE_ASSIGN_OR_RETURN(uint8_t type, reader.Byte());
+      if (type > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::Corruption("unknown column type in snapshot");
+      }
+      col.type = static_cast<ValueType>(type);
+      columns.push_back(std::move(col));
+    }
+
+    MOPE_ASSIGN_OR_RETURN(uint64_t index_count, reader.U64());
+    std::vector<std::string> indexed;
+    for (uint64_t i = 0; i < index_count; ++i) {
+      MOPE_ASSIGN_OR_RETURN(std::string col, reader.String());
+      indexed.push_back(std::move(col));
+    }
+
+    MOPE_ASSIGN_OR_RETURN(Table * table,
+                          catalog.CreateTable(name, Schema(columns)));
+    MOPE_ASSIGN_OR_RETURN(uint64_t num_rows, reader.U64());
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      Row row;
+      row.reserve(num_columns);
+      for (uint64_t c = 0; c < num_columns; ++c) {
+        MOPE_ASSIGN_OR_RETURN(Value v, reader.ReadValue());
+        row.push_back(std::move(v));
+      }
+      MOPE_RETURN_NOT_OK(table->Insert(std::move(row)).status());
+    }
+    // Indexes are rebuilt from the restored rows.
+    for (const std::string& col : indexed) {
+      MOPE_RETURN_NOT_OK(table->CreateIndex(col));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after snapshot");
+  }
+  return catalog;
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& path) {
+  MOPE_ASSIGN_OR_RETURN(std::string bytes, SerializeCatalog(catalog));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot write '" + path + "'");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to '" + path + "'");
+}
+
+Result<Catalog> LoadCatalog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeCatalog(buffer.str());
+}
+
+}  // namespace mope::engine

@@ -1,0 +1,37 @@
+#ifndef MOPE_ENGINE_SNAPSHOT_H_
+#define MOPE_ENGINE_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// Binary persistence for the server catalog.
+///
+/// The encrypted database is exactly as safe on disk as it is in memory —
+/// every range-queryable column is MOPE ciphertext — so the server can
+/// snapshot its catalog (schemas, rows, which columns are indexed) and
+/// restore it on restart without involving the proxy or any keys.
+///
+/// Format (little-endian): magic "MOPESNP1", table count, then per table:
+/// name, schema, indexed-column list, row count, and length-prefixed typed
+/// values. Indexes are rebuilt on load (cheaper than serializing tree
+/// pages, and validates the data on the way in).
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace mope::engine {
+
+/// Serializes the whole catalog.
+Result<std::string> SerializeCatalog(const Catalog& catalog);
+
+/// Restores a catalog serialized by SerializeCatalog. Fails with Corruption
+/// on magic/bounds/type violations (truncated or tampered snapshots).
+Result<Catalog> DeserializeCatalog(const std::string& bytes);
+
+/// File convenience wrappers.
+Status SaveCatalog(const Catalog& catalog, const std::string& path);
+Result<Catalog> LoadCatalog(const std::string& path);
+
+}  // namespace mope::engine
+
+#endif  // MOPE_ENGINE_SNAPSHOT_H_

@@ -1,0 +1,62 @@
+#include "ope/ideal.h"
+
+#include <algorithm>
+
+namespace mope::ope {
+
+RandomOpf RandomOpf::Sample(uint64_t domain, uint64_t range,
+                            mope::BitSource* bits) {
+  MOPE_CHECK(domain > 0 && domain <= range, "OPF requires 0 < M <= N");
+  // Sequential selection sampling (Knuth 3.4.2): walk the range once and
+  // select each slot with probability needed/remaining. Produces a uniform
+  // sorted M-subset of {0..N-1}.
+  std::vector<uint64_t> table;
+  table.reserve(domain);
+  uint64_t needed = domain;
+  for (uint64_t c = 0; c < range && needed > 0; ++c) {
+    const uint64_t remaining = range - c;
+    if (bits->UniformUint64(remaining) < needed) {
+      table.push_back(c);
+      --needed;
+    }
+  }
+  MOPE_CHECK(needed == 0, "selection sampling underfilled");
+  return RandomOpf(std::move(table), range);
+}
+
+uint64_t RandomOpf::Encrypt(uint64_t m) const {
+  MOPE_CHECK(m < table_.size(), "OPF plaintext out of domain");
+  return table_[m];
+}
+
+Result<uint64_t> RandomOpf::Decrypt(uint64_t c) const {
+  const auto it = std::lower_bound(table_.begin(), table_.end(), c);
+  if (it == table_.end() || *it != c) {
+    return Status::NotFound("ciphertext not in OPF image");
+  }
+  return static_cast<uint64_t>(it - table_.begin());
+}
+
+uint64_t RandomOpf::DecryptFloorCeil(uint64_t c) const {
+  const auto it = std::lower_bound(table_.begin(), table_.end(), c);
+  return static_cast<uint64_t>(it - table_.begin());
+}
+
+RandomMopf RandomMopf::Sample(uint64_t domain, uint64_t range,
+                              mope::BitSource* bits) {
+  RandomOpf opf = RandomOpf::Sample(domain, range, bits);
+  const uint64_t offset = bits->UniformUint64(domain);
+  return RandomMopf(std::move(opf), offset);
+}
+
+uint64_t RandomMopf::Encrypt(uint64_t m) const {
+  return opf_.Encrypt((m + offset_) % domain());
+}
+
+Result<uint64_t> RandomMopf::Decrypt(uint64_t c) const {
+  MOPE_ASSIGN_OR_RETURN(uint64_t shifted, opf_.Decrypt(c));
+  const uint64_t m_count = domain();
+  return (shifted + m_count - offset_) % m_count;
+}
+
+}  // namespace mope::ope

@@ -1,0 +1,77 @@
+#ifndef MOPE_OPE_IDEAL_H_
+#define MOPE_OPE_IDEAL_H_
+
+/// \file ideal.h
+/// The "ideal objects" of the POPF / PMOPF security notions (Section 7.1):
+/// a uniformly random order-preserving function OPF[M, N], and a uniformly
+/// random *modular* order-preserving function MOPF[M, N] (a random OPF
+/// composed with a random modular shift). The empirical WOW experiments in
+/// src/attack run the security games against these, mirroring the proofs
+/// (Lemma 1 reduces the real schemes to the ideal ones up to PMOPF
+/// advantage).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace mope::ope {
+
+/// A random order-preserving function from {0..M-1} to {0..N-1}, stored as
+/// an explicit table (intended for experiment-scale M).
+class RandomOpf {
+ public:
+  /// Samples f uniformly from OPF[M, N], i.e. a uniformly random M-subset of
+  /// {0..N-1} in sorted order. Requires domain <= range.
+  static RandomOpf Sample(uint64_t domain, uint64_t range, mope::BitSource* bits);
+
+  uint64_t domain() const { return table_.size(); }
+  uint64_t range() const { return range_; }
+
+  /// f(m). Precondition: m < domain.
+  uint64_t Encrypt(uint64_t m) const;
+
+  /// f^{-1}(c), or NotFound when c is not in the image.
+  Result<uint64_t> Decrypt(uint64_t c) const;
+
+  /// Smallest m with f(m) >= c; domain() when none exists.
+  uint64_t DecryptFloorCeil(uint64_t c) const;
+
+  const std::vector<uint64_t>& table() const { return table_; }
+
+ private:
+  RandomOpf(std::vector<uint64_t> table, uint64_t range)
+      : table_(std::move(table)), range_(range) {}
+
+  std::vector<uint64_t> table_;  // sorted image of the OPF
+  uint64_t range_;
+};
+
+/// A random modular order-preserving function: random shift + random OPF.
+class RandomMopf {
+ public:
+  static RandomMopf Sample(uint64_t domain, uint64_t range,
+                           mope::BitSource* bits);
+
+  uint64_t domain() const { return opf_.domain(); }
+  uint64_t range() const { return opf_.range(); }
+  uint64_t offset() const { return offset_; }
+
+  /// f((m + j) mod M).
+  uint64_t Encrypt(uint64_t m) const;
+
+  /// Inverse (including un-shifting); NotFound when c is not in the image.
+  Result<uint64_t> Decrypt(uint64_t c) const;
+
+ private:
+  RandomMopf(RandomOpf opf, uint64_t offset)
+      : opf_(std::move(opf)), offset_(offset) {}
+
+  RandomOpf opf_;
+  uint64_t offset_;
+};
+
+}  // namespace mope::ope
+
+#endif  // MOPE_OPE_IDEAL_H_

@@ -1,0 +1,97 @@
+#include "ope/mope.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace mope::ope {
+
+MopeKey MopeKey::Generate(uint64_t domain, mope::BitSource* entropy) {
+  MOPE_CHECK(domain > 0, "MOPE domain must be positive");
+  MopeKey key;
+  key.ope_key = OpeKey::Generate(entropy);
+  key.offset = entropy->UniformUint64(domain);
+  return key;
+}
+
+std::string MopeKey::Serialize() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32 + 1 + 20);
+  for (uint8_t byte : ope_key.prf_key) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0F]);
+  }
+  out.push_back(':');
+  out += std::to_string(offset);
+  return out;
+}
+
+Result<MopeKey> MopeKey::Deserialize(const std::string& text) {
+  const size_t colon = text.find(':');
+  if (colon != 32) {
+    return Status::InvalidArgument("malformed MOPE key: expected 32 hex chars");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  MopeKey key;
+  for (int i = 0; i < 16; ++i) {
+    const int hi = nibble(text[2 * static_cast<size_t>(i)]);
+    const int lo = nibble(text[2 * static_cast<size_t>(i) + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed MOPE key: bad hex digit");
+    }
+    key.ope_key.prf_key[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  const std::string offset_text = text.substr(colon + 1);
+  if (offset_text.empty() ||
+      offset_text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("malformed MOPE key: bad offset");
+  }
+  errno = 0;
+  key.offset = std::strtoull(offset_text.c_str(), nullptr, 10);
+  if (errno != 0) {
+    return Status::InvalidArgument("malformed MOPE key: offset out of range");
+  }
+  return key;
+}
+
+Result<MopeScheme> MopeScheme::Create(const OpeParams& params,
+                                      const MopeKey& key) {
+  if (params.domain > 0 && key.offset >= params.domain) {
+    return Status::InvalidArgument("MOPE offset must be less than the domain");
+  }
+  MOPE_ASSIGN_OR_RETURN(OpeScheme ope, OpeScheme::Create(params, key.ope_key));
+  return MopeScheme(std::move(ope), key.offset);
+}
+
+Result<uint64_t> MopeScheme::Encrypt(uint64_t m) const {
+  const uint64_t m_count = domain();
+  if (m >= m_count) {
+    return Status::OutOfRange("plaintext " + std::to_string(m) +
+                              " outside domain of size " +
+                              std::to_string(m_count));
+  }
+  return ope_.Encrypt((m + offset_) % m_count);
+}
+
+Result<uint64_t> MopeScheme::Decrypt(uint64_t c) const {
+  MOPE_ASSIGN_OR_RETURN(uint64_t shifted, ope_.Decrypt(c));
+  const uint64_t m_count = domain();
+  return (shifted + m_count - offset_ % m_count) % m_count;
+}
+
+Result<CipherRange> MopeScheme::EncryptRange(const ModularInterval& plain) const {
+  if (plain.domain() != domain()) {
+    return Status::InvalidArgument("interval domain does not match the scheme");
+  }
+  MOPE_ASSIGN_OR_RETURN(uint64_t first, Encrypt(plain.start()));
+  MOPE_ASSIGN_OR_RETURN(uint64_t last, Encrypt(plain.last()));
+  return CipherRange{first, last};
+}
+
+}  // namespace mope::ope

@@ -1,0 +1,209 @@
+#include "ope/mutable_ope.h"
+
+#include <algorithm>
+
+namespace mope::ope {
+
+namespace {
+
+/// Encodings live in the open interval (0, kSpan); each tree level halves
+/// the child interval, so 62 levels fit before midpoints collide.
+constexpr uint64_t kSpan = uint64_t{1} << 63;
+
+/// Framing tag for DET blocks (detects wrong-key / corrupted ciphertexts).
+constexpr uint8_t kDetTag = 0xA5;
+
+}  // namespace
+
+crypto::Block DetCipher::Encrypt(uint64_t plaintext) const {
+  crypto::Block block;
+  for (int i = 0; i < 8; ++i) {
+    block[static_cast<size_t>(i)] =
+        static_cast<uint8_t>(plaintext >> (56 - 8 * i));
+  }
+  for (size_t i = 8; i < 16; ++i) block[i] = kDetTag;
+  return aes_.EncryptBlock(block);
+}
+
+Result<uint64_t> DetCipher::Decrypt(const crypto::Block& cipher) const {
+  const crypto::Block block = aes_.DecryptBlock(cipher);
+  for (size_t i = 8; i < 16; ++i) {
+    if (block[i] != kDetTag) {
+      return Status::Corruption("DET block failed tag check");
+    }
+  }
+  uint64_t plaintext = 0;
+  for (int i = 0; i < 8; ++i) {
+    plaintext = (plaintext << 8) | block[static_cast<size_t>(i)];
+  }
+  return plaintext;
+}
+
+// ---------------------------------------------------------------------------
+// Server
+//
+// Encoding intervals are implicit: a node's children own the halves of its
+// interval, and since the tree is a search tree *in encoding order*, the
+// server can recover any node's interval by walking down from the root —
+// no per-node bookkeeping and no protocol rounds.
+
+Result<uint64_t> MutableOpeServer::EncodingOf(const crypto::Block& cipher) const {
+  for (const Node& node : nodes_) {
+    if (node.cipher == cipher) return node.encoding;
+  }
+  return Status::NotFound("ciphertext not stored");
+}
+
+std::vector<std::pair<uint64_t, crypto::Block>> MutableOpeServer::Dump() const {
+  std::vector<std::pair<uint64_t, crypto::Block>> out;
+  out.reserve(nodes_.size());
+  std::vector<int> in_order;
+  CollectInOrder(root_, &in_order);
+  for (int idx : in_order) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    out.emplace_back(node.encoding, node.cipher);
+  }
+  return out;
+}
+
+int MutableOpeServer::InsertAt(int parent, bool go_right,
+                               const crypto::Block& cipher) {
+  if (parent == -1) {
+    MOPE_CHECK(root_ == -1, "insert at root of a non-empty tree");
+    Node node;
+    node.cipher = cipher;
+    node.encoding = kSpan / 2;
+    nodes_.push_back(node);
+    root_ = 0;
+    return root_;
+  }
+
+  // Recover the parent's interval by walking down from the root (the
+  // server knows the structure; this costs no protocol rounds).
+  uint64_t lo = 0, hi = kSpan;
+  int cursor = root_;
+  while (cursor != parent) {
+    const Node& n = nodes_[static_cast<size_t>(cursor)];
+    // The parent is in exactly one subtree; encodings order the walk.
+    if (nodes_[static_cast<size_t>(parent)].encoding < n.encoding) {
+      hi = n.encoding;
+      cursor = n.left;
+    } else {
+      lo = n.encoding;
+      cursor = n.right;
+    }
+    MOPE_CHECK(cursor != -1, "parent not reachable from root");
+  }
+  const Node& p = nodes_[static_cast<size_t>(parent)];
+  const uint64_t child_lo = go_right ? p.encoding : lo;
+  const uint64_t child_hi = go_right ? hi : p.encoding;
+  if (child_hi - child_lo < 2) {
+    return -1;  // path budget exhausted: caller must Rebalance and retry
+  }
+  MOPE_CHECK(go_right ? p.right == -1 : p.left == -1,
+             "insert slot already occupied");
+
+  Node node;
+  node.cipher = cipher;
+  node.encoding = child_lo + (child_hi - child_lo) / 2;
+  nodes_.push_back(node);
+  const int idx = static_cast<int>(nodes_.size()) - 1;
+  Node& parent_node = nodes_[static_cast<size_t>(parent)];
+  (go_right ? parent_node.right : parent_node.left) = idx;
+  return idx;
+}
+
+void MutableOpeServer::CollectInOrder(int node, std::vector<int>* out) const {
+  if (node == -1) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  CollectInOrder(n.left, out);
+  out->push_back(node);
+  CollectInOrder(n.right, out);
+}
+
+int MutableOpeServer::BuildBalanced(const std::vector<int>& in_order,
+                                    int begin, int end) {
+  if (begin >= end) return -1;
+  const int mid = begin + (end - begin) / 2;
+  const int idx = in_order[static_cast<size_t>(mid)];
+  Node& node = nodes_[static_cast<size_t>(idx)];
+  node.left = BuildBalanced(in_order, begin, mid);
+  node.right = BuildBalanced(in_order, mid + 1, end);
+  return idx;
+}
+
+void MutableOpeServer::AssignEncodings(int node, uint64_t lo, uint64_t hi,
+                                       int depth) {
+  if (node == -1) return;
+  MOPE_CHECK(hi - lo >= 2 && depth <= kMaxDepth, "encoding space exhausted");
+  Node& n = nodes_[static_cast<size_t>(node)];
+  const uint64_t mid = lo + (hi - lo) / 2;
+  if (n.encoding != mid) {
+    n.encoding = mid;
+    ++reencodings_;
+  }
+  AssignEncodings(n.left, lo, mid, depth + 1);
+  AssignEncodings(n.right, mid, hi, depth + 1);
+}
+
+void MutableOpeServer::Rebalance() {
+  std::vector<int> in_order;
+  CollectInOrder(root_, &in_order);
+  root_ = BuildBalanced(in_order, 0, static_cast<int>(in_order.size()));
+  AssignEncodings(root_, 0, kSpan, 0);
+  ++rebalances_;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+Result<MutableOpeClient::Probe> MutableOpeClient::Descend(uint64_t plaintext) {
+  Probe probe;
+  int cursor = server_->root_;
+  while (cursor != -1) {
+    MOPE_ASSIGN_OR_RETURN(uint64_t stored,
+                          det_.Decrypt(server_->CipherAt(cursor)));
+    probe.parent = cursor;
+    probe.go_right = plaintext >= stored;  // duplicates go right, consistently
+    cursor = probe.go_right
+                 ? server_->nodes_[static_cast<size_t>(cursor)].right
+                 : server_->nodes_[static_cast<size_t>(cursor)].left;
+  }
+  return probe;
+}
+
+Result<uint64_t> MutableOpeClient::Insert(uint64_t plaintext) {
+  const crypto::Block cipher = det_.Encrypt(plaintext);
+  while (true) {
+    MOPE_ASSIGN_OR_RETURN(Probe probe, Descend(plaintext));
+    const int idx = server_->InsertAt(probe.parent, probe.go_right, cipher);
+    if (idx >= 0) {
+      return server_->nodes_[static_cast<size_t>(idx)].encoding;
+    }
+    // Path budget exhausted: the server rebalances (re-encoding stored
+    // elements) and the protocol restarts.
+    server_->Rebalance();
+  }
+}
+
+Result<uint64_t> MutableOpeClient::LowerBoundEncoding(uint64_t plaintext) {
+  // Interactive descent tracking the smallest encoding whose value is >=
+  // plaintext; kSpan means "above everything".
+  uint64_t best = kSpan;
+  int cursor = server_->root_;
+  while (cursor != -1) {
+    MOPE_ASSIGN_OR_RETURN(uint64_t stored,
+                          det_.Decrypt(server_->CipherAt(cursor)));
+    const MutableOpeServer::Node& node =
+        server_->nodes_[static_cast<size_t>(cursor)];
+    if (stored >= plaintext) {
+      best = node.encoding;
+      cursor = node.left;
+    } else {
+      cursor = node.right;
+    }
+  }
+  return best;
+}
+
+}  // namespace mope::ope

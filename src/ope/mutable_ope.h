@@ -1,0 +1,139 @@
+#ifndef MOPE_OPE_MUTABLE_OPE_H_
+#define MOPE_OPE_MUTABLE_OPE_H_
+
+/// \file mutable_ope.h
+/// The interactive ideal-security baseline: mutable OPE ("mOPE", Popa, Li &
+/// Zeldovich, IEEE S&P 2013 — reference [30] of the paper).
+///
+/// mOPE leaks *only* order: the server stores deterministic (semantically
+/// opaque) ciphertexts in a binary search tree it cannot compare, and every
+/// insert/lookup is an interactive protocol — the server sends the
+/// ciphertext at the current node, the client decrypts and answers
+/// left/right, one round per tree level. Each element's OPE *encoding* is
+/// its tree path padded into a 64-bit integer; inserts that exhaust the path
+/// budget force the server to rebalance and RE-ENCODE existing elements
+/// (mutation), which in a real DBMS means rewriting stored values and index
+/// entries.
+///
+/// The paper's Section 5.1 argument against this design — and for MOPE — is
+/// exactly what this implementation makes measurable: mOPE needs a modified,
+/// protocol-aware DBMS, pays O(log n) interaction rounds per operation and
+/// periodic re-encodings, while MOPE is non-interactive, zero-mutation, and
+/// runs on any stock database (see bench_sec51_mutable_baseline).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace mope::ope {
+
+/// Deterministic encryption of 64-bit values (AES-128 of a framed block).
+/// The server stores these; only the client can open them.
+class DetCipher {
+ public:
+  explicit DetCipher(const crypto::Key128& key) : aes_(key) {}
+
+  crypto::Block Encrypt(uint64_t plaintext) const;
+
+  /// Fails with Corruption when the block is not a valid encryption.
+  Result<uint64_t> Decrypt(const crypto::Block& cipher) const;
+
+ private:
+  crypto::Aes128 aes_;
+};
+
+/// The server half: a search tree over opaque ciphertexts. The server never
+/// learns plaintexts; it just follows the client's left/right directions.
+class MutableOpeServer {
+ public:
+  /// Path-budget in bits for encodings (tree deeper than this triggers a
+  /// rebalance). 62 keeps every midpoint computation inside uint64.
+  static constexpr int kMaxDepth = 62;
+
+  MutableOpeServer() = default;
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Cumulative protocol counters.
+  uint64_t interaction_rounds() const { return rounds_; }
+  uint64_t reencodings() const { return reencodings_; }
+  uint64_t rebalances() const { return rebalances_; }
+
+  /// The encoding currently assigned to a node (for tests/clients).
+  Result<uint64_t> EncodingOf(const crypto::Block& cipher) const;
+
+  /// All (encoding, ciphertext) pairs in encoding order — what the "real"
+  /// DBMS column would contain.
+  std::vector<std::pair<uint64_t, crypto::Block>> Dump() const;
+
+ private:
+  friend class MutableOpeClient;
+
+  struct Node {
+    crypto::Block cipher;
+    int left = -1;
+    int right = -1;
+    uint64_t encoding = 0;
+  };
+
+  /// One navigation step: returns the ciphertext at `node` (a protocol
+  /// round). The client answers by calling again with the chosen child.
+  const crypto::Block& CipherAt(int node) {
+    ++rounds_;
+    return nodes_[static_cast<size_t>(node)].cipher;
+  }
+
+  /// Inserts under the given parent/direction; assigns the new encoding and
+  /// rebalances (re-encoding everything) when the path budget is exhausted.
+  /// Returns the node index of the inserted element.
+  int InsertAt(int parent, bool go_right, const crypto::Block& cipher);
+
+  /// Rebuilds the tree perfectly balanced and re-assigns every encoding.
+  void Rebalance();
+
+  void AssignEncodings(int node, uint64_t lo, uint64_t hi, int depth);
+  void CollectInOrder(int node, std::vector<int>* out) const;
+  int BuildBalanced(const std::vector<int>& in_order, int begin, int end);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  uint64_t rounds_ = 0;
+  uint64_t reencodings_ = 0;
+  uint64_t rebalances_ = 0;
+};
+
+/// The client half: holds the DET key and drives the interactive protocol.
+class MutableOpeClient {
+ public:
+  MutableOpeClient(const crypto::Key128& det_key, MutableOpeServer* server)
+      : det_(det_key), server_(server) {}
+
+  /// Inserts a plaintext (duplicates allowed: they take a consistent side)
+  /// and returns its encoding *at insert time* (later rebalances may change
+  /// it — the "mutable" in mOPE).
+  Result<uint64_t> Insert(uint64_t plaintext);
+
+  /// Encoding-space lower bound for range queries: an encoding e such that
+  /// exactly the stored values >= plaintext have encodings >= e.
+  Result<uint64_t> LowerBoundEncoding(uint64_t plaintext);
+
+ private:
+  /// Interactive descent; returns (parent, go_right) for the insert point,
+  /// or the node itself when found.
+  struct Probe {
+    int node = -1;       // exact match, or -1
+    int parent = -1;
+    bool go_right = false;
+  };
+  Result<Probe> Descend(uint64_t plaintext);
+
+  DetCipher det_;
+  MutableOpeServer* server_;
+};
+
+}  // namespace mope::ope
+
+#endif  // MOPE_OPE_MUTABLE_OPE_H_

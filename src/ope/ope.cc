@@ -1,0 +1,156 @@
+#include "ope/ope.h"
+
+#include <string>
+
+#include "crypto/drbg.h"
+#include "crypto/hgd.h"
+
+namespace mope::ope {
+
+namespace {
+
+// Domain-separation labels for PRF tags.
+constexpr uint8_t kLeafLabel = 0x4C;   // 'L'
+constexpr uint8_t kSplitLabel = 0x53;  // 'S'
+
+}  // namespace
+
+uint64_t SuggestRange(uint64_t domain) {
+  MOPE_CHECK(domain > 0, "domain must be positive");
+  uint64_t n = 1;
+  while (n < 8 * domain) n <<= 1;
+  return n;
+}
+
+OpeKey OpeKey::Generate(mope::BitSource* entropy) {
+  OpeKey key;
+  for (int i = 0; i < 2; ++i) {
+    const uint64_t w = entropy->NextWord();
+    for (int b = 0; b < 8; ++b) {
+      key.prf_key[8 * i + b] = static_cast<uint8_t>(w >> (8 * b));
+    }
+  }
+  return key;
+}
+
+Result<OpeScheme> OpeScheme::Create(const OpeParams& params, const OpeKey& key) {
+  if (params.domain == 0) {
+    return Status::InvalidArgument("OPE domain must be positive");
+  }
+  if (params.range < params.domain) {
+    return Status::InvalidArgument(
+        "OPE range (" + std::to_string(params.range) +
+        ") must be at least the domain (" + std::to_string(params.domain) + ")");
+  }
+  return OpeScheme(params, key);
+}
+
+uint64_t OpeScheme::SampleSplit(uint64_t dlo, uint64_t m_count, uint64_t rlo,
+                                uint64_t n_count, uint64_t draws) const {
+  crypto::TagBuilder tag(kSplitLabel);
+  tag.AppendU64(dlo).AppendU64(m_count).AppendU64(rlo).AppendU64(n_count);
+  const crypto::Block seed = prf_.Eval(tag.bytes());
+  crypto::CtrDrbg coins(seed);
+  return crypto::SampleHypergeometric(n_count, m_count, draws, &coins);
+}
+
+uint64_t OpeScheme::LeafCiphertext(uint64_t dlo, uint64_t rlo,
+                                   uint64_t n_count) const {
+  crypto::TagBuilder tag(kLeafLabel);
+  tag.AppendU64(dlo).AppendU64(rlo).AppendU64(n_count);
+  const crypto::Block seed = prf_.Eval(tag.bytes());
+  crypto::CtrDrbg coins(seed);
+  return rlo + coins.UniformUint64(n_count);
+}
+
+Result<uint64_t> OpeScheme::Encrypt(uint64_t m) const {
+  if (m >= params_.domain) {
+    return Status::OutOfRange("plaintext " + std::to_string(m) +
+                              " outside domain of size " +
+                              std::to_string(params_.domain));
+  }
+  uint64_t dlo = 0, m_count = params_.domain;
+  uint64_t rlo = 0, n_count = params_.range;
+  while (m_count > 1) {
+    const uint64_t draws = n_count / 2;
+    const uint64_t x = SampleSplit(dlo, m_count, rlo, n_count, draws);
+    if (m < dlo + x) {
+      m_count = x;
+      n_count = draws;
+    } else {
+      dlo += x;
+      m_count -= x;
+      rlo += draws;
+      n_count -= draws;
+    }
+  }
+  return LeafCiphertext(dlo, rlo, n_count);
+}
+
+Result<uint64_t> OpeScheme::Decrypt(uint64_t c) const {
+  if (c >= params_.range) {
+    return Status::OutOfRange("ciphertext " + std::to_string(c) +
+                              " outside range of size " +
+                              std::to_string(params_.range));
+  }
+  uint64_t dlo = 0, m_count = params_.domain;
+  uint64_t rlo = 0, n_count = params_.range;
+  while (m_count > 1) {
+    const uint64_t draws = n_count / 2;
+    const uint64_t x = SampleSplit(dlo, m_count, rlo, n_count, draws);
+    if (c < rlo + draws) {
+      if (x == 0) {
+        return Status::Corruption("ciphertext maps to an empty OPF branch");
+      }
+      m_count = x;
+      n_count = draws;
+    } else {
+      if (x == m_count) {
+        return Status::Corruption("ciphertext maps to an empty OPF branch");
+      }
+      dlo += x;
+      m_count -= x;
+      rlo += draws;
+      n_count -= draws;
+    }
+  }
+  if (LeafCiphertext(dlo, rlo, n_count) != c) {
+    return Status::Corruption("ciphertext is not in the image of the OPF");
+  }
+  return dlo;
+}
+
+Result<uint64_t> OpeScheme::DecryptFloorCeil(uint64_t c) const {
+  if (c >= params_.range) {
+    return Status::OutOfRange("ciphertext " + std::to_string(c) +
+                              " outside range of size " +
+                              std::to_string(params_.range));
+  }
+  uint64_t dlo = 0, m_count = params_.domain;
+  uint64_t rlo = 0, n_count = params_.range;
+  while (m_count > 1) {
+    const uint64_t draws = n_count / 2;
+    const uint64_t x = SampleSplit(dlo, m_count, rlo, n_count, draws);
+    if (c < rlo + draws) {
+      if (x == 0) {
+        // Every plaintext of this node encrypts into the right half, above c.
+        return dlo;
+      }
+      m_count = x;
+      n_count = draws;
+    } else {
+      if (x == m_count) {
+        // Every plaintext of this node encrypts below c; answer is the next
+        // plaintext after the node (possibly == domain, meaning "none").
+        return dlo + m_count;
+      }
+      dlo += x;
+      m_count -= x;
+      rlo += draws;
+      n_count -= draws;
+    }
+  }
+  return (LeafCiphertext(dlo, rlo, n_count) >= c) ? dlo : dlo + 1;
+}
+
+}  // namespace mope::ope

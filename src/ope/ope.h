@@ -1,0 +1,88 @@
+#ifndef MOPE_OPE_OPE_H_
+#define MOPE_OPE_OPE_H_
+
+/// \file ope.h
+/// Order-preserving symmetric encryption (Boldyreva-Chenette-Lee-O'Neill,
+/// EUROCRYPT 2009): the POPF-secure OPE scheme the paper builds MOPE on.
+///
+/// Plaintext space is {0, ..., M-1}, ciphertext space {0, ..., N-1} with
+/// N >= M (the paper's theorems assume N >= 8M; `SuggestRange` returns such
+/// an N). Encryption "lazily samples" a uniformly random order-preserving
+/// function: the ciphertext space is split at its midpoint, the number of
+/// plaintexts falling left of the split is drawn from the exact
+/// hypergeometric distribution using PRF-derived coins (so every encryption
+/// call reconstructs the same function), and the recursion descends into the
+/// half containing the target plaintext.
+///
+/// Deterministic, stateless, and key-only — no interaction and no stored
+/// function table, so it scales to large domains at O(log N) HGD draws per
+/// operation.
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/prf.h"
+
+namespace mope::ope {
+
+/// Domain/range sizes of an OPE instance.
+struct OpeParams {
+  uint64_t domain = 0;  ///< M: plaintexts are {0, ..., M-1}.
+  uint64_t range = 0;   ///< N: ciphertexts are {0, ..., N-1}; N >= M.
+};
+
+/// Returns a ciphertext-space size satisfying the N >= 8M requirement of the
+/// paper's security theorems (rounded up to the next power of two).
+uint64_t SuggestRange(uint64_t domain);
+
+/// Secret key: one AES-128 key for the coin PRF.
+struct OpeKey {
+  crypto::Key128 prf_key{};
+
+  /// Draws a fresh key from the given entropy source.
+  static OpeKey Generate(mope::BitSource* entropy);
+};
+
+/// The OPE scheme. Immutable after construction; safe to share across
+/// threads for concurrent Encrypt/Decrypt.
+class OpeScheme {
+ public:
+  /// Validates parameters (0 < M <= N) and builds the scheme.
+  static Result<OpeScheme> Create(const OpeParams& params, const OpeKey& key);
+
+  const OpeParams& params() const { return params_; }
+
+  /// Encrypts plaintext m in {0, ..., M-1}.
+  Result<uint64_t> Encrypt(uint64_t m) const;
+
+  /// Decrypts ciphertext c in {0, ..., N-1}. Returns Corruption if c is not
+  /// the encryption of any plaintext under this key.
+  Result<uint64_t> Decrypt(uint64_t c) const;
+
+  /// Decrypts a ciphertext that may not be a valid encryption, rounding to
+  /// the *smallest plaintext m with Encrypt(m) >= c*; returns M when no such
+  /// plaintext exists. This is what a client needs to translate an arbitrary
+  /// ciphertext-space boundary back into plaintext space.
+  Result<uint64_t> DecryptFloorCeil(uint64_t c) const;
+
+ private:
+  OpeScheme(const OpeParams& params, const OpeKey& key)
+      : params_(params), prf_(key.prf_key) {}
+
+  /// Number of plaintexts (out of `m_count` in this node) that the sampled
+  /// OPF maps into the left `draws` ciphertext slots of this node.
+  uint64_t SampleSplit(uint64_t dlo, uint64_t m_count, uint64_t rlo,
+                       uint64_t n_count, uint64_t draws) const;
+
+  /// The ciphertext of the single plaintext in a leaf node (m_count == 1).
+  uint64_t LeafCiphertext(uint64_t dlo, uint64_t rlo, uint64_t n_count) const;
+
+  OpeParams params_;
+  crypto::Prf prf_;
+};
+
+}  // namespace mope::ope
+
+#endif  // MOPE_OPE_OPE_H_

@@ -1,0 +1,64 @@
+#ifndef MOPE_PROXY_CONNECTION_H_
+#define MOPE_PROXY_CONNECTION_H_
+
+/// \file connection.h
+/// The proxy's view of the database server.
+///
+/// In the paper's deployment the server is a remote, unmodified DBMS; the
+/// proxy only needs two capabilities from it: execute a batch of range
+/// predicates over an indexed column, and describe a table. Abstracting
+/// them behind ServerConnection lets tests inject transient failures (a
+/// real network does fail) and would let a deployment swap in an actual
+/// wire protocol without touching the proxy logic.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "engine/server.h"
+#include "engine/table.h"
+
+namespace mope::proxy {
+
+class ServerConnection {
+ public:
+  virtual ~ServerConnection() = default;
+
+  /// Executes a batch of (possibly wrapping) ciphertext ranges against the
+  /// index on `column` of `table`; rows come back with stable row ids.
+  virtual Result<std::vector<std::pair<engine::RowId, engine::Row>>>
+  ExecuteRangeBatch(const std::string& table, const std::string& column,
+                    const std::vector<ModularInterval>& ranges) = 0;
+
+  /// Schema of a server table (catalog lookup).
+  virtual Result<engine::Schema> GetSchema(const std::string& table) = 0;
+};
+
+/// In-process connection to an embedded DbServer.
+class DirectConnection final : public ServerConnection {
+ public:
+  explicit DirectConnection(engine::DbServer* server) : server_(server) {}
+
+  Result<std::vector<std::pair<engine::RowId, engine::Row>>> ExecuteRangeBatch(
+      const std::string& table, const std::string& column,
+      const std::vector<ModularInterval>& ranges) override {
+    return server_->ExecuteRangeBatchWithIds(table, column, ranges);
+  }
+
+  Result<engine::Schema> GetSchema(const std::string& table) override {
+    MOPE_ASSIGN_OR_RETURN(const engine::Table* tbl,
+                          static_cast<const engine::DbServer*>(server_)
+                              ->catalog()
+                              .GetTable(table));
+    return tbl->schema();
+  }
+
+ private:
+  engine::DbServer* server_;
+};
+
+}  // namespace mope::proxy
+
+#endif  // MOPE_PROXY_CONNECTION_H_

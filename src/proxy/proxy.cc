@@ -1,0 +1,233 @@
+#include "proxy/proxy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mope::proxy {
+
+using query::FixedQuery;
+using query::QueryKind;
+using query::RangeQuery;
+
+namespace {
+
+Status ValidateProxyConfig(const ProxyConfig& config,
+                           const ope::OpeParams& params) {
+  if (params.domain != config.domain) {
+    return Status::InvalidArgument("scheme domain must match proxy domain");
+  }
+  if (config.k == 0 || config.k > config.domain) {
+    return Status::InvalidArgument("fixed length k must be in [1, domain]");
+  }
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument("batch size must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Proxy>> Proxy::Create(const ProxyConfig& config,
+                                             const ope::MopeKey& key,
+                                             const ope::OpeParams& params,
+                                             engine::DbServer* server,
+                                             const dist::Distribution* known_q) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("proxy needs a server");
+  }
+  MOPE_RETURN_NOT_OK(ValidateProxyConfig(config, params));
+  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme mope, ope::MopeScheme::Create(params, key));
+
+  auto proxy = std::unique_ptr<Proxy>(
+      new Proxy(config, std::move(mope),
+                std::make_unique<DirectConnection>(server), server));
+
+  // Resolve the key column up front so result filtering is cheap.
+  MOPE_ASSIGN_OR_RETURN(engine::Schema schema,
+                        proxy->connection_->GetSchema(config.table));
+  MOPE_ASSIGN_OR_RETURN(proxy->key_column_index_,
+                        schema.IndexOf(config.column));
+  if (schema.column(proxy->key_column_index_).type !=
+      engine::ValueType::kInt) {
+    return Status::InvalidArgument("encrypted key column must be int");
+  }
+
+  MOPE_RETURN_NOT_OK(proxy->SetupAlgorithm(known_q));
+  return proxy;
+}
+
+Result<std::unique_ptr<Proxy>> Proxy::Create(
+    const ProxyConfig& config, const ope::MopeKey& key,
+    const ope::OpeParams& params, std::unique_ptr<ServerConnection> connection,
+    const dist::Distribution* known_q) {
+  if (connection == nullptr) {
+    return Status::InvalidArgument("proxy needs a server connection");
+  }
+  MOPE_RETURN_NOT_OK(ValidateProxyConfig(config, params));
+  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme mope, ope::MopeScheme::Create(params, key));
+
+  auto proxy = std::unique_ptr<Proxy>(
+      new Proxy(config, std::move(mope), std::move(connection), nullptr));
+  MOPE_ASSIGN_OR_RETURN(engine::Schema schema,
+                        proxy->connection_->GetSchema(config.table));
+  MOPE_ASSIGN_OR_RETURN(proxy->key_column_index_,
+                        schema.IndexOf(config.column));
+  if (schema.column(proxy->key_column_index_).type !=
+      engine::ValueType::kInt) {
+    return Status::InvalidArgument("encrypted key column must be int");
+  }
+  MOPE_RETURN_NOT_OK(proxy->SetupAlgorithm(known_q));
+  return proxy;
+}
+
+Status Proxy::SetupAlgorithm(const dist::Distribution* known_q) {
+  const query::QueryConfig qc{config_.domain, config_.k};
+  switch (config_.mode) {
+    case QueryMode::kPassthrough:
+      break;  // no algorithm: τk pieces are sent as-is
+    case QueryMode::kUniform: {
+      if (known_q == nullptr) {
+        return Status::InvalidArgument(
+            "QueryU needs the query-start distribution");
+      }
+      MOPE_ASSIGN_OR_RETURN(algorithm_,
+                            query::UniformQueryAlgorithm::Create(qc, *known_q));
+      break;
+    }
+    case QueryMode::kPeriodic: {
+      if (known_q == nullptr) {
+        return Status::InvalidArgument(
+            "QueryP needs the query-start distribution");
+      }
+      MOPE_ASSIGN_OR_RETURN(
+          algorithm_,
+          query::PeriodicQueryAlgorithm::Create(qc, *known_q, config_.period));
+      break;
+    }
+    case QueryMode::kAdaptiveUniform: {
+      MOPE_ASSIGN_OR_RETURN(algorithm_,
+                            query::AdaptiveQueryAlgorithm::Create(qc, 0));
+      break;
+    }
+    case QueryMode::kAdaptivePeriodic: {
+      MOPE_ASSIGN_OR_RETURN(
+          algorithm_,
+          query::AdaptiveQueryAlgorithm::Create(qc, config_.period));
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<engine::RowId, engine::Row>>> Proxy::SendBatch(
+    const std::vector<ModularInterval>& cipher_ranges) {
+  uint32_t attempt = 0;
+  while (true) {
+    auto rows = connection_->ExecuteRangeBatch(config_.table, config_.column,
+                                               cipher_ranges);
+    if (rows.ok() || attempt >= config_.max_retries) return rows;
+    ++attempt;
+    ++retries_performed_;
+  }
+}
+
+Result<uint64_t> Proxy::RotateKey(mope::BitSource* entropy) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (server_ == nullptr) {
+    return Status::NotSupported(
+        "key rotation requires maintenance access to the embedded server");
+  }
+  const ope::MopeKey new_key = ope::MopeKey::Generate(config_.domain, entropy);
+  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme new_scheme,
+                        ope::MopeScheme::Create(mope_.params(), new_key));
+
+  MOPE_ASSIGN_OR_RETURN(engine::Table * table,
+                        server_->catalog()->GetTable(config_.table));
+  for (engine::RowId rid = 0; rid < table->row_count(); ++rid) {
+    const int64_t old_cipher =
+        std::get<int64_t>(table->row(rid)[key_column_index_]);
+    MOPE_ASSIGN_OR_RETURN(uint64_t plain,
+                          mope_.Decrypt(static_cast<uint64_t>(old_cipher)));
+    MOPE_ASSIGN_OR_RETURN(uint64_t new_cipher, new_scheme.Encrypt(plain));
+    MOPE_RETURN_NOT_OK(table->UpdateValue(rid, key_column_index_,
+                                          static_cast<int64_t>(new_cipher)));
+  }
+  const uint64_t rotated = table->row_count();
+  mope_ = std::move(new_scheme);
+  return rotated;
+}
+
+Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (q.first > q.last || q.last >= config_.domain) {
+    return Status::InvalidArgument("range query endpoints invalid");
+  }
+
+  // 1-2-3: decompose, mix with fakes, permute.
+  std::vector<FixedQuery> batch;
+  if (algorithm_ != nullptr) {
+    MOPE_ASSIGN_OR_RETURN(batch, algorithm_->Process(q, &rng_));
+  } else {
+    batch = query::Decompose(q, config_.k, config_.domain);
+  }
+
+  QueryResponse response;
+  for (const FixedQuery& fq : batch) {
+    if (fq.kind == QueryKind::kReal) {
+      ++response.real_queries_sent;
+    } else {
+      ++response.fake_queries_sent;
+    }
+  }
+
+  // 4: encrypt and ship in disjunctive batches, one batch per clock tick.
+  // Since MOPE preserves modular order, a row's plaintext lies in the
+  // client's range iff its ciphertext lies in the range's encryption — so
+  // results can be filtered in ciphertext space and only the rows that
+  // match need the (much more expensive) decryption walk.
+  const ModularInterval want =
+      ModularInterval::FromEndpoints(q.first, q.last, config_.domain);
+  MOPE_ASSIGN_OR_RETURN(ope::CipherRange want_cipher,
+                        mope_.EncryptRange(want));
+  const ModularInterval want_cipher_iv = ModularInterval::FromEndpoints(
+      want_cipher.first, want_cipher.last, mope_.range());
+  std::unordered_set<engine::RowId> seen;
+  for (size_t offset = 0; offset < batch.size(); offset += config_.batch_size) {
+    const size_t end = std::min(batch.size(), offset + config_.batch_size);
+    std::vector<ModularInterval> cipher_ranges;
+    cipher_ranges.reserve(end - offset);
+    for (size_t i = offset; i < end; ++i) {
+      const ModularInterval plain =
+          query::CoverageOf(batch[i], config_.k, config_.domain);
+      MOPE_ASSIGN_OR_RETURN(ope::CipherRange cr, mope_.EncryptRange(plain));
+      cipher_ranges.push_back(ModularInterval::FromEndpoints(
+          cr.first, cr.last, mope_.range()));
+    }
+    MOPE_ASSIGN_OR_RETURN(auto rows, SendBatch(cipher_ranges));
+    ++response.server_requests;
+    ++response.clock_ticks;
+    response.rows_received += rows.size();
+
+    // 5: keep rows whose ciphertext falls in the client's encrypted range
+    // (deduplicating rows returned by more than one overlapping request),
+    // then decrypt the key column of just those rows.
+    for (auto& [rid, row] : rows) {
+      const int64_t cipher = std::get<int64_t>(row[key_column_index_]);
+      if (!want_cipher_iv.Contains(static_cast<uint64_t>(cipher))) continue;
+      if (!seen.insert(rid).second) continue;
+      MOPE_ASSIGN_OR_RETURN(uint64_t plain,
+                            mope_.Decrypt(static_cast<uint64_t>(cipher)));
+      row[key_column_index_] = static_cast<int64_t>(plain);
+      response.rows.push_back(std::move(row));
+    }
+  }
+
+  totals_.real_queries_sent += response.real_queries_sent;
+  totals_.fake_queries_sent += response.fake_queries_sent;
+  totals_.server_requests += response.server_requests;
+  totals_.clock_ticks += response.clock_ticks;
+  totals_.rows_received += response.rows_received;
+  return response;
+}
+
+}  // namespace mope::proxy

@@ -1,0 +1,152 @@
+#ifndef MOPE_PROXY_PROXY_H_
+#define MOPE_PROXY_PROXY_H_
+
+/// \file proxy.h
+/// The trusted proxy of the paper's architecture (Figure 4).
+///
+/// One Proxy instance manages one MOPE-encrypted column. It holds the secret
+/// key and the completion distributions, and for every client range query:
+///   1. decomposes the query into fixed-length-k pieces (τk),
+///   2. draws the number of fake queries per piece from Geom(α) and samples
+///      their start points from the completion distribution,
+///   3. permutes real and fake queries and encrypts each into a
+///      (possibly wrap-around) ciphertext range,
+///   4. ships them to the server in fixed-size disjunctive batches (the
+///      Section 5.1 multiple-range optimization; batch size 1 = one request
+///      per query), at a fixed pacing of one batch per clock tick,
+///   5. filters the returned ciphertext rows, keeping exactly those whose
+///      decrypted key falls in the client's original range.
+///
+/// The server only ever observes encrypted ranges whose start points follow
+/// the uniform (QueryU) or ρ-periodic (QueryP) perceived distribution.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "engine/server.h"
+#include "ope/mope.h"
+#include "proxy/connection.h"
+#include "query/algorithms.h"
+
+namespace mope::proxy {
+
+/// Which query algorithm the proxy runs.
+enum class QueryMode : uint8_t {
+  kPassthrough,       ///< No fakes (insecure baseline: the gap attack works).
+  kUniform,           ///< QueryU with a known query distribution.
+  kPeriodic,          ///< QueryP[ρ] with a known query distribution.
+  kAdaptiveUniform,   ///< AdaptiveQueryU (distribution learned online).
+  kAdaptivePeriodic,  ///< AdaptiveQueryP (distribution learned online).
+};
+
+struct ProxyConfig {
+  std::string table;        ///< Server table holding the ciphertext column.
+  std::string column;       ///< Name of the MOPE-encrypted key column.
+  uint64_t domain = 0;      ///< M: plaintext domain of the column.
+  uint64_t k = 1;           ///< Fixed query length.
+  QueryMode mode = QueryMode::kUniform;
+  uint64_t period = 0;      ///< ρ for the periodic modes (divides domain).
+  size_t batch_size = 1;    ///< Ranges OR-ed per server request (Fig. 15).
+  uint64_t rng_seed = 42;   ///< Seed for coins/fakes/permutation.
+  uint32_t max_retries = 0; ///< Per-request retries on transient server errors.
+};
+
+/// The proxy serves the paper's *set of clients* (Figure 4): ExecuteRange
+/// and RotateKey are serialized internally, so any number of client threads
+/// may share one Proxy. (Serialization is also semantically necessary — the
+/// query-mixing state and the perceived-distribution guarantee are per
+/// proxy, not per client.)
+///
+/// What the client gets back, plus accounting for the benches.
+struct QueryResponse {
+  std::vector<engine::Row> rows;  ///< Rows matching the original query.
+
+  uint64_t real_queries_sent = 0;  ///< |τk(q)| pieces executed.
+  uint64_t fake_queries_sent = 0;  ///< Fake/duplicate queries executed.
+  uint64_t server_requests = 0;    ///< Batched round trips to the server.
+  uint64_t rows_received = 0;      ///< Ciphertext rows shipped back.
+  uint64_t clock_ticks = 0;        ///< Fixed-interval slots consumed.
+};
+
+class Proxy {
+ public:
+  /// Builds a proxy over an embedded server's table. For the non-adaptive
+  /// modes `known_q` must provide the query-start distribution; adaptive
+  /// modes ignore it and learn from the stream.
+  static Result<std::unique_ptr<Proxy>> Create(
+      const ProxyConfig& config, const ope::MopeKey& key,
+      const ope::OpeParams& params, engine::DbServer* server,
+      const dist::Distribution* known_q = nullptr);
+
+  /// Builds a proxy over an arbitrary server connection (e.g. a failure-
+  /// injecting test double, or a remote transport). Key rotation is not
+  /// available through this form — it needs maintenance access to the
+  /// embedded server.
+  static Result<std::unique_ptr<Proxy>> Create(
+      const ProxyConfig& config, const ope::MopeKey& key,
+      const ope::OpeParams& params,
+      std::unique_ptr<ServerConnection> connection,
+      const dist::Distribution* known_q = nullptr);
+
+  /// Executes a client range query end to end.
+  Result<QueryResponse> ExecuteRange(const query::RangeQuery& q);
+
+  /// Encrypts a single plaintext value (used when loading data through the
+  /// proxy, so the server never sees plaintexts).
+  Result<uint64_t> EncryptValue(uint64_t m) const { return mope_.Encrypt(m); }
+
+  /// Decrypts a ciphertext (client-side use only).
+  Result<uint64_t> DecryptValue(uint64_t c) const { return mope_.Decrypt(c); }
+
+  /// Re-encrypts the whole column under a fresh MOPE key — new OPE key and
+  /// new secret offset — rewriting every server-side ciphertext (the index
+  /// follows) and switching the proxy to the new key. This implements the
+  /// mitigation the paper sketches in Section 9: rotating the encryption at
+  /// intervals bounds what a plaintext-ciphertext pair exposure reveals.
+  /// Returns the number of rows re-encrypted.
+  Result<uint64_t> RotateKey(mope::BitSource* entropy);
+
+  const ProxyConfig& config() const { return config_; }
+
+  /// Cumulative accounting across all queries.
+  const QueryResponse& totals() const { return totals_; }
+
+  /// Transient-failure retries performed so far.
+  uint64_t retries_performed() const { return retries_performed_; }
+
+ private:
+  Proxy(const ProxyConfig& config, ope::MopeScheme mope,
+        std::unique_ptr<ServerConnection> connection,
+        engine::DbServer* server)
+      : config_(config), mope_(std::move(mope)),
+        connection_(std::move(connection)), server_(server),
+        rng_(config.rng_seed) {}
+
+  /// Instantiates the configured query algorithm.
+  Status SetupAlgorithm(const dist::Distribution* known_q);
+
+  /// Sends one batch, retrying up to config_.max_retries times.
+  Result<std::vector<std::pair<engine::RowId, engine::Row>>> SendBatch(
+      const std::vector<ModularInterval>& cipher_ranges);
+
+  ProxyConfig config_;
+  mutable std::mutex mutex_;  ///< Serializes client requests (Fig. 4: many clients).
+  ope::MopeScheme mope_;
+  std::unique_ptr<ServerConnection> connection_;
+  engine::DbServer* server_;  ///< Maintenance access; null for custom connections.
+  Rng rng_;
+  std::unique_ptr<query::QueryAlgorithm> algorithm_;  // null for passthrough
+  size_t key_column_index_ = 0;
+  QueryResponse totals_;
+  uint64_t retries_performed_ = 0;
+};
+
+}  // namespace mope::proxy
+
+#endif  // MOPE_PROXY_PROXY_H_

@@ -1,0 +1,102 @@
+#include "proxy/sql_session.h"
+
+#include <algorithm>
+
+#include "engine/executor.h"
+#include "sql/parser.h"
+#include "sql/range_extract.h"
+
+namespace mope::proxy {
+
+Status EncryptedSqlSession::AttachClientTable(
+    const std::string& name, engine::Schema schema,
+    const std::vector<engine::Row>& rows) {
+  MOPE_ASSIGN_OR_RETURN(engine::Table * table,
+                        client_tables_.CreateTable(name, std::move(schema)));
+  for (const engine::Row& row : rows) {
+    MOPE_RETURN_NOT_OK(table->Insert(row).status());
+  }
+  return Status::OK();
+}
+
+Result<sql::SqlResult> EncryptedSqlSession::Execute(
+    const std::string& sql_text) {
+  stats_ = SessionStats{};
+  MOPE_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql_text));
+
+  // Locate the encrypted column of the FROM table and the fetch predicate.
+  const auto enc_column = system_->EncryptedColumnOf(stmt.from_table);
+  if (!enc_column.has_value()) {
+    return Status::InvalidArgument("table '" + stmt.from_table +
+                                   "' has no encrypted range column");
+  }
+  if (stmt.where == nullptr) {
+    return Status::NotSupported(
+        "encrypted execution requires a WHERE range condition on '" +
+        *enc_column + "' (fetching the whole table would defeat the point)");
+  }
+  auto ranges = sql::ExtractRangesFromWhere(
+      *stmt.where,
+      [&enc_column](const std::string& col) { return col == *enc_column; });
+  if (!ranges.has_value()) {
+    return Status::NotSupported(
+        "WHERE clause has no extractable range condition on '" + *enc_column +
+        "'");
+  }
+
+  MOPE_ASSIGN_OR_RETURN(Proxy * proxy,
+                        system_->GetProxy(stmt.from_table, *enc_column));
+  const uint64_t domain = proxy->config().domain;
+
+  // Clamp the extracted segments to the column domain and coalesce them so
+  // no row is fetched twice.
+  std::vector<Segment> segments;
+  for (Segment seg : ranges->segments) {
+    if (seg.lo >= domain) continue;
+    seg.hi = std::min(seg.hi, domain - 1);
+    segments.push_back(seg);
+  }
+  segments = engine::CoalesceSegments(std::move(segments));
+
+  // Fetch through the proxy (fakes, batching, filtering all apply).
+  const engine::Table* server_table = nullptr;
+  MOPE_ASSIGN_OR_RETURN(server_table,
+                        system_->server()->catalog()->GetTable(stmt.from_table));
+  std::vector<engine::Row> fetched;
+  for (const Segment& seg : segments) {
+    MOPE_ASSIGN_OR_RETURN(
+        QueryResponse resp,
+        proxy->ExecuteRange(query::RangeQuery{seg.lo, seg.hi}));
+    ++stats_.ranges_fetched;
+    stats_.real_queries += resp.real_queries_sent;
+    stats_.fake_queries += resp.fake_queries_sent;
+    stats_.server_requests += resp.server_requests;
+    for (engine::Row& row : resp.rows) fetched.push_back(std::move(row));
+  }
+  stats_.rows_fetched = fetched.size();
+
+  // Client-side execution: a scratch catalog holding the fetched rows under
+  // the original table name plus any attached client tables, running the
+  // *original* statement (the fetch predicate re-applies as a residual
+  // filter over plaintext).
+  engine::Catalog scratch;
+  MOPE_ASSIGN_OR_RETURN(
+      engine::Table * local,
+      scratch.CreateTable(stmt.from_table, server_table->schema()));
+  for (engine::Row& row : fetched) {
+    MOPE_RETURN_NOT_OK(local->Insert(std::move(row)).status());
+  }
+  if (stmt.join.has_value()) {
+    MOPE_ASSIGN_OR_RETURN(const engine::Table* aux,
+                          client_tables_.GetTable(stmt.join->table));
+    MOPE_ASSIGN_OR_RETURN(
+        engine::Table * copy,
+        scratch.CreateTable(stmt.join->table, aux->schema()));
+    for (engine::RowId r = 0; r < aux->row_count(); ++r) {
+      MOPE_RETURN_NOT_OK(copy->Insert(aux->row(r)).status());
+    }
+  }
+  return sql::ExecuteSql(&scratch, sql_text);
+}
+
+}  // namespace mope::proxy

@@ -1,0 +1,66 @@
+#ifndef MOPE_PROXY_SQL_SESSION_H_
+#define MOPE_PROXY_SQL_SESSION_H_
+
+/// \file sql_session.h
+/// CryptDB-style SQL over the encrypted system.
+///
+/// A client writes ordinary SQL with range predicates; the session rewrites
+/// the predicate on the MOPE-encrypted column into proxy range queries (with
+/// all the fake-query machinery), pulls the qualifying rows back, and then
+/// executes the *original* statement — residual predicates, expressions,
+/// joins against client-side tables, aggregation — locally over the fetched
+/// plaintext rows. The server never sees the SQL, only the mixed stream of
+/// encrypted ranges.
+///
+///   EncryptedSqlSession session(&system);
+///   session.AttachClientTable("part", part_schema, part_rows);
+///   auto result = session.Execute(
+///       "SELECT SUM(l_extendedprice * l_discount) FROM lineitem "
+///       "WHERE l_shipdate BETWEEN 366 AND 730 AND l_discount < 0.06");
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+#include "proxy/system.h"
+#include "sql/planner.h"
+
+namespace mope::proxy {
+
+class EncryptedSqlSession {
+ public:
+  /// `system` must outlive the session.
+  explicit EncryptedSqlSession(MopeSystem* system) : system_(system) {}
+
+  /// Registers a client-side table (e.g. a small dimension table that never
+  /// left the client) available to joins in subsequent statements.
+  Status AttachClientTable(const std::string& name, engine::Schema schema,
+                           const std::vector<engine::Row>& rows);
+
+  /// Executes one SELECT. Requirements: FROM names a table with a
+  /// MOPE-encrypted column, and the WHERE clause contains a conjunct that is
+  /// a range condition (or OR of range conditions) on that column — the
+  /// fetch predicate. Everything else in the statement runs client-side.
+  Result<sql::SqlResult> Execute(const std::string& sql_text);
+
+  /// Accounting for the most recent Execute call.
+  struct SessionStats {
+    uint64_t ranges_fetched = 0;   ///< Plaintext ranges sent to the proxy.
+    uint64_t rows_fetched = 0;     ///< Rows surviving the proxy's filter.
+    uint64_t real_queries = 0;     ///< Fixed-length real queries executed.
+    uint64_t fake_queries = 0;     ///< Fake queries executed.
+    uint64_t server_requests = 0;  ///< Batched server round trips.
+  };
+  const SessionStats& last_stats() const { return stats_; }
+
+ private:
+  MopeSystem* system_;
+  engine::Catalog client_tables_;
+  SessionStats stats_;
+};
+
+}  // namespace mope::proxy
+
+#endif  // MOPE_PROXY_SQL_SESSION_H_

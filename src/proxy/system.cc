@@ -1,0 +1,89 @@
+#include "proxy/system.h"
+
+namespace mope::proxy {
+
+MopeSystem::MopeSystem(uint64_t seed) : rng_(seed) {}
+
+Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
+                             const std::vector<engine::Row>& rows,
+                             const EncryptedColumnSpec& spec,
+                             const dist::Distribution* known_q) {
+  MOPE_ASSIGN_OR_RETURN(size_t enc_col, schema.IndexOf(spec.column));
+  if (schema.column(enc_col).type != engine::ValueType::kInt) {
+    return Status::InvalidArgument("encrypted column must be int");
+  }
+  if (spec.domain == 0) {
+    return Status::InvalidArgument("encrypted column needs a domain size");
+  }
+
+  // Data-owner side: draw the key and encrypt before anything reaches the
+  // untrusted server.
+  const ope::OpeParams params{spec.domain, ope::SuggestRange(spec.domain)};
+  const ope::MopeKey key = ope::MopeKey::Generate(spec.domain, &rng_);
+  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme scheme,
+                        ope::MopeScheme::Create(params, key));
+
+  MOPE_ASSIGN_OR_RETURN(engine::Table * table,
+                        server_.catalog()->CreateTable(name, std::move(schema)));
+  for (const engine::Row& row : rows) {
+    engine::Row encrypted = row;
+    const int64_t plain = std::get<int64_t>(encrypted[enc_col]);
+    if (plain < 0 || static_cast<uint64_t>(plain) >= spec.domain) {
+      return Status::OutOfRange("value " + std::to_string(plain) +
+                                " outside the declared domain of '" +
+                                spec.column + "'");
+    }
+    MOPE_ASSIGN_OR_RETURN(uint64_t cipher,
+                          scheme.Encrypt(static_cast<uint64_t>(plain)));
+    encrypted[enc_col] = static_cast<int64_t>(cipher);
+    MOPE_RETURN_NOT_OK(table->Insert(std::move(encrypted)).status());
+  }
+  MOPE_RETURN_NOT_OK(table->CreateIndex(spec.column));
+
+  ProxyConfig config;
+  config.table = name;
+  config.column = spec.column;
+  config.domain = spec.domain;
+  config.k = spec.k;
+  config.mode = spec.mode;
+  config.period = spec.period;
+  config.batch_size = spec.batch_size;
+  config.rng_seed = rng_.NextWord();
+  MOPE_ASSIGN_OR_RETURN(std::unique_ptr<Proxy> proxy,
+                        Proxy::Create(config, key, params, &server_, known_q));
+  proxies_[name + "." + spec.column] = std::move(proxy);
+  return Status::OK();
+}
+
+Result<Proxy*> MopeSystem::GetProxy(const std::string& table,
+                                    const std::string& column) {
+  const auto it = proxies_.find(table + "." + column);
+  if (it == proxies_.end()) {
+    return Status::NotFound("no proxy for " + table + "." + column);
+  }
+  return it->second.get();
+}
+
+std::optional<std::string> MopeSystem::EncryptedColumnOf(
+    const std::string& table) const {
+  const std::string prefix = table + ".";
+  for (const auto& [key, _] : proxies_) {
+    if (key.rfind(prefix, 0) == 0) return key.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+Result<QueryResponse> MopeSystem::Query(const std::string& table,
+                                        const std::string& column,
+                                        const query::RangeQuery& q) {
+  MOPE_ASSIGN_OR_RETURN(Proxy * proxy, GetProxy(table, column));
+  return proxy->ExecuteRange(q);
+}
+
+Result<uint64_t> MopeSystem::RotateKey(const std::string& table,
+                                       const std::string& column) {
+  MOPE_ASSIGN_OR_RETURN(Proxy * proxy, GetProxy(table, column));
+  return proxy->RotateKey(&rng_);
+}
+
+}  // namespace mope::proxy

@@ -1,0 +1,78 @@
+#ifndef MOPE_PROXY_SYSTEM_H_
+#define MOPE_PROXY_SYSTEM_H_
+
+/// \file system.h
+/// End-to-end wiring of the paper's architecture: clients -> proxy ->
+/// (unmodified) database server, with data-owner-side encrypted loading.
+///
+/// A MopeSystem owns the untrusted DbServer and one trusted Proxy per
+/// MOPE-encrypted column. Loading a table draws a fresh MOPE key for the
+/// encrypted column, encrypts every value before it reaches the server, and
+/// builds the server-side B+-tree index over the ciphertexts.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+#include "engine/server.h"
+#include "proxy/proxy.h"
+
+namespace mope::proxy {
+
+/// Per-column encryption/query settings (ProxyConfig minus the names).
+struct EncryptedColumnSpec {
+  std::string column;
+  uint64_t domain = 0;      ///< Plaintext values must lie in [0, domain).
+  uint64_t k = 1;           ///< Fixed query length.
+  QueryMode mode = QueryMode::kUniform;
+  uint64_t period = 0;      ///< ρ for periodic modes.
+  size_t batch_size = 1;    ///< Ranges per server request.
+};
+
+class MopeSystem {
+ public:
+  /// `seed` drives key generation and all proxy randomness.
+  explicit MopeSystem(uint64_t seed = 0xC0FFEE);
+
+  engine::DbServer* server() { return &server_; }
+  const engine::DbServer& server() const { return server_; }
+
+  /// Creates `name` on the server with the given schema, encrypts
+  /// `spec.column` of every row under a fresh MOPE key, loads the rows and
+  /// indexes the ciphertext column. `known_q` provides the query-start
+  /// distribution for the non-adaptive modes (over domain start points).
+  Status LoadTable(const std::string& name, engine::Schema schema,
+                   const std::vector<engine::Row>& rows,
+                   const EncryptedColumnSpec& spec,
+                   const dist::Distribution* known_q = nullptr);
+
+  /// The proxy managing `table.column`.
+  Result<Proxy*> GetProxy(const std::string& table, const std::string& column);
+
+  /// Name of the MOPE-encrypted column of `table`, if it has one.
+  std::optional<std::string> EncryptedColumnOf(const std::string& table) const;
+
+  /// Client entry point: a plaintext range query on an encrypted column.
+  Result<QueryResponse> Query(const std::string& table,
+                              const std::string& column,
+                              const query::RangeQuery& q);
+
+  /// Rotates `table.column` to a fresh MOPE key (full server-side
+  /// re-encryption; see Proxy::RotateKey). Returns rows re-encrypted.
+  Result<uint64_t> RotateKey(const std::string& table,
+                             const std::string& column);
+
+ private:
+  engine::DbServer server_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<Proxy>> proxies_;  // "table.column"
+};
+
+}  // namespace mope::proxy
+
+#endif  // MOPE_PROXY_SYSTEM_H_

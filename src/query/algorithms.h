@@ -1,0 +1,166 @@
+#ifndef MOPE_QUERY_ALGORITHMS_H_
+#define MOPE_QUERY_ALGORITHMS_H_
+
+/// \file algorithms.h
+/// The paper's query-execution algorithms.
+///
+/// A QueryAlgorithm turns each user range query into a *batch* of
+/// fixed-length-k queries: the τk decomposition of the real query plus fake
+/// queries sampled from a completion distribution, randomly permuted. The
+/// number of fakes per real query is drawn directly from the geometric
+/// distribution Geom(α) — the Section 5 optimization that collapses the
+/// repeated Bernoulli trials of the in-paper pseudocode into one draw with
+/// the identical distribution.
+///
+///  * UniformQueryAlgorithm  — QueryU  (Section 3.1), perceived dist U.
+///  * PeriodicQueryAlgorithm — QueryP[ρ] (Section 3.2), perceived dist P_ρ.
+///  * AdaptiveQueryAlgorithm — AdaptiveQueryU / AdaptiveQueryP (Section 4):
+///    the distribution is learned online from a buffer of past queries; one
+///    query is issued per step, and a "real" execution is a uniform draw
+///    from the buffer (identical to a draw from the current estimate of Q).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/completion.h"
+#include "dist/query_buffer.h"
+#include "query/query_types.h"
+
+namespace mope::query {
+
+/// Common configuration for all algorithms.
+struct QueryConfig {
+  uint64_t domain = 0;  ///< M.
+  uint64_t k = 1;       ///< Fixed query length (1 <= k <= M).
+};
+
+/// Abstract interface: one user query in, one permuted batch out.
+class QueryAlgorithm {
+ public:
+  virtual ~QueryAlgorithm() = default;
+
+  /// Processes a user query: returns the decomposed real queries and the
+  /// fake queries, permuted. `rng` drives the coin flips, fake sampling and
+  /// the permutation.
+  virtual Result<std::vector<FixedQuery>> Process(const RangeQuery& q,
+                                                  mope::BitSource* rng) = 0;
+
+  const QueryConfig& config() const { return config_; }
+
+ protected:
+  explicit QueryAlgorithm(const QueryConfig& config) : config_(config) {}
+
+  QueryConfig config_;
+};
+
+/// QueryU: perceived query distribution uniform over all M start points
+/// (including wrap-around starts). Expected fakes per transformed real
+/// query: µ_Q·M - 1.
+class UniformQueryAlgorithm final : public QueryAlgorithm {
+ public:
+  /// `q_starts` is the known distribution of transformed-query start points.
+  static Result<std::unique_ptr<UniformQueryAlgorithm>> Create(
+      const QueryConfig& config, const dist::Distribution& q_starts);
+
+  Result<std::vector<FixedQuery>> Process(const RangeQuery& q,
+                                          mope::BitSource* rng) override;
+
+  const dist::MixPlan& plan() const { return plan_; }
+
+ private:
+  UniformQueryAlgorithm(const QueryConfig& config, dist::MixPlan plan)
+      : QueryAlgorithm(config), plan_(std::move(plan)) {}
+
+  dist::MixPlan plan_;
+};
+
+/// QueryP[ρ]: perceived query distribution ρ-periodic. Expected fakes per
+/// transformed real query: η_Q·M - 1 <= M/ρ - 1. Leaks the log ρ
+/// least-significant bits of the offset; ρ tunes security vs. efficiency.
+class PeriodicQueryAlgorithm final : public QueryAlgorithm {
+ public:
+  static Result<std::unique_ptr<PeriodicQueryAlgorithm>> Create(
+      const QueryConfig& config, const dist::Distribution& q_starts,
+      uint64_t period);
+
+  Result<std::vector<FixedQuery>> Process(const RangeQuery& q,
+                                          mope::BitSource* rng) override;
+
+  uint64_t period() const { return period_; }
+  const dist::MixPlan& plan() const { return plan_; }
+
+ private:
+  PeriodicQueryAlgorithm(const QueryConfig& config, uint64_t period,
+                         dist::MixPlan plan)
+      : QueryAlgorithm(config), period_(period), plan_(std::move(plan)) {}
+
+  uint64_t period_;
+  dist::MixPlan plan_;
+};
+
+/// AdaptiveQueryU / AdaptiveQueryP (Section 4). Configure with period == 0
+/// for the uniform target, or a divisor of M for the ρ-periodic target.
+///
+/// For each transformed piece of an incoming query, the algorithm adds the
+/// piece to the buffer, then repeatedly recomputes (µ, Q̄) — or (η, Q̄ρ) —
+/// from the buffer and flips the α-coin: tails executes a completion-sampled
+/// fake; heads executes the real piece and moves on. Because the piece was
+/// itself drawn from the user's distribution and the buffer *is* the current
+/// estimate of that distribution, executing the piece on heads is
+/// distributed identically to executing a uniform draw from the buffer —
+/// the property the Section 7 security argument needs — while converging to
+/// the non-adaptive algorithm's E[fakes] = µ_Q·M - 1 per piece (Figure 16).
+/// Cross-over policy: when to declare the distribution "learned" and switch
+/// to the static algorithm (the open question at the end of Section 4).
+/// The estimate is snapshotted every `check_interval` observed pieces; when
+/// the total-variation distance between consecutive snapshots drops below
+/// `tv_threshold` (and at least `min_observations` pieces were seen), the
+/// current mixing plan is frozen and buffer maintenance stops.
+struct CrossOverPolicy {
+  double tv_threshold = 0.0;  ///< 0 disables freezing (pure Section 4 mode).
+  uint64_t min_observations = 256;
+  uint64_t check_interval = 128;
+
+  bool enabled() const { return tv_threshold > 0.0; }
+};
+
+class AdaptiveQueryAlgorithm final : public QueryAlgorithm {
+ public:
+  static Result<std::unique_ptr<AdaptiveQueryAlgorithm>> Create(
+      const QueryConfig& config, uint64_t period,
+      const CrossOverPolicy& policy = CrossOverPolicy{});
+
+  /// Feeds the query's pieces into the buffer and executes each of them
+  /// (plus its preceding fakes); returns all issued queries in order.
+  Result<std::vector<FixedQuery>> Process(const RangeQuery& q,
+                                          mope::BitSource* rng) override;
+
+  /// The learned query-start buffer (the current estimate of Q).
+  const dist::QueryBuffer& buffer() const { return buffer_; }
+
+  /// True once the cross-over policy froze the plan.
+  bool frozen() const { return frozen_plan_.has_value(); }
+
+ private:
+  AdaptiveQueryAlgorithm(const QueryConfig& config, uint64_t period,
+                         const CrossOverPolicy& policy)
+      : QueryAlgorithm(config), period_(period), policy_(policy),
+        buffer_(config.domain) {}
+
+  /// Evaluates the cross-over policy after a new observation.
+  Status MaybeFreeze();
+
+  uint64_t period_;  // 0 => uniform target
+  CrossOverPolicy policy_;
+  dist::QueryBuffer buffer_;
+  std::optional<dist::Distribution> snapshot_;
+  std::optional<dist::MixPlan> frozen_plan_;
+};
+
+}  // namespace mope::query
+
+#endif  // MOPE_QUERY_ALGORITHMS_H_

@@ -1,0 +1,72 @@
+#include "query/cost.h"
+
+namespace mope::query {
+
+RecordCounter::RecordCounter(std::vector<uint64_t> counts_per_value)
+    : counts_(std::move(counts_per_value)) {
+  MOPE_CHECK(!counts_.empty(), "record counter needs a non-empty domain");
+  prefix_.resize(counts_.size() + 1, 0);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + counts_[i];
+  }
+}
+
+RecordCounter RecordCounter::FromHistogram(const Histogram& hist) {
+  std::vector<uint64_t> counts(hist.size());
+  for (uint64_t i = 0; i < hist.size(); ++i) counts[i] = hist.count(i);
+  return RecordCounter(std::move(counts));
+}
+
+uint64_t RecordCounter::CountBetween(uint64_t first, uint64_t last) const {
+  MOPE_CHECK(first <= last && last < counts_.size(), "invalid count interval");
+  return prefix_[last + 1] - prefix_[first];
+}
+
+uint64_t RecordCounter::CountIn(const ModularInterval& interval) const {
+  MOPE_CHECK(interval.domain() == counts_.size(),
+             "interval domain does not match the record counter");
+  std::array<Segment, 2> segments;
+  const int n = interval.ToSegments(&segments);
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += CountBetween(segments[i].lo, segments[i].hi);
+  }
+  return total;
+}
+
+CostAccumulator::CostAccumulator(const RecordCounter* counter, uint64_t k)
+    : counter_(counter), k_(k) {
+  MOPE_CHECK(counter != nullptr, "cost accumulator needs a record counter");
+  MOPE_CHECK(k >= 1, "cost accumulator needs k >= 1");
+}
+
+void CostAccumulator::AddBatch(const RangeQuery& q,
+                               const std::vector<FixedQuery>& batch) {
+  const uint64_t answer = counter_->CountBetween(q.first, q.last);
+  ++real_queries_;
+  real_records_ += answer;
+  real_records_mod_k_ += answer % k_;
+  for (const FixedQuery& fq : batch) {
+    if (fq.kind == QueryKind::kReal) {
+      ++transformed_queries_;
+    } else {
+      ++fake_queries_;
+      fake_records_ +=
+          counter_->CountIn(CoverageOf(fq, k_, counter_->domain()));
+    }
+  }
+}
+
+double CostAccumulator::Bandwidth() const {
+  if (real_records_ == 0) return 0.0;
+  return static_cast<double>(fake_records_ + real_records_mod_k_) /
+         static_cast<double>(real_records_);
+}
+
+double CostAccumulator::Requests() const {
+  if (real_queries_ == 0) return 0.0;
+  return static_cast<double>(transformed_queries_ + fake_queries_) /
+         static_cast<double>(real_queries_);
+}
+
+}  // namespace mope::query

@@ -1,0 +1,82 @@
+#ifndef MOPE_QUERY_COST_H_
+#define MOPE_QUERY_COST_H_
+
+/// \file cost.h
+/// The two cost functions of Section 6, used by every Figure-5..12 bench:
+///
+///   Bandwidth(R, F) = (Σ_{q∈F} |q|  +  Σ_{q∈R} (|q| mod k)) / Σ_{q∈R} |q|
+///   Requests(R, T, F) = (|T| + |F|) / |R|
+///
+/// where R is the set of user queries, T = ∪ τk(q) the transformed queries,
+/// F the fake queries, and |q| the number of records a query returns.
+/// Record counts are evaluated against the database's value histogram via
+/// prefix sums, including wrap-around intervals for fake queries.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/interval.h"
+#include "common/status.h"
+#include "query/query_types.h"
+
+namespace mope::query {
+
+/// O(1) record counting over (possibly wrapping) value intervals.
+class RecordCounter {
+ public:
+  /// `counts_per_value[v]` = number of database records with value v.
+  explicit RecordCounter(std::vector<uint64_t> counts_per_value);
+
+  static RecordCounter FromHistogram(const Histogram& hist);
+
+  uint64_t domain() const { return counts_.size(); }
+  uint64_t total() const { return prefix_.back(); }
+
+  /// Records with value in [first, last] (non-wrapping; first <= last).
+  uint64_t CountBetween(uint64_t first, uint64_t last) const;
+
+  /// Records with value in the (possibly wrapping) interval.
+  uint64_t CountIn(const ModularInterval& interval) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> prefix_;  // prefix_[i] = sum of counts_[0..i-1]
+};
+
+/// Accumulates the Section 6 tallies across a workload run.
+class CostAccumulator {
+ public:
+  /// Costs are evaluated for fixed length k against the given record counts.
+  CostAccumulator(const RecordCounter* counter, uint64_t k);
+
+  /// Accounts one user query together with the batch a QueryAlgorithm
+  /// produced for it.
+  void AddBatch(const RangeQuery& q, const std::vector<FixedQuery>& batch);
+
+  uint64_t real_queries() const { return real_queries_; }
+  uint64_t transformed_queries() const { return transformed_queries_; }
+  uint64_t fake_queries() const { return fake_queries_; }
+  uint64_t real_records() const { return real_records_; }
+  uint64_t fake_records() const { return fake_records_; }
+
+  /// Σ_{q∈F}|q| + Σ_{q∈R}(|q| mod k) over Σ_{q∈R}|q|; 0 when no records.
+  double Bandwidth() const;
+
+  /// (|T| + |F|) / |R|; 0 when no real queries.
+  double Requests() const;
+
+ private:
+  const RecordCounter* counter_;
+  uint64_t k_;
+  uint64_t real_queries_ = 0;
+  uint64_t transformed_queries_ = 0;
+  uint64_t fake_queries_ = 0;
+  uint64_t real_records_ = 0;
+  uint64_t real_records_mod_k_ = 0;
+  uint64_t fake_records_ = 0;
+};
+
+}  // namespace mope::query
+
+#endif  // MOPE_QUERY_COST_H_

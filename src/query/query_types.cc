@@ -1,0 +1,24 @@
+#include "query/query_types.h"
+
+namespace mope::query {
+
+std::vector<FixedQuery> Decompose(const RangeQuery& q, uint64_t k,
+                                  uint64_t domain) {
+  MOPE_CHECK(q.first <= q.last && q.last < domain, "invalid range query");
+  MOPE_CHECK(k >= 1 && k <= domain, "fixed length k must be in [1, domain]");
+
+  std::vector<FixedQuery> out;
+  const uint64_t len = q.length();
+  const uint64_t blocks = (len + k - 1) / k;
+  out.reserve(blocks);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    uint64_t start = q.first + b * k;
+    // Keep the block inside the domain (the tail block of a query that ends
+    // near M-1 is shifted back; it overlaps the previous block).
+    if (start + k > domain) start = domain - k;
+    out.push_back(FixedQuery{start, QueryKind::kReal});
+  }
+  return out;
+}
+
+}  // namespace mope::query

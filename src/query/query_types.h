@@ -1,0 +1,59 @@
+#ifndef MOPE_QUERY_QUERY_TYPES_H_
+#define MOPE_QUERY_QUERY_TYPES_H_
+
+/// \file query_types.h
+/// Plaintext query representations and the fixed-length decomposition τk.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+
+namespace mope::query {
+
+/// A user's (valid, non-wrapping) range query [first, last] on {0..M-1}.
+struct RangeQuery {
+  uint64_t first = 0;
+  uint64_t last = 0;
+
+  uint64_t length() const { return last - first + 1; }
+  bool operator==(const RangeQuery&) const = default;
+};
+
+/// Origin of a fixed-length query inside a prepared batch.
+enum class QueryKind : uint8_t {
+  kReal,  ///< Part of the τk decomposition of a user query.
+  kFake,  ///< Sampled from the completion distribution.
+};
+
+/// One length-k query, identified by its start point (Section 3.1: once all
+/// queries share the fixed length k, the start point determines the query).
+/// Fake queries may start anywhere in [0, M) and thus wrap around the domain;
+/// real queries never wrap.
+struct FixedQuery {
+  uint64_t start = 0;
+  QueryKind kind = QueryKind::kReal;
+
+  bool operator==(const FixedQuery&) const = default;
+};
+
+/// The fixed-length decomposition τk(q) (Section 3.1): covers q with
+/// consecutive length-k queries starting at q.first. When the final block
+/// would run past the end of the domain it is shifted back to end exactly at
+/// M-1, keeping every emitted query a valid non-wrapping range (the blocks
+/// then overlap; the union still covers q).
+///
+/// Preconditions: q.first <= q.last < domain, 1 <= k <= domain.
+std::vector<FixedQuery> Decompose(const RangeQuery& q, uint64_t k,
+                                  uint64_t domain);
+
+/// The modular interval a fixed-length-k query covers.
+inline ModularInterval CoverageOf(const FixedQuery& fq, uint64_t k,
+                                  uint64_t domain) {
+  return ModularInterval(fq.start, k, domain);
+}
+
+}  // namespace mope::query
+
+#endif  // MOPE_QUERY_QUERY_TYPES_H_

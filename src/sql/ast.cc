@@ -1,0 +1,123 @@
+#include "sql/ast.h"
+
+namespace mope::sql {
+
+namespace {
+
+const char* BinOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kIntLiteral:
+      return std::to_string(int_val);
+    case ExprKind::kDoubleLiteral:
+      return std::to_string(double_val);
+    case ExprKind::kStringLiteral:
+      return "'" + str_val + "'";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(un_op == UnaryOp::kNeg ? "-" : "NOT ") +
+             children[0]->ToString();
+    case ExprKind::kBetween:
+      return "(" + children[0]->ToString() + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeIntLiteral(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLiteral;
+  e->int_val = v;
+  return e;
+}
+
+ExprPtr MakeDoubleLiteral(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kDoubleLiteral;
+  e->double_val = v;
+  return e;
+}
+
+ExprPtr MakeStringLiteral(std::string v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStringLiteral;
+  e->str_val = std::move(v);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBetween(ExprPtr operand, ExprPtr low, ExprPtr high) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBetween;
+  e->children.push_back(std::move(operand));
+  e->children.push_back(std::move(low));
+  e->children.push_back(std::move(high));
+  return e;
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->table = e.table;
+  out->column = e.column;
+  out->bound_index = e.bound_index;
+  out->int_val = e.int_val;
+  out->double_val = e.double_val;
+  out->str_val = e.str_val;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  out->children.reserve(e.children.size());
+  for (const ExprPtr& child : e.children) {
+    out->children.push_back(CloneExpr(*child));
+  }
+  return out;
+}
+
+}  // namespace mope::sql

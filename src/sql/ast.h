@@ -1,0 +1,110 @@
+#ifndef MOPE_SQL_AST_H_
+#define MOPE_SQL_AST_H_
+
+/// \file ast.h
+/// Abstract syntax tree for the supported SQL subset.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mope::sql {
+
+enum class ExprKind : uint8_t {
+  kColumn,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kBinary,
+  kUnary,
+  kBetween,
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A single expression node (tagged union; only the fields relevant to
+/// `kind` are meaningful).
+struct Expr {
+  ExprKind kind = ExprKind::kIntLiteral;
+
+  // kColumn: optional "table." qualifier plus the column name. After
+  // binding, `bound_index` is the column's position in the input row.
+  std::string table;
+  std::string column;
+  std::optional<size_t> bound_index;
+
+  // Literals.
+  int64_t int_val = 0;
+  double double_val = 0.0;
+  std::string str_val;
+
+  // kBinary / kUnary.
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNeg;
+
+  // Children: kBinary uses [0]=lhs, [1]=rhs; kUnary uses [0];
+  // kBetween uses [0]=operand, [1]=low, [2]=high.
+  std::vector<ExprPtr> children;
+
+  /// Renders the expression back to SQL-ish text (tests, error messages).
+  std::string ToString() const;
+};
+
+ExprPtr MakeColumn(std::string table, std::string column);
+ExprPtr MakeIntLiteral(int64_t v);
+ExprPtr MakeDoubleLiteral(double v);
+ExprPtr MakeStringLiteral(std::string v);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBetween(ExprPtr operand, ExprPtr low, ExprPtr high);
+
+/// Deep copy.
+ExprPtr CloneExpr(const Expr& e);
+
+/// Aggregate functions in the select list.
+enum class AggFunc : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  bool count_star = false;  ///< COUNT(*)
+  ExprPtr expr;             ///< null for COUNT(*)
+  std::string alias;        ///< optional AS alias
+};
+
+struct JoinClause {
+  std::string table;      ///< right-hand table
+  ExprPtr left_key;       ///< column expr from either side
+  ExprPtr right_key;
+};
+
+struct OrderByItem {
+  std::string column;  ///< Output-column name (or alias).
+  bool descending = false;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::string from_table;
+  std::optional<JoinClause> join;
+  ExprPtr where;                        ///< null when absent
+  std::optional<std::string> group_by;  ///< single column name
+  std::vector<OrderByItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace mope::sql
+
+#endif  // MOPE_SQL_AST_H_

@@ -1,0 +1,221 @@
+#include "sql/binder.h"
+
+#include <cmath>
+
+namespace mope::sql {
+
+using engine::Row;
+using engine::Value;
+using engine::ValueType;
+
+RowLayout RowLayout::ForTable(const engine::Table& table) {
+  RowLayout layout;
+  layout.entries_.reserve(table.schema().num_columns());
+  for (const engine::Column& col : table.schema().columns()) {
+    layout.entries_.push_back(Entry{table.name(), col.name, col.type});
+  }
+  return layout;
+}
+
+RowLayout RowLayout::Concat(const RowLayout& left, const RowLayout& right) {
+  RowLayout layout;
+  layout.entries_ = left.entries_;
+  layout.entries_.insert(layout.entries_.end(), right.entries_.begin(),
+                         right.entries_.end());
+  return layout;
+}
+
+Result<size_t> RowLayout::Resolve(const std::string& table,
+                                  const std::string& column) const {
+  size_t found = entries_.size();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].column != column) continue;
+    if (!table.empty() && entries_[i].table != table) continue;
+    if (found != entries_.size()) {
+      return Status::InvalidArgument("ambiguous column reference '" + column +
+                                     "'");
+    }
+    found = i;
+  }
+  if (found == entries_.size()) {
+    return Status::NotFound("unknown column '" +
+                            (table.empty() ? column : table + "." + column) +
+                            "'");
+  }
+  return found;
+}
+
+Status BindExpr(Expr* expr, const RowLayout& layout) {
+  if (expr->kind == ExprKind::kColumn) {
+    MOPE_ASSIGN_OR_RETURN(size_t idx, layout.Resolve(expr->table, expr->column));
+    expr->bound_index = idx;
+    return Status::OK();
+  }
+  for (ExprPtr& child : expr->children) {
+    MOPE_RETURN_NOT_OK(BindExpr(child.get(), layout));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<double> AsNumeric(const Value& v, const char* what) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  return Status::InvalidArgument(std::string(what) +
+                                 " requires a numeric value");
+}
+
+bool BothInt(const Value& a, const Value& b) {
+  return std::holds_alternative<int64_t>(a) &&
+         std::holds_alternative<int64_t>(b);
+}
+
+/// Three-way compare with numeric promotion; strings compare with strings.
+Result<int> CompareValues(const Value& a, const Value& b) {
+  const bool a_str = std::holds_alternative<std::string>(a);
+  const bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str != b_str) {
+    return Status::InvalidArgument("cannot compare string with number");
+  }
+  if (a_str) {
+    const auto& sa = std::get<std::string>(a);
+    const auto& sb = std::get<std::string>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  MOPE_ASSIGN_OR_RETURN(double da, AsNumeric(a, "comparison"));
+  MOPE_ASSIGN_OR_RETURN(double db, AsNumeric(b, "comparison"));
+  return da < db ? -1 : (da == db ? 0 : 1);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const Row& row) {
+  switch (expr.kind) {
+    case ExprKind::kColumn: {
+      if (!expr.bound_index.has_value()) {
+        return Status::Internal("evaluating an unbound column reference");
+      }
+      if (*expr.bound_index >= row.size()) {
+        return Status::Internal("bound column index out of range");
+      }
+      return row[*expr.bound_index];
+    }
+    case ExprKind::kIntLiteral:
+      return Value{expr.int_val};
+    case ExprKind::kDoubleLiteral:
+      return Value{expr.double_val};
+    case ExprKind::kStringLiteral:
+      return Value{expr.str_val};
+    case ExprKind::kUnary: {
+      if (expr.un_op == UnaryOp::kNot) {
+        MOPE_ASSIGN_OR_RETURN(bool v, EvalPredicate(*expr.children[0], row));
+        return Value{static_cast<int64_t>(v ? 0 : 1)};
+      }
+      MOPE_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (std::holds_alternative<int64_t>(v)) {
+        return Value{-std::get<int64_t>(v)};
+      }
+      MOPE_ASSIGN_OR_RETURN(double d, AsNumeric(v, "negation"));
+      return Value{-d};
+    }
+    case ExprKind::kBetween: {
+      MOPE_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      MOPE_ASSIGN_OR_RETURN(Value lo, EvalExpr(*expr.children[1], row));
+      MOPE_ASSIGN_OR_RETURN(Value hi, EvalExpr(*expr.children[2], row));
+      MOPE_ASSIGN_OR_RETURN(int cmp_lo, CompareValues(v, lo));
+      MOPE_ASSIGN_OR_RETURN(int cmp_hi, CompareValues(v, hi));
+      return Value{static_cast<int64_t>((cmp_lo >= 0 && cmp_hi <= 0) ? 1 : 0)};
+    }
+    case ExprKind::kBinary:
+      break;
+  }
+
+  // Binary operators.
+  const Expr& lhs_expr = *expr.children[0];
+  const Expr& rhs_expr = *expr.children[1];
+
+  switch (expr.bin_op) {
+    case BinaryOp::kAnd: {
+      MOPE_ASSIGN_OR_RETURN(bool l, EvalPredicate(lhs_expr, row));
+      if (!l) return Value{static_cast<int64_t>(0)};
+      MOPE_ASSIGN_OR_RETURN(bool r, EvalPredicate(rhs_expr, row));
+      return Value{static_cast<int64_t>(r ? 1 : 0)};
+    }
+    case BinaryOp::kOr: {
+      MOPE_ASSIGN_OR_RETURN(bool l, EvalPredicate(lhs_expr, row));
+      if (l) return Value{static_cast<int64_t>(1)};
+      MOPE_ASSIGN_OR_RETURN(bool r, EvalPredicate(rhs_expr, row));
+      return Value{static_cast<int64_t>(r ? 1 : 0)};
+    }
+    default:
+      break;
+  }
+
+  MOPE_ASSIGN_OR_RETURN(Value l, EvalExpr(lhs_expr, row));
+  MOPE_ASSIGN_OR_RETURN(Value r, EvalExpr(rhs_expr, row));
+
+  switch (expr.bin_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      MOPE_ASSIGN_OR_RETURN(int cmp, CompareValues(l, r));
+      bool result = false;
+      switch (expr.bin_op) {
+        case BinaryOp::kEq: result = (cmp == 0); break;
+        case BinaryOp::kNe: result = (cmp != 0); break;
+        case BinaryOp::kLt: result = (cmp < 0); break;
+        case BinaryOp::kLe: result = (cmp <= 0); break;
+        case BinaryOp::kGt: result = (cmp > 0); break;
+        case BinaryOp::kGe: result = (cmp >= 0); break;
+        default: break;
+      }
+      return Value{static_cast<int64_t>(result ? 1 : 0)};
+    }
+    case BinaryOp::kAdd:
+      if (BothInt(l, r)) return Value{std::get<int64_t>(l) + std::get<int64_t>(r)};
+      break;
+    case BinaryOp::kSub:
+      if (BothInt(l, r)) return Value{std::get<int64_t>(l) - std::get<int64_t>(r)};
+      break;
+    case BinaryOp::kMul:
+      if (BothInt(l, r)) return Value{std::get<int64_t>(l) * std::get<int64_t>(r)};
+      break;
+    case BinaryOp::kDiv:
+      break;  // always double, below
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+
+  MOPE_ASSIGN_OR_RETURN(double dl, AsNumeric(l, "arithmetic"));
+  MOPE_ASSIGN_OR_RETURN(double dr, AsNumeric(r, "arithmetic"));
+  switch (expr.bin_op) {
+    case BinaryOp::kAdd: return Value{dl + dr};
+    case BinaryOp::kSub: return Value{dl - dr};
+    case BinaryOp::kMul: return Value{dl * dr};
+    case BinaryOp::kDiv:
+      if (dr == 0.0) return Status::InvalidArgument("division by zero");
+      return Value{dl / dr};
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Row& row) {
+  MOPE_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
+  if (std::holds_alternative<int64_t>(v)) return std::get<int64_t>(v) != 0;
+  if (std::holds_alternative<double>(v)) return std::get<double>(v) != 0.0;
+  return Status::InvalidArgument("string used as a predicate");
+}
+
+Result<double> EvalNumeric(const Expr& expr, const Row& row) {
+  MOPE_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
+  return AsNumeric(v, "numeric expression");
+}
+
+}  // namespace mope::sql

@@ -1,0 +1,62 @@
+#ifndef MOPE_SQL_BINDER_H_
+#define MOPE_SQL_BINDER_H_
+
+/// \file binder.h
+/// Name resolution and expression evaluation over engine rows.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace mope::sql {
+
+/// Describes the columns of the rows an expression will be evaluated on.
+class RowLayout {
+ public:
+  struct Entry {
+    std::string table;
+    std::string column;
+    engine::ValueType type;
+  };
+
+  RowLayout() = default;
+
+  /// Layout of a base table's rows.
+  static RowLayout ForTable(const engine::Table& table);
+
+  /// Layout of a join output: left columns followed by right columns.
+  static RowLayout Concat(const RowLayout& left, const RowLayout& right);
+
+  size_t size() const { return entries_.size(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+
+  /// Resolves a (possibly table-qualified) column name to a row position.
+  /// NotFound for unknown names; InvalidArgument for ambiguous ones.
+  Result<size_t> Resolve(const std::string& table,
+                         const std::string& column) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Resolves every column reference in `expr` against the layout, filling in
+/// Expr::bound_index. Must run before evaluation.
+Status BindExpr(Expr* expr, const RowLayout& layout);
+
+/// Evaluates a bound expression on a row. Arithmetic promotes to double when
+/// either operand is a double; '/' always yields a double; comparisons and
+/// logical operators yield int64 0/1.
+Result<engine::Value> EvalExpr(const Expr& expr, const engine::Row& row);
+
+/// Evaluates as a predicate: numeric results are true when non-zero.
+Result<bool> EvalPredicate(const Expr& expr, const engine::Row& row);
+
+/// Evaluates as a number (int promoted to double); strings are errors.
+Result<double> EvalNumeric(const Expr& expr, const engine::Row& row);
+
+}  // namespace mope::sql
+
+#endif  // MOPE_SQL_BINDER_H_

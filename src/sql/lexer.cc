@@ -1,0 +1,131 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace mope::sql {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT", "FROM",  "WHERE", "AND",   "OR",    "NOT",  "BETWEEN",
+    "JOIN",   "ON",    "GROUP", "BY",    "AS",    "SUM",  "COUNT", "IN",
+    "AVG",    "MIN",   "MAX",   "ORDER", "LIMIT", "ASC",  "DESC",
+};
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper_word) {
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    Token tok;
+    tok.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      const std::string num = input.substr(i, j - i);
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_val = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        errno = 0;
+        tok.int_val = std::strtoll(num.c_str(), nullptr, 10);
+        if (errno != 0) {
+          return Status::ParseError("integer literal out of range at offset " +
+                                    std::to_string(i));
+        }
+      }
+      tok.text = num;
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && input[j] != '\'') value.push_back(input[j++]);
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(value);
+      i = j + 1;
+    } else {
+      // Symbols, including two-character comparison operators.
+      tok.type = TokenType::kSymbol;
+      if (i + 1 < n) {
+        const std::string two = input.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          tok.text = (two == "!=") ? "<>" : two;
+          i += 2;
+          tokens.push_back(std::move(tok));
+          continue;
+        }
+      }
+      switch (c) {
+        case '(': case ')': case ',': case '*': case '.':
+        case '+': case '-': case '/': case '=': case '<': case '>':
+          tok.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace mope::sql

@@ -1,0 +1,43 @@
+#ifndef MOPE_SQL_LEXER_H_
+#define MOPE_SQL_LEXER_H_
+
+/// \file lexer.h
+/// SQL tokenizer for the subset the paper's workload needs (SELECT with
+/// projections/aggregates, FROM with one optional equi-JOIN, WHERE with
+/// comparisons / BETWEEN / AND / OR / NOT, GROUP BY).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mope::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kSymbol,  // ( ) , * . + - / = < > <= >= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // keywords upper-cased; identifiers as written
+  int64_t int_val = 0;
+  double double_val = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`; returns ParseError on malformed literals or characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True when `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace mope::sql
+
+#endif  // MOPE_SQL_LEXER_H_

@@ -1,0 +1,332 @@
+#include "sql/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace mope::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseSelect();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool CheckKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+
+  bool CheckSymbol(const std::string& sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (!CheckKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool MatchSymbol(const std::string& sym) {
+    if (!CheckSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Unexpected(const std::string& wanted) const {
+    const Token& t = Peek();
+    const std::string got =
+        t.type == TokenType::kEnd ? "end of input" : "'" + t.text + "'";
+    return Status::ParseError("expected " + wanted + " but found " + got +
+                              " at offset " + std::to_string(t.position));
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) return Unexpected(kw);
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!MatchSymbol(sym)) return Unexpected("'" + sym + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) return Unexpected(what);
+    return Advance().text;
+  }
+
+  Result<SelectItem> ParseSelectItem();
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseColumnRef();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<SelectStmt> Parser::ParseSelect() {
+  MOPE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  SelectStmt stmt;
+
+  if (MatchSymbol("*")) {
+    stmt.select_star = true;
+  } else {
+    do {
+      MOPE_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+
+  MOPE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  MOPE_ASSIGN_OR_RETURN(stmt.from_table, ExpectIdentifier("table name"));
+
+  if (MatchKeyword("JOIN")) {
+    JoinClause join;
+    MOPE_ASSIGN_OR_RETURN(join.table, ExpectIdentifier("table name"));
+    MOPE_RETURN_NOT_OK(ExpectKeyword("ON"));
+    MOPE_ASSIGN_OR_RETURN(join.left_key, ParseColumnRef());
+    MOPE_RETURN_NOT_OK(ExpectSymbol("="));
+    MOPE_ASSIGN_OR_RETURN(join.right_key, ParseColumnRef());
+    stmt.join = std::move(join);
+  }
+
+  if (MatchKeyword("WHERE")) {
+    MOPE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+
+  if (MatchKeyword("GROUP")) {
+    MOPE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    MOPE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    stmt.group_by = std::move(col);
+  }
+
+  if (MatchKeyword("ORDER")) {
+    MOPE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      MOPE_ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column name"));
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral || Peek().int_val < 0) {
+      return Unexpected("a non-negative integer");
+    }
+    stmt.limit = static_cast<uint64_t>(Advance().int_val);
+  }
+
+  if (Peek().type != TokenType::kEnd) {
+    return Unexpected("end of statement");
+  }
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  static constexpr std::pair<const char*, AggFunc> kAggs[] = {
+      {"SUM", AggFunc::kSum}, {"COUNT", AggFunc::kCount},
+      {"AVG", AggFunc::kAvg}, {"MIN", AggFunc::kMin},
+      {"MAX", AggFunc::kMax},
+  };
+  for (const auto& [name, func] : kAggs) {
+    if (CheckKeyword(name)) {
+      ++pos_;
+      item.agg = func;
+      MOPE_RETURN_NOT_OK(ExpectSymbol("("));
+      if (func == AggFunc::kCount && MatchSymbol("*")) {
+        item.count_star = true;
+      } else {
+        MOPE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      MOPE_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (MatchKeyword("AS")) {
+        MOPE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      }
+      return item;
+    }
+  }
+  MOPE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (MatchKeyword("AS")) {
+    MOPE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+  }
+  return item;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  MOPE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    MOPE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  MOPE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    MOPE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    MOPE_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  MOPE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  if (MatchKeyword("BETWEEN")) {
+    MOPE_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    MOPE_RETURN_NOT_OK(ExpectKeyword("AND"));
+    MOPE_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    return MakeBetween(std::move(lhs), std::move(low), std::move(high));
+  }
+
+  if (MatchKeyword("IN")) {
+    // Desugar `e IN (a, b, c)` into `e = a OR e = b OR e = c` — the range
+    // extractor then turns IN-lists on indexed columns into multi-range
+    // sweeps for free.
+    MOPE_RETURN_NOT_OK(ExpectSymbol("("));
+    ExprPtr disjunction;
+    do {
+      MOPE_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+      ExprPtr equals =
+          MakeBinary(BinaryOp::kEq, CloneExpr(*lhs), std::move(item));
+      disjunction = disjunction == nullptr
+                        ? std::move(equals)
+                        : MakeBinary(BinaryOp::kOr, std::move(disjunction),
+                                     std::move(equals));
+    } while (MatchSymbol(","));
+    MOPE_RETURN_NOT_OK(ExpectSymbol(")"));
+    return disjunction;
+  }
+
+  static constexpr std::pair<const char*, BinaryOp> kCmps[] = {
+      {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+      {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+  };
+  for (const auto& [sym, op] : kCmps) {
+    if (CheckSymbol(sym)) {
+      ++pos_;
+      MOPE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  MOPE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (CheckSymbol("+")) {
+      op = BinaryOp::kAdd;
+    } else if (CheckSymbol("-")) {
+      op = BinaryOp::kSub;
+    } else {
+      return lhs;
+    }
+    ++pos_;
+    MOPE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  MOPE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (CheckSymbol("*")) {
+      op = BinaryOp::kMul;
+    } else if (CheckSymbol("/")) {
+      op = BinaryOp::kDiv;
+    } else {
+      return lhs;
+    }
+    ++pos_;
+    MOPE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    MOPE_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return MakeUnary(UnaryOp::kNeg, std::move(operand));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral:
+      ++pos_;
+      return MakeIntLiteral(t.int_val);
+    case TokenType::kDoubleLiteral:
+      ++pos_;
+      return MakeDoubleLiteral(t.double_val);
+    case TokenType::kStringLiteral:
+      ++pos_;
+      return MakeStringLiteral(t.text);
+    case TokenType::kIdentifier:
+      return ParseColumnRef();
+    case TokenType::kSymbol:
+      if (t.text == "(") {
+        ++pos_;
+        MOPE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        MOPE_RETURN_NOT_OK(ExpectSymbol(")"));
+        return inner;
+      }
+      break;
+    default:
+      break;
+  }
+  return Unexpected("an expression");
+}
+
+Result<ExprPtr> Parser::ParseColumnRef() {
+  MOPE_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("column name"));
+  if (MatchSymbol(".")) {
+    MOPE_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier("column name"));
+    return MakeColumn(std::move(first), std::move(second));
+  }
+  return MakeColumn("", std::move(first));
+}
+
+}  // namespace
+
+Result<SelectStmt> Parse(const std::string& sql) {
+  MOPE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace mope::sql

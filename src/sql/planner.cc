@@ -1,0 +1,231 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "sql/binder.h"
+#include "sql/range_extract.h"
+#include "sql/parser.h"
+
+namespace mope::sql {
+
+using engine::AggKind;
+using engine::AggSpec;
+using engine::Operator;
+using engine::Row;
+using engine::Table;
+using mope::Segment;
+using engine::Value;
+
+namespace {
+
+/// Child operator that evaluates one expression per output column.
+class ComputeOp final : public Operator {
+ public:
+  ComputeOp(std::unique_ptr<Operator> child, std::vector<ExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* out) override {
+    Row in;
+    MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+    if (!has) return false;
+    out->clear();
+    out->reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      MOPE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in));
+      out->push_back(std::move(v));
+    }
+    return true;
+  }
+
+  size_t output_width() const override { return exprs_.size(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+Result<AggKind> ToEngineAgg(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return AggKind::kCount;
+    case AggFunc::kSum: return AggKind::kSum;
+    case AggFunc::kAvg: return AggKind::kAvg;
+    case AggFunc::kMin: return AggKind::kMin;
+    case AggFunc::kMax: return AggKind::kMax;
+    case AggFunc::kNone: break;
+  }
+  return Status::Internal("not an aggregate");
+}
+
+std::string AggName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  const char* fn = "";
+  switch (item.agg) {
+    case AggFunc::kCount: fn = "count"; break;
+    case AggFunc::kSum: fn = "sum"; break;
+    case AggFunc::kAvg: fn = "avg"; break;
+    case AggFunc::kMin: fn = "min"; break;
+    case AggFunc::kMax: fn = "max"; break;
+    case AggFunc::kNone: break;
+  }
+  if (item.count_star) return std::string(fn) + "(*)";
+  return std::string(fn) + "(" + item.expr->ToString() + ")";
+}
+
+}  // namespace
+
+Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
+  MOPE_ASSIGN_OR_RETURN(Table * base, catalog_->GetTable(stmt.from_table));
+
+  PlannedQuery out;
+  RowLayout layout = RowLayout::ForTable(*base);
+  std::unique_ptr<Operator> plan;
+
+  // Access path for the base table: indexed multi-range sweep if the WHERE
+  // clause offers one, else a sequential scan.
+  if (stmt.where != nullptr) {
+    auto ranges = ExtractRangesFromWhere(
+        *stmt.where,
+        [base](const std::string& col) { return base->HasIndex(col); });
+    if (ranges) {
+      MOPE_ASSIGN_OR_RETURN(const engine::BPlusTree* index,
+                            base->GetIndex(ranges->column));
+      auto scan = std::make_unique<engine::IndexRangeScanOp>(
+          base, index, std::move(ranges->segments));
+      out.used_index = true;
+      out.index_column = ranges->column;
+      out.index_segments = scan->segments_scanned();
+      plan = std::move(scan);
+    }
+  }
+  if (plan == nullptr) {
+    plan = std::make_unique<engine::SeqScanOp>(base);
+  }
+
+  // Optional equi-join.
+  if (stmt.join.has_value()) {
+    MOPE_ASSIGN_OR_RETURN(Table * right, catalog_->GetTable(stmt.join->table));
+    const RowLayout right_layout = RowLayout::ForTable(*right);
+
+    // The join keys may be written in either order; resolve each against the
+    // side it belongs to.
+    Expr* lk = stmt.join->left_key.get();
+    Expr* rk = stmt.join->right_key.get();
+    if (!BindExpr(lk, layout).ok()) std::swap(lk, rk);
+    MOPE_RETURN_NOT_OK(BindExpr(lk, layout));
+    MOPE_RETURN_NOT_OK(BindExpr(rk, right_layout));
+    if (lk->kind != ExprKind::kColumn || rk->kind != ExprKind::kColumn) {
+      return Status::NotSupported("JOIN keys must be plain columns");
+    }
+
+    plan = std::make_unique<engine::HashJoinOp>(
+        std::move(plan), std::make_unique<engine::SeqScanOp>(right),
+        *lk->bound_index, *rk->bound_index);
+    layout = RowLayout::Concat(layout, right_layout);
+  }
+
+  // Residual filter: the full WHERE clause (the index scan is a superset
+  // access path only when its ranges came from one conjunct).
+  if (stmt.where != nullptr) {
+    MOPE_RETURN_NOT_OK(BindExpr(stmt.where.get(), layout));
+    // Keep the predicate's expression tree alive inside the plan
+    // (shared_ptr because std::function requires a copyable callable).
+    std::shared_ptr<Expr> where(std::move(stmt.where));
+    plan = std::make_unique<engine::FilterOp>(
+        std::move(plan), [where](const Row& row) -> Result<bool> {
+          return EvalPredicate(*where, row);
+        });
+  }
+
+  // Aggregation vs. projection.
+  const bool has_agg =
+      !stmt.items.empty() &&
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& i) { return i.agg != AggFunc::kNone; });
+
+  if (has_agg) {
+    std::vector<AggSpec> specs;
+    for (SelectItem& item : stmt.items) {
+      if (item.agg == AggFunc::kNone) {
+        return Status::NotSupported(
+            "mixing aggregates with plain expressions is not supported");
+      }
+      MOPE_ASSIGN_OR_RETURN(AggKind kind, ToEngineAgg(item.agg));
+      // Name the output column before the expression is moved into the plan.
+      out.output_columns.push_back(AggName(item));
+      AggSpec spec;
+      spec.kind = kind;
+      if (!item.count_star) {
+        MOPE_RETURN_NOT_OK(BindExpr(item.expr.get(), layout));
+        // Shared ownership so every row evaluation sees the bound tree.
+        std::shared_ptr<Expr> bound(std::move(item.expr));
+        spec.extract = [bound](const Row& row) -> Result<double> {
+          return EvalNumeric(*bound, row);
+        };
+      }
+      specs.push_back(std::move(spec));
+    }
+    if (stmt.group_by.has_value()) {
+      MOPE_ASSIGN_OR_RETURN(size_t group_col,
+                            layout.Resolve("", *stmt.group_by));
+      out.output_columns.insert(out.output_columns.begin(), *stmt.group_by);
+      plan = std::make_unique<engine::AggregateOp>(std::move(plan), group_col,
+                                                   std::move(specs));
+    } else {
+      plan = std::make_unique<engine::AggregateOp>(std::move(plan),
+                                                   std::move(specs));
+    }
+  } else if (stmt.select_star) {
+    for (size_t i = 0; i < layout.size(); ++i) {
+      out.output_columns.push_back(layout.entry(i).column);
+    }
+  } else {
+    std::vector<ExprPtr> exprs;
+    for (SelectItem& item : stmt.items) {
+      MOPE_RETURN_NOT_OK(BindExpr(item.expr.get(), layout));
+      out.output_columns.push_back(
+          item.alias.empty() ? item.expr->ToString() : item.alias);
+      exprs.push_back(std::move(item.expr));
+    }
+    plan = std::make_unique<ComputeOp>(std::move(plan), std::move(exprs));
+  }
+
+  // ORDER BY resolves against the *output* columns (names or aliases).
+  if (!stmt.order_by.empty()) {
+    std::vector<engine::SortOp::SortKey> keys;
+    for (const OrderByItem& item : stmt.order_by) {
+      const auto it = std::find(out.output_columns.begin(),
+                                out.output_columns.end(), item.column);
+      if (it == out.output_columns.end()) {
+        return Status::NotFound("ORDER BY column '" + item.column +
+                                "' is not in the select list");
+      }
+      keys.push_back(engine::SortOp::SortKey{
+          static_cast<size_t>(it - out.output_columns.begin()),
+          item.descending});
+    }
+    plan = std::make_unique<engine::SortOp>(std::move(plan), std::move(keys));
+  }
+
+  if (stmt.limit.has_value()) {
+    plan = std::make_unique<engine::LimitOp>(std::move(plan), *stmt.limit);
+  }
+
+  out.root = std::move(plan);
+  return out;
+}
+
+Result<SqlResult> ExecuteSql(engine::Catalog* catalog, const std::string& sql) {
+  MOPE_ASSIGN_OR_RETURN(SelectStmt stmt, Parse(sql));
+  Planner planner(catalog);
+  MOPE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(stmt)));
+  SqlResult result;
+  result.columns = std::move(plan.output_columns);
+  MOPE_ASSIGN_OR_RETURN(result.rows, engine::Collect(plan.root.get()));
+  return result;
+}
+
+}  // namespace mope::sql

@@ -1,0 +1,64 @@
+#include "workload/calendar.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace mope::workload {
+
+int64_t DaysFromCivil(const CivilDate& date) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  int y = date.year;
+  const int m = date.month;
+  const int d = date.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(int64_t days) {
+  const int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                     // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                          // [1, 12]
+  CivilDate date;
+  date.year = static_cast<int>(y + (m <= 2));
+  date.month = static_cast<int>(m);
+  date.day = static_cast<int>(d);
+  return date;
+}
+
+namespace {
+const int64_t kTpchEpochDays = DaysFromCivil(CivilDate{1992, 1, 1});
+}  // namespace
+
+uint64_t TpchDayIndex(const CivilDate& date) {
+  const int64_t days = DaysFromCivil(date) - kTpchEpochDays;
+  MOPE_CHECK(days >= 0, "date before the TPC-H epoch");
+  return static_cast<uint64_t>(days);
+}
+
+CivilDate TpchDateFromIndex(uint64_t index) {
+  return CivilFromDays(kTpchEpochDays + static_cast<int64_t>(index));
+}
+
+uint64_t TpchLastDay() { return TpchDayIndex(CivilDate{1998, 12, 31}); }
+
+std::string FormatDate(const CivilDate& date) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", date.year, date.month,
+                date.day);
+  return buf;
+}
+
+}  // namespace mope::workload

@@ -1,0 +1,60 @@
+#ifndef MOPE_WORKLOAD_CALENDAR_H_
+#define MOPE_WORKLOAD_CALENDAR_H_
+
+/// \file calendar.h
+/// Proleptic Gregorian calendar arithmetic (Hinnant's civil-days algorithm)
+/// and the TPC-H date domain: the benchmark's date attributes span
+/// 1992-01-01 .. 1998-12-31, which we map to day indexes with
+/// day(1992-01-01) = 0.
+
+#include <cstdint>
+#include <string>
+
+namespace mope::workload {
+
+struct CivilDate {
+  int year = 1992;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  bool operator==(const CivilDate&) const = default;
+};
+
+/// Days since 1970-01-01 for a civil date (negative before the epoch).
+int64_t DaysFromCivil(const CivilDate& date);
+
+/// Civil date for days since 1970-01-01.
+CivilDate CivilFromDays(int64_t days);
+
+/// Day index within the TPC-H domain: day 0 = 1992-01-01.
+uint64_t TpchDayIndex(const CivilDate& date);
+
+/// Inverse of TpchDayIndex.
+CivilDate TpchDateFromIndex(uint64_t index);
+
+/// "YYYY-MM-DD".
+std::string FormatDate(const CivilDate& date);
+
+/// TPC-H date constants (as day indexes).
+inline constexpr uint64_t kTpchFirstDay = 0;  // 1992-01-01
+
+/// Last populated date: 1998-12-31 -> index 2556.
+uint64_t TpchLastDay();
+
+/// The MOPE plaintext domain for date columns. Padded past the populated
+/// range (2557 days) up to 2880 = 2^6 * 45 so that every period the paper's
+/// Figure 13/14 sweeps — 15 days, 1/2/3/6 "months" (30-day units) and a
+/// 360-day "year" — divides the domain, as QueryP requires (ρ | M).
+inline constexpr uint64_t kTpchDateDomain = 2880;
+
+/// Figure 13/14 period choices, in day units.
+inline constexpr uint64_t kPeriod15Days = 15;
+inline constexpr uint64_t kPeriod1Month = 30;
+inline constexpr uint64_t kPeriod2Months = 60;
+inline constexpr uint64_t kPeriod3Months = 90;
+inline constexpr uint64_t kPeriod6Months = 180;
+inline constexpr uint64_t kPeriod1Year = 360;
+
+}  // namespace mope::workload
+
+#endif  // MOPE_WORKLOAD_CALENDAR_H_

@@ -1,0 +1,191 @@
+#include "workload/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mope::workload {
+
+namespace {
+
+/// Splits one CSV record starting at `pos`; advances `pos` past the record's
+/// trailing newline. Returns ParseError on unterminated quotes.
+Result<std::vector<std::string>> ReadRecord(const std::string& text,
+                                            size_t* pos, size_t line_no) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Consume the line terminator (\n, \r\n or \r).
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quoted field at line " +
+                              std::to_string(line_no));
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<engine::Row>> ParseCsv(const engine::Schema& schema,
+                                          const std::string& text) {
+  size_t pos = 0;
+  size_t line_no = 1;
+  MOPE_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        ReadRecord(text, &pos, line_no));
+  if (header.size() != schema.num_columns()) {
+    return Status::ParseError("header has " + std::to_string(header.size()) +
+                              " columns, schema expects " +
+                              std::to_string(schema.num_columns()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] != schema.column(c).name) {
+      return Status::ParseError("header column " + std::to_string(c + 1) +
+                                " is '" + header[c] + "', expected '" +
+                                schema.column(c).name + "'");
+    }
+  }
+
+  std::vector<engine::Row> rows;
+  while (pos < text.size()) {
+    ++line_no;
+    MOPE_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ReadRecord(text, &pos, line_no));
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError("line " + std::to_string(line_no) + " has " +
+                                std::to_string(fields.size()) + " fields");
+    }
+    engine::Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& raw = fields[c];
+      switch (schema.column(c).type) {
+        case engine::ValueType::kInt: {
+          errno = 0;
+          char* end = nullptr;
+          const long long v = std::strtoll(raw.c_str(), &end, 10);
+          if (errno != 0 || end == raw.c_str() || *end != '\0') {
+            return Status::ParseError("line " + std::to_string(line_no) +
+                                      ": '" + raw + "' is not an integer");
+          }
+          row.emplace_back(static_cast<int64_t>(v));
+          break;
+        }
+        case engine::ValueType::kDouble: {
+          errno = 0;
+          char* end = nullptr;
+          const double v = std::strtod(raw.c_str(), &end);
+          if (errno != 0 || end == raw.c_str() || *end != '\0') {
+            return Status::ParseError("line " + std::to_string(line_no) +
+                                      ": '" + raw + "' is not a number");
+          }
+          row.emplace_back(v);
+          break;
+        }
+        case engine::ValueType::kString:
+          row.emplace_back(raw);
+          break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string WriteCsv(const engine::Schema& schema,
+                     const std::vector<engine::Row>& rows) {
+  std::ostringstream out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    out << QuoteField(schema.column(c).name);
+  }
+  out << '\n';
+  for (const engine::Row& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << QuoteField(engine::ValueToString(row[c]));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<std::vector<engine::Row>> LoadCsvFile(const engine::Schema& schema,
+                                             const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(schema, buffer.str());
+}
+
+Status SaveCsvFile(const engine::Schema& schema,
+                   const std::vector<engine::Row>& rows,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot write '" + path + "'");
+  }
+  out << WriteCsv(schema, rows);
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to '" + path + "'");
+}
+
+}  // namespace mope::workload

@@ -1,0 +1,39 @@
+#ifndef MOPE_WORKLOAD_CSV_H_
+#define MOPE_WORKLOAD_CSV_H_
+
+/// \file csv.h
+/// Minimal CSV import/export for engine rows — the practical loading path a
+/// data owner would use before encrypting a dataset into the system.
+///
+/// Dialect: comma-separated, first line is a header naming the columns
+/// (must match the schema order), double quotes wrap fields containing
+/// commas/quotes/newlines, embedded quotes double up ("" -> ").
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace mope::workload {
+
+/// Parses CSV text into rows matching `schema` (header validated first).
+/// Int and double columns are parsed numerically; parse failures carry the
+/// 1-based line number.
+Result<std::vector<engine::Row>> ParseCsv(const engine::Schema& schema,
+                                          const std::string& text);
+
+/// Renders rows as CSV with a header line.
+std::string WriteCsv(const engine::Schema& schema,
+                     const std::vector<engine::Row>& rows);
+
+/// Convenience: read/write a file on disk.
+Result<std::vector<engine::Row>> LoadCsvFile(const engine::Schema& schema,
+                                             const std::string& path);
+Status SaveCsvFile(const engine::Schema& schema,
+                   const std::vector<engine::Row>& rows,
+                   const std::string& path);
+
+}  // namespace mope::workload
+
+#endif  // MOPE_WORKLOAD_CSV_H_

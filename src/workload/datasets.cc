@@ -1,0 +1,195 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace mope::workload {
+
+namespace {
+
+constexpr uint64_t kUniformDomain = 10000;
+constexpr uint64_t kZipfDomain = 10000;
+constexpr uint64_t kAdultDomain = 74;        // ages 17..90
+constexpr uint64_t kCovertypeDomain = 2000;  // elevations 1859..3858
+constexpr uint64_t kSanFranDomain = 10000;   // longitude bins
+
+double GaussianBump(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z);
+}
+
+/// Ages 17..90: working-age bulge that tapers toward 90, the shape of the
+/// UCI Adult census age histogram (mode in the mid-30s, long right tail),
+/// with the census "age heaping" artifact — respondents over-report round
+/// ages, spiking multiples of 5 and especially 10. The heaping is what lets
+/// QueryP with small periods (ρ = 5, 10 in Figure 5) cut the fake-query
+/// cost: most congruence classes mod 5 have much smaller maxima than the
+/// round-age classes.
+std::vector<double> AdultWeights() {
+  std::vector<double> w(kAdultDomain);
+  for (uint64_t i = 0; i < kAdultDomain; ++i) {
+    const double age = 17.0 + static_cast<double>(i);
+    // Skewed log-normal-like bulge peaking near 36.
+    const double t = std::log(age - 14.0);
+    const double z = (t - std::log(22.0)) / 0.45;
+    double weight = std::exp(-0.5 * z * z) / (age - 14.0);
+    const int iage = static_cast<int>(age);
+    if (iage % 10 == 0) {
+      weight *= 2.2;
+    } else if (iage % 5 == 0) {
+      weight *= 1.6;
+    }
+    w[i] = weight;
+  }
+  return w;
+}
+
+/// Elevations 1859..3858: the Covertype histogram is strongly multimodal —
+/// a dominant band near 2900-3250m with secondary mass lower and higher.
+std::vector<double> CovertypeWeights() {
+  std::vector<double> w(kCovertypeDomain);
+  for (uint64_t i = 0; i < kCovertypeDomain; ++i) {
+    const double elev = 1859.0 + static_cast<double>(i);
+    w[i] = 0.55 * GaussianBump(elev, 2950.0, 170.0) +
+           0.25 * GaussianBump(elev, 2550.0, 160.0) +
+           0.20 * GaussianBump(elev, 3280.0, 110.0) + 1e-4;
+  }
+  return w;
+}
+
+/// Longitude bins of California road-network nodes. Binning a road network
+/// to 10000 bins produces a few extremely dense bins (downtown street
+/// grids, where thousands of nodes share a longitude sliver) over suburban
+/// bumps and a sparse rural floor. The isolated dense bins are what makes
+/// QueryP effective on SanFran (Figure 7): only the congruence classes
+/// containing a dense bin have a large maximum, so η_Q << µ_Q.
+std::vector<double> SanFranWeights() {
+  struct Core {
+    double center;  // bin position in [0, 10000)
+    double width;   // very narrow: a city core spans a couple of bins
+    double mass;
+  };
+  static constexpr Core kCores[] = {
+      {1452.0, 2.0, 0.14},  // San Francisco downtown
+      {1530.0, 2.5, 0.07},  // Oakland
+      {1610.0, 2.0, 0.05},  // San Jose
+      {2051.0, 2.5, 0.05},  // Sacramento
+      {6903.0, 2.0, 0.15},  // Los Angeles downtown
+      {6970.0, 2.5, 0.06},  // Long Beach
+      {7604.0, 2.0, 0.04},  // Riverside
+      {8901.0, 2.0, 0.08},  // San Diego
+  };
+  struct Sprawl {
+    double center;
+    double width;
+    double mass;
+  };
+  static constexpr Sprawl kSprawl[] = {
+      {1500.0, 60.0, 0.10},  // Bay Area suburbs
+      {3300.0, 90.0, 0.04},  // Central Valley corridor
+      {6950.0, 70.0, 0.12},  // LA basin sprawl
+      {8880.0, 50.0, 0.05},  // San Diego county
+  };
+  constexpr double kSqrt2Pi = 2.5066282746310002;
+  std::vector<double> w(kSanFranDomain);
+  for (uint64_t i = 0; i < kSanFranDomain; ++i) {
+    const double x = static_cast<double>(i);
+    double v = 1e-5;  // rural floor
+    for (const Core& c : kCores) {
+      v += c.mass * GaussianBump(x, c.center, c.width) / (c.width * kSqrt2Pi);
+    }
+    for (const Sprawl& s : kSprawl) {
+      v += s.mass * GaussianBump(x, s.center, s.width) / (s.width * kSqrt2Pi);
+    }
+    w[i] = v;
+  }
+  return w;
+}
+
+std::vector<double> ZipfWeights() {
+  std::vector<double> w(kZipfDomain);
+  for (uint64_t i = 0; i < kZipfDomain; ++i) {
+    w[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  return w;
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kUniform: return "uniform";
+    case DatasetKind::kZipf: return "zipf";
+    case DatasetKind::kAdult: return "adult";
+    case DatasetKind::kCovertype: return "covertype";
+    case DatasetKind::kSanFran: return "sanfrancisco";
+  }
+  return "unknown";
+}
+
+uint64_t DatasetDomain(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kUniform: return kUniformDomain;
+    case DatasetKind::kZipf: return kZipfDomain;
+    case DatasetKind::kAdult: return kAdultDomain;
+    case DatasetKind::kCovertype: return kCovertypeDomain;
+    case DatasetKind::kSanFran: return kSanFranDomain;
+  }
+  return 0;
+}
+
+dist::Distribution MakeDataset(DatasetKind kind) {
+  std::vector<double> w;
+  switch (kind) {
+    case DatasetKind::kUniform:
+      return dist::Distribution::Uniform(kUniformDomain);
+    case DatasetKind::kZipf:
+      w = ZipfWeights();
+      break;
+    case DatasetKind::kAdult:
+      w = AdultWeights();
+      break;
+    case DatasetKind::kCovertype:
+      w = CovertypeWeights();
+      break;
+    case DatasetKind::kSanFran:
+      w = SanFranWeights();
+      break;
+  }
+  auto d = dist::Distribution::FromWeights(std::move(w));
+  MOPE_CHECK(d.ok(), "dataset weights must form a distribution");
+  return std::move(d).value();
+}
+
+std::vector<uint64_t> DeterministicCounts(const dist::Distribution& d,
+                                          uint64_t total) {
+  std::vector<uint64_t> counts(d.size());
+  uint64_t assigned = 0;
+  for (uint64_t i = 0; i < d.size(); ++i) {
+    counts[i] = static_cast<uint64_t>(d.prob(i) * static_cast<double>(total));
+    assigned += counts[i];
+  }
+  // Distribute the rounding remainder over the heaviest values.
+  std::vector<uint64_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&d](uint64_t a, uint64_t b) {
+    return d.prob(a) > d.prob(b);
+  });
+  for (uint64_t i = 0; assigned < total; ++i) {
+    ++counts[order[i % order.size()]];
+    ++assigned;
+  }
+  return counts;
+}
+
+std::vector<uint64_t> SampleCounts(const dist::Distribution& d, uint64_t total,
+                                   mope::BitSource* rng) {
+  std::vector<uint64_t> counts(d.size(), 0);
+  for (uint64_t i = 0; i < total; ++i) ++counts[d.Sample(rng)];
+  return counts;
+}
+
+}  // namespace mope::workload

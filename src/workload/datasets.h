@@ -1,0 +1,56 @@
+#ifndef MOPE_WORKLOAD_DATASETS_H_
+#define MOPE_WORKLOAD_DATASETS_H_
+
+/// \file datasets.h
+/// The five data distributions of the paper's evaluation (Appendix B).
+///
+/// Uniform and Zipf are synthetic in the paper too. Adult (age), Covertype
+/// (elevation) and SanFran (longitude bins) are real datasets we cannot ship
+/// offline; we synthesize generators with the same domains and the same
+/// qualitative shapes (see DESIGN.md §3): what the cost experiments exercise
+/// is only the induced query-start distribution — its domain size and skew
+/// profile — not the identities of individual records.
+///
+/// Each dataset yields (a) a value distribution used both as the database
+/// content distribution and as the query-center distribution ("a user is
+/// more interested in querying records that are densely represented"), and
+/// (b) deterministic per-value record counts for cost evaluation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/distribution.h"
+
+namespace mope::workload {
+
+enum class DatasetKind : uint8_t {
+  kUniform,    ///< Domain 10000, flat.
+  kZipf,       ///< Domain 10000, power law (s = 1).
+  kAdult,      ///< Ages 17..90 -> domain 74, right-skewed working-age bulge.
+  kCovertype,  ///< Elevations 1859..3858 -> domain 2000, multimodal.
+  kSanFran,    ///< Longitudes in 10000 bins, dense urban clusters + floor.
+};
+
+const char* DatasetName(DatasetKind kind);
+
+/// Domain size of the dataset's value space.
+uint64_t DatasetDomain(DatasetKind kind);
+
+/// The dataset's value distribution over {0, ..., domain-1}.
+dist::Distribution MakeDataset(DatasetKind kind);
+
+/// Deterministic per-value record counts: round(total * p(i)), with the
+/// remainder assigned to the heaviest values so the sum is exactly `total`.
+std::vector<uint64_t> DeterministicCounts(const dist::Distribution& d,
+                                          uint64_t total);
+
+/// Multinomial record sampling (for tests that want sampling noise).
+std::vector<uint64_t> SampleCounts(const dist::Distribution& d, uint64_t total,
+                                   mope::BitSource* rng);
+
+}  // namespace mope::workload
+
+#endif  // MOPE_WORKLOAD_DATASETS_H_

@@ -1,0 +1,55 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace mope::workload {
+
+query::RangeQuery GenerateQuery(const dist::Distribution& centers,
+                                const QueryGenConfig& config,
+                                mope::BitSource* rng) {
+  const uint64_t domain = centers.size();
+  const uint64_t center = centers.Sample(rng);
+  const double raw = std::abs(rng->Gaussian(0.0, config.sigma));
+  uint64_t length = static_cast<uint64_t>(std::llround(raw));
+  if (length == 0) length = 1;
+  if (length > domain) length = domain;
+
+  // Center the interval on `center`, clamped into [0, domain).
+  const uint64_t half = length / 2;
+  uint64_t first = (center >= half) ? center - half : 0;
+  if (first + length > domain) first = domain - length;
+  return query::RangeQuery{first, first + length - 1};
+}
+
+std::vector<query::RangeQuery> GenerateQueries(
+    const dist::Distribution& centers, const QueryGenConfig& config,
+    uint64_t count, mope::BitSource* rng) {
+  std::vector<query::RangeQuery> queries;
+  queries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    queries.push_back(GenerateQuery(centers, config, rng));
+  }
+  return queries;
+}
+
+dist::Distribution BuildStartDistribution(const dist::Distribution& centers,
+                                          const QueryGenConfig& config,
+                                          uint64_t k, uint64_t samples,
+                                          mope::BitSource* rng) {
+  const uint64_t domain = centers.size();
+  Histogram starts(domain);
+  for (uint64_t i = 0; i < samples; ++i) {
+    const query::RangeQuery q = GenerateQuery(centers, config, rng);
+    for (const query::FixedQuery& fq : query::Decompose(q, k, domain)) {
+      starts.Add(fq.start);
+    }
+  }
+  auto d = dist::Distribution::FromHistogram(starts);
+  MOPE_CHECK(d.ok(), "start histogram cannot be empty");
+  return std::move(d).value();
+}
+
+}  // namespace mope::workload

@@ -1,0 +1,44 @@
+#ifndef MOPE_WORKLOAD_GENERATOR_H_
+#define MOPE_WORKLOAD_GENERATOR_H_
+
+/// \file generator.h
+/// Range-query workload generation per Section 6: the query *center* is
+/// drawn from the dataset's value distribution (users query where the data
+/// is), the query *length* from |N(0, σ²)| (at least 1), and the resulting
+/// interval is clamped into the domain.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "dist/distribution.h"
+#include "query/query_types.h"
+
+namespace mope::workload {
+
+struct QueryGenConfig {
+  double sigma = 5.0;  ///< Length scale: length ~ max(1, round(|N(0, σ²)|)).
+};
+
+/// Draws one range query.
+query::RangeQuery GenerateQuery(const dist::Distribution& centers,
+                                const QueryGenConfig& config,
+                                mope::BitSource* rng);
+
+/// Draws a batch of queries.
+std::vector<query::RangeQuery> GenerateQueries(
+    const dist::Distribution& centers, const QueryGenConfig& config,
+    uint64_t count, mope::BitSource* rng);
+
+/// Empirical distribution of *transformed-query start points*: generates
+/// `samples` queries, decomposes each with fixed length k, and histograms
+/// the start points. This is the Q the proxy's non-adaptive algorithms are
+/// initialized with.
+dist::Distribution BuildStartDistribution(const dist::Distribution& centers,
+                                          const QueryGenConfig& config,
+                                          uint64_t k, uint64_t samples,
+                                          mope::BitSource* rng);
+
+}  // namespace mope::workload
+
+#endif  // MOPE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,189 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace mope::workload {
+
+using engine::Column;
+using engine::Row;
+using engine::Schema;
+using engine::ValueType;
+
+namespace {
+
+// TPC-H p_type syllables; a type is "<s1> <s2> <s3>".
+constexpr const char* kTypeS1[] = {"STANDARD", "SMALL",  "MEDIUM",
+                                   "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeS2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                   "POLISHED", "BRUSHED"};
+constexpr const char* kTypeS3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+
+}  // namespace
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  MOPE_CHECK(config.scale_factor > 0, "scale factor must be positive");
+  Rng rng(config.seed);
+  TpchData data;
+
+  data.part_schema = Schema({
+      Column{"p_partkey", ValueType::kInt},
+      Column{"p_type", ValueType::kString},
+      Column{"p_ispromo", ValueType::kInt},
+      Column{"p_retailprice", ValueType::kDouble},
+  });
+  data.orders_schema = Schema({
+      Column{"o_orderkey", ValueType::kInt},
+      Column{"o_orderdate", ValueType::kInt},
+      Column{"o_orderpriority", ValueType::kString},
+  });
+  data.lineitem_schema = Schema({
+      Column{"l_orderkey", ValueType::kInt},
+      Column{"l_partkey", ValueType::kInt},
+      Column{"l_quantity", ValueType::kDouble},
+      Column{"l_extendedprice", ValueType::kDouble},
+      Column{"l_discount", ValueType::kDouble},
+      Column{"l_shipdate", ValueType::kInt},
+      Column{"l_commitdate", ValueType::kInt},
+      Column{"l_receiptdate", ValueType::kInt},
+      Column{"l_returnflag", ValueType::kInt},
+  });
+
+  const uint64_t num_parts = std::max<uint64_t>(
+      1, static_cast<uint64_t>(200000.0 * config.scale_factor));
+  const uint64_t num_orders = std::max<uint64_t>(
+      1, static_cast<uint64_t>(1500000.0 * config.scale_factor));
+
+  data.part.reserve(num_parts);
+  for (uint64_t p = 0; p < num_parts; ++p) {
+    const char* s1 = kTypeS1[rng.UniformUint64(std::size(kTypeS1))];
+    const char* s2 = kTypeS2[rng.UniformUint64(std::size(kTypeS2))];
+    const char* s3 = kTypeS3[rng.UniformUint64(std::size(kTypeS3))];
+    const std::string type = std::string(s1) + " " + s2 + " " + s3;
+    const int64_t is_promo = (type.rfind("PROMO", 0) == 0) ? 1 : 0;
+    const double price =
+        900.0 + static_cast<double>(rng.UniformUint64(1200)) / 10.0;
+    data.part.push_back(Row{static_cast<int64_t>(p + 1), type, is_promo, price});
+  }
+
+  // Order dates are uniform over [STARTDATE, ENDDATE - 151] as in dbgen, so
+  // every derived lineitem date stays inside the populated range.
+  const uint64_t last_order_day = TpchLastDay() - 151;
+
+  data.orders.reserve(num_orders);
+  data.lineitem.reserve(num_orders * 4);
+  for (uint64_t o = 0; o < num_orders; ++o) {
+    const int64_t orderkey = static_cast<int64_t>(o + 1);
+    const uint64_t orderdate = rng.UniformUint64(last_order_day + 1);
+    const char* priority = kPriorities[rng.UniformUint64(std::size(kPriorities))];
+    data.orders.push_back(
+        Row{orderkey, static_cast<int64_t>(orderdate), std::string(priority)});
+
+    const uint64_t num_lines = 1 + rng.UniformUint64(7);  // 1..7
+    for (uint64_t l = 0; l < num_lines; ++l) {
+      const int64_t partkey =
+          static_cast<int64_t>(1 + rng.UniformUint64(num_parts));
+      const double quantity = static_cast<double>(1 + rng.UniformUint64(50));
+      const double discount =
+          static_cast<double>(rng.UniformUint64(11)) / 100.0;  // 0.00..0.10
+      const double extendedprice =
+          quantity * (900.0 + static_cast<double>(rng.UniformUint64(1200)) / 10.0);
+      const uint64_t shipdate = orderdate + 1 + rng.UniformUint64(121);
+      const uint64_t commitdate = orderdate + 30 + rng.UniformUint64(61);
+      const uint64_t receiptdate = shipdate + 1 + rng.UniformUint64(30);
+      const int64_t returnflag = static_cast<int64_t>(rng.UniformUint64(3));
+      data.lineitem.push_back(Row{
+          orderkey,
+          partkey,
+          quantity,
+          extendedprice,
+          discount,
+          static_cast<int64_t>(shipdate),
+          static_cast<int64_t>(commitdate),
+          static_cast<int64_t>(receiptdate),
+          returnflag,
+      });
+    }
+  }
+  return data;
+}
+
+Q6Params SampleQ6(mope::BitSource* rng) {
+  Q6Params params;
+  const int year = 1993 + static_cast<int>(rng->UniformUint64(5));
+  const uint64_t first = TpchDayIndex(CivilDate{year, 1, 1});
+  const uint64_t last = TpchDayIndex(CivilDate{year + 1, 1, 1}) - 1;
+  params.shipdate = query::RangeQuery{first, last};
+  const double d =
+      0.02 + static_cast<double>(rng->UniformUint64(8)) / 100.0;  // 0.02..0.09
+  params.discount_lo = d - 0.01;
+  params.discount_hi = d + 0.01;
+  params.quantity_lt = (rng->UniformUint64(2) == 0) ? 24.0 : 25.0;
+  return params;
+}
+
+Q14Params SampleQ14(mope::BitSource* rng) {
+  Q14Params params;
+  const int year = 1993 + static_cast<int>(rng->UniformUint64(5));
+  const int month = 1 + static_cast<int>(rng->UniformUint64(12));
+  const uint64_t first = TpchDayIndex(CivilDate{year, month, 1});
+  const int next_year = (month == 12) ? year + 1 : year;
+  const int next_month = (month == 12) ? 1 : month + 1;
+  const uint64_t last = TpchDayIndex(CivilDate{next_year, next_month, 1}) - 1;
+  params.shipdate = query::RangeQuery{first, last};
+  return params;
+}
+
+Q4Params SampleQ4(mope::BitSource* rng) {
+  Q4Params params;
+  const int year = 1993 + static_cast<int>(rng->UniformUint64(5));
+  const int quarter = static_cast<int>(rng->UniformUint64(4));  // 0..3
+  const int month = 1 + 3 * quarter;
+  const uint64_t first = TpchDayIndex(CivilDate{year, month, 1});
+  const int next_year = (month == 10) ? year + 1 : year;
+  const int next_month = (month == 10) ? 1 : month + 3;
+  const uint64_t last = TpchDayIndex(CivilDate{next_year, next_month, 1}) - 1;
+  params.orderdate = query::RangeQuery{first, last};
+  return params;
+}
+
+std::string Q6Sql(const Q6Params& params) {
+  return "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+         "WHERE l_shipdate BETWEEN " +
+         std::to_string(params.shipdate.first) + " AND " +
+         std::to_string(params.shipdate.last) + " AND l_discount BETWEEN " +
+         std::to_string(params.discount_lo) + " AND " +
+         std::to_string(params.discount_hi) + " AND l_quantity < " +
+         std::to_string(params.quantity_lt);
+}
+
+std::string Q14PromoSql(const Q14Params& params) {
+  return "SELECT SUM(l_extendedprice * (1 - l_discount) * p_ispromo) AS "
+         "promo_revenue FROM lineitem JOIN part ON l_partkey = p_partkey "
+         "WHERE l_shipdate BETWEEN " +
+         std::to_string(params.shipdate.first) + " AND " +
+         std::to_string(params.shipdate.last);
+}
+
+std::string Q14TotalSql(const Q14Params& params) {
+  return "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM "
+         "lineitem JOIN part ON l_partkey = p_partkey WHERE l_shipdate "
+         "BETWEEN " +
+         std::to_string(params.shipdate.first) + " AND " +
+         std::to_string(params.shipdate.last);
+}
+
+std::string Q1Sql(uint64_t shipdate_le_day) {
+  return "SELECT SUM(l_quantity) AS sum_qty, "
+         "SUM(l_extendedprice) AS sum_base_price, "
+         "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+         "AVG(l_quantity) AS avg_qty, COUNT(*) AS count_order "
+         "FROM lineitem WHERE l_shipdate <= " +
+         std::to_string(shipdate_le_day) + " GROUP BY l_returnflag";
+}
+
+}  // namespace mope::workload

@@ -1,0 +1,118 @@
+#include "attack/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ope/ideal.h"
+
+namespace mope::attack {
+namespace {
+
+constexpr uint64_t kDomain = 64;
+constexpr uint64_t kRange = 512;
+
+/// A strongly skewed, distinctive auxiliary distribution.
+dist::Distribution SkewedAux() {
+  std::vector<double> w(kDomain);
+  for (uint64_t i = 0; i < kDomain; ++i) {
+    w[i] = 1.0 / static_cast<double>((i + 1) * (i + 1));
+  }
+  return std::move(dist::Distribution::FromWeights(std::move(w))).value();
+}
+
+struct Column {
+  std::vector<uint64_t> plains;
+  std::vector<uint64_t> ciphers;
+};
+
+/// Samples a column from `source` and encrypts it under a random MOPF.
+Column MakeColumn(const dist::Distribution& source, size_t rows,
+                  uint64_t seed) {
+  Rng rng(seed);
+  const ope::RandomMopf mopf = ope::RandomMopf::Sample(kDomain, kRange, &rng);
+  Column col;
+  for (size_t i = 0; i < rows; ++i) {
+    col.plains.push_back(source.Sample(&rng));
+    col.ciphers.push_back(mopf.Encrypt(col.plains.back()));
+  }
+  return col;
+}
+
+TEST(FrequencyTest, SkewedColumnsFallToRankMatching) {
+  // Deterministic encryption + a distinctive auxiliary histogram: the
+  // top-frequency values are recovered, so row accuracy is high.
+  const auto aux = SkewedAux();
+  const Column col = MakeColumn(aux, 20000, 1);
+  const auto guesses = FrequencyMatch(col.ciphers, aux);
+  const double accuracy =
+      FrequencyMatchAccuracy(guesses, col.ciphers, col.plains);
+  EXPECT_GT(accuracy, 0.7);
+}
+
+TEST(FrequencyTest, FlatColumnsResistRankMatching) {
+  // Uniform data has no frequency signal: accuracy ~ 1/M up to noise.
+  const auto uniform = dist::Distribution::Uniform(kDomain);
+  const Column col = MakeColumn(uniform, 20000, 2);
+  const auto guesses = FrequencyMatch(col.ciphers, uniform);
+  const double accuracy =
+      FrequencyMatchAccuracy(guesses, col.ciphers, col.plains);
+  EXPECT_LT(accuracy, 0.15);
+}
+
+TEST(FrequencyTest, GuessesCoverEveryDistinctCiphertext) {
+  const auto aux = SkewedAux();
+  const Column col = MakeColumn(aux, 5000, 3);
+  const auto guesses = FrequencyMatch(col.ciphers, aux);
+  std::set<uint64_t> distinct(col.ciphers.begin(), col.ciphers.end());
+  EXPECT_EQ(guesses.size(), distinct.size());
+  uint64_t total = 0;
+  for (const auto& g : guesses) {
+    EXPECT_TRUE(distinct.contains(g.ciphertext));
+    EXPECT_LT(g.guessed_plaintext, kDomain);
+    total += g.count;
+  }
+  EXPECT_EQ(total, col.ciphers.size());
+}
+
+TEST(FrequencyTest, CyclicMatchingRecoversTheOffsetOnDenseColumns) {
+  // With a dense column and a distinctive (non-flat) histogram, matching
+  // frequency profiles over rotations recovers j exactly — the
+  // frequency-side analogue of the gap attack, and another reason the
+  // WOW ciphertext-only model is the best case for MOPE.
+  std::vector<double> w(kDomain);
+  for (uint64_t i = 0; i < kDomain; ++i) {
+    w[i] = 1.0 + static_cast<double>(i % 9);
+  }
+  auto aux = std::move(dist::Distribution::FromWeights(std::move(w))).value();
+
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    Rng rng(seed);
+    const ope::RandomMopf mopf =
+        ope::RandomMopf::Sample(kDomain, kRange, &rng);
+    std::vector<uint64_t> ciphers;
+    // Dense: expected counts per value, plus sampling noise.
+    for (uint64_t v = 0; v < kDomain; ++v) {
+      const uint64_t copies =
+          2 + static_cast<uint64_t>(aux.prob(v) * 3000.0);
+      for (uint64_t c = 0; c < copies; ++c) {
+        ciphers.push_back(mopf.Encrypt(v));
+      }
+    }
+    const auto offset = CyclicFrequencyMatch(ciphers, aux);
+    ASSERT_TRUE(offset.ok()) << offset.status();
+    EXPECT_EQ(offset.value(), mopf.offset()) << "seed " << seed;
+  }
+}
+
+TEST(FrequencyTest, CyclicMatchingNeedsDenseColumns) {
+  const auto aux = SkewedAux();
+  const Column col = MakeColumn(aux, 50, 4);  // sparse: many values missing
+  EXPECT_TRUE(CyclicFrequencyMatch(col.ciphers, aux).status().IsNotFound());
+}
+
+TEST(FrequencyTest, AccuracyValidatesAlignment) {
+  EXPECT_DEATH(FrequencyMatchAccuracy({}, {1, 2}, {1}), "align");
+}
+
+}  // namespace
+}  // namespace mope::attack

@@ -1,0 +1,120 @@
+#include "attack/known_plaintext.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ope/ideal.h"
+#include "proxy/system.h"
+
+namespace mope::attack {
+namespace {
+
+constexpr uint64_t kDomain = 1000;
+constexpr uint64_t kRange = 8192;
+
+struct AttackSetup {
+  std::vector<uint64_t> plains;
+  std::vector<uint64_t> ciphers;
+  uint64_t offset;
+};
+
+AttackSetup MakeSetup(uint64_t seed) {
+  Rng rng(seed);
+  const ope::RandomMopf mopf = ope::RandomMopf::Sample(kDomain, kRange, &rng);
+  AttackSetup s;
+  s.offset = mopf.offset();
+  for (uint64_t m = 0; m < kDomain; m += 3) {
+    s.plains.push_back(m);
+    s.ciphers.push_back(mopf.Encrypt(m));
+  }
+  return s;
+}
+
+TEST(KnownPlaintextTest, WithoutExposureLocationIsHidden) {
+  // Averaged over many random offsets, the windowed accuracy without an
+  // exposed pair is ~(2w+1)/M — random guessing.
+  double total = 0.0;
+  constexpr int kTrials = 30;
+  constexpr uint64_t kWindow = 25;
+  for (int t = 0; t < kTrials; ++t) {
+    const AttackSetup s = MakeSetup(100 + t);
+    KnownPlaintextAttack attack(s.ciphers, kDomain, kRange);
+    total += attack.EvaluateAccuracy(s.plains, kWindow);
+  }
+  const double avg = total / kTrials;
+  EXPECT_LT(avg, 3.0 * (2.0 * kWindow + 1.0) / kDomain);
+}
+
+TEST(KnownPlaintextTest, OneExposedPairReorientsEverything) {
+  const AttackSetup s = MakeSetup(7);
+  KnownPlaintextAttack attack(s.ciphers, kDomain, kRange);
+  attack.Expose(s.plains[50], s.ciphers[50]);
+  // With the offset cancelled, the scaling estimate is as good as on plain
+  // OPE: most values land within a ~sqrt(M)-scale window.
+  EXPECT_GT(attack.EvaluateAccuracy(s.plains, 25), 0.5);
+}
+
+TEST(KnownPlaintextTest, ExposureHelpsForEveryAnchorPosition) {
+  const AttackSetup s = MakeSetup(13);
+  for (size_t anchor : {0ul, 100ul, 200ul, 300ul}) {
+    KnownPlaintextAttack attack(s.ciphers, kDomain, kRange);
+    attack.Expose(s.plains[anchor], s.ciphers[anchor]);
+    EXPECT_GT(attack.EvaluateAccuracy(s.plains, 25), 0.4) << anchor;
+  }
+}
+
+TEST(KnownPlaintextTest, KeyRotationInvalidatesTheExposedPair) {
+  // End to end with the real system: expose a pair, rotate, and verify the
+  // stale pair no longer orients the new ciphertexts (the Section 9
+  // mitigation implemented by Proxy::RotateKey).
+  proxy::MopeSystem system(0xAA17);
+  proxy::EncryptedColumnSpec spec;
+  spec.column = "v";
+  spec.domain = kDomain;
+  spec.k = 10;
+  spec.mode = proxy::QueryMode::kAdaptiveUniform;
+  std::vector<engine::Row> rows;
+  for (int64_t v = 0; v < static_cast<int64_t>(kDomain); ++v) {
+    rows.push_back(engine::Row{v});
+  }
+  ASSERT_TRUE(system
+                  .LoadTable("t",
+                             engine::Schema({{"v", engine::ValueType::kInt}}),
+                             rows, spec)
+                  .ok());
+
+  auto snapshot = [&system] {
+    auto table = system.server()->catalog()->GetTable("t");
+    std::vector<uint64_t> ciphers;
+    for (uint64_t r = 0; r < (*table)->row_count(); ++r) {
+      ciphers.push_back(
+          static_cast<uint64_t>(std::get<int64_t>((*table)->row(r)[0])));
+    }
+    return ciphers;
+  };
+  std::vector<uint64_t> plains(kDomain);
+  for (uint64_t v = 0; v < kDomain; ++v) plains[v] = v;
+
+  const auto before = snapshot();
+  const uint64_t range = ope::SuggestRange(kDomain);
+
+  // Fresh pair against the current ciphertexts: attack works.
+  KnownPlaintextAttack live(before, kDomain, range);
+  live.Expose(123, before[123]);
+  EXPECT_GT(live.EvaluateAccuracy(plains, 25), 0.5);
+
+  // Rotate, then replay the *stale* pair against the new ciphertexts.
+  ASSERT_TRUE(system.RotateKey("t", "v").ok());
+  const auto after = snapshot();
+  KnownPlaintextAttack stale(after, kDomain, range);
+  stale.Expose(123, before[123]);  // pre-rotation ciphertext: now garbage
+  EXPECT_LT(stale.EvaluateAccuracy(plains, 25), 0.4);
+}
+
+TEST(KnownPlaintextTest, EvaluateAccuracyValidatesAlignment) {
+  KnownPlaintextAttack attack({1, 2, 3}, 10, 100);
+  EXPECT_DEATH(attack.EvaluateAccuracy({1, 2}, 1), "align");
+}
+
+}  // namespace
+}  // namespace mope::attack

@@ -1,0 +1,120 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace mope {
+namespace {
+
+TEST(HistogramTest, AddRemoveCount) {
+  Histogram h(5);
+  h.Add(2);
+  h.Add(2, 3);
+  h.Add(4);
+  EXPECT_EQ(h.count(2), 4u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  h.Remove(2, 2);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(3);
+  h.Add(0);
+  h.Add(1, 5);
+  h.Clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(HistogramTest, ProbabilityNormalizes) {
+  Histogram h(4);
+  h.Add(0, 1);
+  h.Add(1, 3);
+  EXPECT_DOUBLE_EQ(h.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Probability(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.Probability(2), 0.0);
+}
+
+TEST(HistogramTest, NormalizedSumsToOne) {
+  Histogram h(10);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) h.Add(rng.UniformUint64(10));
+  double sum = 0.0;
+  for (double p : h.Normalized()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, MaxAndArgMax) {
+  Histogram h(4);
+  h.Add(1, 7);
+  h.Add(3, 2);
+  EXPECT_EQ(h.MaxCount(), 7u);
+  EXPECT_EQ(h.ArgMax(), 1u);
+}
+
+TEST(HistogramTest, ChiSquareUniformSamplesPassesAtAlpha001) {
+  // Uniform samples should look uniform.
+  Histogram h(50);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) h.Add(rng.UniformUint64(50));
+  const double chi2 = h.ChiSquareVsUniform();
+  EXPECT_LT(chi2, ChiSquareCriticalValue(49, 0.001));
+}
+
+TEST(HistogramTest, ChiSquareDetectsSkew) {
+  Histogram h(50);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) h.Add(rng.UniformUint64(25));  // half empty
+  EXPECT_GT(h.ChiSquareVsUniform(), ChiSquareCriticalValue(49, 0.001));
+}
+
+TEST(HistogramTest, ChiSquareVsExpectedDistribution) {
+  Histogram h(2);
+  h.Add(0, 300);
+  h.Add(1, 700);
+  const double chi2 = h.ChiSquareVs({0.3, 0.7});
+  EXPECT_NEAR(chi2, 0.0, 1e-9);
+}
+
+TEST(HistogramTest, ChiSquareVsZeroExpectedWithMassIsInf) {
+  Histogram h(2);
+  h.Add(0, 1);
+  h.Add(1, 1);
+  EXPECT_TRUE(std::isinf(h.ChiSquareVs({1.0, 0.0})));
+}
+
+TEST(HistogramTest, TotalVariationDistance) {
+  Histogram a(2), b(2);
+  a.Add(0, 10);
+  b.Add(1, 10);
+  EXPECT_DOUBLE_EQ(a.TotalVariationDistance(b), 1.0);
+  Histogram c(2);
+  c.Add(0, 5);
+  c.Add(1, 5);
+  EXPECT_DOUBLE_EQ(a.TotalVariationDistance(c), 0.5);
+}
+
+TEST(HistogramTest, AsciiRenderingMentionsCounts) {
+  Histogram h(4);
+  h.Add(0, 8);
+  h.Add(3, 2);
+  const std::string art = h.ToAscii(20, 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('8'), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyHistogramBehaviour) {
+  Histogram h(3);
+  EXPECT_EQ(h.Probability(1), 0.0);
+  EXPECT_EQ(h.ChiSquareVsUniform(), 0.0);
+  EXPECT_EQ(h.MaxCount(), 0u);
+}
+
+}  // namespace
+}  // namespace mope

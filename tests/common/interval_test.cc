@@ -1,0 +1,120 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace mope {
+namespace {
+
+TEST(ModularIntervalTest, NonWrappingBasics) {
+  ModularInterval iv(3, 4, 10);  // {3,4,5,6}
+  EXPECT_FALSE(iv.wraps());
+  EXPECT_EQ(iv.last(), 6u);
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(6));
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_FALSE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(10));  // outside the domain
+}
+
+TEST(ModularIntervalTest, WrappingBasics) {
+  ModularInterval iv(8, 5, 10);  // {8,9,0,1,2}
+  EXPECT_TRUE(iv.wraps());
+  EXPECT_EQ(iv.last(), 2u);
+  for (uint64_t x : {8u, 9u, 0u, 1u, 2u}) EXPECT_TRUE(iv.Contains(x)) << x;
+  for (uint64_t x : {3u, 7u}) EXPECT_FALSE(iv.Contains(x)) << x;
+}
+
+TEST(ModularIntervalTest, FullDomain) {
+  ModularInterval iv(4, 10, 10);
+  for (uint64_t x = 0; x < 10; ++x) EXPECT_TRUE(iv.Contains(x));
+  EXPECT_EQ(iv.last(), 3u);
+}
+
+TEST(ModularIntervalTest, SingleElement) {
+  ModularInterval iv(9, 1, 10);
+  EXPECT_TRUE(iv.Contains(9));
+  EXPECT_FALSE(iv.Contains(0));
+  EXPECT_FALSE(iv.wraps());
+}
+
+TEST(ModularIntervalTest, FromEndpointsNonWrap) {
+  auto iv = ModularInterval::FromEndpoints(2, 5, 10);
+  EXPECT_EQ(iv.start(), 2u);
+  EXPECT_EQ(iv.length(), 4u);
+  EXPECT_EQ(iv.last(), 5u);
+}
+
+TEST(ModularIntervalTest, FromEndpointsWrap) {
+  auto iv = ModularInterval::FromEndpoints(7, 1, 10);  // {7,8,9,0,1}
+  EXPECT_EQ(iv.length(), 5u);
+  EXPECT_TRUE(iv.wraps());
+  EXPECT_TRUE(iv.Contains(0));
+  EXPECT_FALSE(iv.Contains(5));
+}
+
+TEST(ModularIntervalTest, FromEndpointsSame) {
+  auto iv = ModularInterval::FromEndpoints(4, 4, 10);
+  EXPECT_EQ(iv.length(), 1u);
+}
+
+TEST(ModularIntervalTest, SegmentsNonWrap) {
+  std::array<Segment, 2> segs;
+  EXPECT_EQ(ModularInterval(3, 4, 10).ToSegments(&segs), 1);
+  EXPECT_EQ(segs[0], (Segment{3, 6}));
+}
+
+TEST(ModularIntervalTest, SegmentsWrap) {
+  std::array<Segment, 2> segs;
+  EXPECT_EQ(ModularInterval(8, 5, 10).ToSegments(&segs), 2);
+  EXPECT_EQ(segs[0], (Segment{0, 2}));
+  EXPECT_EQ(segs[1], (Segment{8, 9}));
+}
+
+TEST(ModularIntervalTest, SegmentsCoverExactlyTheInterval) {
+  for (uint64_t start = 0; start < 12; ++start) {
+    for (uint64_t len = 1; len <= 12; ++len) {
+      ModularInterval iv(start, len, 12);
+      std::array<Segment, 2> segs;
+      const int n = iv.ToSegments(&segs);
+      uint64_t covered = 0;
+      for (uint64_t x = 0; x < 12; ++x) {
+        bool in_seg = false;
+        for (int i = 0; i < n; ++i) {
+          in_seg |= (x >= segs[i].lo && x <= segs[i].hi);
+        }
+        EXPECT_EQ(in_seg, iv.Contains(x)) << iv.ToString() << " x=" << x;
+        covered += in_seg ? 1 : 0;
+      }
+      EXPECT_EQ(covered, len);
+    }
+  }
+}
+
+TEST(ModularIntervalTest, OffsetOf) {
+  ModularInterval iv(8, 5, 10);
+  EXPECT_EQ(iv.OffsetOf(8), 0u);
+  EXPECT_EQ(iv.OffsetOf(0), 2u);
+  EXPECT_EQ(iv.OffsetOf(2), 4u);
+  EXPECT_FALSE(iv.OffsetOf(3).has_value());
+  EXPECT_FALSE(iv.OffsetOf(10).has_value());
+}
+
+TEST(ModularIntervalTest, Shifted) {
+  ModularInterval iv(8, 3, 10);
+  ModularInterval shifted = iv.Shifted(4);
+  EXPECT_EQ(shifted.start(), 2u);
+  EXPECT_EQ(shifted.length(), 3u);
+}
+
+TEST(ModularIntervalTest, ToStringRendersWrap) {
+  EXPECT_EQ(ModularInterval(8, 5, 10).ToString(), "[8, 2] mod 10");
+  EXPECT_EQ(ModularInterval(1, 2, 10).ToString(), "[1, 2] mod 10");
+}
+
+TEST(SegmentTest, Length) {
+  EXPECT_EQ((Segment{3, 3}).length(), 1u);
+  EXPECT_EQ((Segment{0, 9}).length(), 10u);
+}
+
+}  // namespace
+}  // namespace mope

@@ -1,0 +1,90 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mope {
+namespace {
+
+TEST(MathUtilTest, LogFactorialSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathUtilTest, LogBinomialMatchesPascal) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1e-2);
+}
+
+TEST(MathUtilTest, LogBinomialOutOfRangeIsMinusInf) {
+  EXPECT_TRUE(std::isinf(LogBinomial(3, 4)));
+  EXPECT_LT(LogBinomial(3, 4), 0);
+}
+
+TEST(MathUtilTest, HypergeometricPmfSumsToOne) {
+  // HG(total=20, success=7, draws=12): sum over support == 1.
+  double total = 0.0;
+  for (uint64_t k = 0; k <= 12; ++k) {
+    const double lp = LogHypergeometricPmf(20, 7, 12, k);
+    if (!std::isinf(lp)) total += std::exp(lp);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MathUtilTest, HypergeometricPmfKnownValue) {
+  // P[X=2] for HG(N=10, K=4, n=5) = C(4,2)C(6,3)/C(10,5) = 6*20/252.
+  EXPECT_NEAR(std::exp(LogHypergeometricPmf(10, 4, 5, 2)), 120.0 / 252.0,
+              1e-9);
+}
+
+TEST(MathUtilTest, HypergeometricPmfOutsideSupport) {
+  EXPECT_TRUE(std::isinf(LogHypergeometricPmf(10, 4, 5, 5)));  // k > success
+  // draws - k > fail: N=10, K=8, n=5, k=0 -> 5 > 2 impossible.
+  EXPECT_TRUE(std::isinf(LogHypergeometricPmf(10, 8, 5, 0)));
+}
+
+TEST(MathUtilTest, HypergeometricMean) {
+  EXPECT_DOUBLE_EQ(HypergeometricMean(10, 4, 5), 2.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMean(100, 50, 10), 5.0);
+}
+
+TEST(MathUtilTest, NormalQuantileKnownPoints) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232, 1e-4);
+}
+
+TEST(MathUtilTest, ChiSquareCriticalValueTableCheck) {
+  // Tabulated: chi2_{0.05, 10} = 18.307, chi2_{0.01, 50} = 76.154.
+  EXPECT_NEAR(ChiSquareCriticalValue(10, 0.05), 18.307, 0.35);
+  EXPECT_NEAR(ChiSquareCriticalValue(50, 0.01), 76.154, 0.8);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(1, 5), 1u);
+}
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1025), 10);
+}
+
+TEST(MathUtilTest, Gcd) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(7, 13), 1u);
+  EXPECT_EQ(Gcd(0, 5), 5u);
+  EXPECT_EQ(Gcd(5, 0), 5u);
+}
+
+}  // namespace
+}  // namespace mope

@@ -1,0 +1,137 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mope {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextWord(), b.NextWord());
+  }
+  // Different seed diverges (overwhelmingly likely on the first word).
+  Rng a2(123);
+  EXPECT_NE(a2.NextWord(), c.NextWord());
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformUint64HitsAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformInt64RespectsRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesBias) {
+  Rng rng(17);
+  constexpr int kN = 50000;
+  int heads = 0;
+  for (int i = 0; i < kN; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerateCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(23);
+  // E[Geom(p)] = (1-p)/p failures before first success.
+  constexpr double kP = 0.2;
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.Geometric(kP));
+  EXPECT_NEAR(sum / kN, (1 - kP) / kP, 0.1);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  constexpr int kN = 50000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(37);
+  constexpr int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(RngTest, LongJumpDecorrelates) {
+  Rng a(55);
+  Rng b(55);
+  b.LongJump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextWord() == b.NextWord()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(0), b(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace mope

@@ -1,0 +1,132 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+namespace mope::crypto {
+namespace {
+
+Key128 KeyFromBytes(const uint8_t (&bytes)[16]) {
+  Key128 k;
+  std::copy(std::begin(bytes), std::end(bytes), k.begin());
+  return k;
+}
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: AES-128(key=000102...0f,
+  // pt=00112233445566778899aabbccddeeff) = 69c4e0d86a7b0430d8cdb78070b4c55a.
+  const uint8_t key_bytes[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                                 0x0e, 0x0f};
+  const uint8_t pt[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                          0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04,
+                                0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                                0xc5, 0x5a};
+  Aes128 aes(KeyFromBytes(key_bytes));
+  uint8_t out[16];
+  aes.EncryptBlock(pt, out);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], expected[i]) << i;
+}
+
+TEST(Aes128Test, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B: key=2b7e151628aed2a6abf7158809cf4f3c,
+  // pt=3243f6a8885a308d313198a2e0370734 -> 3925841d02dc09fbdc118597196a0b32.
+  const uint8_t key_bytes[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                 0x4f, 0x3c};
+  const uint8_t pt[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                          0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const uint8_t expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09,
+                                0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                                0x0b, 0x32};
+  Aes128 aes(KeyFromBytes(key_bytes));
+  uint8_t out[16];
+  aes.EncryptBlock(pt, out);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], expected[i]) << i;
+}
+
+TEST(Aes128Test, InPlaceEncryptionWorks) {
+  const uint8_t key_bytes[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                                 0x0e, 0x0f};
+  Aes128 aes(KeyFromBytes(key_bytes));
+  uint8_t buf[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                     0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  uint8_t separate[16];
+  aes.EncryptBlock(buf, separate);
+  aes.EncryptBlock(buf, buf);  // in place
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[i], separate[i]);
+}
+
+TEST(Aes128Test, BlockOverloadMatchesRawPointers) {
+  Key128 key{};
+  key[0] = 0xAB;
+  Aes128 aes(key);
+  Block in{};
+  in[5] = 0x42;
+  const Block out = aes.EncryptBlock(in);
+  uint8_t raw[16];
+  aes.EncryptBlock(in.data(), raw);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], raw[i]);
+}
+
+TEST(Aes128Test, DifferentKeysDifferentCiphertexts) {
+  Key128 k1{}, k2{};
+  k2[15] = 1;
+  Aes128 a(k1), b(k2);
+  Block pt{};
+  EXPECT_NE(a.EncryptBlock(pt), b.EncryptBlock(pt));
+}
+
+TEST(Aes128Test, DifferentPlaintextsDifferentCiphertexts) {
+  Key128 key{};
+  Aes128 aes(key);
+  Block p1{}, p2{};
+  p2[0] = 1;
+  EXPECT_NE(aes.EncryptBlock(p1), aes.EncryptBlock(p2));
+}
+
+
+TEST(Aes128Test, DecryptInvertsEncrypt) {
+  const uint8_t key_bytes[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                 0x4f, 0x3c};
+  Aes128 aes(KeyFromBytes(key_bytes));
+  Block pt{};
+  for (int trial = 0; trial < 64; ++trial) {
+    for (size_t i = 0; i < 16; ++i) {
+      pt[i] = static_cast<uint8_t>(trial * 31 + i * 7);
+    }
+    EXPECT_EQ(aes.DecryptBlock(aes.EncryptBlock(pt)), pt);
+  }
+}
+
+TEST(Aes128Test, Fips197DecryptVector) {
+  // Inverse of the Appendix C.1 vector.
+  const uint8_t key_bytes[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                                 0x0e, 0x0f};
+  const uint8_t ct[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                          0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  const uint8_t expected[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+                                0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+                                0xee, 0xff};
+  Aes128 aes(KeyFromBytes(key_bytes));
+  uint8_t out[16];
+  aes.DecryptBlock(ct, out);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], expected[i]) << i;
+}
+
+TEST(Aes128Test, InPlaceDecryptionWorks) {
+  Key128 key{};
+  key[3] = 0x77;
+  Aes128 aes(key);
+  Block buf{};
+  buf[0] = 0x11;
+  const Block expected = aes.DecryptBlock(buf);
+  aes.DecryptBlock(buf.data(), buf.data());
+  EXPECT_EQ(buf, expected);
+}
+
+}  // namespace
+}  // namespace mope::crypto

@@ -1,0 +1,73 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+
+namespace mope::crypto {
+namespace {
+
+Key128 Seed(uint8_t fill) {
+  Key128 k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(CtrDrbgTest, DeterministicFromSeed) {
+  CtrDrbg a(Seed(0x11)), b(Seed(0x11));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextWord(), b.NextWord());
+}
+
+TEST(CtrDrbgTest, DifferentSeedsDiverge) {
+  CtrDrbg a(Seed(0x11)), b(Seed(0x12));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextWord() == b.NextWord()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CtrDrbgTest, NoShortCycles) {
+  CtrDrbg d(Seed(0x22));
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(d.NextWord());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(CtrDrbgTest, BitBalance) {
+  // Population count over many words should be ~50%.
+  CtrDrbg d(Seed(0x33));
+  uint64_t ones = 0;
+  constexpr int kWords = 10000;
+  for (int i = 0; i < kWords; ++i) {
+    ones += static_cast<uint64_t>(__builtin_popcountll(d.NextWord()));
+  }
+  const double frac = static_cast<double>(ones) / (64.0 * kWords);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(CtrDrbgTest, UniformDoubleStatistics) {
+  CtrDrbg d(Seed(0x44));
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = d.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(CtrDrbgTest, ImplementsBitSourcePolymorphically) {
+  CtrDrbg d(Seed(0x55));
+  mope::BitSource* src = &d;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(src->UniformUint64(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace mope::crypto

@@ -1,0 +1,156 @@
+#include "crypto/hgd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "crypto/drbg.h"
+
+namespace mope::crypto {
+namespace {
+
+TEST(HgdTest, DegenerateCases) {
+  mope::Rng rng(1);
+  EXPECT_EQ(SampleHypergeometric(10, 0, 5, &rng), 0u);   // no successes
+  EXPECT_EQ(SampleHypergeometric(10, 10, 5, &rng), 5u);  // all successes
+  EXPECT_EQ(SampleHypergeometric(10, 4, 0, &rng), 0u);   // no draws
+  EXPECT_EQ(SampleHypergeometric(10, 4, 10, &rng), 4u);  // draw everything
+}
+
+TEST(HgdTest, AlwaysInSupport) {
+  mope::Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const uint64_t total = 1 + rng.UniformUint64(100);
+    const uint64_t success = rng.UniformUint64(total + 1);
+    const uint64_t draws = rng.UniformUint64(total + 1);
+    const uint64_t x = SampleHypergeometric(total, success, draws, &rng);
+    const uint64_t fail = total - success;
+    const uint64_t lo = draws > fail ? draws - fail : 0;
+    const uint64_t hi = std::min(draws, success);
+    EXPECT_GE(x, lo);
+    EXPECT_LE(x, hi);
+  }
+}
+
+TEST(HgdTest, DeterministicGivenSameCoinStream) {
+  Key128 seed{};
+  seed[0] = 0x77;
+  CtrDrbg a(seed), b(seed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleHypergeometric(1000, 300, 500, &a),
+              SampleHypergeometric(1000, 300, 500, &b));
+  }
+}
+
+struct HgdMomentCase {
+  uint64_t total;
+  uint64_t success;
+  uint64_t draws;
+};
+
+class HgdMomentTest : public ::testing::TestWithParam<HgdMomentCase> {};
+
+TEST_P(HgdMomentTest, MeanAndVarianceMatchTheory) {
+  const auto [total, success, draws] = GetParam();
+  mope::Rng rng(0xBEEF ^ total ^ (success << 20) ^ (draws << 40));
+  constexpr int kSamples = 30000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x =
+        static_cast<double>(SampleHypergeometric(total, success, draws, &rng));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sumsq / kSamples - mean * mean;
+
+  const double n = static_cast<double>(draws);
+  const double K = static_cast<double>(success);
+  const double N = static_cast<double>(total);
+  const double expect_mean = n * K / N;
+  const double expect_var =
+      n * (K / N) * (1 - K / N) * (N - n) / (N - 1);
+
+  const double mean_tol = 4.0 * std::sqrt(std::max(expect_var, 0.01) / kSamples);
+  EXPECT_NEAR(mean, expect_mean, std::max(mean_tol, 0.01));
+  EXPECT_NEAR(var, expect_var, std::max(0.15 * expect_var, 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HgdMomentTest,
+    ::testing::Values(HgdMomentCase{20, 7, 12}, HgdMomentCase{100, 50, 10},
+                      HgdMomentCase{1000, 100, 500},
+                      HgdMomentCase{1000, 999, 500},
+                      HgdMomentCase{8192, 1024, 4096},
+                      HgdMomentCase{65536, 1000, 32768},
+                      HgdMomentCase{50, 25, 25}, HgdMomentCase{2, 1, 1}));
+
+TEST(HgdTest, ExactDistributionSmallCase) {
+  // HG(N=10, K=4, n=5): compare empirical frequencies to the exact pmf.
+  mope::Rng rng(99);
+  constexpr int kSamples = 200000;
+  std::array<int, 5> counts{};  // support {0..4}
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t x = SampleHypergeometric(10, 4, 5, &rng);
+    ASSERT_LE(x, 4u);
+    ++counts[x];
+  }
+  for (uint64_t k = 0; k <= 4; ++k) {
+    const double expected =
+        std::exp(mope::LogHypergeometricPmf(10, 4, 5, k));
+    const double observed = static_cast<double>(counts[k]) / kSamples;
+    EXPECT_NEAR(observed, expected, 0.005) << "k=" << k;
+  }
+}
+
+TEST(HgdTest, ConsumesExactlyOneDoublePerCall) {
+  // Coin-stream alignment is part of the OPE determinism contract.
+  Key128 seed{};
+  CtrDrbg a(seed), b(seed);
+  (void)SampleHypergeometric(1000, 700, 300, &a);
+  (void)b.UniformDouble();
+  // Streams must now be aligned.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextWord(), b.NextWord());
+}
+
+
+TEST(HgdLinearTest, MatchesAnchoredSamplerInDistribution) {
+  // Same pmf, different bin visit order: compare empirical frequencies.
+  mope::Rng rng_a(123), rng_b(123);
+  constexpr int kSamples = 100000;
+  std::array<int, 6> anchored{}, linear{};
+  for (int i = 0; i < kSamples; ++i) {
+    anchored[SampleHypergeometric(12, 5, 6, &rng_a)]++;
+    linear[SampleHypergeometricLinear(12, 5, 6, &rng_b)]++;
+  }
+  for (size_t k = 0; k < anchored.size(); ++k) {
+    EXPECT_NEAR(anchored[k], linear[k], 4.0 * std::sqrt(kSamples / 4.0))
+        << "k=" << k;
+  }
+}
+
+TEST(HgdLinearTest, DegenerateCases) {
+  mope::Rng rng(3);
+  EXPECT_EQ(SampleHypergeometricLinear(10, 0, 5, &rng), 0u);
+  EXPECT_EQ(SampleHypergeometricLinear(10, 10, 5, &rng), 5u);
+  EXPECT_EQ(SampleHypergeometricLinear(10, 4, 0, &rng), 0u);
+}
+
+TEST(HgdLinearTest, AlwaysInSupport) {
+  mope::Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t total = 1 + rng.UniformUint64(60);
+    const uint64_t success = rng.UniformUint64(total + 1);
+    const uint64_t draws = rng.UniformUint64(total + 1);
+    const uint64_t x = SampleHypergeometricLinear(total, success, draws, &rng);
+    const uint64_t fail = total - success;
+    EXPECT_GE(x, draws > fail ? draws - fail : 0);
+    EXPECT_LE(x, std::min(draws, success));
+  }
+}
+
+}  // namespace
+}  // namespace mope::crypto

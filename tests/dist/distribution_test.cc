@@ -1,0 +1,96 @@
+#include "dist/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace mope::dist {
+namespace {
+
+TEST(DistributionTest, FromWeightsNormalizes) {
+  auto d = Distribution::FromWeights({1.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(d->prob(1), 0.75);
+  EXPECT_DOUBLE_EQ(d->max_prob(), 0.75);
+  EXPECT_EQ(d->argmax(), 1u);
+}
+
+TEST(DistributionTest, FromWeightsRejectsBadInput) {
+  EXPECT_FALSE(Distribution::FromWeights({}).ok());
+  EXPECT_FALSE(Distribution::FromWeights({1.0, -0.5}).ok());
+  EXPECT_FALSE(Distribution::FromWeights({0.0, 0.0}).ok());
+  EXPECT_FALSE(Distribution::FromWeights({std::nan("")}).ok());
+}
+
+TEST(DistributionTest, FromHistogram) {
+  Histogram h(3);
+  h.Add(0, 2);
+  h.Add(2, 6);
+  auto d = Distribution::FromHistogram(h);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(d->prob(1), 0.0);
+  EXPECT_DOUBLE_EQ(d->prob(2), 0.75);
+}
+
+TEST(DistributionTest, FromEmptyHistogramFails) {
+  Histogram h(3);
+  EXPECT_FALSE(Distribution::FromHistogram(h).ok());
+}
+
+TEST(DistributionTest, UniformProperties) {
+  const Distribution u = Distribution::Uniform(8);
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(u.prob(i), 0.125);
+  EXPECT_DOUBLE_EQ(u.max_prob(), 0.125);
+}
+
+TEST(DistributionTest, PointMass) {
+  const Distribution p = Distribution::PointMass(5, 3);
+  EXPECT_DOUBLE_EQ(p.prob(3), 1.0);
+  EXPECT_DOUBLE_EQ(p.prob(0), 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p.Sample(&rng), 3u);
+}
+
+TEST(DistributionTest, SamplingMatchesProbabilities) {
+  auto d = Distribution::FromWeights({0.1, 0.2, 0.3, 0.4});
+  ASSERT_TRUE(d.ok());
+  Rng rng(2);
+  Histogram h(4);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) h.Add(d->Sample(&rng));
+  const double chi2 = h.ChiSquareVs(d->probs());
+  EXPECT_LT(chi2, ChiSquareCriticalValue(3, 0.001));
+}
+
+TEST(DistributionTest, SamplingSkipsZeroProbabilityElements) {
+  auto d = Distribution::FromWeights({0.0, 1.0, 0.0, 1.0, 0.0});
+  ASSERT_TRUE(d.ok());
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t s = d->Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(DistributionTest, TotalVariationDistance) {
+  auto a = Distribution::FromWeights({1.0, 0.0});
+  auto b = Distribution::FromWeights({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(a->TotalVariationDistance(*b), 1.0);
+  EXPECT_DOUBLE_EQ(a->TotalVariationDistance(*a), 0.0);
+}
+
+TEST(DistributionTest, LargeDomainSamplingIsFastAndInRange) {
+  const Distribution u = Distribution::Uniform(1 << 16);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(u.Sample(&rng), uint64_t{1} << 16);
+  }
+}
+
+}  // namespace
+}  // namespace mope::dist

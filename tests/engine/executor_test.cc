@@ -1,0 +1,283 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/table.h"
+
+namespace mope::engine {
+namespace {
+
+std::unique_ptr<Table> NumbersTable(int64_t n) {
+  auto t = std::make_unique<Table>(
+      "numbers", Schema({Column{"v", ValueType::kInt},
+                         Column{"d", ValueType::kDouble}}));
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t->Insert({i, static_cast<double>(i) / 2.0}).ok());
+  }
+  EXPECT_TRUE(t->CreateIndex("v").ok());
+  return t;
+}
+
+TEST(CoalesceSegmentsTest, MergesOverlapsAndAdjacency) {
+  // (5,10)+(8,12) overlap -> (5,12); (13,13) is adjacent -> (5,13);
+  // (14,20) adjacent again -> one segment (5,20).
+  auto merged = CoalesceSegments({{5, 10}, {8, 12}, {14, 20}, {13, 13}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Segment{5, 20}));
+  // A true gap stays separate.
+  auto gapped = CoalesceSegments({{5, 10}, {12, 20}});
+  ASSERT_EQ(gapped.size(), 2u);
+  EXPECT_EQ(gapped[0], (Segment{5, 10}));
+  EXPECT_EQ(gapped[1], (Segment{12, 20}));
+}
+
+TEST(CoalesceSegmentsTest, DisjointStaysDisjoint) {
+  auto merged = CoalesceSegments({{20, 30}, {0, 10}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Segment{0, 10}));
+  EXPECT_EQ(merged[1], (Segment{20, 30}));
+}
+
+TEST(CoalesceSegmentsTest, EmptyAndSingle) {
+  EXPECT_TRUE(CoalesceSegments({}).empty());
+  EXPECT_EQ(CoalesceSegments({{3, 7}}).size(), 1u);
+}
+
+TEST(CoalesceSegmentsTest, ContainedSegments) {
+  auto merged = CoalesceSegments({{0, 100}, {10, 20}, {30, 40}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Segment{0, 100}));
+}
+
+TEST(SeqScanTest, VisitsAllRows) {
+  auto t = NumbersTable(25);
+  SeqScanOp scan(t.get());
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 25u);
+}
+
+TEST(IndexRangeScanTest, SingleSegment) {
+  auto t = NumbersTable(100);
+  IndexRangeScanOp scan(t.get(), *t->GetIndex("v"), {{10, 19}});
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  EXPECT_EQ(scan.entries_visited(), 10u);
+}
+
+TEST(IndexRangeScanTest, OverlappingSegmentsVisitOnce) {
+  auto t = NumbersTable(100);
+  IndexRangeScanOp scan(t.get(), *t->GetIndex("v"), {{10, 30}, {20, 40}});
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 31u);  // 10..40 once
+  EXPECT_EQ(scan.segments_scanned(), 1u);
+}
+
+TEST(IndexRangeScanTest, ReopenRescans) {
+  auto t = NumbersTable(50);
+  IndexRangeScanOp scan(t.get(), *t->GetIndex("v"), {{0, 4}});
+  ASSERT_TRUE(Collect(&scan).ok());
+  auto again = Collect(&scan);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 5u);
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  auto t = NumbersTable(30);
+  auto plan = std::make_unique<FilterOp>(
+      std::make_unique<SeqScanOp>(t.get()), [](const Row& r) -> Result<bool> {
+        return std::get<int64_t>(r[0]) % 3 == 0;
+      });
+  auto rows = Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST(FilterTest, PropagatesPredicateErrors) {
+  auto t = NumbersTable(5);
+  FilterOp plan(std::make_unique<SeqScanOp>(t.get()),
+                [](const Row&) -> Result<bool> {
+                  return Status::InvalidArgument("boom");
+                });
+  EXPECT_FALSE(Collect(&plan).ok());
+}
+
+TEST(ProjectTest, SelectsColumnSubset) {
+  auto t = NumbersTable(3);
+  ProjectOp plan(std::make_unique<SeqScanOp>(t.get()), {1});
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[2].size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[2][0]), 1.0);
+}
+
+TEST(HashJoinTest, InnerJoinMatchesNestedLoop) {
+  auto left = std::make_unique<Table>(
+      "l", Schema({Column{"k", ValueType::kInt},
+                   Column{"lv", ValueType::kInt}}));
+  auto right = std::make_unique<Table>(
+      "r", Schema({Column{"k", ValueType::kInt},
+                   Column{"rv", ValueType::kInt}}));
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(left->Insert({i % 5, i}).ok());
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(right->Insert({i % 5, 100 + i}).ok());
+  }
+  HashJoinOp join(std::make_unique<SeqScanOp>(left.get()),
+                  std::make_unique<SeqScanOp>(right.get()), 0, 0);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  // Each of 20 left rows matches 2 right rows (10 right rows over 5 keys).
+  EXPECT_EQ(rows->size(), 40u);
+  for (const Row& r : *rows) {
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(std::get<int64_t>(r[0]), std::get<int64_t>(r[2]));
+  }
+}
+
+TEST(HashJoinTest, NoMatchesYieldsEmpty) {
+  auto left = std::make_unique<Table>(
+      "l", Schema({Column{"k", ValueType::kInt}}));
+  auto right = std::make_unique<Table>(
+      "r", Schema({Column{"k", ValueType::kInt}}));
+  ASSERT_TRUE(left->Insert({int64_t{1}}).ok());
+  ASSERT_TRUE(right->Insert({int64_t{2}}).ok());
+  HashJoinOp join(std::make_unique<SeqScanOp>(left.get()),
+                  std::make_unique<SeqScanOp>(right.get()), 0, 0);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(AggregateTest, ScalarAggregates) {
+  auto t = NumbersTable(10);  // v = 0..9, d = v/2
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  aggs.push_back({AggKind::kSum, [](const Row& r) -> Result<double> {
+                    return static_cast<double>(std::get<int64_t>(r[0]));
+                  }});
+  aggs.push_back({AggKind::kMin, [](const Row& r) -> Result<double> {
+                    return std::get<double>(r[1]);
+                  }});
+  aggs.push_back({AggKind::kMax, [](const Row& r) -> Result<double> {
+                    return std::get<double>(r[1]);
+                  }});
+  aggs.push_back({AggKind::kAvg, [](const Row& r) -> Result<double> {
+                    return static_cast<double>(std::get<int64_t>(r[0]));
+                  }});
+  AggregateOp plan(std::make_unique<SeqScanOp>(t.get()), std::move(aggs));
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const Row& r = (*rows)[0];
+  EXPECT_EQ(std::get<int64_t>(r[0]), 10);
+  EXPECT_DOUBLE_EQ(std::get<double>(r[1]), 45.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(r[2]), 0.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(r[3]), 4.5);
+  EXPECT_DOUBLE_EQ(std::get<double>(r[4]), 4.5);
+}
+
+TEST(AggregateTest, ScalarOverEmptyInputYieldsCountZero) {
+  auto t = NumbersTable(0);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  AggregateOp plan(std::make_unique<SeqScanOp>(t.get()), std::move(aggs));
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 0);
+}
+
+TEST(AggregateTest, GroupByEmitsSortedGroups) {
+  auto t = std::make_unique<Table>(
+      "g", Schema({Column{"grp", ValueType::kInt},
+                   Column{"x", ValueType::kInt}}));
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(t->Insert({i % 3, i}).ok());
+  }
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCount, nullptr});
+  AggregateOp plan(std::make_unique<SeqScanOp>(t.get()), 0, std::move(aggs));
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  for (int64_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(std::get<int64_t>((*rows)[g][0]), g);
+    EXPECT_EQ(std::get<int64_t>((*rows)[g][1]), 10);
+  }
+}
+
+TEST(AggregateTest, SumWithoutExtractorFails) {
+  auto t = NumbersTable(3);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, nullptr});
+  AggregateOp plan(std::make_unique<SeqScanOp>(t.get()), std::move(aggs));
+  EXPECT_FALSE(Collect(&plan).ok());
+}
+
+
+TEST(SortTest, SortsByIntAscendingAndDescending) {
+  auto t = std::make_unique<Table>(
+      "s", Schema({Column{"v", ValueType::kInt}}));
+  for (int64_t v : {5, 1, 9, 3, 7}) ASSERT_TRUE(t->Insert({v}).ok());
+  SortOp asc(std::make_unique<SeqScanOp>(t.get()), {{0, false}});
+  auto rows = Collect(&asc);
+  ASSERT_TRUE(rows.ok());
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_LE(std::get<int64_t>((*rows)[i - 1][0]),
+              std::get<int64_t>((*rows)[i][0]));
+  }
+  SortOp desc(std::make_unique<SeqScanOp>(t.get()), {{0, true}});
+  rows = Collect(&desc);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 9);
+  EXPECT_EQ(std::get<int64_t>((*rows)[4][0]), 1);
+}
+
+TEST(SortTest, SecondaryKeyBreaksTies) {
+  auto t = std::make_unique<Table>(
+      "s", Schema({Column{"a", ValueType::kInt},
+                   Column{"b", ValueType::kInt}}));
+  ASSERT_TRUE(t->Insert({int64_t{1}, int64_t{2}}).ok());
+  ASSERT_TRUE(t->Insert({int64_t{1}, int64_t{1}}).ok());
+  ASSERT_TRUE(t->Insert({int64_t{0}, int64_t{9}}).ok());
+  SortOp op(std::make_unique<SeqScanOp>(t.get()), {{0, false}, {1, false}});
+  auto rows = Collect(&op);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][1]), 9);
+  EXPECT_EQ(std::get<int64_t>((*rows)[1][1]), 1);
+  EXPECT_EQ(std::get<int64_t>((*rows)[2][1]), 2);
+}
+
+TEST(SortTest, MixedNumericPromotion) {
+  auto t = std::make_unique<Table>(
+      "s", Schema({Column{"d", ValueType::kDouble}}));
+  for (double v : {2.5, -1.0, 0.25}) ASSERT_TRUE(t->Insert({v}).ok());
+  SortOp op(std::make_unique<SeqScanOp>(t.get()), {{0, false}});
+  auto rows = Collect(&op);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][0]), -1.0);
+}
+
+TEST(LimitTest, CapsOutput) {
+  auto t = NumbersTable(50);
+  LimitOp op(std::make_unique<SeqScanOp>(t.get()), 7);
+  auto rows = Collect(&op);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 7u);
+}
+
+TEST(LimitTest, LimitZeroAndLimitBeyondInput) {
+  auto t = NumbersTable(3);
+  LimitOp zero(std::make_unique<SeqScanOp>(t.get()), 0);
+  EXPECT_TRUE(Collect(&zero)->empty());
+  LimitOp big(std::make_unique<SeqScanOp>(t.get()), 100);
+  EXPECT_EQ(Collect(&big)->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mope::engine

@@ -1,0 +1,143 @@
+#include "engine/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mope::engine {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column{"id", ValueType::kInt},
+                 Column{"price", ValueType::kDouble},
+                 Column{"name", ValueType::kString}});
+}
+
+TEST(SchemaTest, IndexOfResolvesColumns) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("id").value(), 0u);
+  EXPECT_EQ(s.IndexOf("name").value(), 2u);
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, ValidateChecksArityAndTypes) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(s.Validate({int64_t{1}, 2.5, std::string("x")}).ok());
+  EXPECT_FALSE(s.Validate({int64_t{1}, 2.5}).ok());
+  EXPECT_FALSE(s.Validate({2.5, 2.5, std::string("x")}).ok());
+  EXPECT_FALSE(s.Validate({int64_t{1}, 2.5, int64_t{3}}).ok());
+}
+
+TEST(ValueTest, TypeOfAndToString) {
+  EXPECT_EQ(TypeOf(Value{int64_t{3}}), ValueType::kInt);
+  EXPECT_EQ(TypeOf(Value{1.5}), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("a")}), ValueType::kString);
+  EXPECT_EQ(ValueToString(Value{int64_t{42}}), "42");
+  EXPECT_EQ(ValueToString(Value{std::string("hi")}), "hi");
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("t", TestSchema());
+  const auto id = t.Insert({int64_t{7}, 1.25, std::string("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0u);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(std::get<int64_t>(t.row(0)[0]), 7);
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t("t", TestSchema());
+  EXPECT_FALSE(t.Insert({int64_t{7}}).ok());
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TableTest, CreateIndexOnIntColumn) {
+  Table t("t", TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert({i % 10, 0.0, std::string("r")}).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  const auto index = t.GetIndex("id");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->CountRange(3, 3), 10u);
+  EXPECT_EQ((*index)->CountRange(0, 9), 100u);
+  EXPECT_TRUE(t.HasIndex("id"));
+  EXPECT_FALSE(t.HasIndex("price"));
+}
+
+TEST(TableTest, IndexMaintainedOnLaterInserts) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.Insert({i, 0.0, std::string("r")}).ok());
+  }
+  EXPECT_EQ((*t.GetIndex("id"))->CountRange(10, 19), 10u);
+}
+
+TEST(TableTest, IndexRejectsNonIntColumns) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(t.CreateIndex("price").IsNotSupported());
+  EXPECT_TRUE(t.CreateIndex("nope").IsNotFound());
+}
+
+TEST(TableTest, DuplicateIndexRejected) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  EXPECT_TRUE(t.CreateIndex("id").IsAlreadyExists());
+}
+
+TEST(TableTest, NegativeIndexedValueRejected) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  EXPECT_FALSE(t.Insert({int64_t{-1}, 0.0, std::string("r")}).ok());
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("a", TestSchema()).ok());
+  ASSERT_TRUE(c.CreateTable("b", TestSchema()).ok());
+  EXPECT_TRUE(c.GetTable("a").ok());
+  EXPECT_TRUE(c.GetTable("missing").status().IsNotFound());
+  EXPECT_TRUE(c.CreateTable("a", TestSchema()).status().IsAlreadyExists());
+  EXPECT_EQ(c.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+
+TEST(TableTest, UpdateValueRewritesCellAndIndex) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert({i, 0.0, std::string("r")}).ok());
+  }
+  ASSERT_TRUE(t.UpdateValue(5, 0, Value{int64_t{100}}).ok());
+  EXPECT_EQ(std::get<int64_t>(t.row(5)[0]), 100);
+  const auto index = t.GetIndex("id");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->CountRange(5, 5), 0u);
+  EXPECT_EQ((*index)->CountRange(100, 100), 1u);
+  EXPECT_EQ((*index)->size(), 20u);
+  EXPECT_TRUE((*index)->CheckInvariants().ok());
+}
+
+TEST(TableTest, UpdateValueValidates) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.Insert({int64_t{1}, 0.0, std::string("r")}).ok());
+  EXPECT_TRUE(t.UpdateValue(1, 0, Value{int64_t{2}}).IsOutOfRange());
+  EXPECT_TRUE(t.UpdateValue(0, 3, Value{int64_t{2}}).IsOutOfRange());
+  EXPECT_TRUE(t.UpdateValue(0, 0, Value{1.5}).IsInvalidArgument());
+}
+
+TEST(TableTest, UpdateValueOnUnindexedColumn) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.Insert({int64_t{1}, 0.0, std::string("r")}).ok());
+  ASSERT_TRUE(t.UpdateValue(0, 1, Value{2.75}).ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(t.row(0)[1]), 2.75);
+}
+
+TEST(TableTest, UpdateIndexedValueRejectsNegative) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  ASSERT_TRUE(t.Insert({int64_t{1}, 0.0, std::string("r")}).ok());
+  EXPECT_TRUE(t.UpdateValue(0, 0, Value{int64_t{-3}}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mope::engine

@@ -1,0 +1,101 @@
+/// Integration: the data-owner onboarding path — parse a CSV, load it
+/// encrypted through the system, and query it with full SQL (ORDER BY /
+/// LIMIT / aggregates) via the encrypted session.
+
+#include <gtest/gtest.h>
+
+#include "proxy/sql_session.h"
+#include "workload/csv.h"
+
+namespace mope {
+namespace {
+
+using engine::Column;
+using engine::Schema;
+using engine::ValueType;
+
+TEST(CsvPipelineTest, CsvToEncryptedSqlEndToEnd) {
+  const Schema schema({Column{"age", ValueType::kInt},
+                       Column{"income", ValueType::kDouble},
+                       Column{"name", ValueType::kString}});
+  std::string csv = "age,income,name\n";
+  for (int i = 0; i < 300; ++i) {
+    const int age = 17 + (i * 35) % 74;
+    csv += std::to_string(age) + "," + std::to_string(1000.0 + 10.0 * i) +
+           ",person_" + std::to_string(i) + "\n";
+  }
+  auto rows = workload::ParseCsv(schema, csv);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 300u);
+
+  proxy::MopeSystem system(0xC5F);
+  proxy::EncryptedColumnSpec spec;
+  spec.column = "age";
+  spec.domain = 120;
+  spec.k = 5;
+  spec.mode = proxy::QueryMode::kAdaptiveUniform;
+  spec.batch_size = 16;
+  ASSERT_TRUE(system.LoadTable("people", schema, *rows, spec).ok());
+
+  proxy::EncryptedSqlSession session(&system);
+
+  // Aggregate with residual predicate.
+  auto count = session.Execute(
+      "SELECT COUNT(*) FROM people WHERE age BETWEEN 30 AND 49 "
+      "AND income > 1500.0");
+  ASSERT_TRUE(count.ok()) << count.status();
+  int64_t expected = 0;
+  for (const auto& row : *rows) {
+    const int64_t age = std::get<int64_t>(row[0]);
+    const double income = std::get<double>(row[1]);
+    if (age >= 30 && age <= 49 && income > 1500.0) ++expected;
+  }
+  EXPECT_EQ(std::get<int64_t>(count->rows[0][0]), expected);
+
+  // ORDER BY + LIMIT run client-side over the fetched rows.
+  auto top = session.Execute(
+      "SELECT name, income FROM people WHERE age BETWEEN 30 AND 49 "
+      "ORDER BY income DESC LIMIT 3");
+  ASSERT_TRUE(top.ok()) << top.status();
+  ASSERT_EQ(top->rows.size(), 3u);
+  EXPECT_GE(std::get<double>(top->rows[0][1]),
+            std::get<double>(top->rows[1][1]));
+  EXPECT_GE(std::get<double>(top->rows[1][1]),
+            std::get<double>(top->rows[2][1]));
+
+  // Round-trip the results back out as CSV.
+  const Schema out_schema({Column{"name", ValueType::kString},
+                           Column{"income", ValueType::kDouble}});
+  const std::string out_csv = workload::WriteCsv(out_schema, top->rows);
+  EXPECT_NE(out_csv.find("person_"), std::string::npos);
+  auto reparsed = workload::ParseCsv(out_schema, out_csv);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), 3u);
+}
+
+TEST(CsvPipelineTest, RotationIsTransparentToSqlSession) {
+  const Schema schema({Column{"v", ValueType::kInt}});
+  std::vector<engine::Row> rows;
+  for (int64_t v = 0; v < 100; ++v) rows.push_back(engine::Row{v});
+
+  proxy::MopeSystem system(0xC60);
+  proxy::EncryptedColumnSpec spec;
+  spec.column = "v";
+  spec.domain = 100;
+  spec.k = 4;
+  spec.mode = proxy::QueryMode::kAdaptiveUniform;
+  ASSERT_TRUE(system.LoadTable("t", schema, rows, spec).ok());
+
+  proxy::EncryptedSqlSession session(&system);
+  auto before = session.Execute("SELECT COUNT(*) FROM t WHERE v BETWEEN 20 AND 59");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(system.RotateKey("t", "v").ok());
+  auto after = session.Execute("SELECT COUNT(*) FROM t WHERE v BETWEEN 20 AND 59");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(std::get<int64_t>(before->rows[0][0]),
+            std::get<int64_t>(after->rows[0][0]));
+  EXPECT_EQ(std::get<int64_t>(after->rows[0][0]), 40);
+}
+
+}  // namespace
+}  // namespace mope

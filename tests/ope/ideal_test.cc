@@ -1,0 +1,115 @@
+#include "ope/ideal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace mope::ope {
+namespace {
+
+TEST(RandomOpfTest, TableIsSortedDistinctAndInRange) {
+  Rng rng(1);
+  const RandomOpf f = RandomOpf::Sample(50, 400, &rng);
+  const auto& table = f.table();
+  ASSERT_EQ(table.size(), 50u);
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_LT(table[i], 400u);
+    if (i > 0) EXPECT_GT(table[i], table[i - 1]);
+  }
+}
+
+TEST(RandomOpfTest, EncryptDecryptRoundTrip) {
+  Rng rng(2);
+  const RandomOpf f = RandomOpf::Sample(30, 256, &rng);
+  for (uint64_t m = 0; m < 30; ++m) {
+    EXPECT_EQ(f.Decrypt(f.Encrypt(m)).value(), m);
+  }
+}
+
+TEST(RandomOpfTest, DecryptRejectsNonImagePoints) {
+  Rng rng(3);
+  const RandomOpf f = RandomOpf::Sample(4, 64, &rng);
+  int rejected = 0;
+  for (uint64_t c = 0; c < 64; ++c) {
+    if (!f.Decrypt(c).ok()) ++rejected;
+  }
+  EXPECT_EQ(rejected, 60);
+}
+
+TEST(RandomOpfTest, DecryptFloorCeil) {
+  Rng rng(4);
+  const RandomOpf f = RandomOpf::Sample(8, 64, &rng);
+  for (uint64_t c = 0; c < 64; ++c) {
+    uint64_t expected = 8;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (f.Encrypt(m) >= c) {
+        expected = m;
+        break;
+      }
+    }
+    EXPECT_EQ(f.DecryptFloorCeil(c), expected) << c;
+  }
+}
+
+TEST(RandomOpfTest, MarginalIsApproximatelyUniform) {
+  // Each range point should appear in the image with probability M/N.
+  Rng rng(5);
+  constexpr int kTrials = 3000;
+  constexpr uint64_t kM = 8, kN = 64;
+  std::vector<int> hits(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const RandomOpf f = RandomOpf::Sample(kM, kN, &rng);
+    for (uint64_t v : f.table()) ++hits[v];
+  }
+  const double expected = static_cast<double>(kTrials) * kM / kN;
+  for (uint64_t c = 0; c < kN; ++c) {
+    EXPECT_NEAR(hits[c], expected, 5.0 * std::sqrt(expected)) << c;
+  }
+}
+
+TEST(RandomOpfTest, FullBijectionWhenDomainEqualsRange) {
+  Rng rng(6);
+  const RandomOpf f = RandomOpf::Sample(16, 16, &rng);
+  for (uint64_t m = 0; m < 16; ++m) EXPECT_EQ(f.Encrypt(m), m);
+}
+
+TEST(RandomMopfTest, RoundTripWithOffset) {
+  Rng rng(7);
+  const RandomMopf f = RandomMopf::Sample(40, 320, &rng);
+  EXPECT_LT(f.offset(), 40u);
+  for (uint64_t m = 0; m < 40; ++m) {
+    EXPECT_EQ(f.Decrypt(f.Encrypt(m)).value(), m);
+  }
+}
+
+TEST(RandomMopfTest, ModularOrderHasOneDescent) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RandomMopf f = RandomMopf::Sample(30, 300, &rng);
+    int descents = 0;
+    for (uint64_t m = 1; m < 30; ++m) {
+      if (f.Encrypt(m) < f.Encrypt(m - 1)) ++descents;
+    }
+    EXPECT_EQ(descents, f.offset() == 0 ? 0 : 1);
+  }
+}
+
+TEST(RandomMopfTest, OffsetIsUniformish) {
+  Rng rng(9);
+  constexpr uint64_t kM = 10;
+  std::vector<int> counts(kM, 0);
+  constexpr int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    ++counts[RandomMopf::Sample(kM, 80, &rng).offset()];
+  }
+  for (uint64_t j = 0; j < kM; ++j) {
+    EXPECT_NEAR(counts[j], kTrials / 10.0, 120.0) << j;
+  }
+}
+
+}  // namespace
+}  // namespace mope::ope

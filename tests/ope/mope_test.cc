@@ -1,0 +1,203 @@
+#include "ope/mope.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace mope::ope {
+namespace {
+
+MopeScheme MakeScheme(uint64_t domain, uint64_t range, uint64_t seed = 9) {
+  Rng rng(seed);
+  auto scheme =
+      MopeScheme::Create({domain, range}, MopeKey::Generate(domain, &rng));
+  EXPECT_TRUE(scheme.ok()) << scheme.status();
+  return std::move(scheme).value();
+}
+
+TEST(MopeTest, KeyGenerationDrawsOffsetInDomain) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const MopeKey key = MopeKey::Generate(97, &rng);
+    EXPECT_LT(key.offset, 97u);
+  }
+}
+
+TEST(MopeTest, CreateRejectsOffsetOutsideDomain) {
+  Rng rng(4);
+  MopeKey key = MopeKey::Generate(10, &rng);
+  key.offset = 10;
+  EXPECT_TRUE(MopeScheme::Create({10, 128}, key).status().IsInvalidArgument());
+}
+
+TEST(MopeTest, RoundTripOverFullDomain) {
+  MopeScheme s = MakeScheme(300, 4096);
+  for (uint64_t m = 0; m < 300; ++m) {
+    const auto c = s.Encrypt(m);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(s.Decrypt(c.value()).value(), m);
+  }
+}
+
+TEST(MopeTest, PreservesModularOrderNotLinearOrder) {
+  // With a non-zero offset, Enc is monotone on the *shifted* values: there
+  // is exactly one descent in the ciphertext sequence over 0..M-1, located
+  // at the wrap point m = M - offset.
+  Rng rng(5);
+  MopeKey key = MopeKey::Generate(100, &rng);
+  key.offset = 37;
+  auto s = MopeScheme::Create({100, 1024}, key);
+  ASSERT_TRUE(s.ok());
+  int descents = 0;
+  uint64_t descent_at = 0;
+  uint64_t prev = s->Encrypt(0).value();
+  for (uint64_t m = 1; m < 100; ++m) {
+    const uint64_t c = s->Encrypt(m).value();
+    if (c < prev) {
+      ++descents;
+      descent_at = m;
+    }
+    prev = c;
+  }
+  EXPECT_EQ(descents, 1);
+  EXPECT_EQ(descent_at, 100 - 37);
+}
+
+TEST(MopeTest, ZeroOffsetDegeneratesToPlainOpe) {
+  Rng rng(6);
+  MopeKey key = MopeKey::Generate(64, &rng);
+  key.offset = 0;
+  auto s = MopeScheme::Create({64, 1024}, key);
+  ASSERT_TRUE(s.ok());
+  uint64_t prev = 0;
+  for (uint64_t m = 0; m < 64; ++m) {
+    const uint64_t c = s->Encrypt(m).value();
+    if (m > 0) EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(MopeTest, EncryptRangeNonWrappingQuery) {
+  MopeScheme s = MakeScheme(100, 1024);
+  const auto range =
+      s.EncryptRange(ModularInterval::FromEndpoints(10, 20, 100));
+  ASSERT_TRUE(range.ok());
+  // Membership: every plaintext in [10,20] must have its ciphertext inside
+  // the (possibly wrapping) cipher range; everything else outside.
+  const ModularInterval cipher_iv = ModularInterval::FromEndpoints(
+      range->first, range->last, s.range());
+  for (uint64_t m = 0; m < 100; ++m) {
+    const uint64_t c = s.Encrypt(m).value();
+    EXPECT_EQ(cipher_iv.Contains(c), m >= 10 && m <= 20) << m;
+  }
+}
+
+TEST(MopeTest, EncryptRangeWrapAroundQuery) {
+  MopeScheme s = MakeScheme(100, 1024);
+  // Wrap-around (dummy) query {90..99, 0..5}.
+  const auto range = s.EncryptRange(ModularInterval::FromEndpoints(90, 5, 100));
+  ASSERT_TRUE(range.ok());
+  const ModularInterval plain_iv = ModularInterval::FromEndpoints(90, 5, 100);
+  const ModularInterval cipher_iv =
+      ModularInterval::FromEndpoints(range->first, range->last, s.range());
+  for (uint64_t m = 0; m < 100; ++m) {
+    const uint64_t c = s.Encrypt(m).value();
+    EXPECT_EQ(cipher_iv.Contains(c), plain_iv.Contains(m)) << m;
+  }
+}
+
+TEST(MopeTest, EncryptRangeFullDomainCoversEverything) {
+  MopeScheme s = MakeScheme(60, 512);
+  const auto range = s.EncryptRange(ModularInterval(17, 60, 60));
+  ASSERT_TRUE(range.ok());
+  const ModularInterval cipher_iv =
+      ModularInterval::FromEndpoints(range->first, range->last, s.range());
+  for (uint64_t m = 0; m < 60; ++m) {
+    EXPECT_TRUE(cipher_iv.Contains(s.Encrypt(m).value())) << m;
+  }
+}
+
+TEST(MopeTest, EncryptRangeRejectsWrongDomain) {
+  MopeScheme s = MakeScheme(100, 1024);
+  EXPECT_TRUE(s.EncryptRange(ModularInterval(0, 5, 99))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MopeTest, CipherRangeWrapsIffShiftedIntervalWraps) {
+  Rng rng(8);
+  MopeKey key = MopeKey::Generate(100, &rng);
+  key.offset = 40;
+  auto s = MopeScheme::Create({100, 2048}, key);
+  ASSERT_TRUE(s.ok());
+  // [50, 70] shifted by 40 -> [90, 110 mod 100]: wraps.
+  const auto wrapping =
+      s->EncryptRange(ModularInterval::FromEndpoints(50, 70, 100));
+  ASSERT_TRUE(wrapping.ok());
+  EXPECT_TRUE(wrapping->wraps());
+  // [10, 30] shifted by 40 -> [50, 70]: does not wrap.
+  const auto straight =
+      s->EncryptRange(ModularInterval::FromEndpoints(10, 30, 100));
+  ASSERT_TRUE(straight.ok());
+  EXPECT_FALSE(straight->wraps());
+}
+
+TEST(MopeTest, DifferentOffsetsSameOpeKeyShiftPlaintexts) {
+  Rng rng(10);
+  MopeKey k1 = MopeKey::Generate(50, &rng);
+  MopeKey k2 = k1;
+  k1.offset = 3;
+  k2.offset = 7;
+  auto a = MopeScheme::Create({50, 512}, k1);
+  auto b = MopeScheme::Create({50, 512}, k2);
+  // Enc_a(m) == Enc_b(m - 4 mod 50): same underlying OPF, shifted input.
+  for (uint64_t m = 0; m < 50; ++m) {
+    EXPECT_EQ(a->Encrypt(m).value(), b->Encrypt((m + 50 - 4) % 50).value());
+  }
+}
+
+
+TEST(MopeKeyTest, SerializeDeserializeRoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 20; ++i) {
+    const MopeKey key = MopeKey::Generate(10000, &rng);
+    const auto back = MopeKey::Deserialize(key.Serialize());
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->offset, key.offset);
+    EXPECT_EQ(back->ope_key.prf_key, key.ope_key.prf_key);
+  }
+}
+
+TEST(MopeKeyTest, SerializedFormIsStable) {
+  MopeKey key;
+  key.ope_key.prf_key.fill(0xAB);
+  key.offset = 42;
+  EXPECT_EQ(key.Serialize(), "abababababababababababababababab:42");
+}
+
+TEST(MopeKeyTest, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(MopeKey::Deserialize("").ok());
+  EXPECT_FALSE(MopeKey::Deserialize("deadbeef:1").ok());        // short hex
+  EXPECT_FALSE(MopeKey::Deserialize(std::string(32, 'g') + ":1").ok());
+  EXPECT_FALSE(
+      MopeKey::Deserialize(std::string(32, 'a') + ":").ok());   // no offset
+  EXPECT_FALSE(
+      MopeKey::Deserialize(std::string(32, 'a') + ":x").ok());  // bad offset
+  EXPECT_TRUE(MopeKey::Deserialize(std::string(32, 'a') + ":7").ok());
+}
+
+TEST(MopeKeyTest, DeserializedKeyEncryptsIdentically) {
+  Rng rng(78);
+  const MopeKey key = MopeKey::Generate(500, &rng);
+  const auto back = MopeKey::Deserialize(key.Serialize());
+  ASSERT_TRUE(back.ok());
+  auto a = MopeScheme::Create({500, 4096}, key);
+  auto b = MopeScheme::Create({500, 4096}, back.value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint64_t m = 0; m < 500; m += 13) {
+    EXPECT_EQ(a->Encrypt(m).value(), b->Encrypt(m).value());
+  }
+}
+
+}  // namespace
+}  // namespace mope::ope

@@ -1,0 +1,182 @@
+#include "ope/mutable_ope.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace mope::ope {
+namespace {
+
+crypto::Key128 TestKey(uint8_t fill = 0x31) {
+  crypto::Key128 key;
+  key.fill(fill);
+  return key;
+}
+
+TEST(DetCipherTest, RoundTrip) {
+  DetCipher det(TestKey());
+  for (uint64_t m : std::vector<uint64_t>{0, 1, 12345, ~uint64_t{0}}) {
+    const auto back = det.Decrypt(det.Encrypt(m));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), m);
+  }
+}
+
+TEST(DetCipherTest, DeterministicAndKeyed) {
+  DetCipher a(TestKey(1)), b(TestKey(2));
+  EXPECT_EQ(a.Encrypt(7), a.Encrypt(7));
+  EXPECT_NE(a.Encrypt(7), b.Encrypt(7));
+  EXPECT_NE(a.Encrypt(7), a.Encrypt(8));
+}
+
+TEST(DetCipherTest, WrongKeyFailsTagCheck) {
+  DetCipher a(TestKey(1)), b(TestKey(2));
+  EXPECT_TRUE(b.Decrypt(a.Encrypt(42)).status().IsCorruption());
+}
+
+TEST(MutableOpeTest, EncodingsAreOrderPreserving) {
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  Rng rng(1);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.UniformUint64(100000));
+  std::map<uint64_t, uint64_t> value_to_encoding;  // final encodings
+  for (uint64_t v : values) {
+    ASSERT_TRUE(client.Insert(v).ok());
+  }
+  // Read the final encodings off the server dump and check monotonicity
+  // against the decrypted values.
+  DetCipher det(TestKey());
+  uint64_t prev_value = 0, prev_encoding = 0;
+  bool first = true;
+  for (const auto& [encoding, cipher] : server.Dump()) {
+    const auto value = det.Decrypt(cipher);
+    ASSERT_TRUE(value.ok());
+    if (!first) {
+      EXPECT_GE(value.value(), prev_value);
+      EXPECT_GT(encoding, prev_encoding);
+    }
+    prev_value = value.value();
+    prev_encoding = encoding;
+    first = false;
+  }
+  EXPECT_EQ(server.size(), values.size());
+}
+
+TEST(MutableOpeTest, SequentialInsertsForceRebalances) {
+  // Ascending inserts degenerate the tree; the path budget forces
+  // rebalances and re-encodings — the "mutable" cost of mOPE.
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  for (uint64_t v = 0; v < 300; ++v) {
+    ASSERT_TRUE(client.Insert(v).ok());
+  }
+  EXPECT_GT(server.rebalances(), 0u);
+  EXPECT_GT(server.reencodings(), 0u);
+  // Order must survive the rebalances.
+  const auto dump = server.Dump();
+  DetCipher det(TestKey());
+  for (size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_EQ(det.Decrypt(dump[i].second).value(), i);
+  }
+}
+
+TEST(MutableOpeTest, InteractionRoundsGrowLogarithmically) {
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  Rng rng(2);
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Insert(rng.NextWord()).ok());
+  }
+  const double rounds_per_insert =
+      static_cast<double>(server.interaction_rounds()) / kN;
+  // Random inserts keep the tree ~log2(n) deep; allow generous slack.
+  EXPECT_GT(rounds_per_insert, 5.0);
+  EXPECT_LT(rounds_per_insert, 40.0);
+}
+
+TEST(MutableOpeTest, DuplicatesAllowed) {
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client.Insert(7).ok());
+  }
+  EXPECT_EQ(server.size(), 50u);
+}
+
+TEST(MutableOpeTest, LowerBoundEncodingSupportsRangeQueries) {
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  std::vector<uint64_t> values{10, 20, 20, 30, 40, 50};
+  for (uint64_t v : values) ASSERT_TRUE(client.Insert(v).ok());
+
+  // Range [15, 40]: count stored encodings in [lb(15), lb(41)).
+  const auto lo = client.LowerBoundEncoding(15);
+  const auto hi = client.LowerBoundEncoding(41);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  int in_range = 0;
+  for (const auto& [encoding, cipher] : server.Dump()) {
+    if (encoding >= lo.value() && encoding < hi.value()) ++in_range;
+  }
+  EXPECT_EQ(in_range, 4);  // 20, 20, 30, 40
+
+  // Bound above everything.
+  const auto top = client.LowerBoundEncoding(1000);
+  ASSERT_TRUE(top.ok());
+  for (const auto& [encoding, cipher] : server.Dump()) {
+    EXPECT_LT(encoding, top.value());
+  }
+  // Bound below everything.
+  const auto bottom = client.LowerBoundEncoding(0);
+  ASSERT_TRUE(bottom.ok());
+  for (const auto& [encoding, cipher] : server.Dump()) {
+    EXPECT_GE(encoding, bottom.value());
+  }
+}
+
+TEST(MutableOpeTest, RandomizedLowerBoundMatchesReference) {
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  Rng rng(3);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(rng.UniformUint64(1000));
+    ASSERT_TRUE(client.Insert(values.back()).ok());
+  }
+  std::sort(values.begin(), values.end());
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t probe = rng.UniformUint64(1100);
+    const auto lb = client.LowerBoundEncoding(probe);
+    ASSERT_TRUE(lb.ok());
+    size_t count = 0;
+    for (const auto& [encoding, cipher] : server.Dump()) {
+      if (encoding >= lb.value()) ++count;
+    }
+    const size_t expected = static_cast<size_t>(
+        values.end() - std::lower_bound(values.begin(), values.end(), probe));
+    EXPECT_EQ(count, expected) << probe;
+  }
+}
+
+TEST(MutableOpeTest, ServerOnlySeesOpaqueBlocks) {
+  // The ciphertexts on the server must not be equal to (or ordered like)
+  // the plaintexts — only the assigned encodings carry order.
+  MutableOpeServer server;
+  MutableOpeClient client(TestKey(), &server);
+  for (uint64_t v = 0; v < 64; ++v) ASSERT_TRUE(client.Insert(v).ok());
+  const auto dump = server.Dump();
+  int ascending_pairs = 0;
+  for (size_t i = 1; i < dump.size(); ++i) {
+    if (dump[i].second > dump[i - 1].second) ++ascending_pairs;
+  }
+  // Opaque AES blocks compared bytewise: ~half the adjacent pairs ascend.
+  EXPECT_GT(ascending_pairs, 10);
+  EXPECT_LT(ascending_pairs, 54);
+}
+
+}  // namespace
+}  // namespace mope::ope

@@ -1,0 +1,177 @@
+#include "ope/ope.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mope::ope {
+namespace {
+
+OpeScheme MakeScheme(uint64_t domain, uint64_t range, uint64_t seed = 7) {
+  Rng rng(seed);
+  auto scheme = OpeScheme::Create({domain, range}, OpeKey::Generate(&rng));
+  EXPECT_TRUE(scheme.ok()) << scheme.status();
+  return std::move(scheme).value();
+}
+
+TEST(OpeTest, CreateValidatesParameters) {
+  Rng rng(1);
+  const OpeKey key = OpeKey::Generate(&rng);
+  EXPECT_TRUE(OpeScheme::Create({0, 10}, key).status().IsInvalidArgument());
+  EXPECT_TRUE(OpeScheme::Create({10, 5}, key).status().IsInvalidArgument());
+  EXPECT_TRUE(OpeScheme::Create({10, 10}, key).ok());
+}
+
+TEST(OpeTest, SuggestRangeIsAtLeast8M) {
+  EXPECT_GE(SuggestRange(100), 800u);
+  EXPECT_GE(SuggestRange(1), 8u);
+  // Power of two.
+  const uint64_t n = SuggestRange(1000);
+  EXPECT_EQ(n & (n - 1), 0u);
+}
+
+TEST(OpeTest, EncryptRejectsOutOfDomain) {
+  OpeScheme s = MakeScheme(16, 128);
+  EXPECT_TRUE(s.Encrypt(16).status().IsOutOfRange());
+  EXPECT_TRUE(s.Encrypt(1000).status().IsOutOfRange());
+  EXPECT_TRUE(s.Decrypt(128).status().IsOutOfRange());
+}
+
+TEST(OpeTest, StrictlyOrderPreservingOverFullDomain) {
+  OpeScheme s = MakeScheme(200, 2048);
+  uint64_t prev = 0;
+  for (uint64_t m = 0; m < 200; ++m) {
+    const auto c = s.Encrypt(m);
+    ASSERT_TRUE(c.ok());
+    if (m > 0) EXPECT_GT(c.value(), prev) << "m=" << m;
+    prev = c.value();
+    EXPECT_LT(c.value(), 2048u);
+  }
+}
+
+TEST(OpeTest, EncryptDecryptRoundTrip) {
+  OpeScheme s = MakeScheme(500, 4096);
+  for (uint64_t m = 0; m < 500; ++m) {
+    const auto c = s.Encrypt(m);
+    ASSERT_TRUE(c.ok());
+    const auto back = s.Decrypt(c.value());
+    ASSERT_TRUE(back.ok()) << back.status() << " m=" << m;
+    EXPECT_EQ(back.value(), m);
+  }
+}
+
+TEST(OpeTest, DeterministicAcrossInstancesWithSameKey) {
+  Rng rng(42);
+  const OpeKey key = OpeKey::Generate(&rng);
+  auto a = OpeScheme::Create({300, 4096}, key);
+  auto b = OpeScheme::Create({300, 4096}, key);
+  for (uint64_t m = 0; m < 300; m += 7) {
+    EXPECT_EQ(a->Encrypt(m).value(), b->Encrypt(m).value());
+  }
+}
+
+TEST(OpeTest, DifferentKeysGiveDifferentFunctions) {
+  OpeScheme a = MakeScheme(256, 4096, 1);
+  OpeScheme b = MakeScheme(256, 4096, 2);
+  int differing = 0;
+  for (uint64_t m = 0; m < 256; ++m) {
+    if (a.Encrypt(m).value() != b.Encrypt(m).value()) ++differing;
+  }
+  EXPECT_GT(differing, 200);
+}
+
+TEST(OpeTest, InvalidCiphertextsReportCorruption) {
+  OpeScheme s = MakeScheme(32, 1024);
+  std::set<uint64_t> image;
+  for (uint64_t m = 0; m < 32; ++m) image.insert(s.Encrypt(m).value());
+  int checked = 0;
+  for (uint64_t c = 0; c < 1024 && checked < 200; ++c) {
+    if (image.contains(c)) continue;
+    EXPECT_TRUE(s.Decrypt(c).status().IsCorruption()) << c;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200);
+}
+
+TEST(OpeTest, DecryptFloorCeilMatchesExhaustiveSearch) {
+  OpeScheme s = MakeScheme(64, 512);
+  std::vector<uint64_t> image(64);
+  for (uint64_t m = 0; m < 64; ++m) image[m] = s.Encrypt(m).value();
+  for (uint64_t c = 0; c < 512; ++c) {
+    // Reference: smallest m with image[m] >= c.
+    uint64_t expected = 64;
+    for (uint64_t m = 0; m < 64; ++m) {
+      if (image[m] >= c) {
+        expected = m;
+        break;
+      }
+    }
+    const auto got = s.DecryptFloorCeil(c);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), expected) << "c=" << c;
+  }
+}
+
+TEST(OpeTest, DomainEqualsRangeIsIdentityLikeBijection) {
+  // With M == N the only order-preserving function is the identity.
+  OpeScheme s = MakeScheme(32, 32);
+  for (uint64_t m = 0; m < 32; ++m) {
+    EXPECT_EQ(s.Encrypt(m).value(), m);
+  }
+}
+
+TEST(OpeTest, SingletonDomain) {
+  OpeScheme s = MakeScheme(1, 64);
+  const auto c = s.Encrypt(0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(s.Decrypt(c.value()).value(), 0u);
+}
+
+TEST(OpeTest, LargeDomainSpotChecks) {
+  OpeScheme s = MakeScheme(1 << 20, uint64_t{1} << 24);
+  uint64_t prev_c = 0;
+  bool first = true;
+  for (uint64_t m = 0; m < (1 << 20); m += 37813) {
+    const auto c = s.Encrypt(m);
+    ASSERT_TRUE(c.ok());
+    if (!first) EXPECT_GT(c.value(), prev_c);
+    first = false;
+    prev_c = c.value();
+    EXPECT_EQ(s.Decrypt(c.value()).value(), m);
+  }
+}
+
+class OpeParamSweepTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(OpeParamSweepTest, RoundTripAndOrderHold) {
+  const auto [domain, range] = GetParam();
+  OpeScheme s = MakeScheme(domain, range, domain * 31 + range);
+  uint64_t prev = 0;
+  const uint64_t step = std::max<uint64_t>(1, domain / 64);
+  bool first = true;
+  for (uint64_t m = 0; m < domain; m += step) {
+    const auto c = s.Encrypt(m);
+    ASSERT_TRUE(c.ok());
+    if (!first) EXPECT_GT(c.value(), prev);
+    first = false;
+    prev = c.value();
+    EXPECT_EQ(s.Decrypt(c.value()).value(), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OpeParamSweepTest,
+    ::testing::Values(std::pair<uint64_t, uint64_t>{2, 16},
+                      std::pair<uint64_t, uint64_t>{10, 100},
+                      std::pair<uint64_t, uint64_t>{100, 800},
+                      std::pair<uint64_t, uint64_t>{101, 1024},
+                      std::pair<uint64_t, uint64_t>{1000, 8192},
+                      std::pair<uint64_t, uint64_t>{2557, 32768},
+                      std::pair<uint64_t, uint64_t>{10000, 131072}));
+
+}  // namespace
+}  // namespace mope::ope

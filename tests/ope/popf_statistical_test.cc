@@ -1,0 +1,88 @@
+/// Statistical POPF check: the lazy-sampled OPE scheme should be
+/// distributed like a uniformly random order-preserving function. We cannot
+/// test indistinguishability directly, but we can compare low-order
+/// statistics of OpeScheme (over many keys) against RandomOpf (over true
+/// randomness): the marginal distribution of each plaintext's ciphertext
+/// and the image-membership rate of each range point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ope/ideal.h"
+#include "ope/ope.h"
+
+namespace mope::ope {
+namespace {
+
+constexpr uint64_t kM = 16;
+constexpr uint64_t kN = 128;
+constexpr int kKeys = 1500;
+
+TEST(PopfStatisticalTest, CiphertextMarginalsMatchTheIdealObject) {
+  Rng rng(0x90F);
+
+  // Mean ciphertext of each plaintext under the real scheme across keys...
+  std::vector<double> real_mean(kM, 0.0);
+  for (int trial = 0; trial < kKeys; ++trial) {
+    auto scheme = OpeScheme::Create({kM, kN}, OpeKey::Generate(&rng));
+    ASSERT_TRUE(scheme.ok());
+    for (uint64_t m = 0; m < kM; ++m) {
+      real_mean[m] += static_cast<double>(scheme->Encrypt(m).value());
+    }
+  }
+  // ... and under the ideal object across samples.
+  std::vector<double> ideal_mean(kM, 0.0);
+  for (int trial = 0; trial < kKeys; ++trial) {
+    const RandomOpf opf = RandomOpf::Sample(kM, kN, &rng);
+    for (uint64_t m = 0; m < kM; ++m) {
+      ideal_mean[m] += static_cast<double>(opf.Encrypt(m));
+    }
+  }
+  for (uint64_t m = 0; m < kM; ++m) {
+    real_mean[m] /= kKeys;
+    ideal_mean[m] /= kKeys;
+    // Order statistics of an M-subset of [N]: E[c_m] = (m+1)(N+1)/(M+1) - 1.
+    const double theory = (static_cast<double>(m) + 1.0) * (kN + 1.0) /
+                              (kM + 1.0) - 1.0;
+    EXPECT_NEAR(real_mean[m], theory, 2.5) << "m=" << m;
+    EXPECT_NEAR(real_mean[m], ideal_mean[m], 3.0) << "m=" << m;
+  }
+}
+
+TEST(PopfStatisticalTest, ImageMembershipRateIsUniform) {
+  // Each ciphertext slot should be in the image with probability M/N.
+  Rng rng(0x90E);
+  std::vector<int> hits(kN, 0);
+  for (int trial = 0; trial < kKeys; ++trial) {
+    auto scheme = OpeScheme::Create({kM, kN}, OpeKey::Generate(&rng));
+    ASSERT_TRUE(scheme.ok());
+    for (uint64_t m = 0; m < kM; ++m) {
+      ++hits[scheme->Encrypt(m).value()];
+    }
+  }
+  const double expected = static_cast<double>(kKeys) * kM / kN;
+  for (uint64_t c = 0; c < kN; ++c) {
+    EXPECT_NEAR(hits[c], expected, 6.0 * std::sqrt(expected)) << "c=" << c;
+  }
+}
+
+TEST(PopfStatisticalTest, DistinctKeysSampleDistinctFunctions) {
+  Rng rng(0x90D);
+  std::set<std::vector<uint64_t>> images;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto scheme = OpeScheme::Create({kM, kN}, OpeKey::Generate(&rng));
+    ASSERT_TRUE(scheme.ok());
+    std::vector<uint64_t> image;
+    for (uint64_t m = 0; m < kM; ++m) {
+      image.push_back(scheme->Encrypt(m).value());
+    }
+    images.insert(std::move(image));
+  }
+  // C(128,16) is astronomically large; 100 keys must give ~100 functions.
+  EXPECT_GT(images.size(), 95u);
+}
+
+}  // namespace
+}  // namespace mope::ope

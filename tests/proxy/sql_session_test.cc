@@ -1,0 +1,154 @@
+#include "proxy/sql_session.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/planner.h"
+#include "workload/tpch.h"
+
+namespace mope::proxy {
+namespace {
+
+using engine::Catalog;
+using engine::Row;
+using namespace workload;  // NOLINT
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig config;
+    config.scale_factor = 0.001;
+    data_ = GenerateTpch(config);
+
+    auto li = plain_.CreateTable("lineitem", data_.lineitem_schema);
+    ASSERT_TRUE(li.ok());
+    for (const Row& row : data_.lineitem) ASSERT_TRUE((*li)->Insert(row).ok());
+    auto part = plain_.CreateTable("part", data_.part_schema);
+    ASSERT_TRUE(part.ok());
+    for (const Row& row : data_.part) ASSERT_TRUE((*part)->Insert(row).ok());
+
+    EncryptedColumnSpec spec;
+    spec.column = "l_shipdate";
+    spec.domain = kTpchDateDomain;
+    spec.k = 60;
+    spec.mode = QueryMode::kAdaptiveUniform;
+    spec.batch_size = 32;
+    ASSERT_TRUE(system_.LoadTable("lineitem", data_.lineitem_schema,
+                                  data_.lineitem, spec)
+                    .ok());
+  }
+
+  TpchData data_;
+  Catalog plain_;
+  MopeSystem system_{0x5E5};
+};
+
+TEST_F(SqlSessionTest, AggregateWithResidualPredicatesMatchesPlaintext) {
+  EncryptedSqlSession session(&system_);
+  const std::string sql =
+      "SELECT SUM(l_extendedprice * l_discount) AS revenue, COUNT(*) "
+      "FROM lineitem WHERE l_shipdate BETWEEN 366 AND 730 "
+      "AND l_discount BETWEEN 0.04 AND 0.06 AND l_quantity < 25";
+  auto encrypted = session.Execute(sql);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  auto baseline = sql::ExecuteSql(&plain_, sql);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(encrypted->rows.size(), 1u);
+  EXPECT_NEAR(std::get<double>(encrypted->rows[0][0]),
+              std::get<double>(baseline->rows[0][0]), 1e-6);
+  EXPECT_EQ(std::get<int64_t>(encrypted->rows[0][1]),
+            std::get<int64_t>(baseline->rows[0][1]));
+  EXPECT_GT(session.last_stats().rows_fetched, 0u);
+  EXPECT_GT(session.last_stats().fake_queries, 0u);
+}
+
+TEST_F(SqlSessionTest, ProjectionMatchesPlaintext) {
+  EncryptedSqlSession session(&system_);
+  const std::string sql =
+      "SELECT l_orderkey, l_quantity FROM lineitem "
+      "WHERE l_shipdate BETWEEN 100 AND 160 AND l_quantity > 45";
+  auto encrypted = session.Execute(sql);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  auto baseline = sql::ExecuteSql(&plain_, sql);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(encrypted->rows.size(), baseline->rows.size());
+  EXPECT_EQ(encrypted->columns, baseline->columns);
+}
+
+TEST_F(SqlSessionTest, DisjunctionOfRangesFetchesBoth) {
+  EncryptedSqlSession session(&system_);
+  const std::string sql =
+      "SELECT COUNT(*) FROM lineitem WHERE "
+      "l_shipdate BETWEEN 100 AND 200 OR l_shipdate BETWEEN 400 AND 500";
+  auto encrypted = session.Execute(sql);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  auto baseline = sql::ExecuteSql(&plain_, sql);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(std::get<int64_t>(encrypted->rows[0][0]),
+            std::get<int64_t>(baseline->rows[0][0]));
+  EXPECT_EQ(session.last_stats().ranges_fetched, 2u);
+}
+
+TEST_F(SqlSessionTest, JoinAgainstAttachedClientTable) {
+  EncryptedSqlSession session(&system_);
+  ASSERT_TRUE(
+      session.AttachClientTable("part", data_.part_schema, data_.part).ok());
+  const std::string sql =
+      "SELECT SUM(l_extendedprice * (1 - l_discount) * p_ispromo) "
+      "FROM lineitem JOIN part ON l_partkey = p_partkey "
+      "WHERE l_shipdate BETWEEN 366 AND 396";
+  auto encrypted = session.Execute(sql);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  auto baseline = sql::ExecuteSql(&plain_, sql);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_NEAR(std::get<double>(encrypted->rows[0][0]),
+              std::get<double>(baseline->rows[0][0]), 1e-6);
+}
+
+TEST_F(SqlSessionTest, OverlappingRangesAreCoalesced) {
+  EncryptedSqlSession session(&system_);
+  const std::string sql =
+      "SELECT COUNT(*) FROM lineitem WHERE "
+      "l_shipdate BETWEEN 100 AND 300 OR l_shipdate BETWEEN 200 AND 400";
+  auto encrypted = session.Execute(sql);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  EXPECT_EQ(session.last_stats().ranges_fetched, 1u);  // merged to [100, 400]
+  auto baseline = sql::ExecuteSql(&plain_, sql);
+  EXPECT_EQ(std::get<int64_t>(encrypted->rows[0][0]),
+            std::get<int64_t>(baseline->rows[0][0]));
+}
+
+TEST_F(SqlSessionTest, HalfOpenComparisonsClampToDomain) {
+  EncryptedSqlSession session(&system_);
+  const std::string sql =
+      "SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= 2400";
+  auto encrypted = session.Execute(sql);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status();
+  auto baseline = sql::ExecuteSql(&plain_, sql);
+  EXPECT_EQ(std::get<int64_t>(encrypted->rows[0][0]),
+            std::get<int64_t>(baseline->rows[0][0]));
+}
+
+TEST_F(SqlSessionTest, RejectsStatementsWithoutUsableRange) {
+  EncryptedSqlSession session(&system_);
+  EXPECT_TRUE(session.Execute("SELECT COUNT(*) FROM lineitem")
+                  .status()
+                  .IsNotSupported());
+  EXPECT_TRUE(session
+                  .Execute("SELECT COUNT(*) FROM lineitem WHERE "
+                           "l_quantity < 10")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(SqlSessionTest, RejectsUnknownOrUnencryptedTables) {
+  EncryptedSqlSession session(&system_);
+  EXPECT_FALSE(session.Execute("SELECT * FROM nope WHERE x < 3").ok());
+}
+
+TEST_F(SqlSessionTest, ParseErrorsPropagate) {
+  EncryptedSqlSession session(&system_);
+  EXPECT_TRUE(session.Execute("SELEC oops").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace mope::proxy

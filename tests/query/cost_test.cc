@@ -1,0 +1,103 @@
+#include "query/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace mope::query {
+namespace {
+
+TEST(RecordCounterTest, CountBetween) {
+  RecordCounter rc({1, 2, 3, 4, 5});
+  EXPECT_EQ(rc.total(), 15u);
+  EXPECT_EQ(rc.CountBetween(0, 4), 15u);
+  EXPECT_EQ(rc.CountBetween(1, 3), 9u);
+  EXPECT_EQ(rc.CountBetween(2, 2), 3u);
+}
+
+TEST(RecordCounterTest, CountInWrappingInterval) {
+  RecordCounter rc({1, 2, 3, 4, 5});
+  // {3, 4, 0}: 4 + 5 + 1 = 10.
+  EXPECT_EQ(rc.CountIn(ModularInterval(3, 3, 5)), 10u);
+  // Full domain.
+  EXPECT_EQ(rc.CountIn(ModularInterval(2, 5, 5)), 15u);
+}
+
+TEST(RecordCounterTest, FromHistogram) {
+  Histogram h(3);
+  h.Add(0, 4);
+  h.Add(2, 6);
+  const RecordCounter rc = RecordCounter::FromHistogram(h);
+  EXPECT_EQ(rc.CountBetween(0, 0), 4u);
+  EXPECT_EQ(rc.CountBetween(1, 1), 0u);
+  EXPECT_EQ(rc.CountBetween(0, 2), 10u);
+}
+
+TEST(CostAccumulatorTest, RequestsFormula) {
+  RecordCounter rc(std::vector<uint64_t>(100, 1));
+  CostAccumulator cost(&rc, 10);
+  // One user query decomposed into 3 reals + 5 fakes.
+  std::vector<FixedQuery> batch;
+  for (uint64_t s : {10u, 20u, 30u}) {
+    batch.push_back(FixedQuery{s, QueryKind::kReal});
+  }
+  for (uint64_t s : {1u, 2u, 3u, 4u, 5u}) {
+    batch.push_back(FixedQuery{s, QueryKind::kFake});
+  }
+  cost.AddBatch(RangeQuery{10, 34}, batch);
+  EXPECT_EQ(cost.real_queries(), 1u);
+  EXPECT_EQ(cost.transformed_queries(), 3u);
+  EXPECT_EQ(cost.fake_queries(), 5u);
+  EXPECT_DOUBLE_EQ(cost.Requests(), 8.0);
+}
+
+TEST(CostAccumulatorTest, BandwidthFormula) {
+  // Uniform density 1 record/value, k = 10.
+  RecordCounter rc(std::vector<uint64_t>(100, 1));
+  CostAccumulator cost(&rc, 10);
+  // User query [10, 34]: |q| = 25 records; |q| mod k = 5.
+  // Two fake queries of length 10 -> 10 records each.
+  std::vector<FixedQuery> batch{
+      FixedQuery{10, QueryKind::kReal},
+      FixedQuery{20, QueryKind::kReal},
+      FixedQuery{30, QueryKind::kReal},
+      FixedQuery{50, QueryKind::kFake},
+      FixedQuery{70, QueryKind::kFake},
+  };
+  cost.AddBatch(RangeQuery{10, 34}, batch);
+  EXPECT_EQ(cost.real_records(), 25u);
+  EXPECT_EQ(cost.fake_records(), 20u);
+  EXPECT_DOUBLE_EQ(cost.Bandwidth(), (20.0 + 5.0) / 25.0);
+}
+
+TEST(CostAccumulatorTest, WrappingFakeQueriesCounted) {
+  RecordCounter rc(std::vector<uint64_t>(20, 2));
+  CostAccumulator cost(&rc, 8);
+  // Fake starting at 16 with k=8 wraps: values {16..19, 0..3} -> 16 records.
+  std::vector<FixedQuery> batch{
+      FixedQuery{0, QueryKind::kReal},
+      FixedQuery{16, QueryKind::kFake},
+  };
+  cost.AddBatch(RangeQuery{0, 7}, batch);
+  EXPECT_EQ(cost.fake_records(), 16u);
+}
+
+TEST(CostAccumulatorTest, ZeroStateGivesZeroCosts) {
+  RecordCounter rc({1, 1});
+  CostAccumulator cost(&rc, 1);
+  EXPECT_DOUBLE_EQ(cost.Bandwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(cost.Requests(), 0.0);
+}
+
+TEST(CostAccumulatorTest, AccumulatesAcrossQueries) {
+  RecordCounter rc(std::vector<uint64_t>(50, 1));
+  CostAccumulator cost(&rc, 5);
+  const std::vector<FixedQuery> batch1{FixedQuery{0, QueryKind::kReal},
+                                       FixedQuery{10, QueryKind::kFake}};
+  const std::vector<FixedQuery> batch2{FixedQuery{5, QueryKind::kReal}};
+  cost.AddBatch(RangeQuery{0, 4}, batch1);
+  cost.AddBatch(RangeQuery{5, 9}, batch2);
+  EXPECT_EQ(cost.real_queries(), 2u);
+  EXPECT_DOUBLE_EQ(cost.Requests(), 3.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace mope::query

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "query/query_types.h"
+
+namespace mope::query {
+namespace {
+
+TEST(DecomposeTest, ShortQueryBecomesSingleFixedQuery) {
+  // Query shorter than k: one fixed query starting at the same location.
+  const auto parts = Decompose(RangeQuery{10, 12}, 10, 100);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].start, 10u);
+  EXPECT_EQ(parts[0].kind, QueryKind::kReal);
+}
+
+TEST(DecomposeTest, ExactMultipleSplitsCleanly) {
+  const auto parts = Decompose(RangeQuery{20, 39}, 10, 100);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].start, 20u);
+  EXPECT_EQ(parts[1].start, 30u);
+}
+
+TEST(DecomposeTest, RemainderAddsOneBlock) {
+  const auto parts = Decompose(RangeQuery{20, 41}, 10, 100);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2].start, 40u);
+}
+
+TEST(DecomposeTest, CoverageAlwaysContainsTheQuery) {
+  for (uint64_t k : {1ULL, 3ULL, 7ULL, 10ULL}) {
+    for (uint64_t first = 0; first < 50; first += 3) {
+      for (uint64_t last = first; last < 50; last += 5) {
+        const auto parts = Decompose(RangeQuery{first, last}, k, 50);
+        std::vector<bool> covered(50, false);
+        for (const auto& p : parts) {
+          const auto iv = CoverageOf(p, k, 50);
+          EXPECT_FALSE(iv.wraps()) << "real queries must not wrap";
+          for (uint64_t x = 0; x < 50; ++x) {
+            if (iv.Contains(x)) covered[x] = true;
+          }
+        }
+        for (uint64_t x = first; x <= last; ++x) {
+          EXPECT_TRUE(covered[x]) << "k=" << k << " [" << first << "," << last
+                                  << "] missing " << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(DecomposeTest, TailBlockShiftsBackAtDomainEnd) {
+  // Query touching the end of the domain: the last block must stay inside.
+  const auto parts = Decompose(RangeQuery{95, 99}, 10, 100);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].start, 90u);  // shifted back to fit
+}
+
+TEST(DecomposeTest, FullDomainQuery) {
+  const auto parts = Decompose(RangeQuery{0, 99}, 10, 100);
+  EXPECT_EQ(parts.size(), 10u);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].start, 10 * i);
+  }
+}
+
+TEST(DecomposeTest, KEqualsOneGivesOneQueryPerValue) {
+  const auto parts = Decompose(RangeQuery{5, 9}, 1, 100);
+  ASSERT_EQ(parts.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(parts[i].start, 5 + i);
+}
+
+TEST(DecomposeTest, KEqualsDomain) {
+  const auto parts = Decompose(RangeQuery{3, 7}, 100, 100);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].start, 0u);
+}
+
+TEST(DecomposeTest, NumberOfBlocksIsCeilLenOverK) {
+  for (uint64_t len = 1; len <= 40; ++len) {
+    const auto parts = Decompose(RangeQuery{0, len - 1}, 7, 100);
+    EXPECT_EQ(parts.size(), (len + 6) / 7) << len;
+  }
+}
+
+}  // namespace
+}  // namespace mope::query

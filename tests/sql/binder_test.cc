@@ -1,0 +1,170 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace mope::sql {
+namespace {
+
+using engine::Column;
+using engine::Row;
+using engine::Schema;
+using engine::Table;
+using engine::Value;
+using engine::ValueType;
+
+Table MakeTable() {
+  return Table("t", Schema({Column{"a", ValueType::kInt},
+                            Column{"b", ValueType::kDouble},
+                            Column{"s", ValueType::kString}}));
+}
+
+ExprPtr ParseExprVia(const std::string& text) {
+  auto stmt = Parse("SELECT * FROM t WHERE " + text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  return std::move(stmt->where);
+}
+
+TEST(RowLayoutTest, ResolveByNameAndQualifier) {
+  Table t = MakeTable();
+  const RowLayout layout = RowLayout::ForTable(t);
+  EXPECT_EQ(layout.Resolve("", "a").value(), 0u);
+  EXPECT_EQ(layout.Resolve("t", "b").value(), 1u);
+  EXPECT_TRUE(layout.Resolve("", "zz").status().IsNotFound());
+  EXPECT_TRUE(layout.Resolve("u", "a").status().IsNotFound());
+}
+
+TEST(RowLayoutTest, ConcatAndAmbiguity) {
+  Table l("l", Schema({Column{"k", ValueType::kInt}}));
+  Table r("r", Schema({Column{"k", ValueType::kInt}}));
+  const RowLayout joined =
+      RowLayout::Concat(RowLayout::ForTable(l), RowLayout::ForTable(r));
+  EXPECT_TRUE(joined.Resolve("", "k").status().IsInvalidArgument());
+  EXPECT_EQ(joined.Resolve("l", "k").value(), 0u);
+  EXPECT_EQ(joined.Resolve("r", "k").value(), 1u);
+}
+
+TEST(BinderTest, BindsColumnIndexes) {
+  Table t = MakeTable();
+  const RowLayout layout = RowLayout::ForTable(t);
+  ExprPtr e = ParseExprVia("a + b > 1");
+  ASSERT_TRUE(BindExpr(e.get(), layout).ok());
+  EXPECT_EQ(e->children[0]->children[0]->bound_index, 0u);
+  EXPECT_EQ(e->children[0]->children[1]->bound_index, 1u);
+}
+
+TEST(BinderTest, UnknownColumnFails) {
+  Table t = MakeTable();
+  ExprPtr e = ParseExprVia("zz = 1");
+  EXPECT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).IsNotFound());
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& text) {
+    Table t = MakeTable();
+    ExprPtr e = ParseExprVia(text);
+    EXPECT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).ok());
+    auto v = EvalExpr(*e, row_);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return v.ok() ? v.value() : Value{int64_t{-999}};
+  }
+
+  bool Pred(const std::string& text) {
+    Table t = MakeTable();
+    ExprPtr e = ParseExprVia(text);
+    EXPECT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).ok());
+    auto v = EvalPredicate(*e, row_);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return v.ok() && v.value();
+  }
+
+  Row row_{int64_t{6}, 2.5, std::string("abc")};  // a=6, b=2.5, s="abc"
+};
+
+TEST_F(EvalTest, IntArithmeticStaysInt) {
+  EXPECT_EQ(std::get<int64_t>(Eval("a + 2 < 100")), 1);
+  EXPECT_EQ(std::get<int64_t>(Eval("a * 3 = 18")), 1);
+}
+
+TEST_F(EvalTest, MixedArithmeticPromotes) {
+  const Value v = Eval("a + b = 8.5");
+  EXPECT_EQ(std::get<int64_t>(v), 1);
+}
+
+TEST_F(EvalTest, DivisionAlwaysDouble) {
+  Table t = MakeTable();
+  ExprPtr e = ParseExprVia("a / 4 = 1.5");
+  ASSERT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).ok());
+  auto v = EvalExpr(*e, row_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::get<int64_t>(v.value()), 1);
+}
+
+TEST_F(EvalTest, DivisionByZeroFails) {
+  Table t = MakeTable();
+  ExprPtr e = ParseExprVia("a / 0 > 1");
+  ASSERT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).ok());
+  EXPECT_FALSE(EvalExpr(*e, row_).ok());
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(Pred("a = 6"));
+  EXPECT_TRUE(Pred("a <> 7"));
+  EXPECT_TRUE(Pred("a < 7"));
+  EXPECT_TRUE(Pred("a <= 6"));
+  EXPECT_TRUE(Pred("a > 5"));
+  EXPECT_TRUE(Pred("a >= 6"));
+  EXPECT_FALSE(Pred("a > 6"));
+}
+
+TEST_F(EvalTest, StringComparisons) {
+  EXPECT_TRUE(Pred("s = 'abc'"));
+  EXPECT_TRUE(Pred("s < 'abd'"));
+  EXPECT_FALSE(Pred("s <> 'abc'"));
+}
+
+TEST_F(EvalTest, MixedStringNumberComparisonFails) {
+  Table t = MakeTable();
+  ExprPtr e = ParseExprVia("s = 1");
+  ASSERT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).ok());
+  EXPECT_FALSE(EvalExpr(*e, row_).ok());
+}
+
+TEST_F(EvalTest, Between) {
+  EXPECT_TRUE(Pred("a BETWEEN 6 AND 6"));
+  EXPECT_TRUE(Pred("a BETWEEN 0 AND 10"));
+  EXPECT_FALSE(Pred("a BETWEEN 7 AND 10"));
+  EXPECT_TRUE(Pred("b BETWEEN 2.0 AND 3.0"));
+}
+
+TEST_F(EvalTest, LogicalOperators) {
+  EXPECT_TRUE(Pred("a = 6 AND b > 2"));
+  EXPECT_FALSE(Pred("a = 6 AND b > 3"));
+  EXPECT_TRUE(Pred("a = 0 OR b > 2"));
+  EXPECT_TRUE(Pred("NOT a = 7"));
+}
+
+TEST_F(EvalTest, ShortCircuitPreventsRhsErrors) {
+  // RHS would divide by zero; AND must short-circuit on false LHS.
+  EXPECT_FALSE(Pred("a = 7 AND a / 0 > 1"));
+  EXPECT_TRUE(Pred("a = 6 OR a / 0 > 1"));
+}
+
+TEST_F(EvalTest, UnaryNegation) {
+  EXPECT_TRUE(Pred("-a = -6"));
+  EXPECT_TRUE(Pred("-b < 0"));
+}
+
+TEST_F(EvalTest, EvalNumericOnStringFails) {
+  Table t = MakeTable();
+  auto stmt = Parse("SELECT s FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ExprPtr e = std::move(stmt->items[0].expr);
+  ASSERT_TRUE(BindExpr(e.get(), RowLayout::ForTable(t)).ok());
+  EXPECT_FALSE(EvalNumeric(*e, row_).ok());
+}
+
+}  // namespace
+}  // namespace mope::sql

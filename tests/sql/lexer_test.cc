@@ -1,0 +1,98 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace mope::sql {
+namespace {
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select FROM WhErE");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 3 + end
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Tokenize("LineItem l_shipdate");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "LineItem");
+  EXPECT_EQ((*tokens)[1].text, "l_shipdate");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = Tokenize("42 0 123456789");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].int_val, 42);
+  EXPECT_EQ((*tokens)[2].int_val, 123456789);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto tokens = Tokenize("3.14 0.05");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[0].double_val, 3.14);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_val, 0.05);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Tokenize("'hello world' ''");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+  EXPECT_EQ((*tokens)[1].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, TwoCharacterOperators) {
+  auto tokens = Tokenize("<= >= <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalizes
+}
+
+TEST(LexerTest, SingleCharacterSymbols) {
+  auto tokens = Tokenize("( ) , * . + - / = < >");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 12u);
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kSymbol);
+  }
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_TRUE(Tokenize("SELECT # FROM t").status().IsParseError());
+}
+
+TEST(LexerTest, PositionsAreByteOffsets) {
+  auto tokens = Tokenize("a  bb");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 3u);
+}
+
+TEST(LexerTest, EndTokenAlwaysPresent) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, AggregateNamesAreKeywords) {
+  auto tokens = Tokenize("SUM COUNT AVG MIN MAX");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kKeyword) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mope::sql

@@ -1,0 +1,164 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mope::sql {
+namespace {
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = Parse("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->select_star);
+  EXPECT_EQ(stmt->from_table, "t");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectColumns) {
+  auto stmt = Parse("SELECT a, b FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].expr->column, "a");
+  EXPECT_EQ(stmt->items[1].expr->column, "b");
+}
+
+TEST(ParserTest, WhereComparison) {
+  auto stmt = Parse("SELECT * FROM t WHERE x >= 10");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kBinary);
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kGe);
+}
+
+TEST(ParserTest, WhereBetween) {
+  auto stmt = Parse("SELECT * FROM t WHERE x BETWEEN 5 AND 9");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind, ExprKind::kBetween);
+  EXPECT_EQ(stmt->where->children[1]->int_val, 5);
+  EXPECT_EQ(stmt->where->children[2]->int_val, 9);
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  // a OR b AND c parses as a OR (b AND c).
+  auto stmt = Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kOr);
+  EXPECT_EQ(stmt->where->children[1]->bin_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto stmt = Parse("SELECT 1 + 2 * 3 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->items[0].expr;
+  EXPECT_EQ(e.bin_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = Parse("SELECT (1 + 2) * 3 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].expr->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = Parse(
+      "SELECT SUM(price * qty) AS total, COUNT(*), AVG(qty) FROM sales");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].agg, AggFunc::kSum);
+  EXPECT_EQ(stmt->items[0].alias, "total");
+  EXPECT_TRUE(stmt->items[1].count_star);
+  EXPECT_EQ(stmt->items[2].agg, AggFunc::kAvg);
+}
+
+TEST(ParserTest, Join) {
+  auto stmt =
+      Parse("SELECT * FROM lineitem JOIN part ON l_partkey = p_partkey");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->join.has_value());
+  EXPECT_EQ(stmt->join->table, "part");
+  EXPECT_EQ(stmt->join->left_key->column, "l_partkey");
+  EXPECT_EQ(stmt->join->right_key->column, "p_partkey");
+}
+
+TEST(ParserTest, GroupBy) {
+  auto stmt = Parse("SELECT COUNT(*) FROM t GROUP BY flag");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->group_by.has_value());
+  EXPECT_EQ(*stmt->group_by, "flag");
+}
+
+TEST(ParserTest, QualifiedColumnNames) {
+  auto stmt = Parse("SELECT t.x FROM t WHERE t.y < 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].expr->table, "t");
+  EXPECT_EQ(stmt->items[0].expr->column, "x");
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  auto stmt = Parse("SELECT * FROM t WHERE NOT x < -5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind, ExprKind::kUnary);
+  EXPECT_EQ(stmt->where->un_op, UnaryOp::kNot);
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto stmt = Parse("SELECT FROM t");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsParseError());
+  EXPECT_NE(stmt.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("SELECT * FROM t extra").ok());
+}
+
+TEST(ParserTest, RejectsMissingFrom) {
+  EXPECT_FALSE(Parse("SELECT *").ok());
+}
+
+TEST(ParserTest, RejectsEmptyInput) {
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(ParserTest, ExprToStringRoundTripsStructure) {
+  auto stmt = Parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2 OR b = 'x'");
+  ASSERT_TRUE(stmt.ok());
+  const std::string rendered = stmt->where->ToString();
+  EXPECT_NE(rendered.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(rendered.find("'x'"), std::string::npos);
+}
+
+TEST(ParserTest, CloneExprDeepCopies) {
+  auto stmt = Parse("SELECT * FROM t WHERE a + 1 < 5");
+  ASSERT_TRUE(stmt.ok());
+  ExprPtr clone = CloneExpr(*stmt->where);
+  EXPECT_EQ(clone->ToString(), stmt->where->ToString());
+  EXPECT_NE(clone.get(), stmt->where.get());
+  EXPECT_NE(clone->children[0].get(), stmt->where->children[0].get());
+}
+
+
+TEST(ParserTest, InListDesugarsToOrOfEqualities) {
+  auto stmt = Parse("SELECT * FROM t WHERE x IN (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  // ((x = 1 OR x = 2) OR x = 3)
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kOr);
+  EXPECT_EQ(stmt->where->children[1]->bin_op, BinaryOp::kEq);
+  EXPECT_EQ(stmt->where->children[1]->children[1]->int_val, 3);
+}
+
+TEST(ParserTest, InListSingleElement) {
+  auto stmt = Parse("SELECT * FROM t WHERE x IN (7)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kEq);
+}
+
+TEST(ParserTest, InListSyntaxErrors) {
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE x IN ()").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE x IN (1, 2").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE x IN 1").ok());
+}
+
+}  // namespace
+}  // namespace mope::sql

@@ -1,0 +1,61 @@
+#include "workload/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace mope::workload {
+namespace {
+
+TEST(CalendarTest, EpochConversions) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(DaysFromCivil({1970, 1, 2}), 1);
+  EXPECT_EQ(DaysFromCivil({1969, 12, 31}), -1);
+  EXPECT_EQ(DaysFromCivil({2000, 3, 1}), 11017);
+}
+
+TEST(CalendarTest, RoundTripAcrossYears) {
+  for (int64_t d = -40000; d <= 40000; d += 97) {
+    EXPECT_EQ(DaysFromCivil(CivilFromDays(d)), d);
+  }
+}
+
+TEST(CalendarTest, LeapYearHandling) {
+  // 1992 and 1996 are leap years in the TPC-H window.
+  EXPECT_EQ(DaysFromCivil({1992, 3, 1}) - DaysFromCivil({1992, 2, 1}), 29);
+  EXPECT_EQ(DaysFromCivil({1996, 3, 1}) - DaysFromCivil({1996, 2, 1}), 29);
+  EXPECT_EQ(DaysFromCivil({1993, 3, 1}) - DaysFromCivil({1993, 2, 1}), 28);
+  // 1900 was not a leap year; 2000 was.
+  EXPECT_EQ(DaysFromCivil({1900, 3, 1}) - DaysFromCivil({1900, 2, 1}), 28);
+  EXPECT_EQ(DaysFromCivil({2000, 3, 1}) - DaysFromCivil({2000, 2, 1}), 29);
+}
+
+TEST(CalendarTest, TpchDayIndexBasics) {
+  EXPECT_EQ(TpchDayIndex({1992, 1, 1}), 0u);
+  EXPECT_EQ(TpchDayIndex({1992, 1, 31}), 30u);
+  EXPECT_EQ(TpchDayIndex({1993, 1, 1}), 366u);  // 1992 is a leap year
+  EXPECT_EQ(TpchLastDay(), 2556u);              // 7 years, 2 leap days
+}
+
+TEST(CalendarTest, TpchDateFromIndexRoundTrip) {
+  for (uint64_t idx = 0; idx <= TpchLastDay(); idx += 13) {
+    EXPECT_EQ(TpchDayIndex(TpchDateFromIndex(idx)), idx);
+  }
+}
+
+TEST(CalendarTest, DomainFitsAllPopulatedDates) {
+  EXPECT_GT(kTpchDateDomain, TpchLastDay());
+}
+
+TEST(CalendarTest, EveryBenchPeriodDividesTheDomain) {
+  for (uint64_t period : {kPeriod15Days, kPeriod1Month, kPeriod2Months,
+                          kPeriod3Months, kPeriod6Months, kPeriod1Year}) {
+    EXPECT_EQ(kTpchDateDomain % period, 0u) << period;
+  }
+}
+
+TEST(CalendarTest, FormatDate) {
+  EXPECT_EQ(FormatDate({1995, 7, 4}), "1995-07-04");
+  EXPECT_EQ(FormatDate({1992, 1, 1}), "1992-01-01");
+}
+
+}  // namespace
+}  // namespace mope::workload

@@ -1,0 +1,125 @@
+#include "workload/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace mope::workload {
+namespace {
+
+using engine::Column;
+using engine::Row;
+using engine::Schema;
+using engine::ValueType;
+
+Schema MakeSchema() {
+  return Schema({Column{"id", ValueType::kInt},
+                 Column{"price", ValueType::kDouble},
+                 Column{"name", ValueType::kString}});
+}
+
+TEST(CsvTest, ParsesSimpleRows) {
+  const auto rows = ParseCsv(MakeSchema(),
+                             "id,price,name\n"
+                             "1,2.5,apple\n"
+                             "2,0.75,banana\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 1);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[1][1]), 0.75);
+  EXPECT_EQ(std::get<std::string>((*rows)[1][2]), "banana");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  const auto rows = ParseCsv(MakeSchema(),
+                             "id,price,name\n"
+                             "1,1.0,\"a, b\"\n"
+                             "2,2.0,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(std::get<std::string>((*rows)[0][2]), "a, b");
+  EXPECT_EQ(std::get<std::string>((*rows)[1][2]), "say \"hi\"");
+}
+
+TEST(CsvTest, CrlfAndBlankLines) {
+  const auto rows = ParseCsv(MakeSchema(),
+                             "id,price,name\r\n"
+                             "1,1.0,x\r\n"
+                             "\r\n"
+                             "2,2.0,y\r\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvTest, NegativeNumbers) {
+  const auto rows = ParseCsv(MakeSchema(), "id,price,name\n-5,-1.25,z\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), -5);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][1]), -1.25);
+}
+
+TEST(CsvTest, RejectsBadHeader) {
+  EXPECT_TRUE(ParseCsv(MakeSchema(), "id,price\n1,2.0\n")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseCsv(MakeSchema(), "id,cost,name\n1,2.0,x\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(CsvTest, RejectsBadValuesWithLineNumbers) {
+  const auto bad_int =
+      ParseCsv(MakeSchema(), "id,price,name\nxx,1.0,a\n");
+  ASSERT_TRUE(bad_int.status().IsParseError());
+  EXPECT_NE(bad_int.status().message().find("line 2"), std::string::npos);
+  EXPECT_TRUE(ParseCsv(MakeSchema(), "id,price,name\n1,notnum,a\n")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseCsv(MakeSchema(), "id,price,name\n1,2.0\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(ParseCsv(MakeSchema(), "id,price,name\n1,1.0,\"oops\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  const Schema schema = MakeSchema();
+  std::vector<Row> rows{
+      Row{int64_t{1}, 2.5, std::string("plain")},
+      Row{int64_t{-2}, 0.0, std::string("with, comma")},
+      Row{int64_t{3}, 9.75, std::string("with \"quotes\"")},
+  };
+  const std::string text = WriteCsv(schema, rows);
+  const auto parsed = ParseCsv(schema, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(std::get<int64_t>((*parsed)[r][0]), std::get<int64_t>(rows[r][0]));
+    EXPECT_EQ(std::get<std::string>((*parsed)[r][2]),
+              std::get<std::string>(rows[r][2]));
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Schema schema = MakeSchema();
+  const std::vector<Row> rows{Row{int64_t{7}, 1.5, std::string("disk")}};
+  const std::string path = ::testing::TempDir() + "/mope_csv_test.csv";
+  ASSERT_TRUE(SaveCsvFile(schema, rows, path).ok());
+  const auto loaded = LoadCsvFile(schema, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(std::get<std::string>((*loaded)[0][2]), "disk");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadCsvFile(MakeSchema(), "/nonexistent/x.csv")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace mope::workload

@@ -1,0 +1,82 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace mope::workload {
+namespace {
+
+TEST(GeneratorTest, QueriesAreValidRanges) {
+  const auto centers = MakeDataset(DatasetKind::kAdult);
+  Rng rng(1);
+  for (double sigma : {1.0, 5.0, 10.0, 25.0}) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto q = GenerateQuery(centers, {sigma}, &rng);
+      EXPECT_LE(q.first, q.last);
+      EXPECT_LT(q.last, centers.size());
+    }
+  }
+}
+
+TEST(GeneratorTest, LengthScalesWithSigma) {
+  const auto centers = dist::Distribution::Uniform(10000);
+  Rng rng(2);
+  auto mean_len = [&](double sigma) {
+    double total = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+      total += static_cast<double>(GenerateQuery(centers, {sigma}, &rng).length());
+    }
+    return total / 5000.0;
+  };
+  const double len5 = mean_len(5.0);
+  const double len25 = mean_len(25.0);
+  // Half-normal mean is sigma * sqrt(2/pi) ~ 0.8 sigma (floored at 1).
+  EXPECT_GT(len25, 3.0 * len5);
+  EXPECT_NEAR(len5, 5.0 * std::sqrt(2.0 / M_PI), 1.2);
+}
+
+TEST(GeneratorTest, CentersFollowTheDataset) {
+  const auto centers = MakeDataset(DatasetKind::kZipf);
+  Rng rng(3);
+  uint64_t low = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    if (GenerateQuery(centers, {2.0}, &rng).first < 100) ++low;
+  }
+  // Zipf concentrates over 40% of its mass in the first 100 values.
+  EXPECT_GT(low, kN / 3);
+}
+
+TEST(GeneratorTest, GenerateQueriesCount) {
+  const auto centers = dist::Distribution::Uniform(100);
+  Rng rng(4);
+  EXPECT_EQ(GenerateQueries(centers, {5.0}, 123, &rng).size(), 123u);
+}
+
+TEST(GeneratorTest, StartDistributionIsOverDecomposedStarts) {
+  const auto centers = dist::Distribution::Uniform(500);
+  Rng rng(5);
+  const auto starts = BuildStartDistribution(centers, {10.0}, 7, 3000, &rng);
+  EXPECT_EQ(starts.size(), 500u);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < starts.size(); ++i) sum += starts.prob(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Valid starts for k=7 never exceed 500-7.
+  for (uint64_t i = 494; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(starts.prob(i), 0.0) << i;
+  }
+}
+
+TEST(GeneratorTest, SkewedDatasetYieldsSkewedStarts) {
+  const auto centers = MakeDataset(DatasetKind::kSanFran);
+  Rng rng(6);
+  const auto starts = BuildStartDistribution(centers, {10.0}, 10, 5000, &rng);
+  EXPECT_GT(starts.max_prob(), 10.0 / static_cast<double>(starts.size()));
+}
+
+}  // namespace
+}  // namespace mope::workload

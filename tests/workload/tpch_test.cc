@@ -1,0 +1,139 @@
+#include "workload/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace mope::workload {
+namespace {
+
+TEST(TpchTest, RowCountsScale) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  const TpchData data = GenerateTpch(config);
+  EXPECT_EQ(data.part.size(), 200u);
+  EXPECT_EQ(data.orders.size(), 1500u);
+  // 1..7 lineitems per order, expectation 4.
+  EXPECT_GT(data.lineitem.size(), 2u * data.orders.size());
+  EXPECT_LT(data.lineitem.size(), 7u * data.orders.size());
+}
+
+TEST(TpchTest, DeterministicFromSeed) {
+  TpchConfig config;
+  config.scale_factor = 0.0005;
+  const TpchData a = GenerateTpch(config);
+  const TpchData b = GenerateTpch(config);
+  ASSERT_EQ(a.lineitem.size(), b.lineitem.size());
+  for (size_t i = 0; i < a.lineitem.size(); i += 50) {
+    EXPECT_EQ(std::get<int64_t>(a.lineitem[i][tpch_cols::kLShipDate]),
+              std::get<int64_t>(b.lineitem[i][tpch_cols::kLShipDate]));
+  }
+}
+
+TEST(TpchTest, DatesWithinPopulatedWindow) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  const TpchData data = GenerateTpch(config);
+  for (const auto& row : data.lineitem) {
+    for (size_t col : {tpch_cols::kLShipDate, tpch_cols::kLCommitDate,
+                       tpch_cols::kLReceiptDate}) {
+      const int64_t day = std::get<int64_t>(row[col]);
+      EXPECT_GE(day, 0);
+      EXPECT_LE(day, static_cast<int64_t>(TpchLastDay()));
+      EXPECT_LT(day, static_cast<int64_t>(kTpchDateDomain));
+    }
+  }
+  for (const auto& row : data.orders) {
+    const int64_t day = std::get<int64_t>(row[tpch_cols::kOrderDate]);
+    EXPECT_GE(day, 0);
+    EXPECT_LE(day, static_cast<int64_t>(TpchLastDay()) - 151);
+  }
+}
+
+TEST(TpchTest, LineitemDateOrderingInvariants) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  const TpchData data = GenerateTpch(config);
+  // receiptdate > shipdate always; shipdate > orderdate for its order.
+  std::vector<int64_t> order_dates(data.orders.size() + 1, 0);
+  for (const auto& row : data.orders) {
+    order_dates[static_cast<size_t>(
+        std::get<int64_t>(row[tpch_cols::kOrderKey]))] =
+        std::get<int64_t>(row[tpch_cols::kOrderDate]);
+  }
+  for (const auto& row : data.lineitem) {
+    const int64_t ship = std::get<int64_t>(row[tpch_cols::kLShipDate]);
+    const int64_t receipt = std::get<int64_t>(row[tpch_cols::kLReceiptDate]);
+    const int64_t orderkey = std::get<int64_t>(row[tpch_cols::kLOrderKey]);
+    EXPECT_GT(receipt, ship);
+    EXPECT_GT(ship, order_dates[static_cast<size_t>(orderkey)]);
+  }
+}
+
+TEST(TpchTest, PromoFlagMatchesTypePrefix) {
+  TpchConfig config;
+  config.scale_factor = 0.005;
+  const TpchData data = GenerateTpch(config);
+  int promos = 0;
+  for (const auto& row : data.part) {
+    const auto& type = std::get<std::string>(row[tpch_cols::kPartType]);
+    const int64_t flag = std::get<int64_t>(row[tpch_cols::kPartIsPromo]);
+    EXPECT_EQ(flag, type.rfind("PROMO", 0) == 0 ? 1 : 0);
+    promos += static_cast<int>(flag);
+  }
+  // ~1/6 of parts are PROMO.
+  EXPECT_NEAR(static_cast<double>(promos) / data.part.size(), 1.0 / 6.0, 0.04);
+}
+
+TEST(TpchTest, QueryTemplateRangesMatchThePaper) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Q6Params q6 = SampleQ6(&rng);
+    // One year: 365 or 366 days, within 1993..1997(+1 day).
+    EXPECT_GE(q6.shipdate.length(), 365u);
+    EXPECT_LE(q6.shipdate.length(), 366u);
+    EXPECT_GE(q6.shipdate.first, TpchDayIndex({1993, 1, 1}));
+    EXPECT_LE(q6.shipdate.last, TpchDayIndex({1997, 12, 31}));
+    EXPECT_NEAR(q6.discount_hi - q6.discount_lo, 0.02, 1e-9);
+
+    const Q14Params q14 = SampleQ14(&rng);
+    EXPECT_GE(q14.shipdate.length(), 28u);
+    EXPECT_LE(q14.shipdate.length(), 31u);
+
+    const Q4Params q4 = SampleQ4(&rng);
+    EXPECT_GE(q4.orderdate.length(), 90u);
+    EXPECT_LE(q4.orderdate.length(), 92u);
+  }
+}
+
+TEST(TpchTest, SqlTemplatesMentionTheRightPieces) {
+  Rng rng(2);
+  const Q6Params q6 = SampleQ6(&rng);
+  const std::string sql = Q6Sql(q6);
+  EXPECT_NE(sql.find("l_shipdate BETWEEN"), std::string::npos);
+  EXPECT_NE(sql.find("l_discount BETWEEN"), std::string::npos);
+  EXPECT_NE(sql.find("l_quantity <"), std::string::npos);
+
+  const Q14Params q14 = SampleQ14(&rng);
+  EXPECT_NE(Q14PromoSql(q14).find("p_ispromo"), std::string::npos);
+  EXPECT_NE(Q14TotalSql(q14).find("JOIN part"), std::string::npos);
+  EXPECT_NE(Q1Sql(100).find("GROUP BY l_returnflag"), std::string::npos);
+}
+
+TEST(TpchTest, SchemasMatchColumnConstants) {
+  TpchConfig config;
+  config.scale_factor = 0.0005;
+  const TpchData data = GenerateTpch(config);
+  EXPECT_EQ(data.lineitem_schema.column(tpch_cols::kLShipDate).name,
+            "l_shipdate");
+  EXPECT_EQ(data.orders_schema.column(tpch_cols::kOrderDate).name,
+            "o_orderdate");
+  EXPECT_EQ(data.part_schema.column(tpch_cols::kPartIsPromo).name,
+            "p_ispromo");
+  EXPECT_TRUE(data.lineitem_schema.Validate(data.lineitem[0]).ok());
+  EXPECT_TRUE(data.orders_schema.Validate(data.orders[0]).ok());
+  EXPECT_TRUE(data.part_schema.Validate(data.part[0]).ok());
+}
+
+}  // namespace
+}  // namespace mope::workload
