@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_gap_attack.dir/bench_fig01_gap_attack.cc.o"
+  "CMakeFiles/bench_fig01_gap_attack.dir/bench_fig01_gap_attack.cc.o.d"
+  "bench_fig01_gap_attack"
+  "bench_fig01_gap_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_gap_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

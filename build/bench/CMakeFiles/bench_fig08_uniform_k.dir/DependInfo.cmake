@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_uniform_k.cc" "bench/CMakeFiles/bench_fig08_uniform_k.dir/bench_fig08_uniform_k.cc.o" "gcc" "bench/CMakeFiles/bench_fig08_uniform_k.dir/bench_fig08_uniform_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proxy/CMakeFiles/mope_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mope_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mope_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mope_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mope_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/ope/CMakeFiles/mope_ope.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mope_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mope_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

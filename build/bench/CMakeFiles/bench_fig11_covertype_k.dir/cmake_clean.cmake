@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_covertype_k.dir/bench_fig11_covertype_k.cc.o"
+  "CMakeFiles/bench_fig11_covertype_k.dir/bench_fig11_covertype_k.cc.o.d"
+  "bench_fig11_covertype_k"
+  "bench_fig11_covertype_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_covertype_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

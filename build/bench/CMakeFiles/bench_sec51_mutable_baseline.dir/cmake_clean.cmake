@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_mutable_baseline.dir/bench_sec51_mutable_baseline.cc.o"
+  "CMakeFiles/bench_sec51_mutable_baseline.dir/bench_sec51_mutable_baseline.cc.o.d"
+  "bench_sec51_mutable_baseline"
+  "bench_sec51_mutable_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_mutable_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

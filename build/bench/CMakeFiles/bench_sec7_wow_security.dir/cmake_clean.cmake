@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_wow_security.dir/bench_sec7_wow_security.cc.o"
+  "CMakeFiles/bench_sec7_wow_security.dir/bench_sec7_wow_security.cc.o.d"
+  "bench_sec7_wow_security"
+  "bench_sec7_wow_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_wow_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

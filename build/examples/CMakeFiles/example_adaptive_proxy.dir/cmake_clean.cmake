@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_proxy.dir/adaptive_proxy.cpp.o"
+  "CMakeFiles/example_adaptive_proxy.dir/adaptive_proxy.cpp.o.d"
+  "example_adaptive_proxy"
+  "example_adaptive_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_encrypted_analytics.dir/encrypted_analytics.cpp.o"
+  "CMakeFiles/example_encrypted_analytics.dir/encrypted_analytics.cpp.o.d"
+  "example_encrypted_analytics"
+  "example_encrypted_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_encrypted_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

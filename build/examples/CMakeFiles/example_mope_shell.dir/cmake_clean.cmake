@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mope_shell.dir/mope_shell.cpp.o"
+  "CMakeFiles/example_mope_shell.dir/mope_shell.cpp.o.d"
+  "example_mope_shell"
+  "example_mope_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mope_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

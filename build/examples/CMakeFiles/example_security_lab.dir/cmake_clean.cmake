@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_security_lab.dir/security_lab.cpp.o"
+  "CMakeFiles/example_security_lab.dir/security_lab.cpp.o.d"
+  "example_security_lab"
+  "example_security_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_security_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/frequency.cc" "src/attack/CMakeFiles/mope_attack.dir/frequency.cc.o" "gcc" "src/attack/CMakeFiles/mope_attack.dir/frequency.cc.o.d"
+  "/root/repo/src/attack/gap_attack.cc" "src/attack/CMakeFiles/mope_attack.dir/gap_attack.cc.o" "gcc" "src/attack/CMakeFiles/mope_attack.dir/gap_attack.cc.o.d"
+  "/root/repo/src/attack/known_plaintext.cc" "src/attack/CMakeFiles/mope_attack.dir/known_plaintext.cc.o" "gcc" "src/attack/CMakeFiles/mope_attack.dir/known_plaintext.cc.o.d"
+  "/root/repo/src/attack/wow.cc" "src/attack/CMakeFiles/mope_attack.dir/wow.cc.o" "gcc" "src/attack/CMakeFiles/mope_attack.dir/wow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mope_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ope/CMakeFiles/mope_ope.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mope_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_attack.dir/frequency.cc.o"
+  "CMakeFiles/mope_attack.dir/frequency.cc.o.d"
+  "CMakeFiles/mope_attack.dir/gap_attack.cc.o"
+  "CMakeFiles/mope_attack.dir/gap_attack.cc.o.d"
+  "CMakeFiles/mope_attack.dir/known_plaintext.cc.o"
+  "CMakeFiles/mope_attack.dir/known_plaintext.cc.o.d"
+  "CMakeFiles/mope_attack.dir/wow.cc.o"
+  "CMakeFiles/mope_attack.dir/wow.cc.o.d"
+  "libmope_attack.a"
+  "libmope_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_common.dir/histogram.cc.o"
+  "CMakeFiles/mope_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mope_common.dir/interval.cc.o"
+  "CMakeFiles/mope_common.dir/interval.cc.o.d"
+  "CMakeFiles/mope_common.dir/math_util.cc.o"
+  "CMakeFiles/mope_common.dir/math_util.cc.o.d"
+  "CMakeFiles/mope_common.dir/random.cc.o"
+  "CMakeFiles/mope_common.dir/random.cc.o.d"
+  "CMakeFiles/mope_common.dir/status.cc.o"
+  "CMakeFiles/mope_common.dir/status.cc.o.d"
+  "libmope_common.a"
+  "libmope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/mope_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/mope_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/mope_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/mope_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/hgd.cc" "src/crypto/CMakeFiles/mope_crypto.dir/hgd.cc.o" "gcc" "src/crypto/CMakeFiles/mope_crypto.dir/hgd.cc.o.d"
+  "/root/repo/src/crypto/prf.cc" "src/crypto/CMakeFiles/mope_crypto.dir/prf.cc.o" "gcc" "src/crypto/CMakeFiles/mope_crypto.dir/prf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_crypto.dir/aes.cc.o"
+  "CMakeFiles/mope_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/mope_crypto.dir/drbg.cc.o"
+  "CMakeFiles/mope_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/mope_crypto.dir/hgd.cc.o"
+  "CMakeFiles/mope_crypto.dir/hgd.cc.o.d"
+  "CMakeFiles/mope_crypto.dir/prf.cc.o"
+  "CMakeFiles/mope_crypto.dir/prf.cc.o.d"
+  "libmope_crypto.a"
+  "libmope_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_dist.dir/completion.cc.o"
+  "CMakeFiles/mope_dist.dir/completion.cc.o.d"
+  "CMakeFiles/mope_dist.dir/distribution.cc.o"
+  "CMakeFiles/mope_dist.dir/distribution.cc.o.d"
+  "CMakeFiles/mope_dist.dir/query_buffer.cc.o"
+  "CMakeFiles/mope_dist.dir/query_buffer.cc.o.d"
+  "libmope_dist.a"
+  "libmope_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

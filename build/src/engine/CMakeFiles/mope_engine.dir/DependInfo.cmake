@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree.cc" "src/engine/CMakeFiles/mope_engine.dir/btree.cc.o" "gcc" "src/engine/CMakeFiles/mope_engine.dir/btree.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/mope_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/mope_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/server.cc" "src/engine/CMakeFiles/mope_engine.dir/server.cc.o" "gcc" "src/engine/CMakeFiles/mope_engine.dir/server.cc.o.d"
+  "/root/repo/src/engine/snapshot.cc" "src/engine/CMakeFiles/mope_engine.dir/snapshot.cc.o" "gcc" "src/engine/CMakeFiles/mope_engine.dir/snapshot.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/mope_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/mope_engine.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

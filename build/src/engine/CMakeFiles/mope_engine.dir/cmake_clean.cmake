@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_engine.dir/btree.cc.o"
+  "CMakeFiles/mope_engine.dir/btree.cc.o.d"
+  "CMakeFiles/mope_engine.dir/executor.cc.o"
+  "CMakeFiles/mope_engine.dir/executor.cc.o.d"
+  "CMakeFiles/mope_engine.dir/server.cc.o"
+  "CMakeFiles/mope_engine.dir/server.cc.o.d"
+  "CMakeFiles/mope_engine.dir/snapshot.cc.o"
+  "CMakeFiles/mope_engine.dir/snapshot.cc.o.d"
+  "CMakeFiles/mope_engine.dir/table.cc.o"
+  "CMakeFiles/mope_engine.dir/table.cc.o.d"
+  "libmope_engine.a"
+  "libmope_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmope_engine.a"
+)

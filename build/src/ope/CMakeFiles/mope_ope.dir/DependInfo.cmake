@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ope/ideal.cc" "src/ope/CMakeFiles/mope_ope.dir/ideal.cc.o" "gcc" "src/ope/CMakeFiles/mope_ope.dir/ideal.cc.o.d"
+  "/root/repo/src/ope/mope.cc" "src/ope/CMakeFiles/mope_ope.dir/mope.cc.o" "gcc" "src/ope/CMakeFiles/mope_ope.dir/mope.cc.o.d"
+  "/root/repo/src/ope/mutable_ope.cc" "src/ope/CMakeFiles/mope_ope.dir/mutable_ope.cc.o" "gcc" "src/ope/CMakeFiles/mope_ope.dir/mutable_ope.cc.o.d"
+  "/root/repo/src/ope/ope.cc" "src/ope/CMakeFiles/mope_ope.dir/ope.cc.o" "gcc" "src/ope/CMakeFiles/mope_ope.dir/ope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mope_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_ope.dir/ideal.cc.o"
+  "CMakeFiles/mope_ope.dir/ideal.cc.o.d"
+  "CMakeFiles/mope_ope.dir/mope.cc.o"
+  "CMakeFiles/mope_ope.dir/mope.cc.o.d"
+  "CMakeFiles/mope_ope.dir/mutable_ope.cc.o"
+  "CMakeFiles/mope_ope.dir/mutable_ope.cc.o.d"
+  "CMakeFiles/mope_ope.dir/ope.cc.o"
+  "CMakeFiles/mope_ope.dir/ope.cc.o.d"
+  "libmope_ope.a"
+  "libmope_ope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_ope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

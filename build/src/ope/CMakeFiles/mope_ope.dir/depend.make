@@ -1,0 +1,2 @@
+# Empty dependencies file for mope_ope.
+# This may be replaced when dependencies are built.

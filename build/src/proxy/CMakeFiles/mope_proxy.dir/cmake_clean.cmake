@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_proxy.dir/proxy.cc.o"
+  "CMakeFiles/mope_proxy.dir/proxy.cc.o.d"
+  "CMakeFiles/mope_proxy.dir/sql_session.cc.o"
+  "CMakeFiles/mope_proxy.dir/sql_session.cc.o.d"
+  "CMakeFiles/mope_proxy.dir/system.cc.o"
+  "CMakeFiles/mope_proxy.dir/system.cc.o.d"
+  "libmope_proxy.a"
+  "libmope_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/algorithms.cc" "src/query/CMakeFiles/mope_query.dir/algorithms.cc.o" "gcc" "src/query/CMakeFiles/mope_query.dir/algorithms.cc.o.d"
+  "/root/repo/src/query/cost.cc" "src/query/CMakeFiles/mope_query.dir/cost.cc.o" "gcc" "src/query/CMakeFiles/mope_query.dir/cost.cc.o.d"
+  "/root/repo/src/query/query_types.cc" "src/query/CMakeFiles/mope_query.dir/query_types.cc.o" "gcc" "src/query/CMakeFiles/mope_query.dir/query_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mope_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_query.dir/algorithms.cc.o"
+  "CMakeFiles/mope_query.dir/algorithms.cc.o.d"
+  "CMakeFiles/mope_query.dir/cost.cc.o"
+  "CMakeFiles/mope_query.dir/cost.cc.o.d"
+  "CMakeFiles/mope_query.dir/query_types.cc.o"
+  "CMakeFiles/mope_query.dir/query_types.cc.o.d"
+  "libmope_query.a"
+  "libmope_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

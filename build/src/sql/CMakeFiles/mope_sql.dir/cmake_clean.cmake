@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_sql.dir/ast.cc.o"
+  "CMakeFiles/mope_sql.dir/ast.cc.o.d"
+  "CMakeFiles/mope_sql.dir/binder.cc.o"
+  "CMakeFiles/mope_sql.dir/binder.cc.o.d"
+  "CMakeFiles/mope_sql.dir/lexer.cc.o"
+  "CMakeFiles/mope_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/mope_sql.dir/parser.cc.o"
+  "CMakeFiles/mope_sql.dir/parser.cc.o.d"
+  "CMakeFiles/mope_sql.dir/planner.cc.o"
+  "CMakeFiles/mope_sql.dir/planner.cc.o.d"
+  "CMakeFiles/mope_sql.dir/range_extract.cc.o"
+  "CMakeFiles/mope_sql.dir/range_extract.cc.o.d"
+  "libmope_sql.a"
+  "libmope_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

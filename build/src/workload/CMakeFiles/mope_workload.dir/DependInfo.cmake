@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calendar.cc" "src/workload/CMakeFiles/mope_workload.dir/calendar.cc.o" "gcc" "src/workload/CMakeFiles/mope_workload.dir/calendar.cc.o.d"
+  "/root/repo/src/workload/csv.cc" "src/workload/CMakeFiles/mope_workload.dir/csv.cc.o" "gcc" "src/workload/CMakeFiles/mope_workload.dir/csv.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/workload/CMakeFiles/mope_workload.dir/datasets.cc.o" "gcc" "src/workload/CMakeFiles/mope_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/mope_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/mope_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/mope_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/mope_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mope_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mope_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mope_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_workload.dir/calendar.cc.o"
+  "CMakeFiles/mope_workload.dir/calendar.cc.o.d"
+  "CMakeFiles/mope_workload.dir/csv.cc.o"
+  "CMakeFiles/mope_workload.dir/csv.cc.o.d"
+  "CMakeFiles/mope_workload.dir/datasets.cc.o"
+  "CMakeFiles/mope_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/mope_workload.dir/generator.cc.o"
+  "CMakeFiles/mope_workload.dir/generator.cc.o.d"
+  "CMakeFiles/mope_workload.dir/tpch.cc.o"
+  "CMakeFiles/mope_workload.dir/tpch.cc.o.d"
+  "libmope_workload.a"
+  "libmope_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/frequency_test.cc" "tests/CMakeFiles/mope_tests.dir/attack/frequency_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/attack/frequency_test.cc.o.d"
+  "/root/repo/tests/attack/gap_attack_test.cc" "tests/CMakeFiles/mope_tests.dir/attack/gap_attack_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/attack/gap_attack_test.cc.o.d"
+  "/root/repo/tests/attack/known_plaintext_test.cc" "tests/CMakeFiles/mope_tests.dir/attack/known_plaintext_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/attack/known_plaintext_test.cc.o.d"
+  "/root/repo/tests/attack/wow_test.cc" "tests/CMakeFiles/mope_tests.dir/attack/wow_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/attack/wow_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/mope_tests.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/interval_test.cc" "tests/CMakeFiles/mope_tests.dir/common/interval_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/common/interval_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/mope_tests.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/mope_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/mope_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/crypto/aes_test.cc" "tests/CMakeFiles/mope_tests.dir/crypto/aes_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/crypto/aes_test.cc.o.d"
+  "/root/repo/tests/crypto/drbg_test.cc" "tests/CMakeFiles/mope_tests.dir/crypto/drbg_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/crypto/drbg_test.cc.o.d"
+  "/root/repo/tests/crypto/hgd_test.cc" "tests/CMakeFiles/mope_tests.dir/crypto/hgd_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/crypto/hgd_test.cc.o.d"
+  "/root/repo/tests/crypto/prf_test.cc" "tests/CMakeFiles/mope_tests.dir/crypto/prf_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/crypto/prf_test.cc.o.d"
+  "/root/repo/tests/dist/completion_test.cc" "tests/CMakeFiles/mope_tests.dir/dist/completion_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/dist/completion_test.cc.o.d"
+  "/root/repo/tests/dist/distribution_test.cc" "tests/CMakeFiles/mope_tests.dir/dist/distribution_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/dist/distribution_test.cc.o.d"
+  "/root/repo/tests/dist/query_buffer_test.cc" "tests/CMakeFiles/mope_tests.dir/dist/query_buffer_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/dist/query_buffer_test.cc.o.d"
+  "/root/repo/tests/engine/btree_test.cc" "tests/CMakeFiles/mope_tests.dir/engine/btree_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/engine/btree_test.cc.o.d"
+  "/root/repo/tests/engine/executor_test.cc" "tests/CMakeFiles/mope_tests.dir/engine/executor_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/engine/executor_test.cc.o.d"
+  "/root/repo/tests/engine/server_test.cc" "tests/CMakeFiles/mope_tests.dir/engine/server_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/engine/server_test.cc.o.d"
+  "/root/repo/tests/engine/snapshot_test.cc" "tests/CMakeFiles/mope_tests.dir/engine/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/engine/snapshot_test.cc.o.d"
+  "/root/repo/tests/engine/table_test.cc" "tests/CMakeFiles/mope_tests.dir/engine/table_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/engine/table_test.cc.o.d"
+  "/root/repo/tests/integration/csv_pipeline_test.cc" "tests/CMakeFiles/mope_tests.dir/integration/csv_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/integration/csv_pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/mope_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/ope/ideal_test.cc" "tests/CMakeFiles/mope_tests.dir/ope/ideal_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/ope/ideal_test.cc.o.d"
+  "/root/repo/tests/ope/mope_test.cc" "tests/CMakeFiles/mope_tests.dir/ope/mope_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/ope/mope_test.cc.o.d"
+  "/root/repo/tests/ope/mutable_ope_test.cc" "tests/CMakeFiles/mope_tests.dir/ope/mutable_ope_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/ope/mutable_ope_test.cc.o.d"
+  "/root/repo/tests/ope/ope_test.cc" "tests/CMakeFiles/mope_tests.dir/ope/ope_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/ope/ope_test.cc.o.d"
+  "/root/repo/tests/ope/popf_statistical_test.cc" "tests/CMakeFiles/mope_tests.dir/ope/popf_statistical_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/ope/popf_statistical_test.cc.o.d"
+  "/root/repo/tests/proxy/concurrency_test.cc" "tests/CMakeFiles/mope_tests.dir/proxy/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/proxy/concurrency_test.cc.o.d"
+  "/root/repo/tests/proxy/connection_test.cc" "tests/CMakeFiles/mope_tests.dir/proxy/connection_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/proxy/connection_test.cc.o.d"
+  "/root/repo/tests/proxy/proxy_test.cc" "tests/CMakeFiles/mope_tests.dir/proxy/proxy_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/proxy/proxy_test.cc.o.d"
+  "/root/repo/tests/proxy/rotation_test.cc" "tests/CMakeFiles/mope_tests.dir/proxy/rotation_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/proxy/rotation_test.cc.o.d"
+  "/root/repo/tests/proxy/sql_session_test.cc" "tests/CMakeFiles/mope_tests.dir/proxy/sql_session_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/proxy/sql_session_test.cc.o.d"
+  "/root/repo/tests/query/algorithms_test.cc" "tests/CMakeFiles/mope_tests.dir/query/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/query/algorithms_test.cc.o.d"
+  "/root/repo/tests/query/cost_test.cc" "tests/CMakeFiles/mope_tests.dir/query/cost_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/query/cost_test.cc.o.d"
+  "/root/repo/tests/query/decompose_test.cc" "tests/CMakeFiles/mope_tests.dir/query/decompose_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/query/decompose_test.cc.o.d"
+  "/root/repo/tests/sql/binder_test.cc" "tests/CMakeFiles/mope_tests.dir/sql/binder_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/sql/binder_test.cc.o.d"
+  "/root/repo/tests/sql/lexer_test.cc" "tests/CMakeFiles/mope_tests.dir/sql/lexer_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/sql/lexer_test.cc.o.d"
+  "/root/repo/tests/sql/parser_test.cc" "tests/CMakeFiles/mope_tests.dir/sql/parser_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/sql/parser_test.cc.o.d"
+  "/root/repo/tests/sql/planner_test.cc" "tests/CMakeFiles/mope_tests.dir/sql/planner_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/sql/planner_test.cc.o.d"
+  "/root/repo/tests/workload/calendar_test.cc" "tests/CMakeFiles/mope_tests.dir/workload/calendar_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/workload/calendar_test.cc.o.d"
+  "/root/repo/tests/workload/csv_test.cc" "tests/CMakeFiles/mope_tests.dir/workload/csv_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/workload/csv_test.cc.o.d"
+  "/root/repo/tests/workload/datasets_test.cc" "tests/CMakeFiles/mope_tests.dir/workload/datasets_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/workload/datasets_test.cc.o.d"
+  "/root/repo/tests/workload/generator_test.cc" "tests/CMakeFiles/mope_tests.dir/workload/generator_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/workload/generator_test.cc.o.d"
+  "/root/repo/tests/workload/tpch_test.cc" "tests/CMakeFiles/mope_tests.dir/workload/tpch_test.cc.o" "gcc" "tests/CMakeFiles/mope_tests.dir/workload/tpch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proxy/CMakeFiles/mope_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mope_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mope_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mope_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mope_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/ope/CMakeFiles/mope_ope.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mope_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mope_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
