@@ -1,0 +1,37 @@
+# Sanitizer instrumentation for the whole build tree.
+#
+# MOPE_SANITIZE selects a preset combination (matching CMakePresets.json):
+#   ""           - no instrumentation (default)
+#   "asan-ubsan" - AddressSanitizer + UndefinedBehaviorSanitizer
+#   "tsan"       - ThreadSanitizer (mutually exclusive with ASan)
+#
+# All errors are fatal (-fno-sanitize-recover=all) so a sanitized ctest run
+# fails loudly instead of scrolling reports past a green exit code.
+
+set(MOPE_SANITIZE "" CACHE STRING
+    "Sanitizer preset: empty, 'asan-ubsan', or 'tsan'")
+set_property(CACHE MOPE_SANITIZE PROPERTY STRINGS "" "asan-ubsan" "tsan")
+
+set(_mope_san_flags "")
+if(MOPE_SANITIZE STREQUAL "")
+  # Uninstrumented build.
+elseif(MOPE_SANITIZE STREQUAL "asan-ubsan")
+  set(_mope_san_flags
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+elseif(MOPE_SANITIZE STREQUAL "tsan")
+  set(_mope_san_flags
+      -fsanitize=thread
+      -fno-omit-frame-pointer)
+else()
+  message(FATAL_ERROR
+      "Unknown MOPE_SANITIZE value '${MOPE_SANITIZE}' "
+      "(expected '', 'asan-ubsan', or 'tsan')")
+endif()
+
+if(_mope_san_flags)
+  add_compile_options(${_mope_san_flags} -g)
+  add_link_options(${_mope_san_flags})
+  message(STATUS "MOPE: sanitizers enabled (${MOPE_SANITIZE})")
+endif()

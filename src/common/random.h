@@ -53,6 +53,38 @@ class BitSource {
   }
 };
 
+/// Decorates a BitSource with a hard word budget. Once the budget is spent,
+/// NextWord() returns 0 and exhausted() latches true; callers on crypto
+/// paths (crypto::HgdSample) check the flag and surface a Status instead of
+/// silently consuming a degenerate all-zero stream. The zero fallback keeps
+/// every downstream rejection loop terminating (0 is below any rejection
+/// limit), so exhaustion is always observable at the checkpoint.
+class BoundedBitSource final : public BitSource {
+ public:
+  BoundedBitSource(BitSource* inner, uint64_t word_budget)
+      : inner_(inner), remaining_(word_budget) {}
+
+  uint64_t NextWord() override {
+    if (remaining_ == 0) {
+      exhausted_ = true;
+      return 0;
+    }
+    --remaining_;
+    return inner_->NextWord();
+  }
+
+  /// True once a draw was requested beyond the budget.
+  bool exhausted() const { return exhausted_; }
+
+  /// Words left before exhaustion.
+  uint64_t remaining() const { return remaining_; }
+
+ private:
+  BitSource* inner_;
+  uint64_t remaining_;
+  bool exhausted_ = false;
+};
+
 /// SplitMix64: used for seeding and for cheap hashing of seeds.
 class SplitMix64 {
  public:

@@ -37,7 +37,13 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to return by value: the success path
 /// carries a single enum; the error path allocates for its message.
-class Status {
+///
+/// `[[nodiscard]]`: a Status that is never looked at is a bug — either
+/// propagate it (MOPE_RETURN_NOT_OK) or branch on it. Call sites that have a
+/// documented reason to drop an error must say so via MOPE_IGNORE_STATUS;
+/// bare `(void)` casts are rejected by tools/check_invariants.py on crypto
+/// and OPE paths.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -97,8 +103,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// A value-or-error return type. Holds either a `T` or a non-OK `Status`.
+/// `[[nodiscard]]` for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return 42;`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -162,6 +169,22 @@ class Result {
   if (!MOPE_CONCAT(_res_, __LINE__).ok())                            \
     return MOPE_CONCAT(_res_, __LINE__).status();                    \
   lhs = std::move(MOPE_CONCAT(_res_, __LINE__)).value()
+
+namespace internal {
+template <typename T>
+inline void ConsumeIgnored(T&& /*unused*/) {}
+}  // namespace internal
+
+/// Documents an intentionally dropped Status/Result at a call site where the
+/// error genuinely cannot be acted on (best-effort cleanup, logging paths).
+/// The reason string keeps the call site self-auditing via
+/// `git grep MOPE_IGNORE_STATUS`. Disallowed in src/crypto/ and src/ope/ by
+/// tools/check_invariants.py: crypto paths must propagate.
+#define MOPE_IGNORE_STATUS(expr, reason)                         \
+  do {                                                           \
+    static_assert(sizeof(reason "") > 1, "give a real reason");  \
+    ::mope::internal::ConsumeIgnored((expr));                    \
+  } while (0)
 
 /// Aborts with a message when an internal invariant is violated.
 #define MOPE_CHECK(cond, what)                                        \

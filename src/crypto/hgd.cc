@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/math_util.h"
 
@@ -32,7 +33,7 @@ uint64_t SampleHypergeometric(uint64_t total, uint64_t success, uint64_t draws,
   if (lo == hi) {
     // Degenerate (e.g. success == 0 or draws == 0 or draws == total).
     // Still consume one double so coin usage is parameter-independent.
-    (void)bits->UniformDouble();
+    bits->UniformDouble();
     return lo;
   }
 
@@ -85,6 +86,21 @@ uint64_t SampleHypergeometric(uint64_t total, uint64_t success, uint64_t draws,
   }
 }
 
+Result<uint64_t> HgdSample(uint64_t total, uint64_t success, uint64_t draws,
+                           mope::BoundedBitSource* bits) {
+  if (success > total || draws > total) {
+    return Status::InvalidArgument(
+        "HGD parameters out of range: total=" + std::to_string(total) +
+        " success=" + std::to_string(success) +
+        " draws=" + std::to_string(draws));
+  }
+  const uint64_t x = SampleHypergeometric(total, success, draws, bits);
+  if (bits->exhausted()) {
+    return Status::Internal("HGD coin stream exhausted mid-sample");
+  }
+  return x;
+}
+
 uint64_t SampleHypergeometricLinear(uint64_t total, uint64_t success,
                                     uint64_t draws, mope::BitSource* bits) {
   MOPE_CHECK(success <= total && draws <= total, "HGD parameters out of range");
@@ -92,7 +108,7 @@ uint64_t SampleHypergeometricLinear(uint64_t total, uint64_t success,
   const uint64_t lo = (draws > fail) ? draws - fail : 0;
   const uint64_t hi = std::min(draws, success);
   if (lo == hi) {
-    (void)bits->UniformDouble();
+    bits->UniformDouble();
     return lo;
   }
   const double u = bits->UniformDouble();

@@ -26,6 +26,15 @@ namespace mope::crypto {
 uint64_t SampleHypergeometric(uint64_t total, uint64_t success, uint64_t draws,
                               mope::BitSource* bits);
 
+/// Production-path sampler used by OpeScheme: a Status-returning wrapper
+/// around SampleHypergeometric. Parameter violations return InvalidArgument
+/// instead of aborting the process, and a coin stream that runs dry
+/// mid-sample returns Internal ("coin exhaustion"), so Encrypt/Decrypt
+/// propagate the failure to their caller rather than emitting a ciphertext
+/// derived from a dead all-zero stream.
+Result<uint64_t> HgdSample(uint64_t total, uint64_t success, uint64_t draws,
+                           mope::BoundedBitSource* bits);
+
 /// Reference implementation: plain inversion sweeping linearly from the low
 /// end of the support. Identical output distribution, O(support) expected
 /// work instead of O(stddev) — kept for the mean-anchoring ablation

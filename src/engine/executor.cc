@@ -210,25 +210,26 @@ AggregateOp::AggregateOp(std::unique_ptr<Operator> child, size_t group_by_col,
 Row AggregateOp::Finalize(int64_t group_key,
                           const std::vector<AggState>& states) const {
   Row out;
-  if (has_group_by_) out.push_back(group_key);
+  out.reserve(aggs_.size() + (has_group_by_ ? 1 : 0));
+  if (has_group_by_) out.emplace_back(group_key);
   for (size_t i = 0; i < aggs_.size(); ++i) {
     const AggState& st = states[i];
     switch (aggs_[i].kind) {
       case AggKind::kCount:
-        out.push_back(static_cast<int64_t>(st.count));
+        out.emplace_back(static_cast<int64_t>(st.count));
         break;
       case AggKind::kSum:
-        out.push_back(st.sum);
+        out.emplace_back(st.sum);
         break;
       case AggKind::kAvg:
-        out.push_back(st.count == 0 ? 0.0
-                                    : st.sum / static_cast<double>(st.count));
+        out.emplace_back(st.count == 0 ? 0.0
+                                       : st.sum / static_cast<double>(st.count));
         break;
       case AggKind::kMin:
-        out.push_back(st.seen ? st.min : 0.0);
+        out.emplace_back(st.seen ? st.min : 0.0);
         break;
       case AggKind::kMax:
-        out.push_back(st.seen ? st.max : 0.0);
+        out.emplace_back(st.seen ? st.max : 0.0);
         break;
     }
   }
@@ -242,14 +243,12 @@ Status AggregateOp::Open() {
 
   std::map<int64_t, std::vector<AggState>> groups;
   std::vector<AggState> scalar(aggs_.size());
-  bool any_row = false;
 
   Row row;
   while (true) {
     auto has = child_->Next(&row);
     MOPE_RETURN_NOT_OK(has.status());
     if (!has.value()) break;
-    any_row = true;
 
     std::vector<AggState>* states = &scalar;
     int64_t key = 0;
@@ -286,7 +285,6 @@ Status AggregateOp::Open() {
     }
   } else {
     // Scalar aggregation yields one row even over empty input (COUNT = 0).
-    (void)any_row;
     results_.push_back(Finalize(0, scalar));
   }
   return Status::OK();

@@ -82,24 +82,29 @@ class Reader {
 
   Result<Value> ReadValue() {
     MOPE_ASSIGN_OR_RETURN(uint8_t tag, Byte());
+    Value out;
     switch (tag) {
       case 0: {
         MOPE_ASSIGN_OR_RETURN(uint64_t bits, U64());
-        return Value{static_cast<int64_t>(bits)};
+        out = static_cast<int64_t>(bits);
+        break;
       }
       case 1: {
         MOPE_ASSIGN_OR_RETURN(uint64_t bits, U64());
         double d;
         std::memcpy(&d, &bits, 8);
-        return Value{d};
+        out = d;
+        break;
       }
       case 2: {
         MOPE_ASSIGN_OR_RETURN(std::string s, String());
-        return Value{std::move(s)};
+        out = std::move(s);
+        break;
       }
       default:
         return Status::Corruption("unknown value tag in snapshot");
     }
+    return out;
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }

@@ -54,13 +54,17 @@ Status Schema::Validate(const Row& row) const {
 
 Result<RowId> Table::Insert(Row row) {
   MOPE_RETURN_NOT_OK(schema_.Validate(row));
-  const RowId id = rows_.size();
-  for (auto& [col, index] : indexes_) {
-    const int64_t v = std::get<int64_t>(row[col]);
-    if (v < 0) {
+  // Validate every indexed column before touching any index: failing after a
+  // partial index update would leave a dangling entry for a RowId that the
+  // next successful insert then reuses.
+  for (const auto& [col, index] : indexes_) {
+    if (std::get<int64_t>(row[col]) < 0) {
       return Status::InvalidArgument("indexed column value must be >= 0");
     }
-    index->Insert(static_cast<uint64_t>(v), id);
+  }
+  const RowId id = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    index->Insert(static_cast<uint64_t>(std::get<int64_t>(row[col])), id);
   }
   rows_.push_back(std::move(row));
   return id;
@@ -140,6 +144,13 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   Table* raw = table.get();
   tables_[name] = std::move(table);
   return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) {

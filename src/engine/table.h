@@ -109,6 +109,10 @@ class Catalog {
   /// Creates a table; AlreadyExists when the name is taken.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
 
+  /// Removes a table (and its indexes); NotFound when absent. Used to roll
+  /// back a partially populated table when a bulk load fails midway.
+  Status DropTable(const std::string& name);
+
   /// Looks a table up; NotFound when absent.
   Result<Table*> GetTable(const std::string& name);
   Result<const Table*> GetTable(const std::string& name) const;

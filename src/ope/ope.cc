@@ -13,6 +13,13 @@ namespace {
 constexpr uint8_t kLeafLabel = 0x4C;   // 'L'
 constexpr uint8_t kSplitLabel = 0x53;  // 'S'
 
+// Per-node coin budget. A hypergeometric draw consumes exactly one 64-bit
+// word and leaf placement uses rejection sampling with expected < 2 words,
+// so 64 words is unreachable by correct code; hitting it means a logic bug,
+// which must surface as a Status instead of a ciphertext derived from a
+// dead stream.
+constexpr uint64_t kCoinBudget = 64;
+
 }  // namespace
 
 uint64_t SuggestRange(uint64_t domain) {
@@ -45,22 +52,29 @@ Result<OpeScheme> OpeScheme::Create(const OpeParams& params, const OpeKey& key) 
   return OpeScheme(params, key);
 }
 
-uint64_t OpeScheme::SampleSplit(uint64_t dlo, uint64_t m_count, uint64_t rlo,
-                                uint64_t n_count, uint64_t draws) const {
+Result<uint64_t> OpeScheme::SampleSplit(uint64_t dlo, uint64_t m_count,
+                                        uint64_t rlo, uint64_t n_count,
+                                        uint64_t draws) const {
   crypto::TagBuilder tag(kSplitLabel);
   tag.AppendU64(dlo).AppendU64(m_count).AppendU64(rlo).AppendU64(n_count);
   const crypto::Block seed = prf_.Eval(tag.bytes());
   crypto::CtrDrbg coins(seed);
-  return crypto::SampleHypergeometric(n_count, m_count, draws, &coins);
+  mope::BoundedBitSource bounded(&coins, kCoinBudget);
+  return crypto::HgdSample(n_count, m_count, draws, &bounded);
 }
 
-uint64_t OpeScheme::LeafCiphertext(uint64_t dlo, uint64_t rlo,
-                                   uint64_t n_count) const {
+Result<uint64_t> OpeScheme::LeafCiphertext(uint64_t dlo, uint64_t rlo,
+                                           uint64_t n_count) const {
   crypto::TagBuilder tag(kLeafLabel);
   tag.AppendU64(dlo).AppendU64(rlo).AppendU64(n_count);
   const crypto::Block seed = prf_.Eval(tag.bytes());
   crypto::CtrDrbg coins(seed);
-  return rlo + coins.UniformUint64(n_count);
+  mope::BoundedBitSource bounded(&coins, kCoinBudget);
+  const uint64_t offset = bounded.UniformUint64(n_count);
+  if (bounded.exhausted()) {
+    return Status::Internal("leaf coin stream exhausted");
+  }
+  return rlo + offset;
 }
 
 Result<uint64_t> OpeScheme::Encrypt(uint64_t m) const {
@@ -73,7 +87,8 @@ Result<uint64_t> OpeScheme::Encrypt(uint64_t m) const {
   uint64_t rlo = 0, n_count = params_.range;
   while (m_count > 1) {
     const uint64_t draws = n_count / 2;
-    const uint64_t x = SampleSplit(dlo, m_count, rlo, n_count, draws);
+    MOPE_ASSIGN_OR_RETURN(const uint64_t x,
+                          SampleSplit(dlo, m_count, rlo, n_count, draws));
     if (m < dlo + x) {
       m_count = x;
       n_count = draws;
@@ -97,7 +112,8 @@ Result<uint64_t> OpeScheme::Decrypt(uint64_t c) const {
   uint64_t rlo = 0, n_count = params_.range;
   while (m_count > 1) {
     const uint64_t draws = n_count / 2;
-    const uint64_t x = SampleSplit(dlo, m_count, rlo, n_count, draws);
+    MOPE_ASSIGN_OR_RETURN(const uint64_t x,
+                          SampleSplit(dlo, m_count, rlo, n_count, draws));
     if (c < rlo + draws) {
       if (x == 0) {
         return Status::Corruption("ciphertext maps to an empty OPF branch");
@@ -114,7 +130,8 @@ Result<uint64_t> OpeScheme::Decrypt(uint64_t c) const {
       n_count -= draws;
     }
   }
-  if (LeafCiphertext(dlo, rlo, n_count) != c) {
+  MOPE_ASSIGN_OR_RETURN(const uint64_t leaf, LeafCiphertext(dlo, rlo, n_count));
+  if (leaf != c) {
     return Status::Corruption("ciphertext is not in the image of the OPF");
   }
   return dlo;
@@ -130,7 +147,8 @@ Result<uint64_t> OpeScheme::DecryptFloorCeil(uint64_t c) const {
   uint64_t rlo = 0, n_count = params_.range;
   while (m_count > 1) {
     const uint64_t draws = n_count / 2;
-    const uint64_t x = SampleSplit(dlo, m_count, rlo, n_count, draws);
+    MOPE_ASSIGN_OR_RETURN(const uint64_t x,
+                          SampleSplit(dlo, m_count, rlo, n_count, draws));
     if (c < rlo + draws) {
       if (x == 0) {
         // Every plaintext of this node encrypts into the right half, above c.
@@ -150,7 +168,8 @@ Result<uint64_t> OpeScheme::DecryptFloorCeil(uint64_t c) const {
       n_count -= draws;
     }
   }
-  return (LeafCiphertext(dlo, rlo, n_count) >= c) ? dlo : dlo + 1;
+  MOPE_ASSIGN_OR_RETURN(const uint64_t leaf, LeafCiphertext(dlo, rlo, n_count));
+  return (leaf >= c) ? dlo : dlo + 1;
 }
 
 }  // namespace mope::ope

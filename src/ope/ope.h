@@ -72,12 +72,14 @@ class OpeScheme {
       : params_(params), prf_(key.prf_key) {}
 
   /// Number of plaintexts (out of `m_count` in this node) that the sampled
-  /// OPF maps into the left `draws` ciphertext slots of this node.
-  uint64_t SampleSplit(uint64_t dlo, uint64_t m_count, uint64_t rlo,
-                       uint64_t n_count, uint64_t draws) const;
+  /// OPF maps into the left `draws` ciphertext slots of this node. Errors
+  /// (parameter violation, coin-budget exhaustion) propagate to the caller.
+  Result<uint64_t> SampleSplit(uint64_t dlo, uint64_t m_count, uint64_t rlo,
+                               uint64_t n_count, uint64_t draws) const;
 
   /// The ciphertext of the single plaintext in a leaf node (m_count == 1).
-  uint64_t LeafCiphertext(uint64_t dlo, uint64_t rlo, uint64_t n_count) const;
+  Result<uint64_t> LeafCiphertext(uint64_t dlo, uint64_t rlo,
+                                  uint64_t n_count) const;
 
   OpeParams params_;
   crypto::Prf prf_;

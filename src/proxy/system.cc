@@ -25,20 +25,30 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
 
   MOPE_ASSIGN_OR_RETURN(engine::Table * table,
                         server_.catalog()->CreateTable(name, std::move(schema)));
-  for (const engine::Row& row : rows) {
-    engine::Row encrypted = row;
-    const int64_t plain = std::get<int64_t>(encrypted[enc_col]);
-    if (plain < 0 || static_cast<uint64_t>(plain) >= spec.domain) {
-      return Status::OutOfRange("value " + std::to_string(plain) +
-                                " outside the declared domain of '" +
-                                spec.column + "'");
+
+  // Populate in a nested scope so any mid-load failure rolls the half-built
+  // table back out of the catalog: a table with some rows encrypted and no
+  // proxy would otherwise stay queryable-looking but permanently broken.
+  const Status load = [&]() -> Status {
+    for (const engine::Row& row : rows) {
+      engine::Row encrypted = row;
+      const int64_t plain = std::get<int64_t>(encrypted[enc_col]);
+      if (plain < 0 || static_cast<uint64_t>(plain) >= spec.domain) {
+        return Status::OutOfRange("value " + std::to_string(plain) +
+                                  " outside the declared domain of '" +
+                                  spec.column + "'");
+      }
+      MOPE_ASSIGN_OR_RETURN(uint64_t cipher,
+                            scheme.Encrypt(static_cast<uint64_t>(plain)));
+      encrypted[enc_col] = static_cast<int64_t>(cipher);
+      MOPE_RETURN_NOT_OK(table->Insert(std::move(encrypted)).status());
     }
-    MOPE_ASSIGN_OR_RETURN(uint64_t cipher,
-                          scheme.Encrypt(static_cast<uint64_t>(plain)));
-    encrypted[enc_col] = static_cast<int64_t>(cipher);
-    MOPE_RETURN_NOT_OK(table->Insert(std::move(encrypted)).status());
+    return table->CreateIndex(spec.column);
+  }();
+  if (!load.ok()) {
+    MOPE_RETURN_NOT_OK(server_.catalog()->DropTable(name));
+    return load;
   }
-  MOPE_RETURN_NOT_OK(table->CreateIndex(spec.column));
 
   ProxyConfig config;
   config.table = name;
@@ -49,9 +59,12 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
   config.period = spec.period;
   config.batch_size = spec.batch_size;
   config.rng_seed = rng_.NextWord();
-  MOPE_ASSIGN_OR_RETURN(std::unique_ptr<Proxy> proxy,
-                        Proxy::Create(config, key, params, &server_, known_q));
-  proxies_[name + "." + spec.column] = std::move(proxy);
+  auto proxy = Proxy::Create(config, key, params, &server_, known_q);
+  if (!proxy.ok()) {
+    MOPE_RETURN_NOT_OK(server_.catalog()->DropTable(name));
+    return proxy.status();
+  }
+  proxies_[name + "." + spec.column] = std::move(proxy).value();
   return Status::OK();
 }
 

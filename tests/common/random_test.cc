@@ -133,5 +133,45 @@ TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
 }
 
+TEST(BoundedBitSourceTest, PassesWordsThroughUntilBudgetSpent) {
+  Rng reference(123), inner(123);
+  BoundedBitSource bounded(&inner, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(bounded.NextWord(), reference.NextWord());
+    EXPECT_FALSE(bounded.exhausted());
+  }
+  EXPECT_EQ(bounded.remaining(), 0u);
+}
+
+TEST(BoundedBitSourceTest, LatchesExhaustedAndReturnsZeroPastBudget) {
+  Rng inner(124);
+  BoundedBitSource bounded(&inner, 2);
+  bounded.NextWord();
+  bounded.NextWord();
+  EXPECT_FALSE(bounded.exhausted());
+  EXPECT_EQ(bounded.NextWord(), 0u);
+  EXPECT_TRUE(bounded.exhausted());
+  // The flag stays latched; further draws keep yielding zero.
+  EXPECT_EQ(bounded.NextWord(), 0u);
+  EXPECT_TRUE(bounded.exhausted());
+}
+
+TEST(BoundedBitSourceTest, ZeroBudgetIsImmediatelyExhaustedOnFirstDraw) {
+  Rng inner(125);
+  BoundedBitSource bounded(&inner, 0);
+  EXPECT_FALSE(bounded.exhausted());
+  EXPECT_EQ(bounded.NextWord(), 0u);
+  EXPECT_TRUE(bounded.exhausted());
+}
+
+TEST(BoundedBitSourceTest, RejectionSamplingTerminatesWhenExhausted) {
+  // UniformUint64's rejection loop must not spin forever on the dead
+  // all-zero stream: zero is below every rejection limit.
+  Rng inner(126);
+  BoundedBitSource bounded(&inner, 0);
+  EXPECT_EQ(bounded.UniformUint64(1000), 0u);
+  EXPECT_TRUE(bounded.exhausted());
+}
+
 }  // namespace
 }  // namespace mope

@@ -139,6 +139,47 @@ TEST(HgdLinearTest, DegenerateCases) {
   EXPECT_EQ(SampleHypergeometricLinear(10, 4, 0, &rng), 0u);
 }
 
+TEST(HgdSampleTest, MatchesUncheckedSamplerOnSameStream) {
+  Key128 seed{};
+  seed[3] = 0x5A;
+  CtrDrbg a(seed), b(seed);
+  mope::BoundedBitSource bounded(&a, 64);
+  for (int i = 0; i < 50; ++i) {
+    const auto checked = HgdSample(1000, 300, 500, &bounded);
+    ASSERT_TRUE(checked.ok()) << checked.status();
+    EXPECT_EQ(checked.value(), SampleHypergeometric(1000, 300, 500, &b));
+  }
+}
+
+TEST(HgdSampleTest, RejectsParametersOutOfRangeWithoutAborting) {
+  mope::Rng rng(9);
+  mope::BoundedBitSource bounded(&rng, 64);
+  const auto too_many_successes = HgdSample(10, 11, 5, &bounded);
+  ASSERT_FALSE(too_many_successes.ok());
+  EXPECT_TRUE(too_many_successes.status().IsInvalidArgument());
+  const auto too_many_draws = HgdSample(10, 5, 11, &bounded);
+  ASSERT_FALSE(too_many_draws.ok());
+  EXPECT_TRUE(too_many_draws.status().IsInvalidArgument());
+}
+
+TEST(HgdSampleTest, CoinExhaustionPropagatesAsInternalStatus) {
+  mope::Rng rng(10);
+  mope::BoundedBitSource dry(&rng, 0);
+  const auto sample = HgdSample(1000, 300, 500, &dry);
+  ASSERT_FALSE(sample.ok());
+  EXPECT_TRUE(sample.status().IsInternal());
+}
+
+TEST(HgdSampleTest, SucceedsWithinBudget) {
+  // One hypergeometric draw consumes exactly one 64-bit word.
+  mope::Rng rng(11);
+  mope::BoundedBitSource bounded(&rng, 1);
+  const auto sample = HgdSample(1000, 300, 500, &bounded);
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  EXPECT_FALSE(bounded.exhausted());
+  EXPECT_EQ(bounded.remaining(), 0u);
+}
+
 TEST(HgdLinearTest, AlwaysInSupport) {
   mope::Rng rng(4);
   for (int trial = 0; trial < 500; ++trial) {

@@ -139,5 +139,42 @@ TEST(TableTest, UpdateIndexedValueRejectsNegative) {
   EXPECT_TRUE(t.UpdateValue(0, 0, Value{int64_t{-3}}).IsInvalidArgument());
 }
 
+TEST(TableTest, FailedInsertLeavesNoDanglingIndexEntries) {
+  // Regression: with two indexes, a negative value in the *second* indexed
+  // column used to fail after the first index was already updated, leaving a
+  // dangling entry for a RowId that the next successful insert then reused.
+  Table t("t", Schema({Column{"a", ValueType::kInt},
+                       Column{"b", ValueType::kInt}}));
+  ASSERT_TRUE(t.CreateIndex("a").ok());
+  ASSERT_TRUE(t.CreateIndex("b").ok());
+  ASSERT_TRUE(t.Insert({int64_t{1}, int64_t{-5}}).status().IsInvalidArgument());
+  EXPECT_EQ(t.row_count(), 0u);
+
+  const auto id = t.Insert({int64_t{2}, int64_t{3}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0u);
+
+  const auto index_a = t.GetIndex("a");
+  ASSERT_TRUE(index_a.ok());
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  index_a.value()->ScanRange(0, ~uint64_t{0},
+                             [&entries](uint64_t key, uint64_t rid) {
+                               entries.emplace_back(key, rid);
+                             });
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, 2u);   // the successful row's key, not 1
+  EXPECT_EQ(entries[0].second, 0u);  // RowId 0 maps to the real row
+}
+
+TEST(CatalogTest, DropTableRemovesTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TestSchema()).ok());
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_TRUE(catalog.GetTable("t").status().IsNotFound());
+  EXPECT_TRUE(catalog.DropTable("t").IsNotFound());
+  // The name is reusable after the drop.
+  EXPECT_TRUE(catalog.CreateTable("t", TestSchema()).ok());
+}
+
 }  // namespace
 }  // namespace mope::engine

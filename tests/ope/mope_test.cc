@@ -186,6 +186,41 @@ TEST(MopeKeyTest, DeserializeRejectsMalformedInput) {
   EXPECT_TRUE(MopeKey::Deserialize(std::string(32, 'a') + ":7").ok());
 }
 
+TEST(MopeKeyTest, DeserializeRejectsOffsetOverflowAndTrailingGarbage) {
+  // 2^64 does not fit a uint64_t offset.
+  EXPECT_FALSE(
+      MopeKey::Deserialize(std::string(32, 'a') + ":18446744073709551616")
+          .ok());
+  EXPECT_FALSE(
+      MopeKey::Deserialize(std::string(32, 'a') + ":12x").ok());
+  EXPECT_FALSE(
+      MopeKey::Deserialize(std::string(32, 'a') + ":1 ").ok());
+  EXPECT_FALSE(
+      MopeKey::Deserialize(std::string(32, 'a') + ":1:2").ok());
+}
+
+TEST(MopeKeyTest, MalformedKeyErrorPropagatesToCaller) {
+  // The proxy's key-load path: Deserialize then Create. A malformed blob
+  // must surface as InvalidArgument at each stage, never crash or yield a
+  // scheme with a garbage key.
+  const auto key = MopeKey::Deserialize("not a key at all");
+  ASSERT_FALSE(key.ok());
+  EXPECT_TRUE(key.status().IsInvalidArgument());
+
+  const auto load = [](const std::string& blob) -> Result<MopeScheme> {
+    MOPE_ASSIGN_OR_RETURN(MopeKey k, MopeKey::Deserialize(blob));
+    return MopeScheme::Create({500, 4096}, k);
+  };
+  const auto scheme = load(std::string(32, 'z') + ":1");
+  ASSERT_FALSE(scheme.ok());
+  EXPECT_TRUE(scheme.status().IsInvalidArgument());
+
+  // A well-formed key whose offset is outside the domain is also rejected.
+  const auto oversized = load(std::string(32, 'a') + ":500");
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_TRUE(oversized.status().IsInvalidArgument());
+}
+
 TEST(MopeKeyTest, DeserializedKeyEncryptsIdentically) {
   Rng rng(78);
   const MopeKey key = MopeKey::Generate(500, &rng);

@@ -210,5 +210,28 @@ TEST(ProxyTest, TotalsAccumulate) {
   EXPECT_EQ((*proxy)->totals().real_queries_sent, 2u);
 }
 
+TEST(ProxyTest, FailedLoadRollsBackTheServerTable) {
+  MopeSystem system(9);
+  std::vector<Row> rows = MakeRows();
+  // One value outside the declared domain: the load must fail...
+  rows.push_back(Row{static_cast<int64_t>(kDomain) + 5, int64_t{0}});
+  const Status st = system.LoadTable("data", MakeSchema(), rows,
+                                     Spec(QueryMode::kPassthrough));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfRange());
+  // ...and must not leave the half-encrypted table live in the catalog.
+  EXPECT_TRUE(
+      system.server()->catalog()->GetTable("data").status().IsNotFound());
+  EXPECT_TRUE(system.GetProxy("data", "key").status().IsNotFound());
+
+  // The name is reusable for a corrected load.
+  ASSERT_TRUE(system
+                  .LoadTable("data", MakeSchema(), MakeRows(),
+                             Spec(QueryMode::kPassthrough))
+                  .ok());
+  auto resp = system.Query("data", "key", RangeQuery{20, 29});
+  ASSERT_TRUE(resp.ok()) << resp.status();
+}
+
 }  // namespace
 }  // namespace mope::proxy

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the MOPE codebase.
+
+Machine-enforces the correctness conventions that code review used to carry:
+
+  R1 ad-hoc-randomness   rand()/srand()/std::random_device/std::mt19937 are
+                         banned outside src/common/random.* — all simulation
+                         randomness must flow through mope::Rng (seedable,
+                         reproducible) and all crypto randomness through
+                         crypto::CtrDrbg. Applies to src/, tests/, bench/,
+                         examples/.
+  R2 wall-clock          time(), clock(), gettimeofday, clock_gettime and
+                         std::chrono clocks are banned in src/ — experiment
+                         code must be bit-deterministic from its seed.
+                         (bench/ measures wall time on purpose and is exempt.)
+  R3 ignored-result      Regex backstop for discarded Status/Result values
+                         the compiler can't see (e.g. behind #ifdef): a
+                         bare-statement call to a known Status/Result API is
+                         a violation anywhere in src/.
+  R4 void-cast-crypto    `(void)` casts of call expressions and
+                         MOPE_IGNORE_STATUS are banned in src/crypto/ and
+                         src/ope/ — crypto paths propagate errors, never
+                         swallow them.
+  R5 assert-crypto       assert() is banned in src/crypto/: it vanishes in
+                         NDEBUG builds, silently removing the check from the
+                         exact builds that ship. Use MOPE_CHECK (always on)
+                         or return a Status.
+
+A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
+reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
+2 usage error.
+
+Usage:  python3 tools/check_invariants.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+ESCAPE_RE = re.compile(r"//\s*invariant-ok:\s*\S")
+
+# Status/Result-returning APIs covered by the R3 regex backstop. A line that
+# *starts* with a call to one of these (no assignment, no return, no macro
+# wrapper, not a continuation of an enclosing call) is discarding the error
+# channel. Names with void-returning homonyms elsewhere in the tree (e.g.
+# BPlusTree::Insert) are deliberately absent — the compiler's [[nodiscard]]
+# covers those; this backstop exists for code the compiler may not see
+# (#ifdef'd configs, generated amalgamations).
+NODISCARD_API = (
+    "Encrypt|Decrypt|EncryptRange|DecryptFloorCeil|"
+    "CreateIndex|CreateTable|DropTable|SaveCatalog|LoadCatalog|"
+    "SerializeCatalog|DeserializeCatalog|HgdSample|RotateKey"
+)
+
+
+class Rule:
+    def __init__(self, rule_id, pattern, message, includes, excludes=(),
+                 statement_level_only=False):
+        self.rule_id = rule_id
+        self.pattern = re.compile(pattern)
+        self.message = message
+        self.includes = includes  # path-prefix allowlist (relative, POSIX)
+        self.excludes = excludes  # path-prefix denylist
+        # Only fire when the line starts at paren depth 0, i.e. is not a
+        # continuation of an enclosing multi-line call such as
+        # MOPE_ASSIGN_OR_RETURN(x,\n    scheme.Encrypt(m));
+        self.statement_level_only = statement_level_only
+
+    def applies_to(self, rel: str) -> bool:
+        if not any(rel.startswith(p) for p in self.includes):
+            return False
+        return not any(rel.startswith(p) for p in self.excludes)
+
+
+RULES = [
+    Rule(
+        "ad-hoc-randomness",
+        r"std::mt19937|std::random_device|\b[sd]?rand\s*\(|\bsrandom\s*\(",
+        "ad-hoc RNG: use mope::Rng (simulation) or crypto::CtrDrbg (crypto), "
+        "both seedable via BitSource",
+        includes=("src/", "tests/", "bench/", "examples/"),
+        excludes=("src/common/random.",),
+    ),
+    Rule(
+        "wall-clock",
+        r"(?<![\w])time\s*\(|\bclock\s*\(\s*\)|\bgettimeofday\b|"
+        r"\bclock_gettime\b|std::chrono::(system|steady|high_resolution)_clock",
+        "wall-clock in deterministic experiment code: derive all variation "
+        "from the experiment seed",
+        includes=("src/",),
+    ),
+    Rule(
+        "ignored-result",
+        r"^\s*(?:[A-Za-z_]\w*(?:\.|->))*(?:" + NODISCARD_API +
+        r")\s*\([^;]*\)\s*;\s*(?://(?!\s*invariant-ok).*)?$",
+        "bare-statement call to a Status/Result API discards the error: "
+        "propagate it or branch on it",
+        includes=("src/",),
+        statement_level_only=True,
+    ),
+    Rule(
+        "void-cast-crypto",
+        r"\(\s*void\s*\)\s*[A-Za-z_(]|MOPE_IGNORE_STATUS",
+        "error swallowed on a crypto path: src/crypto/ and src/ope/ must "
+        "propagate Status/Result, not (void)-cast or MOPE_IGNORE_STATUS it",
+        includes=("src/crypto/", "src/ope/"),
+    ),
+    Rule(
+        "assert-crypto",
+        r"(?<![\w])assert\s*\(",
+        "assert() disappears under NDEBUG; use MOPE_CHECK or return Status",
+        includes=("src/crypto/",),
+    ),
+]
+
+
+def strip_strings(line: str) -> str:
+    """Blanks out string/char literal contents so rules don't match inside
+    them (e.g. an error message mentioning \"time(\")."""
+    out = []
+    quote = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\":
+                i += 2
+                out.append("..")
+                continue
+            if ch == quote:
+                quote = None
+                out.append(ch)
+            else:
+                out.append(".")
+        else:
+            if ch in "\"'":
+                quote = ch
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(root: Path, rel: str) -> list[str]:
+    violations = []
+    rules = [r for r in RULES if r.applies_to(rel)]
+    if not rules:
+        return violations
+    try:
+        text = (root / rel).read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{rel}: unreadable: {err}"]
+    depth = 0  # running ( ... ) nesting depth at the start of each line
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = strip_strings(raw)
+        code = line.split("//", 1)[0]
+        depth_at_start = depth
+        depth = max(0, depth + code.count("(") - code.count(")"))
+        if ESCAPE_RE.search(raw):
+            continue
+        for rule in rules:
+            if rule.statement_level_only and depth_at_start > 0:
+                continue
+            if rule.pattern.search(line):
+                violations.append(
+                    f"{rel}:{lineno}: [{rule.rule_id}] {rule.message}\n"
+                    f"    {raw.strip()}"
+                )
+    return violations
+
+
+def collect_sources(root: Path) -> list[str]:
+    rels = []
+    for top in ("src", "tests", "bench", "examples"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                rels.append(path.relative_to(root).as_posix())
+    return rels
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root to lint (default: this script's repo)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"check_invariants: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    sources = collect_sources(root)
+    if not sources:
+        print(f"check_invariants: no sources under {root}", file=sys.stderr)
+        return 2
+
+    violations = []
+    for rel in sources:
+        violations.extend(lint_file(root, rel))
+
+    if violations:
+        print(f"check_invariants: {len(violations)} violation(s):\n")
+        for v in violations:
+            print(v)
+        return 1
+    print(f"check_invariants: OK ({len(sources)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

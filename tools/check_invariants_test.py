@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_invariants.py.
+
+Builds a throwaway source tree seeded with one violation per rule, runs the
+linter against it, and asserts every seeded violation is caught — plus that a
+clean file, an `invariant-ok` escape, a string literal, and an exempt path
+produce no findings. Wired into ctest as `lint.invariants_selftest`.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import check_invariants  # noqa: E402
+
+
+def run_on_tree(files: dict[str, str]) -> list[str]:
+    """Writes {relpath: contents} into a temp root and lints it."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for rel, contents in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(contents, encoding="utf-8")
+        violations = []
+        for rel in check_invariants.collect_sources(root):
+            violations.extend(check_invariants.lint_file(root, rel))
+        return violations
+
+
+def rule_ids(violations: list[str]) -> set[str]:
+    ids = set()
+    for v in violations:
+        start = v.find("[")
+        end = v.find("]", start)
+        if start != -1 and end != -1:
+            ids.add(v[start + 1 : end])
+    return ids
+
+
+class CatchesSeededViolations(unittest.TestCase):
+    def test_ad_hoc_randomness(self) -> None:
+        v = run_on_tree(
+            {"src/dist/bad.cc": "#include <random>\nstd::mt19937 gen(42);\n"}
+        )
+        self.assertIn("ad-hoc-randomness", rule_ids(v))
+
+    def test_rand_in_tests_tree(self) -> None:
+        v = run_on_tree({"tests/bad_test.cc": "int x = rand();\n"})
+        self.assertIn("ad-hoc-randomness", rule_ids(v))
+
+    def test_wall_clock(self) -> None:
+        v = run_on_tree(
+            {"src/workload/bad.cc": "#include <ctime>\nlong t = time(nullptr);\n"}
+        )
+        self.assertIn("wall-clock", rule_ids(v))
+
+    def test_chrono_clock(self) -> None:
+        v = run_on_tree(
+            {
+                "src/engine/bad.cc":
+                    "auto t = std::chrono::steady_clock::now();\n"
+            }
+        )
+        self.assertIn("wall-clock", rule_ids(v))
+
+    def test_ignored_result(self) -> None:
+        v = run_on_tree({"src/engine/bad.cc": "  table->CreateIndex(col);\n"})
+        self.assertIn("ignored-result", rule_ids(v))
+
+    def test_ignored_result_plain_call(self) -> None:
+        v = run_on_tree({"src/ope/bad.cc": "  scheme.Encrypt(m);\n"})
+        self.assertIn("ignored-result", rule_ids(v))
+
+    def test_void_cast_in_crypto(self) -> None:
+        v = run_on_tree({"src/crypto/bad.cc": "  (void)DoEncrypt(m);\n"})
+        self.assertIn("void-cast-crypto", rule_ids(v))
+
+    def test_ignore_status_macro_in_ope(self) -> None:
+        v = run_on_tree(
+            {"src/ope/bad.cc": '  MOPE_IGNORE_STATUS(st, "meh");\n'}
+        )
+        self.assertIn("void-cast-crypto", rule_ids(v))
+
+    def test_assert_in_crypto(self) -> None:
+        v = run_on_tree(
+            {"src/crypto/bad.cc": "#include <cassert>\nvoid f(){assert(1);}\n"}
+        )
+        self.assertIn("assert-crypto", rule_ids(v))
+
+
+class NoFalsePositives(unittest.TestCase):
+    def test_clean_file(self) -> None:
+        v = run_on_tree(
+            {
+                "src/ope/good.cc":
+                    "#include \"common/status.h\"\n"
+                    "mope::Status F() { return mope::Status::OK(); }\n"
+            }
+        )
+        self.assertEqual(v, [])
+
+    def test_escape_comment(self) -> None:
+        v = run_on_tree(
+            {
+                "src/workload/good.cc":
+                    "long t = time(nullptr);  "
+                    "// invariant-ok: wall time feeds a log line only\n"
+            }
+        )
+        self.assertEqual(v, [])
+
+    def test_string_literal_not_matched(self) -> None:
+        v = run_on_tree(
+            {
+                "src/sql/good.cc":
+                    'const char* kMsg = "call time() elsewhere";\n'
+            }
+        )
+        self.assertEqual(v, [])
+
+    def test_random_module_exempt(self) -> None:
+        v = run_on_tree(
+            {"src/common/random.cc": "// std::mt19937 alternative notes\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_bench_may_use_wall_clock(self) -> None:
+        v = run_on_tree(
+            {"bench/timing.cc":
+                 "auto t = std::chrono::steady_clock::now();\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_xtime_aes_helper_not_wall_clock(self) -> None:
+        v = run_on_tree(
+            {"src/crypto/good.cc": "uint8_t b = Xtime(a);\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_assigned_result_not_flagged(self) -> None:
+        v = run_on_tree(
+            {"src/engine/good.cc": "  auto st = table->CreateIndex(col);\n"
+                                   "  if (!st.ok()) return st;\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_continuation_line_of_macro_not_flagged(self) -> None:
+        v = run_on_tree(
+            {
+                "src/ope/good.cc":
+                    "  MOPE_ASSIGN_OR_RETURN(uint64_t c,\n"
+                    "                        scheme.Encrypt(m));\n"
+            }
+        )
+        self.assertEqual(v, [])
+
+    def test_real_repo_is_clean(self) -> None:
+        root = Path(__file__).resolve().parent.parent
+        violations = []
+        for rel in check_invariants.collect_sources(root):
+            violations.extend(check_invariants.lint_file(root, rel))
+        self.assertEqual(
+            violations, [], "the repo itself must satisfy its invariants"
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the MOPE tree.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over every .cc file
+under src/ using the compile_commands.json of an existing build directory.
+Exits 77 (the ctest skip code) when clang-tidy or the compilation database is
+unavailable, so local gcc-only environments skip the check instead of
+failing; CI installs clang-tidy and runs it for real.
+
+Usage:  python3 tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+SKIP = 77
+
+
+def find_clang_tidy() -> str | None:
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=root / "build")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH; skipping")
+        return SKIP
+    compdb = args.build_dir / "compile_commands.json"
+    if not compdb.is_file():
+        print(f"run_clang_tidy: no {compdb}; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first; skipping")
+        return SKIP
+
+    sources = sorted((root / "src").rglob("*.cc"))
+    if not sources:
+        print("run_clang_tidy: no sources found", file=sys.stderr)
+        return 2
+    print(f"run_clang_tidy: {tidy} over {len(sources)} files "
+          f"({args.jobs} jobs)")
+
+    def run_one(src: Path) -> tuple[Path, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", str(src)],
+            capture_output=True, text=True, check=False)
+        return src, proc.returncode, proc.stdout + proc.stderr
+
+    failed = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for src, code, output in pool.map(run_one, sources):
+            rel = src.relative_to(root)
+            if code != 0:
+                failed += 1
+                print(f"FAIL {rel}\n{output}")
+            else:
+                print(f"  ok {rel}")
+
+    if failed:
+        print(f"run_clang_tidy: {failed}/{len(sources)} files with findings")
+        return 1
+    print("run_clang_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
