@@ -42,19 +42,23 @@ void Run() {
   // is added to the measured engine time.
   constexpr double kRequestOverheadMs = 1.0;
   std::printf(
-      "\nper 1000 queries (engine time, server requests, and wall-clock with "
-      "a %.0fms per-request RTT):\n",
+      "\nper 1000 queries (engine time, server requests, wire traffic, and "
+      "wall-clock with a %.0fms per-request RTT):\n",
       kRequestOverheadMs);
   bench::TablePrinter table({"batch size", "Q6 engine", "Q6 req/query",
-                             "Q6 wall", "Q14 engine", "Q14 req/query",
-                             "Q14 wall"});
+                             "Q6 KB/query", "Q6 wall", "Q14 engine",
+                             "Q14 req/query", "Q14 KB/query", "Q14 wall"});
   for (size_t batch : batch_sizes) {
     std::vector<std::string> row{batch == 1 ? "n/a" : std::to_string(batch)};
     for (const Template& tmpl : templates) {
       const dist::Distribution starts =
           bench::TemplateStarts(tmpl.sample, tmpl.k, 20000, &rng);
+      // via_wire: requests travel the real protocol (encode, frame, CRC,
+      // dispatch), so byte counters reflect what TCP would actually carry.
       auto system = bench::MakeEncryptedLineitem(data, starts, tmpl.k,
-                                                 /*period=*/0, batch);
+                                                 /*period=*/0, batch,
+                                                 /*seed=*/0x79C4,
+                                                 /*via_wire=*/true);
       system->server()->ResetStats();
       bench::Stopwatch watch;
       for (uint64_t i = 0; i < tmpl.queries; ++i) {
@@ -63,13 +67,18 @@ void Run() {
       }
       const double engine_ms =
           watch.ElapsedMs() * 1000.0 / static_cast<double>(tmpl.queries);
+      const engine::ServerStats stats = system->server()->stats();
       const double requests_per_query =
-          static_cast<double>(system->server()->stats().batches_received) /
+          static_cast<double>(stats.batches_received) /
           static_cast<double>(tmpl.queries);
+      const double kb_per_query =
+          static_cast<double>(stats.bytes_received + stats.bytes_sent) /
+          1024.0 / static_cast<double>(tmpl.queries);
       const double wall_ms =
           engine_ms + kRequestOverheadMs * requests_per_query * 1000.0;
       row.push_back(bench::FmtMs(engine_ms));
       row.push_back(bench::Fmt(requests_per_query, 1));
+      row.push_back(bench::Fmt(kb_per_query, 1));
       row.push_back(bench::FmtMs(wall_ms));
     }
     table.Row(row);
@@ -77,7 +86,8 @@ void Run() {
   std::printf(
       "\n(batching wins twice: far fewer round trips, and overlapping "
       "ranges\ncoalesce into shared index sweeps so duplicated rows ship "
-      "once.)\n");
+      "once — the\nKB/query column shows bandwidth falling with the round "
+      "trips.)\n");
 }
 
 }  // namespace

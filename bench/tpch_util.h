@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "engine/table.h"
+#include "net/remote_connection.h"
 #include "proxy/system.h"
 #include "sql/planner.h"
 #include "workload/tpch.h"
@@ -67,11 +68,22 @@ inline std::unique_ptr<engine::Catalog> MakePlainCatalog(
 }
 
 /// Encrypted system over LINEITEM with the given query-algorithm settings
-/// on l_shipdate. period == 0 selects QueryU.
+/// on l_shipdate. period == 0 selects QueryU. With via_wire, every proxy
+/// request runs through the complete wire protocol (encode, frame, CRC,
+/// dispatch) against the in-process server, so ServerStats picks up honest
+/// bytes_received/bytes_sent numbers.
 inline std::unique_ptr<proxy::MopeSystem> MakeEncryptedLineitem(
     const workload::TpchData& data, const dist::Distribution& starts,
-    uint64_t k, uint64_t period, size_t batch_size, uint64_t seed = 0x79C4) {
+    uint64_t k, uint64_t period, size_t batch_size, uint64_t seed = 0x79C4,
+    bool via_wire = false) {
   auto system = std::make_unique<proxy::MopeSystem>(seed);
+  if (via_wire) {
+    proxy::MopeSystem* raw = system.get();
+    system->set_connection_factory(
+        [raw]() -> Result<std::unique_ptr<proxy::ServerConnection>> {
+      return net::MakeLoopbackWireConnection(raw->server());
+    });
+  }
   proxy::EncryptedColumnSpec spec;
   spec.column = "l_shipdate";
   spec.domain = workload::kTpchDateDomain;

@@ -10,14 +10,28 @@
 ///   mope_shell                      # interactive (reads stdin)
 ///   echo "SELECT ..." | mope_shell  # scripted
 ///   mope_shell -c "SELECT ..."      # one-shot
+///   mope_shell --connect HOST:PORT  # proxy-only: data lives in mope_serverd
+///
+/// With --connect the shell is the trusted proxy of the paper's Figure 4 in
+/// its own process: the ciphertext stays in a remote mope_serverd, and this
+/// process re-derives the MOPE key from the shared seed (0x5811) — the key
+/// never crosses the wire. Two-process quickstart:
+///
+///   mope_serverd --tpch --port 5811 &
+///   mope_shell --connect 127.0.0.1:5811
 ///
 /// Meta-commands: \help  \stats  \rotate  \tables  \snapshot PATH  \quit
+/// (\rotate and \snapshot need the embedded server; unavailable remotely.)
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "engine/snapshot.h"
+#include "net/remote_connection.h"
+#include "proxy/connection_registry.h"
 #include "proxy/sql_session.h"
 #include "workload/tpch.h"
 
@@ -61,10 +75,29 @@ void PrintHelp() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string connect;   // host:port of a mope_serverd, or empty = embedded
+  std::string one_shot;  // -c SQL
+  bool have_one_shot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "-c" && i + 1 < argc) {
+      one_shot = argv[++i];
+      have_one_shot = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mope_shell [--connect HOST:PORT] [-c SQL]\n");
+      return 2;
+    }
+  }
+
   workload::TpchConfig config;
   config.scale_factor = 0.002;
   const workload::TpchData data = workload::GenerateTpch(config);
 
+  // Same seed as mope_serverd --tpch: in --connect mode this process
+  // re-derives the exact key the server's ciphertexts were produced under.
   proxy::MopeSystem system(0x5811);
   proxy::EncryptedColumnSpec spec;
   spec.column = "l_shipdate";
@@ -72,8 +105,21 @@ int main(int argc, char** argv) {
   spec.k = 30;
   spec.mode = proxy::QueryMode::kAdaptiveUniform;
   spec.batch_size = 64;
-  auto status = system.LoadTable("lineitem", data.lineitem_schema,
-                                 data.lineitem, spec);
+  Status status;
+  if (connect.empty()) {
+    status = system.LoadTable("lineitem", data.lineitem_schema, data.lineitem,
+                              spec);
+  } else {
+    net::RegisterTcpScheme();
+    auto conn = proxy::MakeConnection("tcp://" + connect);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "cannot connect: %s\n",
+                   conn.status().ToString().c_str());
+      return 1;
+    }
+    status = system.AttachRemoteTable("lineitem", spec,
+                                      std::move(conn).value());
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "boot failed: %s\n", status.ToString().c_str());
     return 1;
@@ -102,13 +148,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.rows_fetched));
   };
 
-  if (argc == 3 && std::string(argv[1]) == "-c") {
-    run(argv[2]);
+  if (have_one_shot) {
+    run(one_shot);
     return 0;
   }
 
-  std::printf("mope_shell — %zu LINEITEM rows, l_shipdate MOPE-encrypted.\n",
-              data.lineitem.size());
+  if (connect.empty()) {
+    std::printf("mope_shell — %zu LINEITEM rows, l_shipdate MOPE-encrypted.\n",
+                data.lineitem.size());
+  } else {
+    std::printf("mope_shell — proxying to mope_serverd at %s "
+                "(l_shipdate MOPE-encrypted, key derived locally).\n",
+                connect.c_str());
+  }
   std::printf("Type \\help for help.\n");
   std::string line;
   while (true) {
@@ -139,6 +191,11 @@ int main(int argc, char** argv) {
         std::printf("error: %s\n", rotated.status().ToString().c_str());
       }
     } else if (line.rfind("\\snapshot ", 0) == 0) {
+      if (!connect.empty()) {
+        std::printf("\\snapshot needs the embedded server "
+                    "(the data lives in mope_serverd)\n");
+        continue;
+      }
       // The snapshot is pure ciphertext — safe to persist server-side.
       const std::string path = line.substr(10);
       auto saved = engine::SaveCatalog(*system.server()->catalog(), path);

@@ -15,6 +15,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kNotSupported: return "not supported";
     case StatusCode::kParseError: return "parse error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -30,6 +30,7 @@ enum class StatusCode : uint8_t {
   kNotSupported = 6,      ///< Feature outside the supported SQL/engine subset.
   kParseError = 7,        ///< SQL text could not be parsed.
   kInternal = 8,          ///< Invariant violation detected at runtime.
+  kUnavailable = 9,       ///< Transient transport failure; safe to retry.
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found", ...).
@@ -76,6 +77,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +93,7 @@ class [[nodiscard]] Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "ok" or "<code>: <message>".
   std::string ToString() const;

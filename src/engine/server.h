@@ -31,6 +31,8 @@ struct ServerStats {
   uint64_t segments_scanned = 0;  ///< Coalesced index sweeps performed.
   uint64_t entries_visited = 0;   ///< Index entries touched.
   uint64_t rows_returned = 0;     ///< Result rows shipped back (bandwidth).
+  uint64_t bytes_received = 0;    ///< Wire bytes in (0 for direct calls).
+  uint64_t bytes_sent = 0;        ///< Wire bytes out (0 for direct calls).
 };
 
 class DbServer {
@@ -66,6 +68,15 @@ class DbServer {
 
   const ServerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ServerStats{}; }
+
+  /// Credits wire traffic against this server. Only the network layer calls
+  /// this (a DirectConnection moves no bytes); like every other DbServer
+  /// entry point it must be externally serialized — net::WireDispatcher
+  /// holds its dispatch mutex across the request and this accounting.
+  void AddTransferBytes(uint64_t received, uint64_t sent) {
+    stats_.bytes_received += received;
+    stats_.bytes_sent += sent;
+  }
 
  private:
   Result<std::vector<Segment>> PrepareSegments(

@@ -4,115 +4,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "engine/codec.h"
+
 namespace mope::engine {
 
 namespace {
 
 constexpr char kMagic[8] = {'M', 'O', 'P', 'E', 'S', 'N', 'P', '1'};
-
-// --- Writer helpers -------------------------------------------------------
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>(v >> (8 * i)));
-  }
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU64(out, s.size());
-  out->append(s);
-}
-
-void PutValue(std::string* out, const Value& v) {
-  switch (TypeOf(v)) {
-    case ValueType::kInt:
-      out->push_back(0);
-      PutU64(out, static_cast<uint64_t>(std::get<int64_t>(v)));
-      break;
-    case ValueType::kDouble: {
-      out->push_back(1);
-      uint64_t bits;
-      const double d = std::get<double>(v);
-      std::memcpy(&bits, &d, 8);
-      PutU64(out, bits);
-      break;
-    }
-    case ValueType::kString:
-      out->push_back(2);
-      PutString(out, std::get<std::string>(v));
-      break;
-  }
-}
-
-// --- Reader helpers -------------------------------------------------------
-
-class Reader {
- public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
-
-  Result<uint64_t> U64() {
-    if (pos_ + 8 > bytes_.size()) {
-      return Status::Corruption("snapshot truncated");
-    }
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  Result<uint8_t> Byte() {
-    if (pos_ >= bytes_.size()) {
-      return Status::Corruption("snapshot truncated");
-    }
-    return static_cast<uint8_t>(bytes_[pos_++]);
-  }
-
-  Result<std::string> String() {
-    MOPE_ASSIGN_OR_RETURN(uint64_t len, U64());
-    if (len > bytes_.size() - pos_) {
-      return Status::Corruption("snapshot string length out of bounds");
-    }
-    std::string s = bytes_.substr(pos_, len);
-    pos_ += len;
-    return s;
-  }
-
-  Result<Value> ReadValue() {
-    MOPE_ASSIGN_OR_RETURN(uint8_t tag, Byte());
-    Value out;
-    switch (tag) {
-      case 0: {
-        MOPE_ASSIGN_OR_RETURN(uint64_t bits, U64());
-        out = static_cast<int64_t>(bits);
-        break;
-      }
-      case 1: {
-        MOPE_ASSIGN_OR_RETURN(uint64_t bits, U64());
-        double d;
-        std::memcpy(&d, &bits, 8);
-        out = d;
-        break;
-      }
-      case 2: {
-        MOPE_ASSIGN_OR_RETURN(std::string s, String());
-        out = std::move(s);
-        break;
-      }
-      default:
-        return Status::Corruption("unknown value tag in snapshot");
-    }
-    return out;
-  }
-
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-
- private:
-  const std::string& bytes_;
-  size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -155,8 +53,8 @@ Result<Catalog> DeserializeCatalog(const std::string& bytes) {
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a MOPE snapshot");
   }
-  const std::string body = bytes.substr(sizeof(kMagic));
-  Reader reader(body);
+  ByteReader reader(std::string_view(bytes).substr(sizeof(kMagic)),
+                    "snapshot");
 
   Catalog catalog;
   MOPE_ASSIGN_OR_RETURN(uint64_t num_tables, reader.U64());

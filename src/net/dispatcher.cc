@@ -1,0 +1,93 @@
+#include "net/dispatcher.h"
+
+#include <utility>
+
+namespace mope::net {
+
+namespace {
+
+/// Encodes an application-level outcome: a reply frame on success, a
+/// kStatusReply frame on error. Only called with already-validated framing.
+template <typename T, typename Encode>
+std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
+                          Encode&& encode) {
+  if (!result.ok()) {
+    return EncodeFrame(MessageType::kStatusReply,
+                       EncodeStatusReply(result.status()));
+  }
+  return EncodeFrame(reply_type, encode(result.value()));
+}
+
+}  // namespace
+
+Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
+                                                     size_t* consumed) {
+  size_t frame_size = 0;
+  MOPE_ASSIGN_OR_RETURN(Frame frame, DecodeFrame(bytes, &frame_size));
+  if (consumed != nullptr) *consumed = frame_size;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MOPE_ASSIGN_OR_RETURN(std::string reply, HandleFrameLocked(frame));
+  server_->AddTransferBytes(frame_size, reply.size());
+  ++frames_served_;
+  return reply;
+}
+
+Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
+  switch (static_cast<MessageType>(frame.type)) {
+    case MessageType::kRangeBatchRequest: {
+      auto request = DecodeRangeBatchRequest(frame.payload);
+      if (!request.ok()) return request.status();
+      return ReplyOrStatus(
+          server_->ExecuteRangeBatchWithIds(request->table, request->column,
+                                            request->ranges),
+          MessageType::kRangeBatchReply,
+          [](const RowsWithIds& rows) { return EncodeRangeBatchReply(rows); });
+    }
+    case MessageType::kCountBatchRequest: {
+      auto request = DecodeRangeBatchRequest(frame.payload);
+      if (!request.ok()) return request.status();
+      return ReplyOrStatus(
+          server_->CountRangeBatch(request->table, request->column,
+                                   request->ranges),
+          MessageType::kCountBatchReply,
+          [](uint64_t count) { return EncodeCountBatchReply(count); });
+    }
+    case MessageType::kSchemaRequest: {
+      auto table = DecodeSchemaRequest(frame.payload);
+      if (!table.ok()) return table.status();
+      auto schema = [&]() -> Result<engine::Schema> {
+        MOPE_ASSIGN_OR_RETURN(
+            const engine::Table* tbl,
+            static_cast<const engine::DbServer*>(server_)->catalog().GetTable(
+                *table));
+        return tbl->schema();
+      }();
+      return ReplyOrStatus(schema, MessageType::kSchemaReply,
+                           [](const engine::Schema& s) {
+                             return EncodeSchemaReply(s);
+                           });
+    }
+    case MessageType::kRangeBatchReply:
+    case MessageType::kCountBatchReply:
+    case MessageType::kSchemaReply:
+    case MessageType::kStatusReply:
+      // A client sending us reply types is confused but the framing is
+      // sound: answer, don't hang up.
+      return EncodeFrame(
+          MessageType::kStatusReply,
+          EncodeStatusReply(Status::InvalidArgument(
+              "reply message type in a request frame")));
+  }
+  return EncodeFrame(MessageType::kStatusReply,
+                     EncodeStatusReply(Status::InvalidArgument(
+                         "unknown message type " +
+                         std::to_string(frame.type))));
+}
+
+uint64_t WireDispatcher::frames_served() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return frames_served_;
+}
+
+}  // namespace mope::net

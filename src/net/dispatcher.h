@@ -1,0 +1,55 @@
+#ifndef MOPE_NET_DISPATCHER_H_
+#define MOPE_NET_DISPATCHER_H_
+
+/// \file dispatcher.h
+/// Bridges decoded wire frames to an engine::DbServer.
+///
+/// One dispatcher is shared by every session of a server daemon. It owns the
+/// mutex that serializes engine access (DbServer is single-threaded by
+/// design — the paper's server is one unmodified DBMS) and the wire-level
+/// byte accounting folded into ServerStats. Application errors (unknown
+/// table, bad column, unknown message type) are *answers*, encoded as
+/// kStatusReply frames; only framing violations — a stream we can no longer
+/// trust — are returned as errors, upon which the session closes.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/server.h"
+#include "net/wire.h"
+
+namespace mope::net {
+
+class WireDispatcher {
+ public:
+  /// `server` must outlive the dispatcher.
+  explicit WireDispatcher(engine::DbServer* server) : server_(server) {}
+
+  WireDispatcher(const WireDispatcher&) = delete;
+  WireDispatcher& operator=(const WireDispatcher&) = delete;
+
+  /// Handles the complete frame at the front of `bytes` and returns the
+  /// encoded reply frame; `*consumed` is set to the request frame's size.
+  /// Thread-safe: the whole request (decode, engine call, encode, stats) runs
+  /// under the dispatch mutex.
+  Result<std::string> HandleFrameBytes(std::string_view bytes,
+                                       size_t* consumed);
+
+  /// Requests answered so far (including ones answered with a StatusReply).
+  uint64_t frames_served() const;
+
+ private:
+  Result<std::string> HandleFrameLocked(const Frame& frame);
+
+  mutable std::mutex mutex_;
+  engine::DbServer* server_;
+  uint64_t frames_served_ = 0;
+};
+
+}  // namespace mope::net
+
+#endif  // MOPE_NET_DISPATCHER_H_

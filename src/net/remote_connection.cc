@@ -1,0 +1,184 @@
+#include "net/remote_connection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/inmem.h"
+#include "proxy/connection_registry.h"
+
+namespace mope::net {
+
+RemoteConnection::RemoteConnection(RemoteOptions options)
+    : options_(std::move(options)) {
+  if (!options_.transport_factory) {
+    options_.transport_factory =
+        [host = options_.host, port = options_.port,
+         socket = options_.socket]() -> Result<std::unique_ptr<Transport>> {
+      MOPE_ASSIGN_OR_RETURN(std::unique_ptr<SocketTransport> transport,
+                            ConnectTcp(host, port, socket));
+      return std::unique_ptr<Transport>(std::move(transport));
+    };
+  }
+}
+
+Status RemoteConnection::EnsureConnectedLocked() {
+  if (transport_ != nullptr) return Status::OK();
+  MOPE_ASSIGN_OR_RETURN(transport_, options_.transport_factory());
+  ++connects_;
+  return Status::OK();
+}
+
+void RemoteConnection::DisconnectLocked() {
+  if (transport_ != nullptr) {
+    transport_->Close();
+    transport_.reset();
+  }
+}
+
+Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
+                                          std::string payload,
+                                          MessageType expected_reply) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Status last = Status::Unavailable("no attempt made");
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      const int backoff = std::min(
+          options_.backoff_max_ms,
+          options_.backoff_initial_ms << std::min(attempt - 1, 20u));
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+
+    last = EnsureConnectedLocked();
+    if (!last.ok()) {
+      if (IsTransient(last)) continue;
+      return last;
+    }
+    last = WriteFrame(transport_.get(), request_type, payload);
+    if (!last.ok()) {
+      DisconnectLocked();
+      if (IsTransient(last)) continue;
+      return last;
+    }
+    auto frame = ReadFrame(transport_.get());
+    if (!frame.ok()) {
+      // The stream is in an unknown state either way; a fresh connection is
+      // the only sane base for a retry.
+      DisconnectLocked();
+      last = frame.status();
+      if (IsTransient(last)) continue;
+      return last;  // Corruption and friends: fail fast
+    }
+    if (frame->type == static_cast<uint8_t>(MessageType::kStatusReply)) {
+      Status carried;
+      MOPE_RETURN_NOT_OK(DecodeStatusReply(frame->payload, &carried));
+      return carried;  // the server's answer; not a transport failure
+    }
+    if (frame->type != static_cast<uint8_t>(expected_reply)) {
+      DisconnectLocked();
+      return Status::Corruption("unexpected reply type " +
+                                std::to_string(frame->type));
+    }
+    return *std::move(frame);
+  }
+  return last;
+}
+
+Result<std::vector<std::pair<engine::RowId, engine::Row>>>
+RemoteConnection::ExecuteRangeBatch(const std::string& table,
+                                    const std::string& column,
+                                    const std::vector<ModularInterval>& ranges) {
+  RangeBatchRequest request{table, column, ranges};
+  MOPE_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(MessageType::kRangeBatchRequest,
+                EncodeRangeBatchRequest(request),
+                MessageType::kRangeBatchReply));
+  return DecodeRangeBatchReply(reply.payload);
+}
+
+Result<uint64_t> RemoteConnection::CountRangeBatch(
+    const std::string& table, const std::string& column,
+    const std::vector<ModularInterval>& ranges) {
+  RangeBatchRequest request{table, column, ranges};
+  MOPE_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(MessageType::kCountBatchRequest,
+                EncodeRangeBatchRequest(request),
+                MessageType::kCountBatchReply));
+  return DecodeCountBatchReply(reply.payload);
+}
+
+Result<engine::Schema> RemoteConnection::GetSchema(const std::string& table) {
+  MOPE_ASSIGN_OR_RETURN(Frame reply,
+                        RoundTrip(MessageType::kSchemaRequest,
+                                  EncodeSchemaRequest(table),
+                                  MessageType::kSchemaReply));
+  return DecodeSchemaReply(reply.payload);
+}
+
+uint64_t RemoteConnection::retries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+uint64_t RemoteConnection::connects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connects_;
+}
+
+void RegisterTcpScheme(const RemoteOptions& defaults) {
+  proxy::RegisterConnectionScheme(
+      "tcp",
+      [defaults](const std::string& address)
+          -> Result<std::unique_ptr<proxy::ServerConnection>> {
+        const size_t colon = address.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == address.size()) {
+          return Status::InvalidArgument(
+              "tcp:// address must look like host:port, got '" + address +
+              "'");
+        }
+        uint64_t port = 0;
+        for (size_t i = colon + 1; i < address.size(); ++i) {
+          const char c = address[i];
+          if (c < '0' || c > '9') {
+            return Status::InvalidArgument("bad port in tcp:// address '" +
+                                           address + "'");
+          }
+          port = port * 10 + static_cast<uint64_t>(c - '0');
+          if (port > 65535) {
+            return Status::InvalidArgument("port out of range in '" +
+                                           address + "'");
+          }
+        }
+        RemoteOptions options = defaults;
+        options.host = address.substr(0, colon);
+        options.port = static_cast<uint16_t>(port);
+        options.transport_factory = nullptr;  // rebuilt from host/port
+        return std::unique_ptr<proxy::ServerConnection>(
+            std::make_unique<RemoteConnection>(std::move(options)));
+      });
+}
+
+std::unique_ptr<proxy::ServerConnection> MakeLoopbackWireConnection(
+    engine::DbServer* server) {
+  auto dispatcher = std::make_shared<WireDispatcher>(server);
+  auto channel = std::make_shared<InProcessChannel>(dispatcher.get());
+  RemoteOptions options;
+  options.max_retries = 0;
+  options.backoff_initial_ms = 0;
+  // The factory keeps dispatcher and channel alive for the connection's
+  // lifetime (captured shared_ptrs).
+  options.transport_factory =
+      [dispatcher, channel]() -> Result<std::unique_ptr<Transport>> {
+    return channel->NewTransport();
+  };
+  return std::make_unique<RemoteConnection>(std::move(options));
+}
+
+}  // namespace mope::net

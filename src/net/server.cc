@@ -1,0 +1,106 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "net/wire.h"
+
+namespace mope::net {
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(engine::DbServer* server,
+                                                    TcpServerOptions options) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("daemon needs a DbServer");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("daemon needs at least one worker");
+  }
+  MOPE_ASSIGN_OR_RETURN(std::unique_ptr<TcpListener> listener,
+                        TcpListener::Bind(options.host, options.port));
+  auto daemon = std::unique_ptr<TcpServer>(
+      new TcpServer(server, std::move(options), std::move(listener)));
+  daemon->listen_thread_ = std::thread([d = daemon.get()] { d->ListenLoop(); });
+  daemon->workers_.reserve(daemon->options_.num_workers);
+  for (int i = 0; i < daemon->options_.num_workers; ++i) {
+    daemon->workers_.emplace_back([d = daemon.get()] { d->WorkerLoop(); });
+  }
+  return daemon;
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;  // second Stop (e.g. destructor after explicit Stop)
+  }
+  queue_cv_.notify_all();
+  if (listen_thread_.joinable()) listen_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  listener_->Close();
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::ListenLoop() {
+  while (!stopping_.load()) {
+    auto session = listener_->Accept(options_.poll_interval_ms,
+                                     options_.session_options);
+    if (!session.ok()) {
+      // Accept failures are transient (e.g. the peer already reset); keep
+      // serving unless we're shutting down.
+      continue;
+    }
+    if (*session == nullptr) continue;  // poll timeout: re-check stop flag
+    ++connections_accepted_;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(std::move(*session));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void TcpServer::WorkerLoop() {
+  while (true) {
+    std::unique_ptr<SocketTransport> session;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      session = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeSession(session.get());
+    session->Close();
+  }
+}
+
+void TcpServer::ServeSession(SocketTransport* session) {
+  std::string buffer;
+  while (!stopping_.load()) {
+    // Block in short slices so shutdown is never stuck behind an idle client.
+    auto ready = session->Poll(options_.poll_interval_ms);
+    if (!ready.ok()) return;
+    if (!*ready) continue;
+
+    char chunk[4096];
+    auto n = session->Read(chunk, sizeof(chunk));
+    if (!n.ok() || *n == 0) return;  // peer hung up (or reset): done
+    buffer.append(chunk, *n);
+
+    // Serve every complete frame in the buffer (clients may pipeline).
+    while (buffer.size() >= kFrameHeaderBytes) {
+      size_t consumed = 0;
+      auto reply = dispatcher_.HandleFrameBytes(buffer, &consumed);
+      if (!reply.ok()) {
+        if (reply.status().IsUnavailable()) break;  // incomplete: read more
+        return;  // framing violation: this stream cannot be trusted
+      }
+      buffer.erase(0, consumed);
+      if (!session->Write(reply->data(), reply->size()).ok()) return;
+    }
+  }
+}
+
+}  // namespace mope::net

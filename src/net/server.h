@@ -1,0 +1,92 @@
+#ifndef MOPE_NET_SERVER_H_
+#define MOPE_NET_SERVER_H_
+
+/// \file server.h
+/// The TCP server daemon: engine::DbServer behind the wire protocol.
+///
+/// One listener thread accepts connections and feeds a fixed pool of worker
+/// threads; each worker runs a session loop (read frame, dispatch, write
+/// reply) over one connection at a time. Engine access is serialized by the
+/// shared WireDispatcher — the workers overlap network I/O, decoding and
+/// encoding, which is where a daemon spends its time on small frames.
+///
+/// Shutdown is graceful and deterministic: Stop() raises a flag that every
+/// blocking point (accept, session read) polls on a short cadence, in-flight
+/// requests complete, replies are flushed, then sockets close and threads
+/// join. A malformed or hostile client only ever costs its own connection —
+/// framing errors close that session, never the daemon.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/server.h"
+#include "net/dispatcher.h"
+#include "net/socket.h"
+
+namespace mope::net {
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0: ephemeral; the bound port is TcpServer::port().
+  int num_workers = 4;
+  /// Cadence at which blocked accepts/reads re-check the stop flag.
+  int poll_interval_ms = 50;
+  /// Socket deadlines for accepted connections.
+  SocketOptions session_options;
+};
+
+class TcpServer {
+ public:
+  /// Binds, spawns the listener and worker threads, and starts serving
+  /// `server` (which must outlive the TcpServer and must not be mutated
+  /// concurrently except through this daemon).
+  static Result<std::unique_ptr<TcpServer>> Start(engine::DbServer* server,
+                                                  TcpServerOptions options);
+
+  /// Graceful shutdown; safe to call more than once. The destructor calls it.
+  void Stop();
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  uint16_t port() const { return listener_->port(); }
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t frames_served() const { return dispatcher_.frames_served(); }
+
+ private:
+  TcpServer(engine::DbServer* server, TcpServerOptions options,
+            std::unique_ptr<TcpListener> listener)
+      : options_(std::move(options)), listener_(std::move(listener)),
+        dispatcher_(server) {}
+
+  void ListenLoop();
+  void WorkerLoop();
+  void ServeSession(SocketTransport* session);
+
+  TcpServerOptions options_;
+  std::unique_ptr<TcpListener> listener_;
+  WireDispatcher dispatcher_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<SocketTransport>> pending_;
+
+  std::thread listen_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mope::net
+
+#endif  // MOPE_NET_SERVER_H_

@@ -1,0 +1,79 @@
+#ifndef MOPE_NET_TRANSPORT_H_
+#define MOPE_NET_TRANSPORT_H_
+
+/// \file transport.h
+/// The byte-stream abstraction under the wire protocol.
+///
+/// A Transport is one side of a reliable, ordered duplex byte stream — a
+/// connected TCP socket in production, a deterministic in-memory channel in
+/// tests, or a fault-injecting wrapper around either. Framing (net/wire.h)
+/// sits strictly on top: nothing below this interface knows what a message
+/// is, which is what lets the fault injector cut, corrupt, or stall streams
+/// at arbitrary byte positions.
+///
+/// Error contract: transient transport failures (timeouts, resets, closed
+/// peers) surface as StatusCode::kUnavailable, which the client layer treats
+/// as retryable; everything else is surfaced untouched and never retried.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mope::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reads up to `max` bytes into `buf`, blocking no longer than the
+  /// transport's read deadline. Returns the number of bytes read (>= 1), or
+  /// 0 on orderly end-of-stream; deadline expiry and broken connections are
+  /// Unavailable. Precondition: max > 0.
+  virtual Result<size_t> Read(char* buf, size_t max) = 0;
+
+  /// Writes all `n` bytes or fails (no short writes).
+  virtual Status Write(const char* data, size_t n) = 0;
+
+  /// Closes the stream; further Reads/Writes fail. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// Scripted transport for tests and for parsing frames out of buffers:
+/// Read() serves bytes from a fixed input string, Write() appends to an
+/// output string.
+class StringTransport final : public Transport {
+ public:
+  explicit StringTransport(std::string input) : input_(std::move(input)) {}
+
+  Result<size_t> Read(char* buf, size_t max) override {
+    if (closed_) return Status::Unavailable("transport closed");
+    if (pos_ >= input_.size()) return static_cast<size_t>(0);
+    const size_t n = std::min(max, input_.size() - pos_);
+    input_.copy(buf, n, pos_);
+    pos_ += n;
+    return n;
+  }
+
+  Status Write(const char* data, size_t n) override {
+    if (closed_) return Status::Unavailable("transport closed");
+    output_.append(data, n);
+    return Status::OK();
+  }
+
+  void Close() override { closed_ = true; }
+
+  const std::string& output() const { return output_; }
+
+ private:
+  std::string input_;
+  std::string output_;
+  size_t pos_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mope::net
+
+#endif  // MOPE_NET_TRANSPORT_H_

@@ -1,0 +1,339 @@
+#include "net/wire.h"
+
+#include <array>
+
+#include "engine/codec.h"
+
+namespace mope::net {
+
+using engine::ByteReader;
+using engine::PutString;
+using engine::PutU32;
+using engine::PutU64;
+using engine::PutValue;
+
+namespace {
+
+/// Sanity bound on collection counts so a 16-byte frame can't make the
+/// decoder reserve gigabytes before the (bounded) payload runs out.
+constexpr uint64_t kMaxRangesPerBatch = 1u << 20;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Result<ModularInterval> ReadInterval(ByteReader* reader) {
+  MOPE_ASSIGN_OR_RETURN(uint64_t start, reader->U64());
+  MOPE_ASSIGN_OR_RETURN(uint64_t length, reader->U64());
+  MOPE_ASSIGN_OR_RETURN(uint64_t domain, reader->U64());
+  // Validate before constructing: ModularInterval's constructor MOPE_CHECKs
+  // its preconditions, and a hostile frame must never abort the server.
+  if (domain == 0 || start >= domain || length == 0 || length > domain) {
+    return Status::Corruption("wire frame carries an invalid interval");
+  }
+  return ModularInterval(start, length, domain);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(MessageType type, std::string payload) {
+  MOPE_CHECK(payload.size() <= kMaxPayloadBytes, "frame payload too large");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kWireMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::Unavailable("incomplete frame header");
+  }
+  ByteReader header(bytes.substr(0, kFrameHeaderBytes), "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint32_t magic, header.U32());
+  if (magic != kWireMagic) {
+    return Status::Corruption("bad wire magic");
+  }
+  MOPE_ASSIGN_OR_RETURN(uint8_t version, header.Byte());
+  if (version != kWireVersion) {
+    return Status::Corruption("unsupported wire protocol version " +
+                              std::to_string(version));
+  }
+  MOPE_ASSIGN_OR_RETURN(uint8_t type, header.Byte());
+  MOPE_ASSIGN_OR_RETURN(uint8_t reserved0, header.Byte());
+  MOPE_ASSIGN_OR_RETURN(uint8_t reserved1, header.Byte());
+  if (reserved0 != 0 || reserved1 != 0) {
+    return Status::Corruption("nonzero reserved bytes in frame header");
+  }
+  MOPE_ASSIGN_OR_RETURN(uint32_t length, header.U32());
+  if (length > kMaxPayloadBytes) {
+    return Status::Corruption("oversized frame payload (" +
+                              std::to_string(length) + " bytes)");
+  }
+  MOPE_ASSIGN_OR_RETURN(uint32_t crc, header.U32());
+  if (bytes.size() - kFrameHeaderBytes < length) {
+    return Status::Unavailable("incomplete frame payload");
+  }
+  const std::string_view payload = bytes.substr(kFrameHeaderBytes, length);
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  if (consumed != nullptr) *consumed = kFrameHeaderBytes + length;
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(payload);
+  return frame;
+}
+
+namespace {
+
+/// Reads exactly `n` more bytes into `out`. `at_boundary` distinguishes a
+/// clean EOF before any header byte (peer hung up between requests) from a
+/// stream cut mid-frame.
+Status ReadExact(Transport* transport, size_t n, std::string* out,
+                 bool at_boundary) {
+  size_t got = 0;
+  char buf[4096];
+  while (got < n) {
+    MOPE_ASSIGN_OR_RETURN(
+        size_t chunk, transport->Read(buf, std::min(n - got, sizeof(buf))));
+    if (chunk == 0) {
+      return (at_boundary && got == 0)
+                 ? Status::Unavailable("connection closed")
+                 : Status::Unavailable("connection closed mid-frame");
+    }
+    out->append(buf, chunk);
+    got += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFrameBytes(Transport* transport) {
+  std::string raw;
+  raw.reserve(kFrameHeaderBytes);
+  MOPE_RETURN_NOT_OK(
+      ReadExact(transport, kFrameHeaderBytes, &raw, /*at_boundary=*/true));
+  // Vet the header far enough to learn the payload length; full validation
+  // (CRC included) happens in DecodeFrame once the bytes are in hand.
+  ByteReader header(raw, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint32_t magic, header.U32());
+  if (magic != kWireMagic) {
+    return Status::Corruption("bad wire magic");
+  }
+  MOPE_ASSIGN_OR_RETURN(uint8_t version, header.Byte());
+  if (version != kWireVersion) {
+    return Status::Corruption("unsupported wire protocol version " +
+                              std::to_string(version));
+  }
+  MOPE_RETURN_NOT_OK(header.Byte().status());  // type: dispatcher's problem
+  MOPE_RETURN_NOT_OK(header.Byte().status());  // reserved, checked on decode
+  MOPE_RETURN_NOT_OK(header.Byte().status());
+  MOPE_ASSIGN_OR_RETURN(uint32_t length, header.U32());
+  if (length > kMaxPayloadBytes) {
+    return Status::Corruption("oversized frame payload (" +
+                              std::to_string(length) + " bytes)");
+  }
+  MOPE_RETURN_NOT_OK(
+      ReadExact(transport, length, &raw, /*at_boundary=*/false));
+  return raw;
+}
+
+Result<Frame> ReadFrame(Transport* transport) {
+  MOPE_ASSIGN_OR_RETURN(std::string raw, ReadFrameBytes(transport));
+  return DecodeFrame(raw, nullptr);
+}
+
+Status WriteFrame(Transport* transport, MessageType type,
+                  std::string payload) {
+  const std::string frame = EncodeFrame(type, std::move(payload));
+  return transport->Write(frame.data(), frame.size());
+}
+
+// --- Message bodies -------------------------------------------------------
+
+std::string EncodeRangeBatchRequest(const RangeBatchRequest& request) {
+  std::string out;
+  PutString(&out, request.table);
+  PutString(&out, request.column);
+  PutU32(&out, static_cast<uint32_t>(request.ranges.size()));
+  for (const ModularInterval& range : request.ranges) {
+    PutU64(&out, range.start());
+    PutU64(&out, range.length());
+    PutU64(&out, range.domain());
+  }
+  return out;
+}
+
+Result<RangeBatchRequest> DecodeRangeBatchRequest(std::string_view payload) {
+  ByteReader reader(payload, "wire frame");
+  RangeBatchRequest request;
+  MOPE_ASSIGN_OR_RETURN(request.table, reader.String());
+  MOPE_ASSIGN_OR_RETURN(request.column, reader.String());
+  MOPE_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  if (count > kMaxRangesPerBatch) {
+    return Status::Corruption("implausible range count in batch request");
+  }
+  request.ranges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MOPE_ASSIGN_OR_RETURN(ModularInterval range, ReadInterval(&reader));
+    request.ranges.push_back(range);
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after batch request");
+  }
+  return request;
+}
+
+std::string EncodeRangeBatchReply(const RowsWithIds& rows) {
+  std::string out;
+  PutU64(&out, rows.size());
+  for (const auto& [rid, row] : rows) {
+    PutU64(&out, rid);
+    PutU32(&out, static_cast<uint32_t>(row.size()));
+    for (const engine::Value& v : row) PutValue(&out, v);
+  }
+  return out;
+}
+
+Result<RowsWithIds> DecodeRangeBatchReply(std::string_view payload) {
+  ByteReader reader(payload, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  // Each row costs at least 12 bytes on the wire; a count beyond that bound
+  // cannot be satisfied by the remaining payload.
+  if (count > reader.remaining() / 12) {
+    return Status::Corruption("implausible row count in batch reply");
+  }
+  RowsWithIds rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MOPE_ASSIGN_OR_RETURN(uint64_t rid, reader.U64());
+    MOPE_ASSIGN_OR_RETURN(uint32_t num_values, reader.U32());
+    if (num_values > 4096) {
+      return Status::Corruption("implausible column count in batch reply");
+    }
+    engine::Row row;
+    row.reserve(num_values);
+    for (uint32_t c = 0; c < num_values; ++c) {
+      MOPE_ASSIGN_OR_RETURN(engine::Value v, reader.ReadValue());
+      row.push_back(std::move(v));
+    }
+    rows.emplace_back(rid, std::move(row));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after batch reply");
+  }
+  return rows;
+}
+
+std::string EncodeCountBatchReply(uint64_t count) {
+  std::string out;
+  PutU64(&out, count);
+  return out;
+}
+
+Result<uint64_t> DecodeCountBatchReply(std::string_view payload) {
+  ByteReader reader(payload, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after count reply");
+  }
+  return count;
+}
+
+std::string EncodeSchemaRequest(const std::string& table) {
+  std::string out;
+  PutString(&out, table);
+  return out;
+}
+
+Result<std::string> DecodeSchemaRequest(std::string_view payload) {
+  ByteReader reader(payload, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(std::string table, reader.String());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after schema request");
+  }
+  return table;
+}
+
+std::string EncodeSchemaReply(const engine::Schema& schema) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(schema.num_columns()));
+  for (const engine::Column& col : schema.columns()) {
+    PutString(&out, col.name);
+    out.push_back(static_cast<char>(col.type));
+  }
+  return out;
+}
+
+Result<engine::Schema> DecodeSchemaReply(std::string_view payload) {
+  ByteReader reader(payload, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  if (count > 4096) {
+    return Status::Corruption("implausible column count in schema reply");
+  }
+  std::vector<engine::Column> columns;
+  columns.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    engine::Column col;
+    MOPE_ASSIGN_OR_RETURN(col.name, reader.String());
+    MOPE_ASSIGN_OR_RETURN(uint8_t type, reader.Byte());
+    if (type > static_cast<uint8_t>(engine::ValueType::kString)) {
+      return Status::Corruption("unknown column type in schema reply");
+    }
+    col.type = static_cast<engine::ValueType>(type);
+    columns.push_back(std::move(col));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after schema reply");
+  }
+  return engine::Schema(std::move(columns));
+}
+
+std::string EncodeStatusReply(const Status& status) {
+  MOPE_CHECK(!status.ok(), "status reply must carry an error");
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  PutString(&out, status.message());
+  return out;
+}
+
+Status DecodeStatusReply(std::string_view payload, Status* out) {
+  ByteReader reader(payload, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint8_t code, reader.Byte());
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption("invalid status code in status reply");
+  }
+  MOPE_ASSIGN_OR_RETURN(std::string message, reader.String());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after status reply");
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+}  // namespace mope::net

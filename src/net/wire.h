@@ -1,0 +1,131 @@
+#ifndef MOPE_NET_WIRE_H_
+#define MOPE_NET_WIRE_H_
+
+/// \file wire.h
+/// The MOPE client/server wire protocol.
+///
+/// Every message travels in one length-prefixed binary frame:
+///
+///   offset  size  field
+///        0     4  magic 0x4D4F5057 ("MOPW", little-endian u32)
+///        4     1  protocol version (kWireVersion)
+///        5     1  message type
+///        6     2  reserved, must be zero
+///        8     4  payload length (little-endian u32, <= kMaxPayloadBytes)
+///       12     4  CRC-32 (IEEE) of the payload
+///       16     …  payload
+///
+/// Payloads are encoded with the same value codec as catalog snapshots
+/// (engine/codec.h). Request/reply pairs mirror proxy::ServerConnection:
+/// ExecuteRangeBatch, CountRangeBatch, GetSchema; any server-side error
+/// comes back as a kStatusReply frame carrying the Status code and message.
+///
+/// Decoders never trust the peer: magic/version/reserved/length/CRC are all
+/// checked before a payload byte is looked at, every payload field is
+/// bounds-checked, and a ModularInterval is validated *before* construction
+/// (the constructor MOPE_CHECKs, and a hostile frame must not abort the
+/// process). Framing violations decode to Corruption; connection loss and
+/// deadline expiry to Unavailable (the retryable class).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "net/transport.h"
+
+namespace mope::net {
+
+inline constexpr uint32_t kWireMagic = 0x4D4F5057;  // "MOPW"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound on a payload; anything larger is rejected before allocation.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class MessageType : uint8_t {
+  kRangeBatchRequest = 1,  ///< body: RangeBatchRequest
+  kRangeBatchReply = 2,    ///< body: rows with ids
+  kCountBatchRequest = 3,  ///< body: RangeBatchRequest (count-only)
+  kCountBatchReply = 4,    ///< body: u64 count
+  kSchemaRequest = 5,      ///< body: table name
+  kSchemaReply = 6,        ///< body: Schema
+  kStatusReply = 7,        ///< body: non-OK Status (code + message)
+};
+
+/// A decoded frame. `type` is the raw on-wire byte: framing layers pass
+/// unknown types through so the dispatcher can answer them with a clean
+/// Status instead of dropping the connection.
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+uint32_t Crc32(std::string_view bytes);
+
+/// Serializes one frame (header + payload).
+std::string EncodeFrame(MessageType type, std::string payload);
+
+/// Validates and decodes the frame at the front of `bytes`; on success sets
+/// `*consumed` to its total size. Corruption on any header/CRC violation;
+/// Unavailable when `bytes` holds less than one whole frame (more input may
+/// still arrive).
+Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed);
+
+/// Reads one whole raw frame (header + payload bytes) off a transport.
+/// Unavailable on timeout or connection loss; Corruption as in DecodeFrame.
+Result<std::string> ReadFrameBytes(Transport* transport);
+
+/// ReadFrameBytes + DecodeFrame.
+Result<Frame> ReadFrame(Transport* transport);
+
+/// Encodes and writes one frame.
+Status WriteFrame(Transport* transport, MessageType type, std::string payload);
+
+// --- Message bodies -------------------------------------------------------
+
+/// ExecuteRangeBatch / CountRangeBatch request (they share a body; the frame
+/// type selects rows-vs-count).
+struct RangeBatchRequest {
+  std::string table;
+  std::string column;
+  std::vector<ModularInterval> ranges;
+};
+
+using RowsWithIds = std::vector<std::pair<engine::RowId, engine::Row>>;
+
+std::string EncodeRangeBatchRequest(const RangeBatchRequest& request);
+Result<RangeBatchRequest> DecodeRangeBatchRequest(std::string_view payload);
+
+std::string EncodeRangeBatchReply(const RowsWithIds& rows);
+Result<RowsWithIds> DecodeRangeBatchReply(std::string_view payload);
+
+std::string EncodeCountBatchReply(uint64_t count);
+Result<uint64_t> DecodeCountBatchReply(std::string_view payload);
+
+std::string EncodeSchemaRequest(const std::string& table);
+Result<std::string> DecodeSchemaRequest(std::string_view payload);
+
+std::string EncodeSchemaReply(const engine::Schema& schema);
+Result<engine::Schema> DecodeSchemaReply(std::string_view payload);
+
+/// Precondition: !status.ok() (an OK status reply is meaningless on the wire
+/// and is rejected by the decoder).
+std::string EncodeStatusReply(const Status& status);
+
+/// Decodes the carried error into `*out`; the return value reports decode
+/// failures (out-param rather than Result<Status>, which would be ambiguous).
+Status DecodeStatusReply(std::string_view payload, Status* out);
+
+/// True when `status` is a transient transport failure worth retrying.
+inline bool IsTransient(const Status& status) {
+  return status.IsUnavailable();
+}
+
+}  // namespace mope::net
+
+#endif  // MOPE_NET_WIRE_H_

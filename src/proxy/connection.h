@@ -8,8 +8,9 @@
 /// proxy only needs two capabilities from it: execute a batch of range
 /// predicates over an indexed column, and describe a table. Abstracting
 /// them behind ServerConnection lets tests inject transient failures (a
-/// real network does fail) and would let a deployment swap in an actual
-/// wire protocol without touching the proxy logic.
+/// real network does fail) and makes the proxy location-transparent: the
+/// wire protocol lives behind net::RemoteConnection (src/net/), which slots
+/// in here without touching the proxy logic.
 
 #include <string>
 #include <utility>
@@ -34,6 +35,16 @@ class ServerConnection {
 
   /// Schema of a server table (catalog lookup).
   virtual Result<engine::Schema> GetSchema(const std::string& table) = 0;
+
+  /// Number of rows the batch would return, without shipping them. The
+  /// default fetches and counts; connections with a cheaper path (the wire
+  /// protocol's count-only message, DbServer::CountRangeBatch) override it.
+  virtual Result<uint64_t> CountRangeBatch(
+      const std::string& table, const std::string& column,
+      const std::vector<ModularInterval>& ranges) {
+    MOPE_ASSIGN_OR_RETURN(auto rows, ExecuteRangeBatch(table, column, ranges));
+    return static_cast<uint64_t>(rows.size());
+  }
 };
 
 /// In-process connection to an embedded DbServer.
@@ -53,6 +64,12 @@ class DirectConnection final : public ServerConnection {
                               ->catalog()
                               .GetTable(table));
     return tbl->schema();
+  }
+
+  Result<uint64_t> CountRangeBatch(
+      const std::string& table, const std::string& column,
+      const std::vector<ModularInterval>& ranges) override {
+    return server_->CountRangeBatch(table, column, ranges);
   }
 
  private:

@@ -1,0 +1,57 @@
+#include "proxy/connection_registry.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace mope::proxy {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, ConnectionSchemeFactory> factories;
+};
+
+// Function-local static: safe against initialization-order issues when
+// transports register themselves from other translation units at startup.
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterConnectionScheme(const std::string& scheme,
+                              ConnectionSchemeFactory factory) {
+  Registry& registry = GlobalRegistry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.factories[scheme] = std::move(factory);
+}
+
+Result<std::unique_ptr<ServerConnection>> MakeConnection(
+    const std::string& connection_string) {
+  const size_t sep = connection_string.find("://");
+  if (sep == std::string::npos || sep == 0) {
+    return Status::InvalidArgument(
+        "connection string must look like scheme://address, got '" +
+        connection_string + "'");
+  }
+  const std::string scheme = connection_string.substr(0, sep);
+  const std::string address = connection_string.substr(sep + 3);
+
+  ConnectionSchemeFactory factory;
+  {
+    Registry& registry = GlobalRegistry();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const auto it = registry.factories.find(scheme);
+    if (it == registry.factories.end()) {
+      return Status::NotFound("no connection scheme registered for '" +
+                              scheme + "://'");
+    }
+    factory = it->second;
+  }
+  // Invoke outside the lock: factories may block (TCP connect).
+  return factory(address);
+}
+
+}  // namespace mope::proxy

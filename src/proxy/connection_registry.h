@@ -1,0 +1,40 @@
+#ifndef MOPE_PROXY_CONNECTION_REGISTRY_H_
+#define MOPE_PROXY_CONNECTION_REGISTRY_H_
+
+/// \file connection_registry.h
+/// Scheme-based factory for ServerConnections ("tcp://host:port").
+///
+/// The proxy layer is deliberately ignorant of concrete transports (mope_net
+/// links *against* mope_proxy, not the other way around), so transports
+/// announce themselves here at startup: net::RegisterTcpScheme() installs
+/// the "tcp" factory, tests install in-memory schemes, and anything that
+/// accepts a connection string — the shell's --connect flag, tools — goes
+/// through MakeConnection() without naming a transport type.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "proxy/connection.h"
+
+namespace mope::proxy {
+
+/// Builds a connection from the part of the address after "scheme://".
+using ConnectionSchemeFactory =
+    std::function<Result<std::unique_ptr<ServerConnection>>(
+        const std::string& address)>;
+
+/// Installs (or replaces) the factory for `scheme`. Thread-safe.
+void RegisterConnectionScheme(const std::string& scheme,
+                              ConnectionSchemeFactory factory);
+
+/// Opens a connection from a "scheme://address" string. InvalidArgument for
+/// a malformed string, NotFound for an unregistered scheme; anything else
+/// comes from the factory itself.
+Result<std::unique_ptr<ServerConnection>> MakeConnection(
+    const std::string& connection_string);
+
+}  // namespace mope::proxy
+
+#endif  // MOPE_PROXY_CONNECTION_REGISTRY_H_

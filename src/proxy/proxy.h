@@ -97,6 +97,12 @@ class Proxy {
   /// Executes a client range query end to end.
   Result<QueryResponse> ExecuteRange(const query::RangeQuery& q);
 
+  /// Schema of the server-side table this proxy fronts, fetched through the
+  /// connection — works identically for embedded and remote servers.
+  Result<engine::Schema> GetServerSchema() const {
+    return connection_->GetSchema(config_.table);
+  }
+
   /// Encrypts a single plaintext value (used when loading data through the
   /// proxy, so the server never sees plaintexts).
   Result<uint64_t> EncryptValue(uint64_t m) const { return mope_.Encrypt(m); }

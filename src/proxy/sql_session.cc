@@ -58,10 +58,10 @@ Result<sql::SqlResult> EncryptedSqlSession::Execute(
   }
   segments = engine::CoalesceSegments(std::move(segments));
 
-  // Fetch through the proxy (fakes, batching, filtering all apply).
-  const engine::Table* server_table = nullptr;
-  MOPE_ASSIGN_OR_RETURN(server_table,
-                        system_->server()->catalog()->GetTable(stmt.from_table));
+  // Fetch through the proxy (fakes, batching, filtering all apply). The
+  // schema comes through the proxy's connection too, so the session works
+  // unchanged when the table lives in another process.
+  MOPE_ASSIGN_OR_RETURN(engine::Schema server_schema, proxy->GetServerSchema());
   std::vector<engine::Row> fetched;
   for (const Segment& seg : segments) {
     MOPE_ASSIGN_OR_RETURN(
@@ -82,7 +82,7 @@ Result<sql::SqlResult> EncryptedSqlSession::Execute(
   engine::Catalog scratch;
   MOPE_ASSIGN_OR_RETURN(
       engine::Table * local,
-      scratch.CreateTable(stmt.from_table, server_table->schema()));
+      scratch.CreateTable(stmt.from_table, std::move(server_schema)));
   for (engine::Row& row : fetched) {
     MOPE_RETURN_NOT_OK(local->Insert(std::move(row)).status());
   }

@@ -59,12 +59,58 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
   config.period = spec.period;
   config.batch_size = spec.batch_size;
   config.rng_seed = rng_.NextWord();
-  auto proxy = Proxy::Create(config, key, params, &server_, known_q);
+  auto proxy = [&]() -> Result<std::unique_ptr<Proxy>> {
+    if (!connection_factory_) {
+      return Proxy::Create(config, key, params, &server_, known_q);
+    }
+    MOPE_ASSIGN_OR_RETURN(std::unique_ptr<ServerConnection> connection,
+                          connection_factory_());
+    return Proxy::Create(config, key, params, std::move(connection), known_q);
+  }();
   if (!proxy.ok()) {
     MOPE_RETURN_NOT_OK(server_.catalog()->DropTable(name));
     return proxy.status();
   }
   proxies_[name + "." + spec.column] = std::move(proxy).value();
+  return Status::OK();
+}
+
+Status MopeSystem::AttachRemoteTable(const std::string& name,
+                                     const EncryptedColumnSpec& spec,
+                                     std::unique_ptr<ServerConnection> connection,
+                                     const dist::Distribution* known_q) {
+  if (connection == nullptr) {
+    return Status::InvalidArgument("AttachRemoteTable needs a connection");
+  }
+  if (spec.domain == 0) {
+    return Status::InvalidArgument("encrypted column needs a domain size");
+  }
+  // All validation — including the remote round trip — happens before any
+  // draw from rng_, so a failed attach leaves the key stream untouched and
+  // a same-seed process stays in lockstep with the one that loaded the data.
+  MOPE_ASSIGN_OR_RETURN(engine::Schema schema, connection->GetSchema(name));
+  MOPE_ASSIGN_OR_RETURN(size_t enc_col, schema.IndexOf(spec.column));
+  if (schema.column(enc_col).type != engine::ValueType::kInt) {
+    return Status::InvalidArgument("encrypted column must be int");
+  }
+
+  // Same draw order as LoadTable: key first, proxy seed second.
+  const ope::OpeParams params{spec.domain, ope::SuggestRange(spec.domain)};
+  const ope::MopeKey key = ope::MopeKey::Generate(spec.domain, &rng_);
+
+  ProxyConfig config;
+  config.table = name;
+  config.column = spec.column;
+  config.domain = spec.domain;
+  config.k = spec.k;
+  config.mode = spec.mode;
+  config.period = spec.period;
+  config.batch_size = spec.batch_size;
+  config.rng_seed = rng_.NextWord();
+  MOPE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Proxy> proxy,
+      Proxy::Create(config, key, params, std::move(connection), known_q));
+  proxies_[name + "." + spec.column] = std::move(proxy);
   return Status::OK();
 }
 

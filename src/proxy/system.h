@@ -10,6 +10,7 @@
 /// encrypted column, encrypts every value before it reaches the server, and
 /// builds the server-side B+-tree index over the ciphertexts.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -51,6 +52,29 @@ class MopeSystem {
                    const EncryptedColumnSpec& spec,
                    const dist::Distribution* known_q = nullptr);
 
+  /// Attaches a table that already lives behind `connection` (a server in
+  /// another process, loaded from a snapshot or by a same-seed LoadTable).
+  /// Draws the MOPE key and proxy seed from this system's rng in exactly
+  /// LoadTable's order, so a MopeSystem built with the same seed and the
+  /// same call sequence derives the identical key the remote ciphertexts
+  /// were produced under — keys never cross the wire. Key rotation is not
+  /// available on attached tables (it needs embedded-server access).
+  Status AttachRemoteTable(const std::string& name,
+                           const EncryptedColumnSpec& spec,
+                           std::unique_ptr<ServerConnection> connection,
+                           const dist::Distribution* known_q = nullptr);
+
+  /// When set, LoadTable routes the new proxy's queries through a
+  /// connection built by `factory` (e.g. net::MakeLoopbackWireConnection
+  /// for honest wire-bandwidth accounting) instead of a DirectConnection.
+  /// Data loading still goes straight into the embedded server. Proxies
+  /// created through a factory connection cannot rotate keys.
+  using ConnectionFactory =
+      std::function<Result<std::unique_ptr<ServerConnection>>()>;
+  void set_connection_factory(ConnectionFactory factory) {
+    connection_factory_ = std::move(factory);
+  }
+
   /// The proxy managing `table.column`.
   Result<Proxy*> GetProxy(const std::string& table, const std::string& column);
 
@@ -70,6 +94,7 @@ class MopeSystem {
  private:
   engine::DbServer server_;
   Rng rng_;
+  ConnectionFactory connection_factory_;
   std::map<std::string, std::unique_ptr<Proxy>> proxies_;  // "table.column"
 };
 

@@ -1,0 +1,130 @@
+#include "engine/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace mope::engine {
+namespace {
+
+TEST(CodecTest, U32RoundTrip) {
+  std::string buf;
+  PutU32(&buf, 0);
+  PutU32(&buf, 1);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU32(&buf, std::numeric_limits<uint32_t>::max());
+  ASSERT_EQ(buf.size(), 16u);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.U32().value(), 0u);
+  EXPECT_EQ(reader.U32().value(), 1u);
+  EXPECT_EQ(reader.U32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U32().value(), std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, U64RoundTrip) {
+  std::string buf;
+  PutU64(&buf, 0);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutU64(&buf, std::numeric_limits<uint64_t>::max());
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.U64().value(), 0u);
+  EXPECT_EQ(reader.U64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.U64().value(), std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, EncodingIsLittleEndian) {
+  std::string buf;
+  PutU32(&buf, 0x04030201);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x04);
+}
+
+TEST(CodecTest, StringRoundTripIncludingNulBytes) {
+  const std::string tricky("with\0nul\xFFtail", 13);
+  std::string buf;
+  PutString(&buf, "");
+  PutString(&buf, "plain");
+  PutString(&buf, tricky);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.String().value(), "");
+  EXPECT_EQ(reader.String().value(), "plain");
+  EXPECT_EQ(reader.String().value(), tricky);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, ValueRoundTripAllTypes) {
+  std::string buf;
+  PutValue(&buf, Value{int64_t{-42}});
+  PutValue(&buf, Value{int64_t{std::numeric_limits<int64_t>::min()}});
+  PutValue(&buf, Value{3.14159});
+  PutValue(&buf, Value{-0.0});
+  PutValue(&buf, Value{std::string("ciphertext")});
+  ByteReader reader(buf);
+  EXPECT_EQ(std::get<int64_t>(reader.ReadValue().value()), -42);
+  EXPECT_EQ(std::get<int64_t>(reader.ReadValue().value()),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_DOUBLE_EQ(std::get<double>(reader.ReadValue().value()), 3.14159);
+  const double neg_zero = std::get<double>(reader.ReadValue().value());
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(std::get<std::string>(reader.ReadValue().value()), "ciphertext");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CodecTest, TruncatedReadsAreCorruptionNotAborts) {
+  std::string buf;
+  PutU64(&buf, 77);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader reader(std::string_view(buf).substr(0, cut));
+    EXPECT_TRUE(reader.U64().status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, StringLengthBeyondBufferIsCorruption) {
+  std::string buf;
+  PutU64(&buf, 1000);  // claims 1000 bytes follow
+  buf += "short";
+  ByteReader reader(buf);
+  EXPECT_TRUE(reader.String().status().IsCorruption());
+}
+
+TEST(CodecTest, BadValueTagIsCorruption) {
+  std::string buf;
+  buf.push_back(static_cast<char>(0x7F));  // no such ValueType
+  ByteReader reader(buf);
+  EXPECT_TRUE(reader.ReadValue().status().IsCorruption());
+}
+
+TEST(CodecTest, TruncatedValuePayloadIsCorruption) {
+  std::string full;
+  PutValue(&full, Value{int64_t{123456789}});
+  ByteReader reader(std::string_view(full).substr(0, full.size() - 1));
+  EXPECT_TRUE(reader.ReadValue().status().IsCorruption());
+}
+
+TEST(CodecTest, ContextNamesTheMedium) {
+  ByteReader reader(std::string_view(), "wire frame");
+  const Status status = reader.U32().status();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.ToString().find("wire frame"), std::string::npos);
+}
+
+TEST(CodecTest, RemainingTracksConsumption) {
+  std::string buf;
+  PutU32(&buf, 5);
+  PutU32(&buf, 6);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.remaining(), 8u);
+  EXPECT_TRUE(reader.U32().ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+  EXPECT_FALSE(reader.AtEnd());
+  EXPECT_TRUE(reader.U32().ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace mope::engine

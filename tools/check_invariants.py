@@ -25,6 +25,12 @@ Machine-enforces the correctness conventions that code review used to carry:
                          NDEBUG builds, silently removing the check from the
                          exact builds that ship. Use MOPE_CHECK (always on)
                          or return a Status.
+  R6 raw-socket          socket/send/recv syscalls (and ::-qualified
+                         connect/bind/listen/accept/poll/shutdown) are banned
+                         outside src/net/ — all networking goes through
+                         net::Transport so deadlines, retries and fault
+                         injection stay in one audited layer. Applies to
+                         src/, tests/, bench/, examples/.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -114,6 +120,18 @@ RULES = [
         r"(?<![\w])assert\s*\(",
         "assert() disappears under NDEBUG; use MOPE_CHECK or return Status",
         includes=("src/crypto/",),
+    ),
+    # Unambiguous socket syscalls are matched by bare name; the generic-verb
+    # ones (connect, bind, accept, poll, ...) only when ::-qualified, so an
+    # `accept(visitor)` method or std::bind stays legal outside src/net/.
+    Rule(
+        "raw-socket",
+        r"(?<![\w:])(?:socket|send|recv|sendto|recvfrom|getaddrinfo)\s*\(|"
+        r"(?<![\w:])::(?:connect|bind|listen|accept|poll|shutdown)\s*\(",
+        "raw socket call outside src/net/: go through net::Transport / "
+        "net::TcpListener so deadlines, retries and fault injection apply",
+        includes=("src/", "tests/", "bench/", "examples/"),
+        excludes=("src/net/",),
     ),
 ]
 

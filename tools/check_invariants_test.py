@@ -92,6 +92,24 @@ class CatchesSeededViolations(unittest.TestCase):
         )
         self.assertIn("assert-crypto", rule_ids(v))
 
+    def test_raw_socket_outside_net(self) -> None:
+        v = run_on_tree(
+            {"src/engine/bad.cc": "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"}
+        )
+        self.assertIn("raw-socket", rule_ids(v))
+
+    def test_raw_recv_in_tests_tree(self) -> None:
+        v = run_on_tree(
+            {"tests/bad_test.cc": "ssize_t n = recv(fd, buf, len, 0);\n"}
+        )
+        self.assertIn("raw-socket", rule_ids(v))
+
+    def test_qualified_connect_outside_net(self) -> None:
+        v = run_on_tree(
+            {"examples/bad.cpp": "int rc = ::connect(fd, addr, len);\n"}
+        )
+        self.assertIn("raw-socket", rule_ids(v))
+
 
 class NoFalsePositives(unittest.TestCase):
     def test_clean_file(self) -> None:
@@ -156,6 +174,24 @@ class NoFalsePositives(unittest.TestCase):
                     "  MOPE_ASSIGN_OR_RETURN(uint64_t c,\n"
                     "                        scheme.Encrypt(m));\n"
             }
+        )
+        self.assertEqual(v, [])
+
+    def test_socket_layer_exempt_from_raw_socket(self) -> None:
+        v = run_on_tree(
+            {"src/net/socket.cc":
+                 "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+                 "int rc = ::connect(fd, addr, len);\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_visitor_accept_not_raw_socket(self) -> None:
+        # An unqualified accept()/bind() is an ordinary method or std::bind;
+        # only the ::-qualified syscall spelling is banned.
+        v = run_on_tree(
+            {"src/sql/good.cc":
+                 "  return accept(leaf->column);\n"
+                 "  auto f = std::bind(&T::Run, this);\n"}
         )
         self.assertEqual(v, [])
 
