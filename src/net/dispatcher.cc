@@ -8,14 +8,27 @@ namespace {
 
 /// Encodes an application-level outcome: a reply frame on success, a
 /// kStatusReply frame on error. Only called with already-validated framing.
+/// A reply body over `max_payload` bytes is itself an application-level
+/// outcome — EncodeFrame would MOPE_CHECK on it, and a legitimate (or
+/// hostile) wide query must cost a StatusReply, not the process.
 template <typename T, typename Encode>
 std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
-                          Encode&& encode) {
+                          Encode&& encode, size_t max_payload) {
   if (!result.ok()) {
     return EncodeFrame(MessageType::kStatusReply,
                        EncodeStatusReply(result.status()));
   }
-  return EncodeFrame(reply_type, encode(result.value()));
+  std::string body = encode(result.value());
+  if (body.size() > max_payload) {
+    return EncodeFrame(
+        MessageType::kStatusReply,
+        EncodeStatusReply(Status::InvalidArgument(
+            "result too large for one frame (" +
+            std::to_string(body.size()) + " > " +
+            std::to_string(max_payload) +
+            " bytes); narrow the ranges or lower the batch size")));
+  }
+  return EncodeFrame(reply_type, std::move(body));
 }
 
 }  // namespace
@@ -42,7 +55,8 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
           server_->ExecuteRangeBatchWithIds(request->table, request->column,
                                             request->ranges),
           MessageType::kRangeBatchReply,
-          [](const RowsWithIds& rows) { return EncodeRangeBatchReply(rows); });
+          [](const RowsWithIds& rows) { return EncodeRangeBatchReply(rows); },
+          max_reply_payload_bytes_);
     }
     case MessageType::kCountBatchRequest: {
       auto request = DecodeRangeBatchRequest(frame.payload);
@@ -51,7 +65,8 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
           server_->CountRangeBatch(request->table, request->column,
                                    request->ranges),
           MessageType::kCountBatchReply,
-          [](uint64_t count) { return EncodeCountBatchReply(count); });
+          [](uint64_t count) { return EncodeCountBatchReply(count); },
+          max_reply_payload_bytes_);
     }
     case MessageType::kSchemaRequest: {
       auto table = DecodeSchemaRequest(frame.payload);
@@ -66,7 +81,8 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
       return ReplyOrStatus(schema, MessageType::kSchemaReply,
                            [](const engine::Schema& s) {
                              return EncodeSchemaReply(s);
-                           });
+                           },
+                           max_reply_payload_bytes_);
     }
     case MessageType::kRangeBatchReply:
     case MessageType::kCountBatchReply:

@@ -26,8 +26,13 @@ namespace mope::net {
 
 class WireDispatcher {
  public:
-  /// `server` must outlive the dispatcher.
-  explicit WireDispatcher(engine::DbServer* server) : server_(server) {}
+  /// `server` must outlive the dispatcher. `max_reply_payload_bytes` caps the
+  /// encoded reply body: a query whose result would overflow one frame is
+  /// *answered* with kStatusReply(InvalidArgument) — never an abort, never a
+  /// dropped session. Tests lower it to exercise the overflow path cheaply.
+  explicit WireDispatcher(engine::DbServer* server,
+                          size_t max_reply_payload_bytes = kMaxPayloadBytes)
+      : server_(server), max_reply_payload_bytes_(max_reply_payload_bytes) {}
 
   WireDispatcher(const WireDispatcher&) = delete;
   WireDispatcher& operator=(const WireDispatcher&) = delete;
@@ -47,6 +52,7 @@ class WireDispatcher {
 
   mutable std::mutex mutex_;
   engine::DbServer* server_;
+  size_t max_reply_payload_bytes_;
   uint64_t frames_served_ = 0;
 };
 

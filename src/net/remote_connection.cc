@@ -121,15 +121,9 @@ Result<engine::Schema> RemoteConnection::GetSchema(const std::string& table) {
   return DecodeSchemaReply(reply.payload);
 }
 
-uint64_t RemoteConnection::retries() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return retries_;
-}
+uint64_t RemoteConnection::retries() const { return retries_.load(); }
 
-uint64_t RemoteConnection::connects() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return connects_;
-}
+uint64_t RemoteConnection::connects() const { return connects_.load(); }
 
 void RegisterTcpScheme(const RemoteOptions& defaults) {
   proxy::RegisterConnectionScheme(

@@ -19,6 +19,7 @@
 ///   - server-side application errors arrive as kStatusReply frames and are
 ///     returned verbatim, never retried.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -79,8 +80,11 @@ class RemoteConnection final : public proxy::ServerConnection {
   RemoteOptions options_;
   mutable std::mutex mutex_;  ///< One in-flight request per connection.
   std::unique_ptr<Transport> transport_;
-  uint64_t retries_ = 0;
-  uint64_t connects_ = 0;
+  // Atomics, not mutex_-guarded: mutex_ is held across retry backoff sleeps
+  // (up to seconds), and stats readers must never block behind a retrying
+  // request.
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> connects_{0};
 };
 
 /// Installs the "tcp" scheme into the proxy's connection registry, so

@@ -52,7 +52,16 @@ void TcpServer::ListenLoop() {
     if (*session == nullptr) continue;  // poll timeout: re-check stop flag
     ++connections_accepted_;
     {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending_sessions) {
+        // Every worker is busy and the backlog is full: shed this connection
+        // now (close reads as Unavailable client-side and is retried) rather
+        // than park it in an unbounded queue.
+        lock.unlock();
+        ++connections_rejected_;
+        (*session)->Close();
+        continue;
+      }
       pending_.push_back(std::move(*session));
     }
     queue_cv_.notify_one();
@@ -78,11 +87,21 @@ void TcpServer::WorkerLoop() {
 
 void TcpServer::ServeSession(SocketTransport* session) {
   std::string buffer;
+  int idle_ms = 0;
   while (!stopping_.load()) {
     // Block in short slices so shutdown is never stuck behind an idle client.
     auto ready = session->Poll(options_.poll_interval_ms);
     if (!ready.ok()) return;
-    if (!*ready) continue;
+    if (!*ready) {
+      // A silent client holds one of num_workers slots; give it up after the
+      // idle budget so connected-but-quiet peers cannot starve the pool.
+      idle_ms += options_.poll_interval_ms;
+      if (options_.idle_timeout_ms > 0 && idle_ms >= options_.idle_timeout_ms) {
+        return;
+      }
+      continue;
+    }
+    idle_ms = 0;
 
     char chunk[4096];
     auto n = session->Read(chunk, sizeof(chunk));

@@ -14,7 +14,10 @@
 /// blocking point (accept, session read) polls on a short cadence, in-flight
 /// requests complete, replies are flushed, then sockets close and threads
 /// join. A malformed or hostile client only ever costs its own connection —
-/// framing errors close that session, never the daemon.
+/// framing errors close that session, never the daemon — and an idle or
+/// merely-connected one cannot starve the pool: sessions close after
+/// idle_timeout_ms of silence and accepts beyond max_pending_sessions are
+/// rejected instead of queueing unboundedly.
 
 #include <atomic>
 #include <condition_variable>
@@ -39,6 +42,13 @@ struct TcpServerOptions {
   int num_workers = 4;
   /// Cadence at which blocked accepts/reads re-check the stop flag.
   int poll_interval_ms = 50;
+  /// Close a session after this long with no bytes from its client, so idle
+  /// connections cannot pin the fixed worker pool forever. <= 0 disables.
+  int idle_timeout_ms = 60000;
+  /// Connections beyond this many waiting for a free worker are closed at
+  /// accept (the client sees a reset and retries); bounds both memory and
+  /// the time an accepted-but-unserved client sits in the dark.
+  size_t max_pending_sessions = 64;
   /// Socket deadlines for accepted connections.
   SocketOptions session_options;
 };
@@ -60,6 +70,8 @@ class TcpServer {
 
   uint16_t port() const { return listener_->port(); }
   uint64_t connections_accepted() const { return connections_accepted_; }
+  /// Connections closed at accept because the pending queue was full.
+  uint64_t connections_rejected() const { return connections_rejected_; }
   uint64_t frames_served() const { return dispatcher_.frames_served(); }
 
  private:
@@ -78,6 +90,7 @@ class TcpServer {
 
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -50,14 +50,16 @@ Result<bool> PollFd(int fd, short events, int timeout_ms) {
 
 Result<size_t> SocketTransport::Read(char* buf, size_t max) {
   if (fd_ < 0) return Status::Unavailable("socket closed");
-  MOPE_ASSIGN_OR_RETURN(bool ready,
-                        PollFd(fd_, POLLIN, options_.read_timeout_ms));
-  if (!ready) return Status::Unavailable("read deadline expired");
   while (true) {
+    MOPE_ASSIGN_OR_RETURN(bool ready,
+                          PollFd(fd_, POLLIN, options_.read_timeout_ms));
+    if (!ready) return Status::Unavailable("read deadline expired");
     const ssize_t n = ::recv(fd_, buf, max, 0);
     if (n > 0) return static_cast<size_t>(n);
     if (n == 0) return static_cast<size_t>(0);  // orderly EOF
-    if (errno == EINTR) continue;
+    // EAGAIN after a positive poll is a spurious wakeup on the non-blocking
+    // fd; re-arm the poll rather than spin on recv.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     return ErrnoStatus("recv", errno);
   }
 }
@@ -74,8 +76,10 @@ Status SocketTransport::Write(const char* data, size_t n) {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // The fd is non-blocking, so a peer that stops reading surfaces here
+      // instead of wedging the thread inside send().
       MOPE_ASSIGN_OR_RETURN(bool ready,
-                            PollFd(fd_, POLLOUT, options_.read_timeout_ms));
+                            PollFd(fd_, POLLOUT, options_.write_timeout_ms));
       if (!ready) return Status::Unavailable("write deadline expired");
       continue;
     }
@@ -130,7 +134,9 @@ Result<std::unique_ptr<SocketTransport>> ConnectTcp(
                          so_error != 0 ? so_error : errno);
     }
   }
-  ::fcntl(fd, F_SETFL, flags);  // back to blocking; deadlines come from poll
+  // The fd stays O_NONBLOCK for its whole life: Read/Write bound every wait
+  // with poll(2), and a blocking send() could wedge a thread forever behind
+  // a peer that never drains its receive buffer.
 
   // Small request/reply frames: latency beats Nagle batching.
   int one = 1;
@@ -175,6 +181,10 @@ Result<std::unique_ptr<SocketTransport>> TcpListener::Accept(
   while (true) {
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client >= 0) {
+      // Non-blocking like ConnectTcp's fds: session writes must hit the
+      // poll-based write deadline, not block in send() forever.
+      const int flags = ::fcntl(client, F_GETFL, 0);
+      ::fcntl(client, F_SETFL, flags | O_NONBLOCK);
       int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return std::make_unique<SocketTransport>(client, options);

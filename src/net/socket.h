@@ -25,6 +25,10 @@ struct SocketOptions {
   int connect_timeout_ms = 5000;
   /// Per-Read deadline; expiry returns Unavailable (retryable).
   int read_timeout_ms = 5000;
+  /// Per-Write deadline once the kernel send buffer is full (peer not
+  /// draining); expiry returns Unavailable. Sockets stay non-blocking for
+  /// their whole life so this deadline is actually reachable.
+  int write_timeout_ms = 5000;
 };
 
 /// A connected TCP stream.

@@ -170,6 +170,14 @@ Result<Frame> ReadFrame(Transport* transport) {
 
 Status WriteFrame(Transport* transport, MessageType type,
                   std::string payload) {
+  // Callers hand WriteFrame unbounded application data (e.g. a huge range
+  // batch); overflow must come back as a Status, not trip EncodeFrame's
+  // precondition check.
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "message too large for one frame (" + std::to_string(payload.size()) +
+        " > " + std::to_string(kMaxPayloadBytes) + " bytes)");
+  }
   const std::string frame = EncodeFrame(type, std::move(payload));
   return transport->Write(frame.data(), frame.size());
 }

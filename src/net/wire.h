@@ -67,7 +67,10 @@ struct Frame {
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.
 uint32_t Crc32(std::string_view bytes);
 
-/// Serializes one frame (header + payload).
+/// Serializes one frame (header + payload). Precondition (MOPE_CHECKed):
+/// payload.size() <= kMaxPayloadBytes — for unbounded or peer-influenced
+/// data use WriteFrame (client side) or the dispatcher's reply cap (server
+/// side), which surface overflow as a Status instead.
 std::string EncodeFrame(MessageType type, std::string payload);
 
 /// Validates and decodes the frame at the front of `bytes`; on success sets
@@ -83,7 +86,8 @@ Result<std::string> ReadFrameBytes(Transport* transport);
 /// ReadFrameBytes + DecodeFrame.
 Result<Frame> ReadFrame(Transport* transport);
 
-/// Encodes and writes one frame.
+/// Encodes and writes one frame. InvalidArgument (no bytes written) when the
+/// payload exceeds kMaxPayloadBytes.
 Status WriteFrame(Transport* transport, MessageType type, std::string payload);
 
 // --- Message bodies -------------------------------------------------------

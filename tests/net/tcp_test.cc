@@ -103,6 +103,47 @@ TEST(TcpTest, GarbageBytesOnlyCostTheirOwnConnection) {
   EXPECT_EQ(rows->size(), 3u);
 }
 
+TEST(TcpTest, IdleSessionsAreClosedAndFreeTheirWorker) {
+  engine::DbServer db = MakeServer();
+  TcpServerOptions options;
+  options.num_workers = 1;  // one idle client would otherwise starve everyone
+  options.poll_interval_ms = 10;
+  options.idle_timeout_ms = 50;
+  auto daemon = TcpServer::Start(&db, options);
+  ASSERT_TRUE(daemon.ok());
+
+  // A client that connects and then says nothing must be hung up on.
+  auto idle = ConnectTcp("127.0.0.1", (*daemon)->port(), SocketOptions{});
+  ASSERT_TRUE(idle.ok()) << idle.status().ToString();
+  char buf[16];
+  auto got = (*idle)->Read(buf, sizeof buf);  // blocks until the server acts
+  EXPECT_TRUE(!got.ok() || *got == 0);        // EOF or reset, not a timeout
+  (*idle)->Close();
+
+  // The lone worker is free again: a real client gets served.
+  RemoteConnection conn(LoopbackOptions((*daemon)->port()));
+  auto rows =
+      conn.ExecuteRangeBatch("data", "key", {ModularInterval(0, 3, 200)});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(TcpTest, FullPendingQueueShedsConnectionsInsteadOfQueueing) {
+  engine::DbServer db = MakeServer();
+  TcpServerOptions options;
+  options.max_pending_sessions = 0;  // degenerate bound: shed every accept
+  auto daemon = TcpServer::Start(&db, options);
+  ASSERT_TRUE(daemon.ok());
+
+  auto shed = ConnectTcp("127.0.0.1", (*daemon)->port(), SocketOptions{});
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  char buf[16];
+  auto got = (*shed)->Read(buf, sizeof buf);
+  EXPECT_TRUE(!got.ok() || *got == 0);  // closed at accept, never served
+  (*shed)->Close();
+  EXPECT_GE((*daemon)->connections_rejected(), 1u);
+}
+
 TEST(TcpTest, QueriesAfterStopFailCleanly) {
   engine::DbServer db = MakeServer();
   auto daemon = TcpServer::Start(&db, TcpServerOptions{});

@@ -121,6 +121,17 @@ TEST(FrameTest, ReadFrameEofMidFrameIsUnavailable) {
   EXPECT_TRUE(frame.status().IsUnavailable());
 }
 
+TEST(FrameTest, WriteFrameRejectsOversizedPayloadAsStatus) {
+  // An over-limit payload must surface as InvalidArgument with nothing on
+  // the wire — not trip EncodeFrame's MOPE_CHECK and abort the process.
+  StringTransport transport("");
+  std::string huge(static_cast<size_t>(kMaxPayloadBytes) + 1, 'x');
+  const Status status =
+      WriteFrame(&transport, MessageType::kRangeBatchRequest, std::move(huge));
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_TRUE(transport.output().empty());
+}
+
 TEST(FrameTest, WriteFrameAppendsDecodableBytes) {
   StringTransport transport("");
   ASSERT_TRUE(WriteFrame(&transport, MessageType::kCountBatchReply,
@@ -310,6 +321,30 @@ TEST(DispatcherTest, MalformedPayloadClosesSession) {
   auto reply = Dispatch(&dispatcher, MessageType::kRangeBatchRequest, "junk");
   ASSERT_FALSE(reply.ok());
   EXPECT_TRUE(reply.status().IsCorruption());
+}
+
+TEST(DispatcherTest, OversizedReplyBecomesStatusReplyNotAbort) {
+  // A well-formed request whose *result* overflows the frame cap is a
+  // legitimate query on a big table; it must cost an error answer, not the
+  // daemon. A tiny cap stands in for the real 64 MiB one.
+  engine::DbServer server = MakeServer();
+  WireDispatcher dispatcher(&server, /*max_reply_payload_bytes=*/64);
+  RangeBatchRequest request{"data", "key", {ModularInterval(0, 100, 100)}};
+  auto reply = Dispatch(&dispatcher, MessageType::kRangeBatchRequest,
+                        EncodeRangeBatchRequest(request));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, static_cast<uint8_t>(MessageType::kStatusReply));
+  Status carried;
+  ASSERT_TRUE(DecodeStatusReply(reply->payload, &carried).ok());
+  EXPECT_TRUE(carried.IsInvalidArgument()) << carried.ToString();
+
+  // The session stays usable: a narrower query on the same dispatcher works.
+  RangeBatchRequest narrow{"data", "key", {ModularInterval(0, 1, 100)}};
+  auto ok_reply = Dispatch(&dispatcher, MessageType::kRangeBatchRequest,
+                           EncodeRangeBatchRequest(narrow));
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply->type,
+            static_cast<uint8_t>(MessageType::kRangeBatchReply));
 }
 
 TEST(DispatcherTest, ByteAccountingReachesServerStats) {

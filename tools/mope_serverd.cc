@@ -19,6 +19,7 @@
 /// SIGINT/SIGTERM shut down gracefully: in-flight requests complete,
 /// replies flush, then the daemon prints its traffic counters and exits.
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,21 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+/// Strict port parse mirroring RegisterTcpScheme: digits only, in
+/// [0, 65535]. atoi would silently wrap 70000 to a different port and turn
+/// garbage into 0 (ephemeral).
+bool ParsePort(const char* raw, uint16_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (raw[0] == '\0' || *end != '\0' || raw[0] == '-' || errno != 0 ||
+      value > 65535) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(value);
+  return true;
+}
 
 void PrintUsage(const char* argv0) {
   std::fprintf(
@@ -85,7 +101,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--host") {
       options.host = next();
     } else if (arg == "--port") {
-      options.port = static_cast<uint16_t>(std::atoi(next()));
+      const char* raw = next();
+      if (!ParsePort(raw, &options.port)) {
+        std::fprintf(stderr, "--port must be an integer in [0, 65535], got '%s'\n",
+                     raw);
+        return 2;
+      }
     } else if (arg == "--workers") {
       options.num_workers = std::atoi(next());
     } else if (arg == "--help" || arg == "-h") {
@@ -164,9 +185,10 @@ int main(int argc, char** argv) {
 
   const engine::ServerStats stats = server->stats();
   std::fprintf(stderr,
-               "served %llu connections, %llu frames; "
+               "served %llu connections (%llu shed at accept), %llu frames; "
                "%llu bytes in, %llu bytes out\n",
                static_cast<unsigned long long>((*daemon)->connections_accepted()),
+               static_cast<unsigned long long>((*daemon)->connections_rejected()),
                static_cast<unsigned long long>((*daemon)->frames_served()),
                static_cast<unsigned long long>(stats.bytes_received),
                static_cast<unsigned long long>(stats.bytes_sent));
