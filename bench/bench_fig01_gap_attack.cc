@@ -16,7 +16,7 @@
 namespace mope {
 namespace {
 
-void RunExhaustive() {
+void RunExhaustive(bench::JsonReport* report) {
   constexpr uint64_t kDomain = 101;  // [0, 100]
   constexpr uint64_t kK = 10;
   constexpr uint64_t kOffset = 20;
@@ -40,9 +40,15 @@ void RunExhaustive() {
   std::printf("recovered offset      : %s\n",
               estimate.ok() ? std::to_string(estimate.value()).c_str()
                             : estimate.status().ToString().c_str());
+  report->BeginRow()
+      .Field("case", "exhaustive")
+      .Field("true_offset", kOffset)
+      .Field("recovered",
+             estimate.ok() ? std::to_string(estimate.value()) : "none")
+      .Field("gap", static_cast<uint64_t>(attack.LongestGap()));
 }
 
-void RunSampled() {
+void RunSampled(bench::JsonReport* report) {
   constexpr uint64_t kDomain = 1000;
   constexpr uint64_t kK = 25;
   Rng rng(0xF161);
@@ -72,6 +78,13 @@ void RunSampled() {
     table.Row({std::to_string(offset),
                est.ok() ? std::to_string(est.value()) : "none",
                std::to_string(attack.LongestGap()), hit ? "yes" : "no"});
+    report->BeginRow()
+        .Field("case", "sampled")
+        .Field("trial", trial)
+        .Field("true_offset", offset)
+        .Field("recovered", est.ok() ? std::to_string(est.value()) : "none")
+        .Field("gap", static_cast<uint64_t>(attack.LongestGap()))
+        .Field("hit", hit ? 1 : 0);
   }
   std::printf("\nrecovered %d/8 offsets exactly.\n", hits);
 }
@@ -82,7 +95,9 @@ void RunSampled() {
 int main() {
   mope::bench::PrintHeader(
       "Figure 1", "the gap attack on naive MOPE query execution");
-  mope::RunExhaustive();
-  mope::RunSampled();
+  mope::bench::JsonReport report("fig01_gap_attack");
+  mope::RunExhaustive(&report);
+  mope::RunSampled(&report);
+  report.Write();
   return 0;
 }

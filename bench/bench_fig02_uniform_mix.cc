@@ -18,7 +18,7 @@
 namespace mope {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport* report) {
   constexpr uint64_t kDomain = 101;
   constexpr uint64_t kK = 10;
   constexpr uint64_t kOffset = 20;
@@ -71,6 +71,17 @@ void Run() {
               est.ok() ? ("recovered " + std::to_string(est.value())).c_str()
                        : "no gap — attack defeated",
               static_cast<unsigned long long>(kOffset));
+  report->BeginRow()
+      .Field("alpha", (*algorithm)->plan().alpha)
+      .Field("expected_fakes_per_real",
+             (*algorithm)->plan().expected_fakes_per_real())
+      .Field("total_queries", total_queries)
+      .Field("chi_square", chi2)
+      .Field("chi_square_crit", crit)
+      .Field("uniform", chi2 < crit ? 1 : 0)
+      .Field("longest_gap", static_cast<uint64_t>(attack.LongestGap()))
+      .Field("attack_recovered",
+             est.ok() ? std::to_string(est.value()) : "none");
 }
 
 }  // namespace
@@ -79,6 +90,8 @@ void Run() {
 int main() {
   mope::bench::PrintHeader("Figure 2",
                            "QueryU hides the displacement gap");
-  mope::Run();
+  mope::bench::JsonReport report("fig02_uniform_mix");
+  mope::Run(&report);
+  report.Write();
   return 0;
 }

@@ -16,7 +16,7 @@
 namespace mope {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport* report) {
   constexpr uint64_t kDomain = 100;
   constexpr uint64_t kK = 10;
   constexpr uint64_t kPeriod = 20;
@@ -78,6 +78,17 @@ void Run() {
       static_cast<unsigned long long>(kPeriod),
       static_cast<unsigned long long>(kOffset % kPeriod),
       static_cast<unsigned long long>(kDomain / kPeriod));
+  report->BeginRow()
+      .Field("fakes_per_real_query_u",
+             (*query_u)->plan().expected_fakes_per_real())
+      .Field("fakes_per_real_query_p",
+             (*query_p)->plan().expected_fakes_per_real())
+      .Field("period", kPeriod)
+      .Field("max_period_gap", max_period_gap)
+      .Field("phase_recovered",
+             phase.ok() ? std::to_string(phase.value()) : "none")
+      .Field("offset_mod_period", kOffset % kPeriod)
+      .Field("candidate_high_parts", kDomain / kPeriod);
 }
 
 }  // namespace
@@ -86,6 +97,8 @@ void Run() {
 int main() {
   mope::bench::PrintHeader("Figure 3",
                            "QueryP[20] — periodic perceived distribution");
-  mope::Run();
+  mope::bench::JsonReport report("fig03_periodic_mix");
+  mope::Run(&report);
+  report.Write();
   return 0;
 }

@@ -9,8 +9,10 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 5", "Adult cost vs period");
+  mope::bench::JsonReport report("fig05_adult_cost");
   mope::bench::RunPeriodSweep(mope::workload::DatasetKind::kAdult,
                               {5.0, 10.0}, /*k=*/10, {0, 5, 10},
-                              /*pad_to=*/80, /*num_queries=*/2000);
+                              /*pad_to=*/80, /*num_queries=*/2000, &report);
+  report.Write();
   return 0;
 }

@@ -10,8 +10,10 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 6", "Covertype cost vs period");
+  mope::bench::JsonReport report("fig06_covertype_cost");
   mope::bench::RunPeriodSweep(mope::workload::DatasetKind::kCovertype,
                               {5.0, 10.0}, /*k=*/10, {0, 25, 50, 100, 200},
-                              /*pad_to=*/0, /*num_queries=*/1000);
+                              /*pad_to=*/0, /*num_queries=*/1000, &report);
+  report.Write();
   return 0;
 }

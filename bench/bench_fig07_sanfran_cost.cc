@@ -9,9 +9,11 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 7", "SanFran cost vs period");
+  mope::bench::JsonReport report("fig07_sanfran_cost");
   mope::bench::RunPeriodSweep(mope::workload::DatasetKind::kSanFran,
                               {5.0, 10.0, 25.0}, /*k=*/10,
                               {0, 25, 50, 100, 200, 400},
-                              /*pad_to=*/0, /*num_queries=*/400);
+                              /*pad_to=*/0, /*num_queries=*/400, &report);
+  report.Write();
   return 0;
 }

@@ -9,10 +9,12 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 8", "Uniform cost vs fixed length k");
+  mope::bench::JsonReport report("fig08_uniform_k");
   mope::bench::RunLengthSweep(mope::workload::DatasetKind::kUniform,
                               {5.0, 10.0, 25.0},
                               {5, 10, 25, 50, 100, 200, 400, 800},
                               /*period=*/25, /*pad_to=*/0,
-                              /*num_queries=*/400);
+                              /*num_queries=*/400, &report);
+  report.Write();
   return 0;
 }

@@ -6,9 +6,11 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 10", "Adult cost vs fixed length k");
+  mope::bench::JsonReport report("fig10_adult_k");
   mope::bench::RunLengthSweep(mope::workload::DatasetKind::kAdult,
                               {5.0, 10.0}, {5, 10, 25},
                               /*period=*/25, /*pad_to=*/100,
-                              /*num_queries=*/2000);
+                              /*num_queries=*/2000, &report);
+  report.Write();
   return 0;
 }

@@ -5,9 +5,11 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 11", "Covertype cost vs fixed length k");
+  mope::bench::JsonReport report("fig11_covertype_k");
   mope::bench::RunLengthSweep(mope::workload::DatasetKind::kCovertype,
                               {5.0, 10.0}, {5, 10, 25, 50, 100, 200, 400},
                               /*period=*/25, /*pad_to=*/0,
-                              /*num_queries=*/600);
+                              /*num_queries=*/600, &report);
+  report.Write();
   return 0;
 }

@@ -5,10 +5,12 @@
 
 int main() {
   mope::bench::PrintHeader("Figure 12", "SanFran cost vs fixed length k");
+  mope::bench::JsonReport report("fig12_sanfran_k");
   mope::bench::RunLengthSweep(mope::workload::DatasetKind::kSanFran,
                               {5.0, 10.0, 25.0},
                               {5, 10, 25, 50, 100, 200, 400, 800},
                               /*period=*/25, /*pad_to=*/0,
-                              /*num_queries=*/300);
+                              /*num_queries=*/300, &report);
+  report.Write();
   return 0;
 }

@@ -13,7 +13,7 @@
 namespace mope {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport* report) {
   constexpr uint64_t kK = 90;
   constexpr uint64_t kQueries = 2000;
   Rng rng(0xF1614);
@@ -71,6 +71,11 @@ void Run() {
     table.Row({bench::PeriodLabel(period), bench::Fmt(cost.Requests()),
                bench::Fmt(cost.Bandwidth()),
                bench::Fmt(predicted_s, 1) + "s"});
+    report->BeginRow()
+        .Field("period", bench::PeriodLabel(period))
+        .Field("requests", cost.Requests())
+        .Field("bandwidth", cost.Bandwidth())
+        .Field("predicted_runtime_s", predicted_s);
   }
   std::printf(
       "\n(Requests is the factor over running each Q4 once; the paper "
@@ -82,6 +87,8 @@ void Run() {
 
 int main() {
   mope::bench::PrintHeader("Figure 14", "TPC-H Q4 request overhead vs period");
-  mope::Run();
+  mope::bench::JsonReport report("fig14_tpch_q4");
+  mope::Run(&report);
+  report.Write();
   return 0;
 }

@@ -14,7 +14,7 @@
 namespace mope {
 namespace {
 
-void Run() {
+void Run(bench::JsonReport* report) {
   workload::TpchConfig config;
   config.scale_factor = bench::kBenchScaleFactor;
   const workload::TpchData data = workload::GenerateTpch(config);
@@ -80,6 +80,13 @@ void Run() {
       row.push_back(bench::Fmt(requests_per_query, 1));
       row.push_back(bench::Fmt(kb_per_query, 1));
       row.push_back(bench::FmtMs(wall_ms));
+      report->BeginRow()
+          .Field("template", tmpl.name)
+          .Field("batch_size", static_cast<uint64_t>(batch))
+          .Field("engine_ms_per_1000", engine_ms)
+          .Field("requests_per_query", requests_per_query)
+          .Field("kb_per_query", kb_per_query)
+          .Field("wall_ms_per_1000", wall_ms);
     }
     table.Row(row);
   }
@@ -96,6 +103,8 @@ void Run() {
 int main() {
   mope::bench::PrintHeader("Figure 15",
                            "multi-range batched execution speedup");
-  mope::Run();
+  mope::bench::JsonReport report("fig15_batching");
+  mope::Run(&report);
+  report.Write();
   return 0;
 }

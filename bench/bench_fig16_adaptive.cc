@@ -19,7 +19,7 @@ namespace {
 void RunSeries(const char* name, uint64_t domain, uint64_t k,
                const std::function<query::RangeQuery(mope::BitSource*)>& sample,
                int rounds, int print_every, double reference_fakes,
-               Rng* rng) {
+               Rng* rng, bench::JsonReport* report) {
   auto algorithm = query::AdaptiveQueryAlgorithm::Create({domain, k}, 0);
   MOPE_CHECK(algorithm.ok(), "adaptive");
 
@@ -40,11 +40,18 @@ void RunSeries(const char* name, uint64_t domain, uint64_t k,
     if (round % print_every == 0 || round == rounds - 1) {
       table.Row({std::to_string(round), std::to_string(fakes),
                  std::to_string((*algorithm)->buffer().size())});
+      report->BeginRow()
+          .Field("series", name)
+          .Field("round", round)
+          .Field("fakes_per_10_real", fakes)
+          .Field("buffer_size",
+                 static_cast<uint64_t>((*algorithm)->buffer().size()))
+          .Field("steady_state_fakes_per_10", 10.0 * reference_fakes);
     }
   }
 }
 
-void Run() {
+void Run(bench::JsonReport* report) {
   Rng rng(0xF1616);
 
   // 16a: SanFran with sigma = 10.
@@ -59,7 +66,7 @@ void Run() {
       [&sanfran](mope::BitSource* r) {
         return workload::GenerateQuery(sanfran, {10.0}, r);
       },
-      100, 10, plan->expected_fakes_per_real(), &rng);
+      100, 10, plan->expected_fakes_per_real(), &rng, report);
 
   // 16b: TPC-H Q14 (month ranges over ~84 distinct start months).
   auto q14 = [](mope::BitSource* r) { return workload::SampleQ14(r).shipdate; };
@@ -68,7 +75,7 @@ void Run() {
   auto q14_plan = dist::MakeUniformPlan(q14_starts);
   MOPE_CHECK(q14_plan.ok(), "plan");
   RunSeries("TPC-H Q14", workload::kTpchDateDomain, 30, q14, 1000, 100,
-            q14_plan->expected_fakes_per_real(), &rng);
+            q14_plan->expected_fakes_per_real(), &rng, report);
 }
 
 }  // namespace
@@ -77,6 +84,8 @@ void Run() {
 int main() {
   mope::bench::PrintHeader("Figure 16",
                            "AdaptiveQueryU convergence (fakes per 10 reals)");
-  mope::Run();
+  mope::bench::JsonReport report("fig16_adaptive");
+  mope::Run(&report);
+  report.Write();
   return 0;
 }

@@ -4,17 +4,20 @@
 /// \file bench_util.h
 /// Shared helpers for the figure-reproduction benches: fixed-width table
 /// printing (every bench prints the series of its paper figure), workload
-/// setup, and a wall-clock stopwatch.
+/// setup, a stopwatch over the injectable obs::Clock, and a JSON report
+/// writer so every figure's numbers land in a machine-readable
+/// BENCH_<name>.json next to the human-readable table.
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "dist/distribution.h"
+#include "obs/clock.h"
 #include "query/algorithms.h"
 #include "query/cost.h"
 #include "workload/datasets.h"
@@ -70,17 +73,106 @@ inline std::string FmtMs(double ms) {
   return buf;
 }
 
+/// Wall-time stopwatch over an injectable clock (R7: no direct
+/// std::chrono clocks outside src/obs/clock.*). Benches use the default
+/// SystemClock; tests of bench helpers can pass a ManualClock.
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  explicit Stopwatch(obs::Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : obs::SystemClock()),
+        start_ns_(clock_->NowNanos()) {}
   double ElapsedMs() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
+    return static_cast<double>(clock_->NowNanos() - start_ns_) / 1e6;
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  obs::Clock* clock_;
+  uint64_t start_ns_;
+};
+
+/// Collects one flat JSON object per data point and writes them to
+/// BENCH_<name>.json, so plots and regression checks can consume a bench
+/// run without scraping its tables. Usage:
+///
+///   JsonReport report("fig05_adult_cost");
+///   report.BeginRow().Field("metric", "bandwidth").Field("value", 12.5);
+///   report.Write();   // -> BENCH_fig05_adult_cost.json in the cwd
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& BeginRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + Escape(value) + "\"");
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonReport& Field(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, uint64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, int value) {
+    return Field(key, static_cast<uint64_t>(value));
+  }
+
+  /// Serializes {"bench": <name>, "rows": [...]} to BENCH_<name>.json in
+  /// the working directory. Returns false (and prints to stderr) on I/O
+  /// failure — benches report it but still exit 0 on good numbers.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::string out = "{\n  \"bench\": \"" + Escape(name_) + "\",\n"
+                      "  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "    {";
+      for (size_t f = 0; f < rows_[i].size(); ++f) {
+        if (f > 0) out += ", ";
+        out += "\"" + Escape(rows_[i][f].first) + "\": " + rows_[i][f].second;
+      }
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const bool ok =
+        std::fwrite(out.data(), 1, out.size(), file) == out.size();
+    std::fclose(file);
+    if (ok) std::printf("\n[%s written: %zu rows]\n", path.c_str(),
+                        rows_.size());
+    return ok;
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char ch : in) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        out += ' ';
+        continue;
+      }
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string name_;
+  // Each row: ordered (key, already-JSON-encoded value) pairs.
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
 /// One dataset-driven cost experiment (the common core of Figs. 5-12):
@@ -156,7 +248,8 @@ inline std::string PeriodLabel(uint64_t period) {
 inline void RunPeriodSweep(workload::DatasetKind kind,
                            const std::vector<double>& sigmas, uint64_t k,
                            const std::vector<uint64_t>& periods,
-                           uint64_t pad_to, uint64_t num_queries) {
+                           uint64_t pad_to, uint64_t num_queries,
+                           JsonReport* report = nullptr) {
   const std::string name = workload::DatasetName(kind);
   for (const char* metric : {"Bandwidth", "Requests"}) {
     std::printf("\n%s cost — %s query distribution (k = %llu):\n", metric,
@@ -171,8 +264,17 @@ inline void RunPeriodSweep(workload::DatasetKind kind,
       for (double sigma : sigmas) {
         const CostRunResult r =
             RunCostExperiment(kind, sigma, k, period, num_queries, pad_to);
-        row.push_back(
-            Fmt(metric[0] == 'B' ? r.bandwidth : r.requests));
+        const double value = metric[0] == 'B' ? r.bandwidth : r.requests;
+        row.push_back(Fmt(value));
+        if (report != nullptr) {
+          report->BeginRow()
+              .Field("metric", metric[0] == 'B' ? "bandwidth" : "requests")
+              .Field("dataset", name)
+              .Field("period", period)
+              .Field("sigma", sigma)
+              .Field("k", k)
+              .Field("value", value);
+        }
       }
       table.Row(row);
     }
@@ -184,7 +286,8 @@ inline void RunPeriodSweep(workload::DatasetKind kind,
 inline void RunLengthSweep(workload::DatasetKind kind,
                            const std::vector<double>& sigmas,
                            const std::vector<uint64_t>& ks, uint64_t period,
-                           uint64_t pad_to, uint64_t num_queries) {
+                           uint64_t pad_to, uint64_t num_queries,
+                           JsonReport* report = nullptr) {
   const std::string name = workload::DatasetName(kind);
   for (const char* metric : {"Bandwidth", "Requests"}) {
     std::printf("\n%s cost — %s query pattern (period = %s):\n", metric,
@@ -199,8 +302,17 @@ inline void RunLengthSweep(workload::DatasetKind kind,
       for (double sigma : sigmas) {
         const CostRunResult r =
             RunCostExperiment(kind, sigma, k, period, num_queries, pad_to);
-        row.push_back(
-            Fmt(metric[0] == 'B' ? r.bandwidth : r.requests));
+        const double value = metric[0] == 'B' ? r.bandwidth : r.requests;
+        row.push_back(Fmt(value));
+        if (report != nullptr) {
+          report->BeginRow()
+              .Field("metric", metric[0] == 'B' ? "bandwidth" : "requests")
+              .Field("dataset", name)
+              .Field("period", period)
+              .Field("sigma", sigma)
+              .Field("k", k)
+              .Field("value", value);
+        }
       }
       table.Row(row);
     }

@@ -20,8 +20,12 @@
 ///   mope_serverd --tpch --port 5811 &
 ///   mope_shell --connect 127.0.0.1:5811
 ///
-/// Meta-commands: \help  \stats  \rotate  \tables  \snapshot PATH  \quit
-/// (\rotate and \snapshot need the embedded server; unavailable remotely.)
+/// Meta-commands: \help  \stats  \serverstats  \trace  \rotate  \tables
+/// \snapshot PATH  \quit
+/// (\rotate and \snapshot need the embedded server; unavailable remotely.
+/// \serverstats works for both: embedded reads the registry directly,
+/// --connect fetches it from the daemon over the wire. `-c` accepts
+/// meta-commands too: `mope_shell --connect H:P -c '\serverstats'`.)
 
 #include <cstdio>
 #include <iostream>
@@ -68,6 +72,10 @@ void PrintHelp() {
       "meta-commands:\n"
       "  \\help           this text        \\stats   session traffic\n"
       "  \\tables         schemas          \\rotate  rotate the MOPE key\n"
+      "  \\serverstats    the server's metrics registry (over the wire\n"
+      "                  when --connect; the proxy never leaves its process)\n"
+      "  \\trace          toggle per-query tracing (prints the span tree\n"
+      "                  after each statement)\n"
       "  \\snapshot PATH  persist the encrypted server catalog\n"
       "  \\quit           exit\n");
 }
@@ -146,10 +154,88 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.fake_queries),
         static_cast<unsigned long long>(stats.server_requests),
         static_cast<unsigned long long>(stats.rows_fetched));
+    if (session.last_trace() != nullptr) {
+      std::printf("%s", session.last_trace()->RenderTree().c_str());
+    }
+  };
+
+  // Handles one input line — meta-command or SQL. Shared between the
+  // interactive loop and `-c`, so scripts can fetch \serverstats too.
+  bool tracing = false;
+  auto handle_line = [&](const std::string& line) {
+    if (line == "\\help") {
+      PrintHelp();
+    } else if (line == "\\stats") {
+      auto proxy = system.GetProxy("lineitem", "l_shipdate");
+      if (proxy.ok()) {
+        const auto& totals = (*proxy)->totals();
+        std::printf("session totals: %llu real, %llu fake, %llu requests, "
+                    "%llu rows shipped\n",
+                    static_cast<unsigned long long>(totals.real_queries_sent),
+                    static_cast<unsigned long long>(totals.fake_queries_sent),
+                    static_cast<unsigned long long>(totals.server_requests),
+                    static_cast<unsigned long long>(totals.rows_received));
+      }
+    } else if (line == "\\serverstats") {
+      auto proxy = system.GetProxy("lineitem", "l_shipdate");
+      if (!proxy.ok()) {
+        std::printf("error: %s\n", proxy.status().ToString().c_str());
+        return;
+      }
+      auto stats = (*proxy)->FetchServerStats();
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return;
+      }
+      std::printf("server metrics (%zu entries):\n", stats->size());
+      for (const auto& [name, value] : *stats) {
+        std::printf("  %-40s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    } else if (line == "\\trace") {
+      tracing = !tracing;
+      if (tracing) {
+        session.EnableTracing();
+        std::printf("tracing on (span tree prints after each statement)\n");
+      } else {
+        session.DisableTracing();
+        std::printf("tracing off\n");
+      }
+    } else if (line == "\\rotate") {
+      auto rotated = system.RotateKey("lineitem", "l_shipdate");
+      if (rotated.ok()) {
+        std::printf("re-encrypted %llu rows under a fresh key/offset\n",
+                    static_cast<unsigned long long>(rotated.value()));
+      } else {
+        std::printf("error: %s\n", rotated.status().ToString().c_str());
+      }
+    } else if (line.rfind("\\snapshot ", 0) == 0) {
+      if (!connect.empty()) {
+        std::printf("\\snapshot needs the embedded server "
+                    "(the data lives in mope_serverd)\n");
+        return;
+      }
+      // The snapshot is pure ciphertext — safe to persist server-side.
+      const std::string path = line.substr(10);
+      auto saved = engine::SaveCatalog(*system.server()->catalog(), path);
+      std::printf("%s\n", saved.ok()
+                              ? ("saved encrypted catalog to " + path).c_str()
+                              : saved.ToString().c_str());
+    } else if (line == "\\tables") {
+      std::printf("lineitem(l_orderkey, l_partkey, l_quantity, "
+                  "l_extendedprice, l_discount, l_shipdate*, l_commitdate, "
+                  "l_receiptdate, l_returnflag)   * = MOPE-encrypted\n"
+                  "part(p_partkey, p_type, p_ispromo, p_retailprice)   "
+                  "[client-side]\n");
+    } else if (!line.empty() && line[0] == '\\') {
+      std::printf("unknown meta-command %s (try \\help)\n", line.c_str());
+    } else {
+      run(line);
+    }
   };
 
   if (have_one_shot) {
-    run(one_shot);
+    handle_line(one_shot);
     return 0;
   }
 
@@ -169,48 +255,7 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
-    if (line == "\\help") {
-      PrintHelp();
-    } else if (line == "\\stats") {
-      auto proxy = system.GetProxy("lineitem", "l_shipdate");
-      if (proxy.ok()) {
-        const auto& totals = (*proxy)->totals();
-        std::printf("session totals: %llu real, %llu fake, %llu requests, "
-                    "%llu rows shipped\n",
-                    static_cast<unsigned long long>(totals.real_queries_sent),
-                    static_cast<unsigned long long>(totals.fake_queries_sent),
-                    static_cast<unsigned long long>(totals.server_requests),
-                    static_cast<unsigned long long>(totals.rows_received));
-      }
-    } else if (line == "\\rotate") {
-      auto rotated = system.RotateKey("lineitem", "l_shipdate");
-      if (rotated.ok()) {
-        std::printf("re-encrypted %llu rows under a fresh key/offset\n",
-                    static_cast<unsigned long long>(rotated.value()));
-      } else {
-        std::printf("error: %s\n", rotated.status().ToString().c_str());
-      }
-    } else if (line.rfind("\\snapshot ", 0) == 0) {
-      if (!connect.empty()) {
-        std::printf("\\snapshot needs the embedded server "
-                    "(the data lives in mope_serverd)\n");
-        continue;
-      }
-      // The snapshot is pure ciphertext — safe to persist server-side.
-      const std::string path = line.substr(10);
-      auto saved = engine::SaveCatalog(*system.server()->catalog(), path);
-      std::printf("%s\n", saved.ok()
-                              ? ("saved encrypted catalog to " + path).c_str()
-                              : saved.ToString().c_str());
-    } else if (line == "\\tables") {
-      std::printf("lineitem(l_orderkey, l_partkey, l_quantity, "
-                  "l_extendedprice, l_discount, l_shipdate*, l_commitdate, "
-                  "l_receiptdate, l_returnflag)   * = MOPE-encrypted\n"
-                  "part(p_partkey, p_type, p_ispromo, p_retailprice)   "
-                  "[client-side]\n");
-    } else {
-      run(line);
-    }
+    handle_line(line);
   }
   return 0;
 }

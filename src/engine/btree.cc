@@ -263,20 +263,35 @@ bool BPlusTree::Erase(uint64_t key, uint64_t row_id) {
 size_t BPlusTree::ScanRange(
     uint64_t lo, uint64_t hi,
     const std::function<void(uint64_t, uint64_t)>& fn) const {
+  return ScanRange(lo, hi, fn, nullptr);
+}
+
+size_t BPlusTree::ScanRange(
+    uint64_t lo, uint64_t hi,
+    const std::function<void(uint64_t, uint64_t)>& fn,
+    ScanStats* stats) const {
   if (lo > hi) return 0;
   const Node* leaf = FindLeaf(lo);
   const Entry probe{lo, 0};
   size_t visited = 0;
+  size_t nodes = 1;
   auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(), probe);
   while (leaf != nullptr) {
     for (; it != leaf->entries.end(); ++it) {
-      if (it->key > hi) return visited;
+      if (it->key > hi) {
+        if (stats != nullptr) stats->nodes_visited += nodes;
+        return visited;
+      }
       fn(it->key, it->rid);
       ++visited;
     }
     leaf = leaf->next;
-    if (leaf != nullptr) it = leaf->entries.begin();
+    if (leaf != nullptr) {
+      it = leaf->entries.begin();
+      ++nodes;
+    }
   }
+  if (stats != nullptr) stats->nodes_visited += nodes;
   return visited;
 }
 

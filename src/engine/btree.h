@@ -52,10 +52,23 @@ class BPlusTree {
   /// Tree height (1 for a single leaf).
   int height() const { return height_; }
 
+  /// Per-sweep cost accounting, filled by the instrumented ScanRange
+  /// overload. Nodes are what a disk-backed DBMS would pay I/O for, so this
+  /// is the number the server-side cost model (and stats endpoint) reports.
+  struct ScanStats {
+    size_t nodes_visited = 0;  ///< Leaf nodes touched (descent excluded).
+  };
+
   /// Calls fn(key, row_id) for every entry with lo <= key <= hi, in
   /// ascending key order. Returns the number of entries visited.
   size_t ScanRange(uint64_t lo, uint64_t hi,
                    const std::function<void(uint64_t, uint64_t)>& fn) const;
+
+  /// As above, additionally accumulating (not resetting) node-visit counts
+  /// into `*stats`.
+  size_t ScanRange(uint64_t lo, uint64_t hi,
+                   const std::function<void(uint64_t, uint64_t)>& fn,
+                   ScanStats* stats) const;
 
   /// Counts entries in [lo, hi] without invoking a callback.
   size_t CountRange(uint64_t lo, uint64_t hi) const;

@@ -55,11 +55,15 @@ Status IndexRangeScanOp::Open() {
   row_ids_.clear();
   next_ = 0;
   entries_visited_ = 0;
+  nodes_visited_ = 0;
+  engine::BPlusTree::ScanStats scan_stats;
   for (const Segment& seg : segments_) {
     entries_visited_ += index_->ScanRange(
         seg.lo, seg.hi,
-        [this](uint64_t, uint64_t rid) { row_ids_.push_back(rid); });
+        [this](uint64_t, uint64_t rid) { row_ids_.push_back(rid); },
+        &scan_stats);
   }
+  nodes_visited_ = scan_stats.nodes_visited;
   return Status::OK();
 }
 

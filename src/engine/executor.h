@@ -81,6 +81,8 @@ class IndexRangeScanOp final : public Operator {
 
   /// Index entries visited during the last Open/odrain cycle.
   uint64_t entries_visited() const { return entries_visited_; }
+  /// B+-tree leaf nodes touched during the last Open.
+  uint64_t nodes_visited() const { return nodes_visited_; }
   size_t segments_scanned() const { return segments_.size(); }
 
  private:
@@ -90,6 +92,7 @@ class IndexRangeScanOp final : public Operator {
   std::vector<RowId> row_ids_;
   size_t next_ = 0;
   uint64_t entries_visited_ = 0;
+  uint64_t nodes_visited_ = 0;
 };
 
 /// Row predicate; errors propagate out of Next.

@@ -4,6 +4,31 @@
 
 namespace mope::engine {
 
+DbServer::DbServer()
+    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+      batches_received_(metrics_->GetCounter("engine.batches_received")),
+      ranges_received_(metrics_->GetCounter("engine.ranges_received")),
+      segments_scanned_(metrics_->GetCounter("engine.segments_scanned")),
+      entries_visited_(metrics_->GetCounter("engine.entries_visited")),
+      index_nodes_visited_(metrics_->GetCounter("engine.index_nodes_visited")),
+      rows_returned_(metrics_->GetCounter("engine.rows_returned")),
+      bytes_received_(metrics_->GetCounter("engine.bytes_received")),
+      bytes_sent_(metrics_->GetCounter("engine.bytes_sent")),
+      batch_ranges_hist_(metrics_->GetHistogram("engine.batch_ranges")) {}
+
+ServerStats DbServer::stats() const {
+  ServerStats s;
+  s.batches_received = batches_received_->Value();
+  s.ranges_received = ranges_received_->Value();
+  s.segments_scanned = segments_scanned_->Value();
+  s.entries_visited = entries_visited_->Value();
+  s.index_nodes_visited = index_nodes_visited_->Value();
+  s.rows_returned = rows_returned_->Value();
+  s.bytes_received = bytes_received_->Value();
+  s.bytes_sent = bytes_sent_->Value();
+  return s;
+}
+
 Result<std::vector<Segment>> DbServer::PrepareSegments(
     const std::string& table, const std::string& column,
     const std::vector<ModularInterval>& ranges, const Table** table_out,
@@ -21,8 +46,9 @@ Result<std::vector<Segment>> DbServer::PrepareSegments(
     for (int i = 0; i < n; ++i) segments.push_back(parts[i]);
   }
 
-  ++stats_.batches_received;
-  stats_.ranges_received += ranges.size();
+  batches_received_->Increment();
+  ranges_received_->Increment(ranges.size());
+  batch_ranges_hist_->Observe(ranges.size());
   return segments;
 }
 
@@ -36,9 +62,10 @@ Result<std::vector<Row>> DbServer::ExecuteRangeBatch(
 
   IndexRangeScanOp scan(tbl, index, std::move(segments));
   MOPE_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(&scan));
-  stats_.segments_scanned += scan.segments_scanned();
-  stats_.entries_visited += scan.entries_visited();
-  stats_.rows_returned += rows.size();
+  segments_scanned_->Increment(scan.segments_scanned());
+  entries_visited_->Increment(scan.entries_visited());
+  index_nodes_visited_->Increment(scan.nodes_visited());
+  rows_returned_->Increment(rows.size());
   return rows;
 }
 
@@ -51,14 +78,18 @@ Result<std::vector<std::pair<RowId, Row>>> DbServer::ExecuteRangeBatchWithIds(
                         PrepareSegments(table, column, ranges, &tbl, &index));
 
   std::vector<std::pair<RowId, Row>> rows;
+  BPlusTree::ScanStats scan_stats;
   for (const Segment& seg : CoalesceSegments(std::move(segments))) {
-    stats_.entries_visited += index->ScanRange(
-        seg.lo, seg.hi, [&rows, tbl](uint64_t, uint64_t rid) {
+    entries_visited_->Increment(index->ScanRange(
+        seg.lo, seg.hi,
+        [&rows, tbl](uint64_t, uint64_t rid) {
           rows.emplace_back(rid, tbl->row(rid));
-        });
-    ++stats_.segments_scanned;
+        },
+        &scan_stats));
+    segments_scanned_->Increment();
   }
-  stats_.rows_returned += rows.size();
+  index_nodes_visited_->Increment(scan_stats.nodes_visited);
+  rows_returned_->Increment(rows.size());
   return rows;
 }
 
@@ -71,19 +102,22 @@ Result<uint64_t> DbServer::CountRangeBatch(
                         PrepareSegments(table, column, ranges, &tbl, &index));
 
   uint64_t count = 0;
+  BPlusTree::ScanStats scan_stats;
   for (const Segment& seg : CoalesceSegments(std::move(segments))) {
-    count += index->ScanRange(seg.lo, seg.hi, [](uint64_t, uint64_t) {});
-    ++stats_.segments_scanned;
+    count += index->ScanRange(seg.lo, seg.hi, [](uint64_t, uint64_t) {},
+                              &scan_stats);
+    segments_scanned_->Increment();
   }
-  stats_.entries_visited += count;
-  stats_.rows_returned += count;
+  index_nodes_visited_->Increment(scan_stats.nodes_visited);
+  entries_visited_->Increment(count);
+  rows_returned_->Increment(count);
   return count;
 }
 
 Result<std::vector<Row>> DbServer::ExecutePlan(Operator* plan) {
   MOPE_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(plan));
-  ++stats_.batches_received;
-  stats_.rows_returned += rows.size();
+  batches_received_->Increment();
+  rows_returned_->Increment(rows.size());
   return rows;
 }
 

@@ -11,8 +11,15 @@
 /// single request, which it answers with one shared coalesced index sweep
 /// (the Section 5.1 multiple-query optimization). It never sees a key, a
 /// plaintext, or which queries are real.
+///
+/// Accounting lives in a per-server obs::MetricsRegistry (the one the wire
+/// protocol's stats endpoint serves). Every counter is atomic, so the stats
+/// can be read — and wire bytes credited — from any thread without a lock;
+/// the engine's *data* operations still require external serialization
+/// (net::WireDispatcher provides it for the daemon).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,15 +28,19 @@
 #include "common/status.h"
 #include "engine/executor.h"
 #include "engine/table.h"
+#include "obs/registry.h"
 
 namespace mope::engine {
 
-/// Cumulative server-side counters (what a cloud provider would bill).
+/// Snapshot of the cumulative server-side counters (what a cloud provider
+/// would bill). Plain values: read once, carry around freely. The live,
+/// race-free storage is the server's metrics registry.
 struct ServerStats {
   uint64_t batches_received = 0;  ///< Requests (one per server round trip).
   uint64_t ranges_received = 0;   ///< Individual range predicates seen.
   uint64_t segments_scanned = 0;  ///< Coalesced index sweeps performed.
   uint64_t entries_visited = 0;   ///< Index entries touched.
+  uint64_t index_nodes_visited = 0;  ///< B+-tree leaf nodes touched.
   uint64_t rows_returned = 0;     ///< Result rows shipped back (bandwidth).
   uint64_t bytes_received = 0;    ///< Wire bytes in (0 for direct calls).
   uint64_t bytes_sent = 0;        ///< Wire bytes out (0 for direct calls).
@@ -37,7 +48,7 @@ struct ServerStats {
 
 class DbServer {
  public:
-  DbServer() = default;
+  DbServer();
 
   Catalog* catalog() { return &catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -66,16 +77,23 @@ class DbServer {
   /// Runs an arbitrary operator tree (the SQL path uses this).
   Result<std::vector<Row>> ExecutePlan(Operator* plan);
 
-  const ServerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ServerStats{}; }
+  /// This server's metrics registry: the `engine.*` counters backing
+  /// stats(), plus whatever the network layer (`net.server.*`) contributes.
+  /// A live daemon serves exactly this over the wire (kStatsRequest).
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
 
-  /// Credits wire traffic against this server. Only the network layer calls
-  /// this (a DirectConnection moves no bytes); like every other DbServer
-  /// entry point it must be externally serialized — net::WireDispatcher
-  /// holds its dispatch mutex across the request and this accounting.
+  /// Consistent-enough snapshot of the engine counters (each counter is
+  /// individually atomic; the set is not read under one lock).
+  ServerStats stats() const;
+  void ResetStats() { metrics_->ResetAll(); }
+
+  /// Credits wire traffic against this server. Thread-safe (atomic
+  /// counters); only the network layer calls it — a DirectConnection moves
+  /// no bytes.
   void AddTransferBytes(uint64_t received, uint64_t sent) {
-    stats_.bytes_received += received;
-    stats_.bytes_sent += sent;
+    bytes_received_->Increment(received);
+    bytes_sent_->Increment(sent);
   }
 
  private:
@@ -85,7 +103,19 @@ class DbServer {
       const BPlusTree** index_out);
 
   Catalog catalog_;
-  ServerStats stats_;
+  // Heap-held so DbServer stays movable (tests build servers in value-
+  // returning factories) and the cached handles below survive the move.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  // Hot-path handles into *metrics_ (stable for the registry's lifetime).
+  obs::Counter* batches_received_;
+  obs::Counter* ranges_received_;
+  obs::Counter* segments_scanned_;
+  obs::Counter* entries_visited_;
+  obs::Counter* index_nodes_visited_;
+  obs::Counter* rows_returned_;
+  obs::Counter* bytes_received_;
+  obs::Counter* bytes_sent_;
+  obs::ExpHistogram* batch_ranges_hist_;  ///< Ranges per received batch.
 };
 
 }  // namespace mope::engine

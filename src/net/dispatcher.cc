@@ -11,12 +11,15 @@ namespace {
 /// A reply body over `max_payload` bytes is itself an application-level
 /// outcome — EncodeFrame would MOPE_CHECK on it, and a legitimate (or
 /// hostile) wide query must cost a StatusReply, not the process.
+/// `trace_id` (the request's, possibly 0) is echoed on whichever frame goes
+/// back so the client can attribute the reply to its span tree.
 template <typename T, typename Encode>
 std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
-                          Encode&& encode, size_t max_payload) {
+                          Encode&& encode, size_t max_payload,
+                          uint64_t trace_id) {
   if (!result.ok()) {
     return EncodeFrame(MessageType::kStatusReply,
-                       EncodeStatusReply(result.status()));
+                       EncodeStatusReply(result.status()), trace_id);
   }
   std::string body = encode(result.value());
   if (body.size() > max_payload) {
@@ -26,12 +29,23 @@ std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
             "result too large for one frame (" +
             std::to_string(body.size()) + " > " +
             std::to_string(max_payload) +
-            " bytes); narrow the ranges or lower the batch size")));
+            " bytes); narrow the ranges or lower the batch size")),
+        trace_id);
   }
-  return EncodeFrame(reply_type, std::move(body));
+  return EncodeFrame(reply_type, std::move(body), trace_id);
 }
 
 }  // namespace
+
+WireDispatcher::WireDispatcher(engine::DbServer* server,
+                               size_t max_reply_payload_bytes,
+                               obs::Clock* clock)
+    : server_(server),
+      max_reply_payload_bytes_(max_reply_payload_bytes),
+      clock_(clock != nullptr ? clock : obs::SystemClock()),
+      frames_served_(
+          server->metrics()->GetCounter("net.server.frames_served")),
+      dispatch_ns_(server->metrics()->GetHistogram("server.dispatch_ns")) {}
 
 Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
                                                      size_t* consumed) {
@@ -39,10 +53,12 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
   MOPE_ASSIGN_OR_RETURN(Frame frame, DecodeFrame(bytes, &frame_size));
   if (consumed != nullptr) *consumed = frame_size;
 
+  const uint64_t start_ns = clock_->NowNanos();
   const std::lock_guard<std::mutex> lock(mutex_);
   MOPE_ASSIGN_OR_RETURN(std::string reply, HandleFrameLocked(frame));
   server_->AddTransferBytes(frame_size, reply.size());
-  ++frames_served_;
+  frames_served_->Increment();
+  dispatch_ns_->Observe(clock_->NowNanos() - start_ns);
   return reply;
 }
 
@@ -56,7 +72,7 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
                                             request->ranges),
           MessageType::kRangeBatchReply,
           [](const RowsWithIds& rows) { return EncodeRangeBatchReply(rows); },
-          max_reply_payload_bytes_);
+          max_reply_payload_bytes_, frame.trace_id);
     }
     case MessageType::kCountBatchRequest: {
       auto request = DecodeRangeBatchRequest(frame.payload);
@@ -66,7 +82,7 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
                                    request->ranges),
           MessageType::kCountBatchReply,
           [](uint64_t count) { return EncodeCountBatchReply(count); },
-          max_reply_payload_bytes_);
+          max_reply_payload_bytes_, frame.trace_id);
     }
     case MessageType::kSchemaRequest: {
       auto table = DecodeSchemaRequest(frame.payload);
@@ -82,28 +98,37 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
                            [](const engine::Schema& s) {
                              return EncodeSchemaReply(s);
                            },
-                           max_reply_payload_bytes_);
+                           max_reply_payload_bytes_, frame.trace_id);
+    }
+    case MessageType::kStatsRequest: {
+      if (!frame.payload.empty()) {
+        return Status::Corruption("stats request carries a payload");
+      }
+      // The snapshot covers everything credited to this server: engine.*
+      // counters, wire bytes, and the net.server.* mirrors.
+      return ReplyOrStatus(
+          Result<StatsReply>(server_->metrics()->Snapshot()),
+          MessageType::kStatsReply,
+          [](const StatsReply& stats) { return EncodeStatsReply(stats); },
+          max_reply_payload_bytes_, frame.trace_id);
     }
     case MessageType::kRangeBatchReply:
     case MessageType::kCountBatchReply:
     case MessageType::kSchemaReply:
+    case MessageType::kStatsReply:
     case MessageType::kStatusReply:
       // A client sending us reply types is confused but the framing is
       // sound: answer, don't hang up.
-      return EncodeFrame(
-          MessageType::kStatusReply,
-          EncodeStatusReply(Status::InvalidArgument(
-              "reply message type in a request frame")));
+      return EncodeFrame(MessageType::kStatusReply,
+                         EncodeStatusReply(Status::InvalidArgument(
+                             "reply message type in a request frame")),
+                         frame.trace_id);
   }
   return EncodeFrame(MessageType::kStatusReply,
                      EncodeStatusReply(Status::InvalidArgument(
                          "unknown message type " +
-                         std::to_string(frame.type))));
-}
-
-uint64_t WireDispatcher::frames_served() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return frames_served_;
+                         std::to_string(frame.type))),
+                     frame.trace_id);
 }
 
 }  // namespace mope::net

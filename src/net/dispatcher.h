@@ -11,6 +11,13 @@
 /// table, bad column, unknown message type) are *answers*, encoded as
 /// kStatusReply frames; only framing violations — a stream we can no longer
 /// trust — are returned as errors, upon which the session closes.
+///
+/// Observability: requests carrying a version-2 trace id get that id echoed
+/// on their reply frame, so a client's span tree and the server's accounting
+/// correlate. Per-request dispatch latency (decode + engine + encode) lands
+/// in the server registry's `server.dispatch_ns` histogram, and a
+/// kStatsRequest frame is answered with the full registry snapshot — the
+/// live stats endpoint `mope_serverd` exposes.
 
 #include <cstddef>
 #include <cstdint>
@@ -21,6 +28,8 @@
 #include "common/status.h"
 #include "engine/server.h"
 #include "net/wire.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
 
 namespace mope::net {
 
@@ -30,9 +39,11 @@ class WireDispatcher {
   /// encoded reply body: a query whose result would overflow one frame is
   /// *answered* with kStatusReply(InvalidArgument) — never an abort, never a
   /// dropped session. Tests lower it to exercise the overflow path cheaply.
+  /// `clock` times per-request dispatch latency (nullptr = SystemClock;
+  /// tests inject a ManualClock for deterministic histograms).
   explicit WireDispatcher(engine::DbServer* server,
-                          size_t max_reply_payload_bytes = kMaxPayloadBytes)
-      : server_(server), max_reply_payload_bytes_(max_reply_payload_bytes) {}
+                          size_t max_reply_payload_bytes = kMaxPayloadBytes,
+                          obs::Clock* clock = nullptr);
 
   WireDispatcher(const WireDispatcher&) = delete;
   WireDispatcher& operator=(const WireDispatcher&) = delete;
@@ -45,7 +56,7 @@ class WireDispatcher {
                                        size_t* consumed);
 
   /// Requests answered so far (including ones answered with a StatusReply).
-  uint64_t frames_served() const;
+  uint64_t frames_served() const { return frames_served_->Value(); }
 
  private:
   Result<std::string> HandleFrameLocked(const Frame& frame);
@@ -53,7 +64,10 @@ class WireDispatcher {
   mutable std::mutex mutex_;
   engine::DbServer* server_;
   size_t max_reply_payload_bytes_;
-  uint64_t frames_served_ = 0;
+  obs::Clock* clock_;
+  // Handles into the server's registry (so the stats endpoint serves them).
+  obs::Counter* frames_served_;
+  obs::ExpHistogram* dispatch_ns_;
 };
 
 }  // namespace mope::net

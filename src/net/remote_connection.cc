@@ -6,12 +6,34 @@
 #include <utility>
 
 #include "net/inmem.h"
+#include "obs/trace.h"
 #include "proxy/connection_registry.h"
 
 namespace mope::net {
 
+namespace {
+
+obs::MetricsRegistry* ResolveRegistry(obs::MetricsRegistry* registry) {
+  return registry != nullptr ? registry : obs::Registry();
+}
+
+}  // namespace
+
 RemoteConnection::RemoteConnection(RemoteOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : obs::SystemClock()),
+      retries_(
+          ResolveRegistry(options_.registry)->GetCounter("net.client.retries")),
+      connects_(ResolveRegistry(options_.registry)
+                    ->GetCounter("net.client.connects")),
+      roundtrips_(ResolveRegistry(options_.registry)
+                      ->GetCounter("net.client.roundtrips")),
+      bytes_sent_(ResolveRegistry(options_.registry)
+                      ->GetCounter("net.client.bytes_sent")),
+      bytes_received_(ResolveRegistry(options_.registry)
+                          ->GetCounter("net.client.bytes_received")),
+      roundtrip_ns_(ResolveRegistry(options_.registry)
+                        ->GetHistogram("net.client.roundtrip_ns")) {
   if (!options_.transport_factory) {
     options_.transport_factory =
         [host = options_.host, port = options_.port,
@@ -26,7 +48,7 @@ RemoteConnection::RemoteConnection(RemoteOptions options)
 Status RemoteConnection::EnsureConnectedLocked() {
   if (transport_ != nullptr) return Status::OK();
   MOPE_ASSIGN_OR_RETURN(transport_, options_.transport_factory());
-  ++connects_;
+  connects_->Increment();
   return Status::OK();
 }
 
@@ -40,11 +62,18 @@ void RemoteConnection::DisconnectLocked() {
 Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
                                           std::string payload,
                                           MessageType expected_reply) {
+  // One span per application-level round trip (retries included): in a query
+  // trace, N of these under one segment shows the real/fake batch fan-out.
+  const obs::ScopedSpan span("net.roundtrip");
+  const uint64_t trace_id = obs::CurrentTraceId();
+  const uint64_t start_ns = clock_->NowNanos();
   const std::lock_guard<std::mutex> lock(mutex_);
+  roundtrips_->Increment();
   Status last = Status::Unavailable("no attempt made");
   for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
-      ++retries_;
+      retries_->Increment();
+      obs::BumpTraceCounter("net.retries");
       const int backoff = std::min(
           options_.backoff_max_ms,
           options_.backoff_initial_ms << std::min(attempt - 1, 20u));
@@ -58,7 +87,10 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
       if (IsTransient(last)) continue;
       return last;
     }
-    last = WriteFrame(transport_.get(), request_type, payload);
+    bytes_sent_->Increment(kFrameHeaderBytes +
+                           (trace_id != 0 ? kTraceIdBytes : 0) +
+                           payload.size());
+    last = WriteFrame(transport_.get(), request_type, payload, trace_id);
     if (!last.ok()) {
       DisconnectLocked();
       if (IsTransient(last)) continue;
@@ -73,6 +105,9 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
       if (IsTransient(last)) continue;
       return last;  // Corruption and friends: fail fast
     }
+    bytes_received_->Increment(kFrameHeaderBytes +
+                               (frame->trace_id != 0 ? kTraceIdBytes : 0) +
+                               frame->payload.size());
     if (frame->type == static_cast<uint8_t>(MessageType::kStatusReply)) {
       Status carried;
       MOPE_RETURN_NOT_OK(DecodeStatusReply(frame->payload, &carried));
@@ -83,6 +118,7 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
       return Status::Corruption("unexpected reply type " +
                                 std::to_string(frame->type));
     }
+    roundtrip_ns_->Observe(clock_->NowNanos() - start_ns);
     return *std::move(frame);
   }
   return last;
@@ -121,9 +157,17 @@ Result<engine::Schema> RemoteConnection::GetSchema(const std::string& table) {
   return DecodeSchemaReply(reply.payload);
 }
 
-uint64_t RemoteConnection::retries() const { return retries_.load(); }
+Result<std::vector<std::pair<std::string, uint64_t>>>
+RemoteConnection::FetchServerStats() {
+  MOPE_ASSIGN_OR_RETURN(Frame reply,
+                        RoundTrip(MessageType::kStatsRequest, std::string(),
+                                  MessageType::kStatsReply));
+  return DecodeStatsReply(reply.payload);
+}
 
-uint64_t RemoteConnection::connects() const { return connects_.load(); }
+uint64_t RemoteConnection::retries() const { return retries_->Value(); }
+
+uint64_t RemoteConnection::connects() const { return connects_->Value(); }
 
 void RegisterTcpScheme(const RemoteOptions& defaults) {
   proxy::RegisterConnectionScheme(

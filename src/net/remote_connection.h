@@ -31,6 +31,8 @@
 #include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
 #include "proxy/connection.h"
 
 namespace mope::net {
@@ -45,6 +47,14 @@ struct RemoteOptions {
   /// Backoff before retry i is min(initial << i, max) milliseconds.
   int backoff_initial_ms = 5;
   int backoff_max_ms = 250;
+
+  /// Where the connection's `net.client.*` counters and round-trip latency
+  /// histogram live. nullptr = the process-global obs::Registry(). A
+  /// MopeSystem passes its own registry so client- and server-side metrics
+  /// stay separate even when both ends share one test process.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Times round trips; nullptr = obs::SystemClock().
+  obs::Clock* clock = nullptr;
 
   /// Opens the underlying stream; defaults to ConnectTcp(host, port).
   /// Tests substitute in-memory or fault-injecting transports here.
@@ -65,6 +75,10 @@ class RemoteConnection final : public proxy::ServerConnection {
 
   Result<engine::Schema> GetSchema(const std::string& table) override;
 
+  /// Asks the server for its metrics registry (kStatsRequest round trip).
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchServerStats()
+      override;
+
   /// Transport-level retry attempts performed so far (the proxy's own
   /// retries_performed() counts on top of these).
   uint64_t retries() const;
@@ -78,13 +92,18 @@ class RemoteConnection final : public proxy::ServerConnection {
   void DisconnectLocked();
 
   RemoteOptions options_;
+  obs::Clock* clock_;
   mutable std::mutex mutex_;  ///< One in-flight request per connection.
   std::unique_ptr<Transport> transport_;
-  // Atomics, not mutex_-guarded: mutex_ is held across retry backoff sleeps
-  // (up to seconds), and stats readers must never block behind a retrying
-  // request.
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> connects_{0};
+  // Registry counters (atomic), not mutex_-guarded: mutex_ is held across
+  // retry backoff sleeps (up to seconds), and stats readers must never block
+  // behind a retrying request.
+  obs::Counter* retries_;
+  obs::Counter* connects_;
+  obs::Counter* roundtrips_;
+  obs::Counter* bytes_sent_;
+  obs::Counter* bytes_received_;
+  obs::ExpHistogram* roundtrip_ns_;
 };
 
 /// Installs the "tcp" scheme into the proxy's connection registry, so

@@ -50,7 +50,7 @@ void TcpServer::ListenLoop() {
       continue;
     }
     if (*session == nullptr) continue;  // poll timeout: re-check stop flag
-    ++connections_accepted_;
+    connections_accepted_->Increment();
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       if (pending_.size() >= options_.max_pending_sessions) {
@@ -58,7 +58,7 @@ void TcpServer::ListenLoop() {
         // now (close reads as Unavailable client-side and is retried) rather
         // than park it in an unbounded queue.
         lock.unlock();
-        ++connections_rejected_;
+        connections_rejected_->Increment();
         (*session)->Close();
         continue;
       }

@@ -69,16 +69,26 @@ class TcpServer {
   TcpServer& operator=(const TcpServer&) = delete;
 
   uint16_t port() const { return listener_->port(); }
-  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t connections_accepted() const {
+    return connections_accepted_->Value();
+  }
   /// Connections closed at accept because the pending queue was full.
-  uint64_t connections_rejected() const { return connections_rejected_; }
+  uint64_t connections_rejected() const {
+    return connections_rejected_->Value();
+  }
   uint64_t frames_served() const { return dispatcher_.frames_served(); }
 
  private:
+  // The accept counters live in the DbServer's registry (`net.server.*`) so
+  // a kStatsRequest sees them alongside the engine counters.
   TcpServer(engine::DbServer* server, TcpServerOptions options,
             std::unique_ptr<TcpListener> listener)
       : options_(std::move(options)), listener_(std::move(listener)),
-        dispatcher_(server) {}
+        dispatcher_(server),
+        connections_accepted_(server->metrics()->GetCounter(
+            "net.server.connections_accepted")),
+        connections_rejected_(server->metrics()->GetCounter(
+            "net.server.connections_rejected")) {}
 
   void ListenLoop();
   void WorkerLoop();
@@ -89,8 +99,8 @@ class TcpServer {
   WireDispatcher dispatcher_;
 
   std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
+  obs::Counter* connections_accepted_;
+  obs::Counter* connections_rejected_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -53,17 +53,23 @@ uint32_t Crc32(std::string_view bytes) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-std::string EncodeFrame(MessageType type, std::string payload) {
+std::string EncodeFrame(MessageType type, std::string payload,
+                        uint64_t trace_id) {
   MOPE_CHECK(payload.size() <= kMaxPayloadBytes, "frame payload too large");
+  // Traceless frames stay version 1, byte-identical to what older builds
+  // emit; only an actual trace id pays for the version-2 extension.
+  const bool traced = trace_id != 0;
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(kFrameHeaderBytes + (traced ? kTraceIdBytes : 0) +
+              payload.size());
   PutU32(&out, kWireMagic);
-  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(traced ? kWireVersion : 1));
   out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(traced ? kFrameFlagHasTraceId : 0));
   out.push_back(0);  // reserved
-  out.push_back(0);
   PutU32(&out, static_cast<uint32_t>(payload.size()));
   PutU32(&out, Crc32(payload));
+  if (traced) PutU64(&out, trace_id);
   out.append(payload);
   return out;
 }
@@ -78,14 +84,22 @@ Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed) {
     return Status::Corruption("bad wire magic");
   }
   MOPE_ASSIGN_OR_RETURN(uint8_t version, header.Byte());
-  if (version != kWireVersion) {
+  if (version == 0 || version > kWireVersion) {
     return Status::Corruption("unsupported wire protocol version " +
                               std::to_string(version));
   }
   MOPE_ASSIGN_OR_RETURN(uint8_t type, header.Byte());
-  MOPE_ASSIGN_OR_RETURN(uint8_t reserved0, header.Byte());
-  MOPE_ASSIGN_OR_RETURN(uint8_t reserved1, header.Byte());
-  if (reserved0 != 0 || reserved1 != 0) {
+  MOPE_ASSIGN_OR_RETURN(uint8_t flags, header.Byte());
+  MOPE_ASSIGN_OR_RETURN(uint8_t reserved, header.Byte());
+  // Version 1 predates the flags byte: both bytes are reserved-zero there.
+  // In version 2, an unknown flag bit would change the framing underneath
+  // us, so it is Corruption, not something to ignore.
+  if (version == 1 ? flags != 0 : (flags & ~kFrameFlagHasTraceId) != 0) {
+    return Status::Corruption(version == 1
+                                  ? "nonzero reserved bytes in frame header"
+                                  : "unknown frame flags");
+  }
+  if (reserved != 0) {
     return Status::Corruption("nonzero reserved bytes in frame header");
   }
   MOPE_ASSIGN_OR_RETURN(uint32_t length, header.U32());
@@ -94,16 +108,24 @@ Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed) {
                               std::to_string(length) + " bytes)");
   }
   MOPE_ASSIGN_OR_RETURN(uint32_t crc, header.U32());
-  if (bytes.size() - kFrameHeaderBytes < length) {
+  const size_t ext_bytes =
+      (flags & kFrameFlagHasTraceId) != 0 ? kTraceIdBytes : 0;
+  if (bytes.size() - kFrameHeaderBytes < ext_bytes + length) {
     return Status::Unavailable("incomplete frame payload");
   }
-  const std::string_view payload = bytes.substr(kFrameHeaderBytes, length);
+  Frame frame;
+  frame.type = type;
+  if (ext_bytes != 0) {
+    ByteReader ext(bytes.substr(kFrameHeaderBytes, kTraceIdBytes),
+                   "wire frame");
+    MOPE_ASSIGN_OR_RETURN(frame.trace_id, ext.U64());
+  }
+  const std::string_view payload =
+      bytes.substr(kFrameHeaderBytes + ext_bytes, length);
   if (Crc32(payload) != crc) {
     return Status::Corruption("frame CRC mismatch");
   }
-  if (consumed != nullptr) *consumed = kFrameHeaderBytes + length;
-  Frame frame;
-  frame.type = type;
+  if (consumed != nullptr) *consumed = kFrameHeaderBytes + ext_bytes + length;
   frame.payload.assign(payload);
   return frame;
 }
@@ -146,20 +168,25 @@ Result<std::string> ReadFrameBytes(Transport* transport) {
     return Status::Corruption("bad wire magic");
   }
   MOPE_ASSIGN_OR_RETURN(uint8_t version, header.Byte());
-  if (version != kWireVersion) {
+  if (version == 0 || version > kWireVersion) {
     return Status::Corruption("unsupported wire protocol version " +
                               std::to_string(version));
   }
   MOPE_RETURN_NOT_OK(header.Byte().status());  // type: dispatcher's problem
+  MOPE_ASSIGN_OR_RETURN(uint8_t flags, header.Byte());
   MOPE_RETURN_NOT_OK(header.Byte().status());  // reserved, checked on decode
-  MOPE_RETURN_NOT_OK(header.Byte().status());
   MOPE_ASSIGN_OR_RETURN(uint32_t length, header.U32());
   if (length > kMaxPayloadBytes) {
     return Status::Corruption("oversized frame payload (" +
                               std::to_string(length) + " bytes)");
   }
+  // The flags byte tells us how many extension bytes precede the payload;
+  // flag *validity* is DecodeFrame's job once everything is in hand.
+  const size_t ext_bytes =
+      (version >= 2 && (flags & kFrameFlagHasTraceId) != 0) ? kTraceIdBytes
+                                                            : 0;
   MOPE_RETURN_NOT_OK(
-      ReadExact(transport, length, &raw, /*at_boundary=*/false));
+      ReadExact(transport, ext_bytes + length, &raw, /*at_boundary=*/false));
   return raw;
 }
 
@@ -168,8 +195,8 @@ Result<Frame> ReadFrame(Transport* transport) {
   return DecodeFrame(raw, nullptr);
 }
 
-Status WriteFrame(Transport* transport, MessageType type,
-                  std::string payload) {
+Status WriteFrame(Transport* transport, MessageType type, std::string payload,
+                  uint64_t trace_id) {
   // Callers hand WriteFrame unbounded application data (e.g. a huge range
   // batch); overflow must come back as a Status, not trip EncodeFrame's
   // precondition check.
@@ -178,7 +205,7 @@ Status WriteFrame(Transport* transport, MessageType type,
         "message too large for one frame (" + std::to_string(payload.size()) +
         " > " + std::to_string(kMaxPayloadBytes) + " bytes)");
   }
-  const std::string frame = EncodeFrame(type, std::move(payload));
+  const std::string frame = EncodeFrame(type, std::move(payload), trace_id);
   return transport->Write(frame.data(), frame.size());
 }
 
@@ -320,6 +347,38 @@ Result<engine::Schema> DecodeSchemaReply(std::string_view payload) {
     return Status::Corruption("trailing bytes after schema reply");
   }
   return engine::Schema(std::move(columns));
+}
+
+std::string EncodeStatsReply(const StatsReply& stats) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(stats.size()));
+  for (const auto& [name, value] : stats) {
+    PutString(&out, name);
+    PutU64(&out, value);
+  }
+  return out;
+}
+
+Result<StatsReply> DecodeStatsReply(std::string_view payload) {
+  ByteReader reader(payload, "wire frame");
+  MOPE_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  // Each entry costs at least 12 bytes (4-byte name length + 8-byte value);
+  // a larger count cannot be satisfied by the remaining payload.
+  if (count > reader.remaining() / 12) {
+    return Status::Corruption("implausible entry count in stats reply");
+  }
+  StatsReply stats;
+  stats.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::pair<std::string, uint64_t> entry;
+    MOPE_ASSIGN_OR_RETURN(entry.first, reader.String());
+    MOPE_ASSIGN_OR_RETURN(entry.second, reader.U64());
+    stats.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after stats reply");
+  }
+  return stats;
 }
 
 std::string EncodeStatusReply(const Status& status) {

@@ -8,12 +8,20 @@
 ///
 ///   offset  size  field
 ///        0     4  magic 0x4D4F5057 ("MOPW", little-endian u32)
-///        4     1  protocol version (kWireVersion)
+///        4     1  protocol version (1 or kWireVersion)
 ///        5     1  message type
-///        6     2  reserved, must be zero
+///        6     1  flags (version >= 2; must be zero in version 1)
+///        7     1  reserved, must be zero
 ///        8     4  payload length (little-endian u32, <= kMaxPayloadBytes)
 ///       12     4  CRC-32 (IEEE) of the payload
-///       16     …  payload
+///       16     …  extension fields selected by `flags`, then the payload
+///
+/// Version 2 adds one optional extension: when kFrameFlagHasTraceId is set,
+/// an 8-byte little-endian trace id sits between the header and the payload
+/// (excluded from both the payload length and the CRC). Frames that carry no
+/// trace id are still emitted as byte-identical version-1 frames, so an old
+/// peer interoperates until tracing is actually used; unknown flag bits are
+/// rejected as Corruption rather than silently mis-framed.
 ///
 /// Payloads are encoded with the same value codec as catalog snapshots
 /// (engine/codec.h). Request/reply pairs mirror proxy::ServerConnection:
@@ -41,8 +49,13 @@
 namespace mope::net {
 
 inline constexpr uint32_t kWireMagic = 0x4D4F5057;  // "MOPW"
-inline constexpr uint8_t kWireVersion = 1;
+/// Newest protocol version this build speaks. Traceless frames are still
+/// emitted as version 1 (see file comment).
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 16;
+/// Flags byte (offset 6) bits understood by this build.
+inline constexpr uint8_t kFrameFlagHasTraceId = 0x01;
+inline constexpr size_t kTraceIdBytes = 8;
 /// Upper bound on a payload; anything larger is rejected before allocation.
 inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 
@@ -54,24 +67,31 @@ enum class MessageType : uint8_t {
   kSchemaRequest = 5,      ///< body: table name
   kSchemaReply = 6,        ///< body: Schema
   kStatusReply = 7,        ///< body: non-OK Status (code + message)
+  kStatsRequest = 8,       ///< body: empty; asks for the server's metrics
+  kStatsReply = 9,         ///< body: StatsReply (sorted name/value pairs)
 };
 
 /// A decoded frame. `type` is the raw on-wire byte: framing layers pass
 /// unknown types through so the dispatcher can answer them with a clean
-/// Status instead of dropping the connection.
+/// Status instead of dropping the connection. `trace_id` is nonzero when the
+/// peer stamped the frame with an active query trace (version-2 extension).
 struct Frame {
   uint8_t type = 0;
+  uint64_t trace_id = 0;
   std::string payload;
 };
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.
 uint32_t Crc32(std::string_view bytes);
 
-/// Serializes one frame (header + payload). Precondition (MOPE_CHECKed):
-/// payload.size() <= kMaxPayloadBytes — for unbounded or peer-influenced
-/// data use WriteFrame (client side) or the dispatcher's reply cap (server
-/// side), which surface overflow as a Status instead.
-std::string EncodeFrame(MessageType type, std::string payload);
+/// Serializes one frame (header + payload). A zero `trace_id` produces a
+/// version-1 frame, byte-identical to what older builds emit; a nonzero id
+/// produces a version-2 frame carrying the trace-id extension. Precondition
+/// (MOPE_CHECKed): payload.size() <= kMaxPayloadBytes — for unbounded or
+/// peer-influenced data use WriteFrame (client side) or the dispatcher's
+/// reply cap (server side), which surface overflow as a Status instead.
+std::string EncodeFrame(MessageType type, std::string payload,
+                        uint64_t trace_id = 0);
 
 /// Validates and decodes the frame at the front of `bytes`; on success sets
 /// `*consumed` to its total size. Corruption on any header/CRC violation;
@@ -88,7 +108,8 @@ Result<Frame> ReadFrame(Transport* transport);
 
 /// Encodes and writes one frame. InvalidArgument (no bytes written) when the
 /// payload exceeds kMaxPayloadBytes.
-Status WriteFrame(Transport* transport, MessageType type, std::string payload);
+Status WriteFrame(Transport* transport, MessageType type, std::string payload,
+                  uint64_t trace_id = 0);
 
 // --- Message bodies -------------------------------------------------------
 
@@ -116,6 +137,14 @@ Result<std::string> DecodeSchemaRequest(std::string_view payload);
 
 std::string EncodeSchemaReply(const engine::Schema& schema);
 Result<engine::Schema> DecodeSchemaReply(std::string_view payload);
+
+/// Server metrics snapshot: name/value pairs sorted by name (the order
+/// obs::MetricsRegistry::Snapshot produces). Histograms arrive flattened to
+/// `<name>.count` / `<name>.sum` / `<name>.le.<bound>` entries.
+using StatsReply = std::vector<std::pair<std::string, uint64_t>>;
+
+std::string EncodeStatsReply(const StatsReply& stats);
+Result<StatsReply> DecodeStatsReply(std::string_view payload);
 
 /// Precondition: !status.ok() (an OK status reply is meaningless on the wire
 /// and is rejected by the decoder).

@@ -1,0 +1,66 @@
+#ifndef MOPE_OBS_CLOCK_H_
+#define MOPE_OBS_CLOCK_H_
+
+/// \file clock.h
+/// The injectable clock behind every timing measurement in the tree.
+///
+/// The experiment code must stay bit-deterministic from its seed (linter
+/// rule R2), yet the observability layer needs real durations in production.
+/// The reconciliation is injection: everything that timestamps — trace
+/// spans, latency histograms, bench stopwatches — reads time through this
+/// interface. Production passes SystemClock() (monotonic, wall-backed);
+/// tests pass a ManualClock whose time moves only when the test says so, so
+/// span trees and latency buckets are exactly reproducible.
+///
+/// clock.cc is the only file in the repository allowed to touch
+/// std::chrono::steady_clock / system_clock (linter rule R7).
+
+#include <atomic>
+#include <cstdint>
+
+namespace mope::obs {
+
+/// A monotonic nanosecond clock. Implementations must be thread-safe and
+/// non-decreasing across calls observed by one thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary (per-clock) epoch. Monotone.
+  virtual uint64_t NowNanos() const = 0;
+
+  double NowMillis() const { return static_cast<double>(NowNanos()) / 1e6; }
+};
+
+/// The process-wide monotonic clock (std::chrono::steady_clock underneath).
+/// Never owns state; the pointer is valid for the process lifetime.
+Clock* SystemClock();
+
+/// Deterministic clock for tests: time is a counter the test controls.
+/// `auto_advance_ns` (optionally) moves time forward on every read, which
+/// keeps timestamps strictly monotone through code under test without the
+/// test having to interleave Advance calls.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_ns = 0, uint64_t auto_advance_ns = 0)
+      : now_ns_(start_ns), auto_advance_ns_(auto_advance_ns) {}
+
+  uint64_t NowNanos() const override {
+    if (auto_advance_ns_ == 0) return now_ns_.load(std::memory_order_relaxed);
+    return now_ns_.fetch_add(auto_advance_ns_, std::memory_order_relaxed) +
+           auto_advance_ns_;
+  }
+
+  void AdvanceNanos(uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void AdvanceMillis(uint64_t delta_ms) { AdvanceNanos(delta_ms * 1000000); }
+
+ private:
+  mutable std::atomic<uint64_t> now_ns_;
+  uint64_t auto_advance_ns_;
+};
+
+}  // namespace mope::obs
+
+#endif  // MOPE_OBS_CLOCK_H_

@@ -1,0 +1,217 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mope::obs {
+
+namespace {
+
+/// Prometheus names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our internal names are
+/// dotted; everything else already conforms.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int ExpHistogram::BucketIndex(uint64_t sample) {
+  // Bucket i holds samples in (2^(i-1), 2^i]; sample 0 and 1 land in bucket 0.
+  if (sample <= 1) return 0;
+  int bit = 63 - __builtin_clzll(sample);
+  // Exact powers of two belong to their own bucket, everything else rounds up.
+  const int idx = ((sample & (sample - 1)) == 0) ? bit : bit + 1;
+  return idx > kMaxPow2 ? kMaxPow2 + 1 : idx;
+}
+
+uint64_t ExpHistogram::ApproxQuantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen > target || seen == total) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+void ExpHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+mope::Histogram ExpHistogram::ToHistogram() const {
+  mope::Histogram h(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = BucketCount(i);
+    if (n > 0) h.Add(static_cast<uint64_t>(i), n);
+  }
+  return h;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+ExpHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<ExpHistogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, static_cast<uint64_t>(gauge->Value()));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.emplace_back(name + ".count", hist->Count());
+    out.emplace_back(name + ".sum", hist->Sum());
+    for (int i = 0; i < ExpHistogram::kNumBuckets; ++i) {
+      const uint64_t n = hist->BucketCount(i);
+      if (n == 0) continue;
+      const std::string bound =
+          i > ExpHistogram::kMaxPow2
+              ? "inf"
+              : std::to_string(ExpHistogram::BucketBound(i));
+      out.emplace_back(name + ".le." + bound, n);
+    }
+  }
+  // The maps are ordered, but the three families interleave: fix one order.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int i = 0; i < ExpHistogram::kNumBuckets; ++i) {
+      cumulative += hist->BucketCount(i);
+      if (i > ExpHistogram::kMaxPow2) {
+        out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+      } else if (hist->BucketCount(i) > 0 || i == ExpHistogram::kMaxPow2) {
+        out += prom + "_bucket{le=\"" +
+               std::to_string(ExpHistogram::BucketBound(i)) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+    }
+    out += prom + "_sum " + std::to_string(hist->Sum()) + "\n";
+    out += prom + "_count " + std::to_string(hist->Count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(hist->Count()) +
+           ",\"sum\":" + std::to_string(hist->Sum()) + ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int i = 0; i < ExpHistogram::kNumBuckets; ++i) {
+      const uint64_t n = hist->BucketCount(i);
+      if (n == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      const std::string bound =
+          i > ExpHistogram::kMaxPow2
+              ? "inf"
+              : std::to_string(ExpHistogram::BucketBound(i));
+      out += "\"" + bound + "\":" + std::to_string(n);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsRegistry* Registry() {
+  static MetricsRegistry* global = new MetricsRegistry();  // never destroyed
+  return global;
+}
+
+}  // namespace mope::obs

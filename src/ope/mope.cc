@@ -61,11 +61,13 @@ Result<MopeKey> MopeKey::Deserialize(const std::string& text) {
 }
 
 Result<MopeScheme> MopeScheme::Create(const OpeParams& params,
-                                      const MopeKey& key) {
+                                      const MopeKey& key,
+                                      obs::MetricsRegistry* registry) {
   if (params.domain > 0 && key.offset >= params.domain) {
     return Status::InvalidArgument("MOPE offset must be less than the domain");
   }
-  MOPE_ASSIGN_OR_RETURN(OpeScheme ope, OpeScheme::Create(params, key.ope_key));
+  MOPE_ASSIGN_OR_RETURN(OpeScheme ope,
+                        OpeScheme::Create(params, key.ope_key, registry));
   return MopeScheme(std::move(ope), key.offset);
 }
 

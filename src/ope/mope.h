@@ -52,7 +52,10 @@ struct CipherRange {
 class MopeScheme {
  public:
   /// Validates parameters and builds the scheme. Requires offset < domain.
-  static Result<MopeScheme> Create(const OpeParams& params, const MopeKey& key);
+  /// `registry` receives the underlying OPE's ope.* counters; null selects
+  /// the process-global obs::Registry().
+  static Result<MopeScheme> Create(const OpeParams& params, const MopeKey& key,
+                                   obs::MetricsRegistry* registry = nullptr);
 
   const OpeParams& params() const { return ope_.params(); }
   uint64_t domain() const { return ope_.params().domain; }

@@ -4,6 +4,7 @@
 
 #include "crypto/drbg.h"
 #include "crypto/hgd.h"
+#include "obs/trace.h"
 
 namespace mope::ope {
 
@@ -40,7 +41,18 @@ OpeKey OpeKey::Generate(mope::BitSource* entropy) {
   return key;
 }
 
-Result<OpeScheme> OpeScheme::Create(const OpeParams& params, const OpeKey& key) {
+OpeScheme::OpeScheme(const OpeParams& params, const OpeKey& key,
+                     obs::MetricsRegistry* registry)
+    : params_(params), prf_(key.prf_key) {
+  if (registry == nullptr) registry = obs::Registry();
+  encrypt_calls_ = registry->GetCounter("ope.encrypt_calls");
+  decrypt_calls_ = registry->GetCounter("ope.decrypt_calls");
+  hgd_draws_ = registry->GetCounter("ope.hgd_draws");
+  recursion_depth_ = registry->GetHistogram("ope.recursion_depth");
+}
+
+Result<OpeScheme> OpeScheme::Create(const OpeParams& params, const OpeKey& key,
+                                    obs::MetricsRegistry* registry) {
   if (params.domain == 0) {
     return Status::InvalidArgument("OPE domain must be positive");
   }
@@ -49,12 +61,14 @@ Result<OpeScheme> OpeScheme::Create(const OpeParams& params, const OpeKey& key) 
         "OPE range (" + std::to_string(params.range) +
         ") must be at least the domain (" + std::to_string(params.domain) + ")");
   }
-  return OpeScheme(params, key);
+  return OpeScheme(params, key, registry);
 }
 
 Result<uint64_t> OpeScheme::SampleSplit(uint64_t dlo, uint64_t m_count,
                                         uint64_t rlo, uint64_t n_count,
                                         uint64_t draws) const {
+  hgd_draws_->Increment();
+  obs::BumpTraceCounter("ope.hgd_draws");
   crypto::TagBuilder tag(kSplitLabel);
   tag.AppendU64(dlo).AppendU64(m_count).AppendU64(rlo).AppendU64(n_count);
   const crypto::Block seed = prf_.Eval(tag.bytes());
@@ -83,9 +97,13 @@ Result<uint64_t> OpeScheme::Encrypt(uint64_t m) const {
                               " outside domain of size " +
                               std::to_string(params_.domain));
   }
+  encrypt_calls_->Increment();
+  obs::BumpTraceCounter("ope.encrypt_calls");
+  uint64_t depth = 0;
   uint64_t dlo = 0, m_count = params_.domain;
   uint64_t rlo = 0, n_count = params_.range;
   while (m_count > 1) {
+    ++depth;
     const uint64_t draws = n_count / 2;
     MOPE_ASSIGN_OR_RETURN(const uint64_t x,
                           SampleSplit(dlo, m_count, rlo, n_count, draws));
@@ -99,6 +117,7 @@ Result<uint64_t> OpeScheme::Encrypt(uint64_t m) const {
       n_count -= draws;
     }
   }
+  recursion_depth_->Observe(depth);
   return LeafCiphertext(dlo, rlo, n_count);
 }
 
@@ -108,6 +127,8 @@ Result<uint64_t> OpeScheme::Decrypt(uint64_t c) const {
                               " outside range of size " +
                               std::to_string(params_.range));
   }
+  decrypt_calls_->Increment();
+  obs::BumpTraceCounter("ope.decrypt_calls");
   uint64_t dlo = 0, m_count = params_.domain;
   uint64_t rlo = 0, n_count = params_.range;
   while (m_count > 1) {
@@ -143,6 +164,8 @@ Result<uint64_t> OpeScheme::DecryptFloorCeil(uint64_t c) const {
                               " outside range of size " +
                               std::to_string(params_.range));
   }
+  decrypt_calls_->Increment();
+  obs::BumpTraceCounter("ope.decrypt_calls");
   uint64_t dlo = 0, m_count = params_.domain;
   uint64_t rlo = 0, n_count = params_.range;
   while (m_count > 1) {

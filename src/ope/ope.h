@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "crypto/aes.h"
 #include "crypto/prf.h"
+#include "obs/registry.h"
 
 namespace mope::ope {
 
@@ -49,8 +50,11 @@ struct OpeKey {
 /// threads for concurrent Encrypt/Decrypt.
 class OpeScheme {
  public:
-  /// Validates parameters (0 < M <= N) and builds the scheme.
-  static Result<OpeScheme> Create(const OpeParams& params, const OpeKey& key);
+  /// Validates parameters (0 < M <= N) and builds the scheme. `registry`
+  /// receives the ope.* counter family (encrypt/decrypt calls, HGD draws,
+  /// recursion depth); null selects the process-global obs::Registry().
+  static Result<OpeScheme> Create(const OpeParams& params, const OpeKey& key,
+                                  obs::MetricsRegistry* registry = nullptr);
 
   const OpeParams& params() const { return params_; }
 
@@ -68,8 +72,8 @@ class OpeScheme {
   Result<uint64_t> DecryptFloorCeil(uint64_t c) const;
 
  private:
-  OpeScheme(const OpeParams& params, const OpeKey& key)
-      : params_(params), prf_(key.prf_key) {}
+  OpeScheme(const OpeParams& params, const OpeKey& key,
+            obs::MetricsRegistry* registry);
 
   /// Number of plaintexts (out of `m_count` in this node) that the sampled
   /// OPF maps into the left `draws` ciphertext slots of this node. Errors
@@ -83,6 +87,14 @@ class OpeScheme {
 
   OpeParams params_;
   crypto::Prf prf_;
+
+  // ope.* metric handles (the registry owns the metrics; incrementing an
+  // atomic counter through a const method keeps Encrypt/Decrypt shareable
+  // across threads).
+  obs::Counter* encrypt_calls_;
+  obs::Counter* decrypt_calls_;
+  obs::Counter* hgd_draws_;
+  obs::ExpHistogram* recursion_depth_;
 };
 
 }  // namespace mope::ope

@@ -45,6 +45,14 @@ class ServerConnection {
     MOPE_ASSIGN_OR_RETURN(auto rows, ExecuteRangeBatch(table, column, ranges));
     return static_cast<uint64_t>(rows.size());
   }
+
+  /// The server's metrics snapshot (sorted name/value pairs, histogram
+  /// buckets flattened): the live stats endpoint. Connections to servers
+  /// that expose one override this; the default reports NotSupported.
+  virtual Result<std::vector<std::pair<std::string, uint64_t>>>
+  FetchServerStats() {
+    return Status::NotSupported("this connection has no stats endpoint");
+  }
 };
 
 /// In-process connection to an embedded DbServer.
@@ -70,6 +78,11 @@ class DirectConnection final : public ServerConnection {
       const std::string& table, const std::string& column,
       const std::vector<ModularInterval>& ranges) override {
     return server_->CountRangeBatch(table, column, ranges);
+  }
+
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchServerStats()
+      override {
+    return server_->metrics()->Snapshot();
   }
 
  private:

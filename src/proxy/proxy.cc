@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace mope::proxy {
 
 using query::FixedQuery;
@@ -27,6 +29,23 @@ Status ValidateProxyConfig(const ProxyConfig& config,
 
 }  // namespace
 
+Proxy::Proxy(const ProxyConfig& config, ope::MopeScheme mope,
+             std::unique_ptr<ServerConnection> connection,
+             engine::DbServer* server)
+    : config_(config), mope_(std::move(mope)),
+      connection_(std::move(connection)), server_(server),
+      rng_(config.rng_seed) {
+  obs::MetricsRegistry* registry =
+      config_.registry != nullptr ? config_.registry : obs::Registry();
+  real_queries_ = registry->GetCounter("proxy.real_queries");
+  fake_queries_ = registry->GetCounter("proxy.fake_queries");
+  server_requests_ = registry->GetCounter("proxy.server_requests");
+  rows_received_ = registry->GetCounter("proxy.rows_received");
+  rows_returned_ = registry->GetCounter("proxy.rows_returned");
+  retries_ = registry->GetCounter("proxy.retries");
+  batch_queries_hist_ = registry->GetHistogram("proxy.batch_queries");
+}
+
 Result<std::unique_ptr<Proxy>> Proxy::Create(const ProxyConfig& config,
                                              const ope::MopeKey& key,
                                              const ope::OpeParams& params,
@@ -36,7 +55,8 @@ Result<std::unique_ptr<Proxy>> Proxy::Create(const ProxyConfig& config,
     return Status::InvalidArgument("proxy needs a server");
   }
   MOPE_RETURN_NOT_OK(ValidateProxyConfig(config, params));
-  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme mope, ope::MopeScheme::Create(params, key));
+  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme mope,
+                        ope::MopeScheme::Create(params, key, config.registry));
 
   auto proxy = std::unique_ptr<Proxy>(
       new Proxy(config, std::move(mope),
@@ -64,7 +84,8 @@ Result<std::unique_ptr<Proxy>> Proxy::Create(
     return Status::InvalidArgument("proxy needs a server connection");
   }
   MOPE_RETURN_NOT_OK(ValidateProxyConfig(config, params));
-  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme mope, ope::MopeScheme::Create(params, key));
+  MOPE_ASSIGN_OR_RETURN(ope::MopeScheme mope,
+                        ope::MopeScheme::Create(params, key, config.registry));
 
   auto proxy = std::unique_ptr<Proxy>(
       new Proxy(config, std::move(mope), std::move(connection), nullptr));
@@ -128,6 +149,8 @@ Result<std::vector<std::pair<engine::RowId, engine::Row>>> Proxy::SendBatch(
     if (rows.ok() || attempt >= config_.max_retries) return rows;
     ++attempt;
     ++retries_performed_;
+    retries_->Increment();
+    obs::BumpTraceCounter("proxy.retries");
   }
 }
 
@@ -139,7 +162,8 @@ Result<uint64_t> Proxy::RotateKey(mope::BitSource* entropy) {
   }
   const ope::MopeKey new_key = ope::MopeKey::Generate(config_.domain, entropy);
   MOPE_ASSIGN_OR_RETURN(ope::MopeScheme new_scheme,
-                        ope::MopeScheme::Create(mope_.params(), new_key));
+                        ope::MopeScheme::Create(mope_.params(), new_key,
+                                                config_.registry));
 
   MOPE_ASSIGN_OR_RETURN(engine::Table * table,
                         server_->catalog()->GetTable(config_.table));
@@ -165,11 +189,15 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
 
   // 1-2-3: decompose, mix with fakes, permute.
   std::vector<FixedQuery> batch;
-  if (algorithm_ != nullptr) {
-    MOPE_ASSIGN_OR_RETURN(batch, algorithm_->Process(q, &rng_));
-  } else {
-    batch = query::Decompose(q, config_.k, config_.domain);
+  {
+    const obs::ScopedSpan span("proxy.sample");
+    if (algorithm_ != nullptr) {
+      MOPE_ASSIGN_OR_RETURN(batch, algorithm_->Process(q, &rng_));
+    } else {
+      batch = query::Decompose(q, config_.k, config_.domain);
+    }
   }
+  batch_queries_hist_->Observe(batch.size());
 
   QueryResponse response;
   for (const FixedQuery& fq : batch) {
@@ -196,12 +224,15 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
     const size_t end = std::min(batch.size(), offset + config_.batch_size);
     std::vector<ModularInterval> cipher_ranges;
     cipher_ranges.reserve(end - offset);
-    for (size_t i = offset; i < end; ++i) {
-      const ModularInterval plain =
-          query::CoverageOf(batch[i], config_.k, config_.domain);
-      MOPE_ASSIGN_OR_RETURN(ope::CipherRange cr, mope_.EncryptRange(plain));
-      cipher_ranges.push_back(ModularInterval::FromEndpoints(
-          cr.first, cr.last, mope_.range()));
+    {
+      const obs::ScopedSpan span("proxy.encrypt");
+      for (size_t i = offset; i < end; ++i) {
+        const ModularInterval plain =
+            query::CoverageOf(batch[i], config_.k, config_.domain);
+        MOPE_ASSIGN_OR_RETURN(ope::CipherRange cr, mope_.EncryptRange(plain));
+        cipher_ranges.push_back(ModularInterval::FromEndpoints(
+            cr.first, cr.last, mope_.range()));
+      }
     }
     MOPE_ASSIGN_OR_RETURN(auto rows, SendBatch(cipher_ranges));
     ++response.server_requests;
@@ -211,6 +242,7 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
     // 5: keep rows whose ciphertext falls in the client's encrypted range
     // (deduplicating rows returned by more than one overlapping request),
     // then decrypt the key column of just those rows.
+    const obs::ScopedSpan span("proxy.decrypt_filter");
     for (auto& [rid, row] : rows) {
       const int64_t cipher = std::get<int64_t>(row[key_column_index_]);
       if (!want_cipher_iv.Contains(static_cast<uint64_t>(cipher))) continue;
@@ -227,6 +259,11 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
   totals_.server_requests += response.server_requests;
   totals_.clock_ticks += response.clock_ticks;
   totals_.rows_received += response.rows_received;
+  real_queries_->Increment(response.real_queries_sent);
+  fake_queries_->Increment(response.fake_queries_sent);
+  server_requests_->Increment(response.server_requests);
+  rows_received_->Increment(response.rows_received);
+  rows_returned_->Increment(response.rows.size());
   return response;
 }
 

@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "dist/distribution.h"
 #include "engine/server.h"
+#include "obs/registry.h"
 #include "ope/mope.h"
 #include "proxy/connection.h"
 #include "query/algorithms.h"
@@ -55,6 +56,13 @@ struct ProxyConfig {
   size_t batch_size = 1;    ///< Ranges OR-ed per server request (Fig. 15).
   uint64_t rng_seed = 42;   ///< Seed for coins/fakes/permutation.
   uint32_t max_retries = 0; ///< Per-request retries on transient server errors.
+
+  /// Metrics sink for the proxy.* counter family. Null means the process
+  /// global obs::Registry(). MopeSystem passes its own registry so the
+  /// client-side counters never mix with the (embedded) server's registry —
+  /// that separation is what lets a single test process assert that an
+  /// embedded run and a remote run produce byte-identical proxy.* counters.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// The proxy serves the paper's *set of clients* (Figure 4): ExecuteRange
@@ -126,13 +134,19 @@ class Proxy {
   /// Transient-failure retries performed so far.
   uint64_t retries_performed() const { return retries_performed_; }
 
+  /// Metrics snapshot of the server this proxy fronts, fetched through the
+  /// connection (a wire round trip for remote servers, a direct registry
+  /// read for embedded ones). NotSupported for connections without a stats
+  /// endpoint.
+  Result<std::vector<std::pair<std::string, uint64_t>>> FetchServerStats()
+      const {
+    return connection_->FetchServerStats();
+  }
+
  private:
   Proxy(const ProxyConfig& config, ope::MopeScheme mope,
         std::unique_ptr<ServerConnection> connection,
-        engine::DbServer* server)
-      : config_(config), mope_(std::move(mope)),
-        connection_(std::move(connection)), server_(server),
-        rng_(config.rng_seed) {}
+        engine::DbServer* server);
 
   /// Instantiates the configured query algorithm.
   Status SetupAlgorithm(const dist::Distribution* known_q);
@@ -151,6 +165,17 @@ class Proxy {
   size_t key_column_index_ = 0;
   QueryResponse totals_;
   uint64_t retries_performed_ = 0;
+
+  // proxy.* counter family (cached handles; the registry owns the metrics).
+  // The same names are emitted whether the connection is embedded or remote,
+  // so the two deployments report byte-identical counter sets.
+  obs::Counter* real_queries_ = nullptr;
+  obs::Counter* fake_queries_ = nullptr;
+  obs::Counter* server_requests_ = nullptr;
+  obs::Counter* rows_received_ = nullptr;
+  obs::Counter* rows_returned_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::ExpHistogram* batch_queries_hist_ = nullptr;
 };
 
 }  // namespace mope::proxy

@@ -21,8 +21,25 @@ Status EncryptedSqlSession::AttachClientTable(
 
 Result<sql::SqlResult> EncryptedSqlSession::Execute(
     const std::string& sql_text) {
+  if (!tracing_enabled_) return ExecuteImpl(sql_text);
+  // A fresh trace per statement: the activation makes it visible to every
+  // instrumented layer below (proxy, OPE, wire) without touching signatures,
+  // and RemoteConnection stamps its id into outgoing frames.
+  auto trace = std::make_unique<obs::Trace>("sql.execute", trace_clock_);
+  const obs::ScopedTraceActivation activate(trace.get());
+  auto result = ExecuteImpl(sql_text);
+  last_trace_ = std::move(trace);
+  return result;
+}
+
+Result<sql::SqlResult> EncryptedSqlSession::ExecuteImpl(
+    const std::string& sql_text) {
   stats_ = SessionStats{};
-  MOPE_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql_text));
+  auto parsed = [&]() -> Result<sql::SelectStmt> {
+    const obs::ScopedSpan span("session.parse");
+    return sql::Parse(sql_text);
+  }();
+  MOPE_ASSIGN_OR_RETURN(sql::SelectStmt stmt, std::move(parsed));
 
   // Locate the encrypted column of the FROM table and the fetch predicate.
   const auto enc_column = system_->EncryptedColumnOf(stmt.from_table);
@@ -64,6 +81,7 @@ Result<sql::SqlResult> EncryptedSqlSession::Execute(
   MOPE_ASSIGN_OR_RETURN(engine::Schema server_schema, proxy->GetServerSchema());
   std::vector<engine::Row> fetched;
   for (const Segment& seg : segments) {
+    const obs::ScopedSpan span("session.fetch_segment");
     MOPE_ASSIGN_OR_RETURN(
         QueryResponse resp,
         proxy->ExecuteRange(query::RangeQuery{seg.lo, seg.hi}));
@@ -74,6 +92,19 @@ Result<sql::SqlResult> EncryptedSqlSession::Execute(
     for (engine::Row& row : resp.rows) fetched.push_back(std::move(row));
   }
   stats_.rows_fetched = fetched.size();
+
+  // Mirror the per-statement accounting into the system's registry, under
+  // session.* — the same names regardless of whether the proxy's connection
+  // is embedded or remote.
+  obs::MetricsRegistry* registry = system_->metrics();
+  registry->GetCounter("session.queries")->Increment();
+  registry->GetCounter("session.ranges_fetched")
+      ->Increment(stats_.ranges_fetched);
+  registry->GetCounter("session.rows_fetched")->Increment(stats_.rows_fetched);
+  registry->GetCounter("session.real_queries")->Increment(stats_.real_queries);
+  registry->GetCounter("session.fake_queries")->Increment(stats_.fake_queries);
+  registry->GetCounter("session.server_requests")
+      ->Increment(stats_.server_requests);
 
   // Client-side execution: a scratch catalog holding the fetched rows under
   // the original table name plus any attached client tables, running the
@@ -96,6 +127,7 @@ Result<sql::SqlResult> EncryptedSqlSession::Execute(
       MOPE_RETURN_NOT_OK(copy->Insert(aux->row(r)).status());
     }
   }
+  const obs::ScopedSpan span("session.local_exec");
   return sql::ExecuteSql(&scratch, sql_text);
 }
 

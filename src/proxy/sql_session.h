@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "obs/trace.h"
 #include "proxy/system.h"
 #include "sql/planner.h"
 
@@ -55,10 +56,35 @@ class EncryptedSqlSession {
   };
   const SessionStats& last_stats() const { return stats_; }
 
+  /// Turns on per-query tracing: every subsequent Execute builds a fresh
+  /// span tree (parse → per-segment fetch with sample/encrypt/round-trip/
+  /// decrypt children → local_exec), readable via last_trace(). `clock` must
+  /// outlive the session; nullptr selects SystemClock(). Tests pass a
+  /// ManualClock so the recorded timings are deterministic.
+  void EnableTracing(obs::Clock* clock = nullptr) {
+    tracing_enabled_ = true;
+    trace_clock_ = clock;
+  }
+  void DisableTracing() {
+    tracing_enabled_ = false;
+    last_trace_.reset();
+  }
+
+  /// Span tree of the most recent Execute, or null if tracing is off (or
+  /// nothing ran yet).
+  const obs::Trace* last_trace() const { return last_trace_.get(); }
+
  private:
+  /// Execute minus the trace bookkeeping (runs with the trace, if any,
+  /// already active on this thread).
+  Result<sql::SqlResult> ExecuteImpl(const std::string& sql_text);
+
   MopeSystem* system_;
   engine::Catalog client_tables_;
   SessionStats stats_;
+  bool tracing_enabled_ = false;
+  obs::Clock* trace_clock_ = nullptr;
+  std::unique_ptr<obs::Trace> last_trace_;
 };
 
 }  // namespace mope::proxy

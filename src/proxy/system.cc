@@ -2,7 +2,8 @@
 
 namespace mope::proxy {
 
-MopeSystem::MopeSystem(uint64_t seed) : rng_(seed) {}
+MopeSystem::MopeSystem(uint64_t seed)
+    : metrics_(std::make_unique<obs::MetricsRegistry>()), rng_(seed) {}
 
 Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
                              const std::vector<engine::Row>& rows,
@@ -21,7 +22,7 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
   const ope::OpeParams params{spec.domain, ope::SuggestRange(spec.domain)};
   const ope::MopeKey key = ope::MopeKey::Generate(spec.domain, &rng_);
   MOPE_ASSIGN_OR_RETURN(ope::MopeScheme scheme,
-                        ope::MopeScheme::Create(params, key));
+                        ope::MopeScheme::Create(params, key, metrics_.get()));
 
   MOPE_ASSIGN_OR_RETURN(engine::Table * table,
                         server_.catalog()->CreateTable(name, std::move(schema)));
@@ -59,6 +60,7 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
   config.period = spec.period;
   config.batch_size = spec.batch_size;
   config.rng_seed = rng_.NextWord();
+  config.registry = metrics_.get();
   auto proxy = [&]() -> Result<std::unique_ptr<Proxy>> {
     if (!connection_factory_) {
       return Proxy::Create(config, key, params, &server_, known_q);
@@ -107,6 +109,7 @@ Status MopeSystem::AttachRemoteTable(const std::string& name,
   config.period = spec.period;
   config.batch_size = spec.batch_size;
   config.rng_seed = rng_.NextWord();
+  config.registry = metrics_.get();
   MOPE_ASSIGN_OR_RETURN(
       std::unique_ptr<Proxy> proxy,
       Proxy::Create(config, key, params, std::move(connection), known_q));

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "dist/distribution.h"
 #include "engine/server.h"
+#include "obs/registry.h"
 #include "proxy/proxy.h"
 
 namespace mope::proxy {
@@ -42,6 +43,14 @@ class MopeSystem {
 
   engine::DbServer* server() { return &server_; }
   const engine::DbServer& server() const { return server_; }
+
+  /// Client-side metrics registry: every proxy this system creates reports
+  /// its proxy.* counters here. Separate from the embedded server's own
+  /// registry (server()->metrics()), so an in-process system still keeps the
+  /// trusted and untrusted sides' accounting apart — exactly like a real
+  /// deployment where the registries live in different processes.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
 
   /// Creates `name` on the server with the given schema, encrypts
   /// `spec.column` of every row under a fresh MOPE key, loads the rows and
@@ -93,6 +102,8 @@ class MopeSystem {
 
  private:
   engine::DbServer server_;
+  /// Heap-held so MopeSystem stays movable (a registry owns a mutex).
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   Rng rng_;
   ConnectionFactory connection_factory_;
   std::map<std::string, std::unique_ptr<Proxy>> proxies_;  // "table.column"

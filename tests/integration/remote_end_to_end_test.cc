@@ -90,6 +90,38 @@ TEST(RemoteEndToEndTest, RemoteProxyMatchesEmbeddedByteForByte) {
     EXPECT_EQ(from_remote->server_requests, from_embedded->server_requests);
   }
 
+  // Identical work must surface as identical client-side accounting: the
+  // proxy.* counter sets of the embedded and the remote system match entry
+  // for entry (names and values), because both registries saw the same
+  // queries, fakes and batches.
+  const auto proxy_only =
+      [](const std::vector<std::pair<std::string, uint64_t>>& all) {
+        std::vector<std::pair<std::string, uint64_t>> out;
+        for (const auto& kv : all) {
+          if (kv.first.rfind("proxy.", 0) == 0) out.push_back(kv);
+        }
+        return out;
+      };
+  const auto embedded_counters = proxy_only(owner.metrics()->Snapshot());
+  const auto remote_counters = proxy_only(remote.metrics()->Snapshot());
+  EXPECT_FALSE(embedded_counters.empty());
+  EXPECT_EQ(embedded_counters, remote_counters);
+
+  // The live stats endpoint: the remote proxy pulls the server's registry
+  // over the wire and sees the frames it itself caused.
+  auto remote_proxy = remote.GetProxy("sales", "day");
+  ASSERT_TRUE(remote_proxy.ok());
+  auto server_stats = (*remote_proxy)->FetchServerStats();
+  ASSERT_TRUE(server_stats.ok()) << server_stats.status().ToString();
+  uint64_t frames_served = 0;
+  uint64_t batches_received = 0;
+  for (const auto& [name, value] : *server_stats) {
+    if (name == "net.server.frames_served") frames_served = value;
+    if (name == "engine.batches_received") batches_received = value;
+  }
+  EXPECT_GT(frames_served, 0u);
+  EXPECT_GT(batches_received, 0u);
+
   EXPECT_GT(owner.server()->stats().bytes_sent, 0u);
   (*daemon)->Stop();
 }

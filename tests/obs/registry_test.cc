@@ -1,0 +1,197 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mope::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegatives) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.Value(), -15);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(ExpHistogramTest, BucketIndexPowersOfTwo) {
+  // Bucket i holds (2^(i-1), 2^i]; 0 and 1 share bucket 0; exact powers of
+  // two sit in their own bucket.
+  EXPECT_EQ(ExpHistogram::BucketIndex(0), 0);
+  EXPECT_EQ(ExpHistogram::BucketIndex(1), 0);
+  EXPECT_EQ(ExpHistogram::BucketIndex(2), 1);
+  EXPECT_EQ(ExpHistogram::BucketIndex(3), 2);
+  EXPECT_EQ(ExpHistogram::BucketIndex(4), 2);
+  EXPECT_EQ(ExpHistogram::BucketIndex(5), 3);
+  EXPECT_EQ(ExpHistogram::BucketIndex(1024), 10);
+  EXPECT_EQ(ExpHistogram::BucketIndex(1025), 11);
+  // Beyond 2^kMaxPow2 everything lands in the overflow bucket.
+  EXPECT_EQ(ExpHistogram::BucketIndex(~uint64_t{0}),
+            ExpHistogram::kMaxPow2 + 1);
+}
+
+TEST(ExpHistogramTest, ObserveCountsSumsAndBuckets) {
+  ExpHistogram h;
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(3);
+  h.Observe(100);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 107u);
+  EXPECT_EQ(h.BucketCount(0), 1u);  // the 1
+  EXPECT_EQ(h.BucketCount(2), 2u);  // the 3s: (2,4]
+  EXPECT_EQ(h.BucketCount(7), 1u);  // 100: (64,128]
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+}
+
+TEST(ExpHistogramTest, ApproxQuantile) {
+  ExpHistogram h;
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.Observe(3);    // bucket bound 4
+  for (int i = 0; i < 10; ++i) h.Observe(900);  // bucket bound 1024
+  EXPECT_EQ(h.ApproxQuantile(0.5), 4u);
+  EXPECT_EQ(h.ApproxQuantile(0.89), 4u);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 1024u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 1024u);
+}
+
+TEST(ExpHistogramTest, OverflowBucketHasInfiniteBound) {
+  EXPECT_EQ(ExpHistogram::BucketBound(ExpHistogram::kMaxPow2 + 1),
+            ~uint64_t{0});
+  EXPECT_EQ(ExpHistogram::BucketBound(3), 8u);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("y.count"));
+  // Same name, different families — distinct metrics.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("x.count")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, SnapshotFlattensAndSorts) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(7);
+  registry.GetCounter("a.counter")->Increment(1);
+  registry.GetGauge("m.gauge")->Set(5);
+  ExpHistogram* h = registry.GetHistogram("lat");
+  h->Observe(3);
+  h->Observe(3);
+
+  const auto snapshot = registry.Snapshot();
+  const std::vector<std::pair<std::string, uint64_t>> expected = {
+      {"a.counter", 1},
+      {"b.counter", 7},
+      {"lat.count", 2},
+      {"lat.le.4", 2},
+      {"lat.sum", 6},
+      {"m.gauge", 5},
+  };
+  EXPECT_EQ(snapshot, expected);
+}
+
+TEST(MetricsRegistryTest, RenderTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.frames")->Increment(3);
+  registry.GetGauge("sessions.open")->Set(2);
+  registry.GetHistogram("lat.ns")->Observe(5);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE net_frames counter\nnet_frames 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sessions_open gauge\nsessions_open 2\n"),
+            std::string::npos);
+  // 5 lands in bucket (4,8]; the cumulative series includes it from le=8 on.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"8\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderJsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(1);
+  registry.GetGauge("g")->Set(-2);
+  registry.GetHistogram("h")->Observe(2);
+  EXPECT_EQ(registry.RenderJson(),
+            "{\"counters\":{\"c\":1},\"gauges\":{\"g\":-2},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":2,"
+            "\"buckets\":{\"2\":1}}}}");
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  ExpHistogram* h = registry.GetHistogram("h");
+  c->Increment(9);
+  h->Observe(9);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(Registry(), Registry());
+}
+
+// tsan coverage: concurrent writers on every metric family plus a reader
+// taking snapshots must be race-free — this is the pattern a live stats
+// endpoint exercises against a running server.
+TEST(MetricsRegistryTest, ConcurrentUpdatesAndSnapshots) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry] {
+      Counter* c = registry.GetCounter("shared.counter");
+      Gauge* g = registry.GetGauge("shared.gauge");
+      ExpHistogram* h = registry.GetHistogram("shared.hist");
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        g->Add(1);
+        h->Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  std::thread reader([&registry] {
+    for (int i = 0; i < 200; ++i) {
+      const auto snapshot = registry.Snapshot();
+      (void)registry.RenderText();
+    }
+  });
+  for (auto& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.GetGauge("shared.gauge")->Value(), kThreads * kIters);
+  EXPECT_EQ(registry.GetHistogram("shared.hist")->Count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace mope::obs

@@ -31,6 +31,13 @@ Machine-enforces the correctness conventions that code review used to carry:
                          net::Transport so deadlines, retries and fault
                          injection stay in one audited layer. Applies to
                          src/, tests/, bench/, examples/.
+  R7 clock-injection     std::chrono::steady_clock / system_clock /
+                         high_resolution_clock are banned everywhere (src/,
+                         tests/, bench/, examples/) except src/obs/clock.*,
+                         the one sanctioned wall-clock shim. Everything that
+                         measures time takes an obs::Clock so tests can
+                         substitute a ManualClock and trace/latency output
+                         stays deterministic under test.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -98,6 +105,19 @@ RULES = [
         "wall-clock in deterministic experiment code: derive all variation "
         "from the experiment seed",
         includes=("src/",),
+        excludes=("src/obs/clock.",),
+    ),
+    # The C-level primitives above are R2's concern; R7 is specifically the
+    # std::chrono clock types, in *all* trees: bench and tests time things
+    # legitimately, but must do it through an injected obs::Clock (steady in
+    # production, ManualClock in tests) or results aren't reproducible.
+    Rule(
+        "clock-injection",
+        r"std::chrono::(system|steady|high_resolution)_clock",
+        "direct std::chrono clock: take an obs::Clock (obs/clock.h) so time "
+        "is injectable and tests stay deterministic",
+        includes=("src/", "tests/", "bench/", "examples/"),
+        excludes=("src/obs/clock.",),
     ),
     Rule(
         "ignored-result",

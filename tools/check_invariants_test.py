@@ -66,7 +66,27 @@ class CatchesSeededViolations(unittest.TestCase):
                     "auto t = std::chrono::steady_clock::now();\n"
             }
         )
+        # A std::chrono clock in src/ breaks both determinism (R2) and clock
+        # injectability (R7).
         self.assertIn("wall-clock", rule_ids(v))
+        self.assertIn("clock-injection", rule_ids(v))
+
+    def test_chrono_clock_in_bench(self) -> None:
+        # bench/ is exempt from R2 (it may measure wall time) but not from
+        # R7: the measurement must flow through an injectable obs::Clock.
+        v = run_on_tree(
+            {"bench/timing.cc":
+                 "auto t = std::chrono::steady_clock::now();\n"}
+        )
+        self.assertNotIn("wall-clock", rule_ids(v))
+        self.assertIn("clock-injection", rule_ids(v))
+
+    def test_chrono_clock_in_tests(self) -> None:
+        v = run_on_tree(
+            {"tests/bad_test.cc":
+                 "auto t = std::chrono::system_clock::now();\n"}
+        )
+        self.assertIn("clock-injection", rule_ids(v))
 
     def test_ignored_result(self) -> None:
         v = run_on_tree({"src/engine/bad.cc": "  table->CreateIndex(col);\n"})
@@ -147,10 +167,22 @@ class NoFalsePositives(unittest.TestCase):
         )
         self.assertEqual(v, [])
 
-    def test_bench_may_use_wall_clock(self) -> None:
+    def test_obs_clock_shim_exempt(self) -> None:
+        # src/obs/clock.* is the one sanctioned steady_clock site (both R2
+        # and R7 exclude it) — everything else injects an obs::Clock.
         v = run_on_tree(
-            {"bench/timing.cc":
-                 "auto t = std::chrono::steady_clock::now();\n"}
+            {"src/obs/clock.cc":
+                 "auto t = std::chrono::steady_clock::now();\n",
+             "src/obs/clock.h":
+                 "// wraps std::chrono::steady_clock behind obs::Clock\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_clock_injection_escape(self) -> None:
+        v = run_on_tree(
+            {"tests/deadline_test.cc":
+                 "auto t = std::chrono::steady_clock::now();  "
+                 "// invariant-ok: real deadline needed for the timeout test\n"}
         )
         self.assertEqual(v, [])
 

@@ -12,6 +12,11 @@
 ///   mope_serverd --snapshot PATH [--host H] [--port N] [--workers N]
 ///   mope_serverd --tpch [--scale F] [--seed N] [--host H] [--port N]
 ///
+/// --metrics dumps the server's full metrics registry (Prometheus text
+/// format) to stderr at shutdown, in addition to the one-line summary. A
+/// live daemon also answers StatsRequest frames (shell: `\serverstats`), so
+/// the registry is inspectable over the wire without stopping anything.
+///
 /// With --tpch, a proxy process built with the *same seed* (default 0x5811,
 /// matching mope_shell) re-derives the identical MOPE key from its own rng
 /// and can query the data without any key exchange.
@@ -65,7 +70,8 @@ void PrintUsage(const char* argv0) {
       "  --seed N          key/proxy seed for --tpch (default 0x5811)\n"
       "  --host H          bind address (default 127.0.0.1)\n"
       "  --port N          TCP port; 0 picks an ephemeral one (default 5811)\n"
-      "  --workers N       worker threads (default 4)\n",
+      "  --workers N       worker threads (default 4)\n"
+      "  --metrics         dump the metrics registry at shutdown\n",
       argv0);
 }
 
@@ -76,6 +82,7 @@ int main(int argc, char** argv) {
 
   std::string snapshot_path;
   bool tpch = false;
+  bool dump_metrics = false;
   double scale = 0.002;
   uint64_t seed = 0x5811;
   net::TcpServerOptions options;
@@ -109,6 +116,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--workers") {
       options.num_workers = std::atoi(next());
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;
@@ -192,5 +201,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>((*daemon)->frames_served()),
                static_cast<unsigned long long>(stats.bytes_received),
                static_cast<unsigned long long>(stats.bytes_sent));
+  if (dump_metrics) {
+    std::fprintf(stderr, "%s", server->metrics()->RenderText().c_str());
+  }
   return 0;
 }
