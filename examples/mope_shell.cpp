@@ -20,14 +20,15 @@
 ///   mope_serverd --tpch --port 5811 &
 ///   mope_shell --connect 127.0.0.1:5811
 ///
-/// Meta-commands: \help  \stats  \serverstats  \trace  \rotate  \tables
-/// \snapshot PATH  \quit
+/// Meta-commands: \help  \stats  \serverstats  \leakage  \trace
+/// [--chrome FILE]  \rotate  \tables  \snapshot PATH  \quit
 /// (\rotate and \snapshot need the embedded server; unavailable remotely.
 /// \serverstats works for both: embedded reads the registry directly,
 /// --connect fetches it from the daemon over the wire. `-c` accepts
 /// meta-commands too: `mope_shell --connect H:P -c '\serverstats'`.)
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -35,6 +36,8 @@
 
 #include "engine/snapshot.h"
 #include "net/remote_connection.h"
+#include "obs/leakage.h"
+#include "obs/trace_export.h"
 #include "proxy/connection_registry.h"
 #include "proxy/sql_session.h"
 #include "workload/tpch.h"
@@ -74,8 +77,15 @@ void PrintHelp() {
       "  \\tables         schemas          \\rotate  rotate the MOPE key\n"
       "  \\serverstats    the server's metrics registry (over the wire\n"
       "                  when --connect; the proxy never leaves its process)\n"
+      "  \\leakage        live leakage-audit verdict from the server's\n"
+      "                  leakage.* gauges (enable with `\\leakage on`\n"
+      "                  embedded, or `mope_serverd --audit` remotely)\n"
       "  \\trace          toggle per-query tracing (prints the span tree\n"
       "                  after each statement)\n"
+      "  \\trace --chrome FILE\n"
+      "                  tracing on, and each statement's span tree is also\n"
+      "                  written to FILE as Chrome trace-event JSON\n"
+      "                  (load in chrome://tracing or ui.perfetto.dev)\n"
       "  \\snapshot PATH  persist the encrypted server catalog\n"
       "  \\quit           exit\n");
 }
@@ -139,7 +149,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto run = [&session](const std::string& sql) {
+  std::string chrome_path;  // non-empty: export each trace as Chrome JSON
+  auto run = [&session, &chrome_path](const std::string& sql) {
     auto result = session.Execute(sql);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -156,6 +167,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.rows_fetched));
     if (session.last_trace() != nullptr) {
       std::printf("%s", session.last_trace()->RenderTree().c_str());
+      if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path, std::ios::trunc);
+        if (out) {
+          out << obs::ExportChromeTrace(*session.last_trace());
+          std::printf("[chrome trace written to %s]\n", chrome_path.c_str());
+        } else {
+          std::printf("error: cannot write %s\n", chrome_path.c_str());
+        }
+      }
     }
   };
 
@@ -192,13 +212,54 @@ int main(int argc, char** argv) {
         std::printf("  %-40s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
       }
-    } else if (line == "\\trace") {
+    } else if (line == "\\leakage" || line == "\\leakage on") {
+      if (line == "\\leakage on") {
+        if (!connect.empty()) {
+          std::printf("the auditor runs inside the server: start "
+                      "mope_serverd with --audit instead\n");
+          return;
+        }
+        auto enabled = system.EnableLeakageAudit(spec.domain);
+        if (!enabled.ok()) {
+          std::printf("error: %s\n", enabled.ToString().c_str());
+          return;
+        }
+        std::printf("leakage auditing on (server-side, ciphertext-only)\n");
+        return;
+      }
+      auto proxy = system.GetProxy("lineitem", "l_shipdate");
+      if (!proxy.ok()) {
+        std::printf("error: %s\n", proxy.status().ToString().c_str());
+        return;
+      }
+      // Same path \serverstats uses: the verdict is rendered from the
+      // metrics snapshot, so it works identically embedded and remote.
+      auto stats = (*proxy)->FetchServerStats();
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", obs::LeakageAuditor::DescribeStats(*stats).c_str());
+    } else if (line == "\\trace" || line.rfind("\\trace --chrome ", 0) == 0) {
+      if (line.rfind("\\trace --chrome ", 0) == 0) {
+        chrome_path = line.substr(sizeof("\\trace --chrome ") - 1);
+        if (chrome_path.empty()) {
+          std::printf("usage: \\trace --chrome FILE\n");
+          return;
+        }
+        tracing = true;
+        session.EnableTracing();
+        std::printf("tracing on; chrome trace JSON goes to %s\n",
+                    chrome_path.c_str());
+        return;
+      }
       tracing = !tracing;
       if (tracing) {
         session.EnableTracing();
         std::printf("tracing on (span tree prints after each statement)\n");
       } else {
         session.DisableTracing();
+        chrome_path.clear();
         std::printf("tracing off\n");
       }
     } else if (line == "\\rotate") {

@@ -33,6 +33,30 @@ double HypergeometricMean(uint64_t total, uint64_t success, uint64_t draws) {
          static_cast<double>(total);
 }
 
+double LogBinomialTail(uint64_t n, double p, uint64_t k) {
+  MOPE_CHECK(p >= 0.0 && p <= 1.0, "binomial p must be in [0, 1]");
+  if (k >= n) return 0.0;
+  if (p == 0.0) return 0.0;  // all mass at X = 0 <= k < n
+  if (p == 1.0) return -std::numeric_limits<double>::infinity();
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  // logsumexp over i = 0..k of log C(n, i) + i log p + (n - i) log(1 - p).
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (uint64_t i = 0; i <= k; ++i) {
+    const double term = LogBinomial(n, i) + static_cast<double>(i) * log_p +
+                        static_cast<double>(n - i) * log_q;
+    if (term > max_term) max_term = term;
+  }
+  double sum = 0.0;
+  for (uint64_t i = 0; i <= k; ++i) {
+    const double term = LogBinomial(n, i) + static_cast<double>(i) * log_p +
+                        static_cast<double>(n - i) * log_q;
+    sum += std::exp(term - max_term);
+  }
+  const double log_tail = max_term + std::log(sum);
+  return log_tail > 0.0 ? 0.0 : log_tail;  // clamp fp noise at log 1
+}
+
 double NormalQuantile(double p) {
   MOPE_CHECK(p > 0.0 && p < 1.0, "NormalQuantile requires p in (0, 1)");
   // Acklam's algorithm.

@@ -25,6 +25,12 @@ double LogHypergeometricPmf(uint64_t total, uint64_t success, uint64_t draws,
 /// Mean of HG(total, success, draws) = draws * success / total.
 double HypergeometricMean(uint64_t total, uint64_t success, uint64_t draws);
 
+/// Log of the lower binomial tail: log P[X <= k] for X ~ Bin(n, p),
+/// computed in log space (LogBinomial + logsumexp) so it stays finite for
+/// the n in the tens of millions the leakage auditor feeds it. p in [0, 1];
+/// k >= n returns 0 (= log 1).
+double LogBinomialTail(uint64_t n, double p, uint64_t k);
+
 /// Approximate upper critical value of the chi-square distribution with df
 /// degrees of freedom at significance alpha (Wilson-Hilferty cube
 /// approximation). Good to a few percent for df >= 5 — sufficient for the

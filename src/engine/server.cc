@@ -49,7 +49,19 @@ Result<std::vector<Segment>> DbServer::PrepareSegments(
   batches_received_->Increment();
   ranges_received_->Increment(ranges.size());
   batch_ranges_hist_->Observe(ranges.size());
+  if (leakage_auditor_ != nullptr) {
+    for (const ModularInterval& range : ranges) {
+      leakage_auditor_->ObserveStart(range.start());
+    }
+    leakage_auditor_->Publish();
+  }
   return segments;
+}
+
+Status DbServer::EnableLeakageAudit(const obs::LeakageAuditConfig& config) {
+  MOPE_ASSIGN_OR_RETURN(leakage_auditor_,
+                        obs::LeakageAuditor::Create(config, metrics_.get()));
+  return Status();
 }
 
 Result<std::vector<Row>> DbServer::ExecuteRangeBatch(

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "engine/executor.h"
 #include "engine/table.h"
+#include "obs/leakage.h"
 #include "obs/registry.h"
 
 namespace mope::engine {
@@ -96,6 +97,19 @@ class DbServer {
     bytes_sent_->Increment(sent);
   }
 
+  /// Turns on the live leakage auditor: from now on every range start this
+  /// server observes (direct calls and the wire path both funnel through the
+  /// same batch entry points) feeds the auditor, and its leakage.* gauges
+  /// appear in metrics() — hence in the stats endpoint. Ciphertext-only by
+  /// construction: the auditor gets the config's public parameters and the
+  /// ciphertext stream, nothing else. Idempotent per server (second call
+  /// replaces the auditor and its statistics).
+  Status EnableLeakageAudit(const obs::LeakageAuditConfig& config);
+
+  /// The auditor, or nullptr when auditing is off. The pointer is stable
+  /// until the next EnableLeakageAudit call.
+  obs::LeakageAuditor* leakage_auditor() { return leakage_auditor_.get(); }
+
  private:
   Result<std::vector<Segment>> PrepareSegments(
       const std::string& table, const std::string& column,
@@ -116,6 +130,10 @@ class DbServer {
   obs::Counter* bytes_received_;
   obs::Counter* bytes_sent_;
   obs::ExpHistogram* batch_ranges_hist_;  ///< Ranges per received batch.
+  // The live leakage auditor (see obs/leakage.h); null until enabled. The
+  // auditor carries its own mutex: ObserveStart is safe from the engine's
+  // callers whether or not they serialize data operations.
+  std::unique_ptr<obs::LeakageAuditor> leakage_auditor_;
 };
 
 }  // namespace mope::engine

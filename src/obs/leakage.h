@@ -1,0 +1,223 @@
+#ifndef MOPE_OBS_LEAKAGE_H_
+#define MOPE_OBS_LEAKAGE_H_
+
+/// \file leakage.h
+/// The live leakage auditor: the paper's Section 5 attack statistics,
+/// maintained online over the stream of ciphertext range starts exactly as
+/// the server observes them.
+///
+/// The MOPE security argument is operational: the secret offset stays
+/// hidden only while the *perceived* query distribution (real + fake
+/// queries) stays uniform (QueryU) or rho-periodic (QueryP). The offline
+/// harnesses (src/attack/, bench_fig01-03) demonstrate what a patient
+/// adversary recovers after the fact; this class runs the same statistics
+/// incrementally so an operator can watch, on a live server, how close that
+/// adversary is to winning:
+///
+///  * Largest-gap tracker (the Figure 1 attack). Distinct observed start
+///    points live in an ordered set; a companion multiset of circular arcs
+///    between consecutive points is updated on every new point, so the
+///    largest and second-largest uncovered arcs — and the point just past
+///    the largest arc, the gap attack's offset estimate — are maintained in
+///    O(log n) per observation. A binomial-tail confidence (math_util
+///    log-binomials) quantifies how unlikely the current coverage deficit
+///    would be under a healthy uniform mix.
+///  * Sliding-window chi-square uniformity over `buckets` value-space
+///    buckets (reusing common/histogram's chi-square), so a *recently*
+///    broken fake sampler is visible even after months of healthy history.
+///    Expected bucket masses default to the observed support (each distinct
+///    point weights its bucket), which self-calibrates to the uneven
+///    ciphertext spacing OPE produces; a periodic deployment can supply
+///    explicit expected masses instead.
+///  * A `leakage.alert` gauge that latches the combined verdict.
+///
+/// Trust boundary (linter rule R8): this file and leakage.cc see only
+/// ciphertext-space values and public parameters (domain size M, query
+/// length k). They must never include src/ope/, src/proxy/ or src/sql/
+/// headers — the auditor is, by construction, exactly as powerful as the
+/// honest-but-curious server it runs inside.
+///
+/// All derived statistics are published as gauges in a MetricsRegistry, so
+/// they ride the existing stats endpoint: `mope_serverd --audit` +
+/// `mope_shell \leakage` read them over the wire with no new protocol.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace mope::obs {
+
+struct LeakageAuditConfig {
+  /// Size of the observed value space. For a server-side hook this is the
+  /// ciphertext range N; offline replays may audit rank/shifted space
+  /// directly with space == M. Required.
+  uint64_t space = 0;
+
+  /// Plaintext domain size M: the number of distinct start points a healthy
+  /// mix eventually covers (a public parameter). Enables the binomial-tail
+  /// coverage confidence; 0 disables that statistic (gap geometry and
+  /// chi-square still run).
+  uint64_t domain = 0;
+
+  /// Buckets B for the uniformity chi-square (df = B - 1).
+  uint64_t buckets = 64;
+
+  /// Sliding-window length W for the chi-square statistic.
+  uint64_t window = 4096;
+
+  /// No alert (and no confidence) before this many observations.
+  uint64_t min_observations = 512;
+
+  /// Significance level for the chi-square critical value.
+  double alpha = 0.01;
+
+  /// Alert when the coverage confidence exceeds this.
+  double confidence_alert = 0.999;
+
+  /// Optional expected per-bucket probabilities for the chi-square (size
+  /// must equal `buckets`; they are normalized). Empty selects the
+  /// self-calibrating observed-support weighting. A rho-periodic deployment
+  /// audits against its periodic target by supplying the bucketed target
+  /// distribution here.
+  std::vector<double> expected;
+
+  /// Hard cap on tracked distinct points (memory bound on a hostile or
+  /// misconfigured stream). Beyond it new points only feed the window
+  /// statistic and `leakage.saturated` is raised.
+  uint64_t max_points = 1 << 20;
+};
+
+/// Point-in-time view of every derived statistic (what the gauges publish).
+struct LeakageVerdict {
+  uint64_t observations = 0;  ///< Range starts observed (incl. repeats).
+  uint64_t distinct = 0;      ///< Distinct start points seen.
+  uint64_t largest_gap = 0;   ///< Longest never-observed circular arc.
+  uint64_t second_gap = 0;    ///< Second-longest such arc.
+  uint64_t gap_margin = 0;    ///< largest_gap - second_gap.
+  /// The observed point one past the largest arc — the gap attack's offset
+  /// estimate (in the audited value space; rank space: the offset itself,
+  /// cipher space: Enc(0), i.e. it decrypts to plaintext 0).
+  uint64_t offset_estimate = 0;
+  /// 1 - P[a healthy uniform mix still shows this coverage deficit], via
+  /// the binomial tail; 0 when `domain` is unset or coverage is complete.
+  double confidence = 0.0;
+  double chi2 = 0.0;           ///< Windowed chi-square vs expected.
+  double chi2_critical = 0.0;  ///< Critical value at config.alpha.
+  uint64_t window_fill = 0;    ///< Observations currently in the window.
+  bool alert = false;          ///< Combined verdict.
+};
+
+class LeakageAuditor {
+ public:
+  /// Validates the configuration. `registry` receives the leakage.* gauges
+  /// and must outlive the auditor; nullptr publishes nowhere (pure
+  /// in-memory use in tests and replays).
+  static Result<std::unique_ptr<LeakageAuditor>> Create(
+      const LeakageAuditConfig& config, MetricsRegistry* registry);
+
+  /// Records one observed range start point (must be < config.space).
+  /// Thread-safe; O(log n) against the gap structure, O(1) for the window.
+  void ObserveStart(uint64_t start);
+
+  /// Recomputes the derived statistics and publishes them to the gauges.
+  /// Called automatically every `kPublishEvery` observations; cheap enough
+  /// (O(buckets)) to also call per batch.
+  void Publish();
+
+  /// Current statistics (also publishes, so gauges and verdict agree).
+  LeakageVerdict Verdict();
+
+  const LeakageAuditConfig& config() const { return config_; }
+
+  /// Renders a human-readable verdict from a metrics snapshot (the sorted
+  /// name/value pairs a stats endpoint serves) — this is what
+  /// `mope_shell \leakage` prints, and it works identically whether the
+  /// snapshot was read in-process or fetched over the wire. Returns a
+  /// "auditor not enabled" message when no leakage.* entries are present.
+  static std::string DescribeStats(
+      const std::vector<std::pair<std::string, uint64_t>>& stats);
+
+  /// Gauges are integers; fixed-point statistics are published in
+  /// milli-units (chi2, confidence) under these names.
+  static constexpr const char* kGaugeObservations = "leakage.observations";
+  static constexpr const char* kGaugeDistinct = "leakage.distinct";
+  static constexpr const char* kGaugeLargestGap = "leakage.gap.largest";
+  static constexpr const char* kGaugeSecondGap = "leakage.gap.second";
+  static constexpr const char* kGaugeGapMargin = "leakage.gap.margin";
+  static constexpr const char* kGaugeOffsetEstimate =
+      "leakage.gap.offset_estimate";
+  static constexpr const char* kGaugeConfidenceMilli =
+      "leakage.gap.confidence_milli";
+  static constexpr const char* kGaugeChi2Milli = "leakage.uniformity.chi2";
+  static constexpr const char* kGaugeChi2CriticalMilli =
+      "leakage.uniformity.chi2_critical";
+  static constexpr const char* kGaugeWindowFill = "leakage.uniformity.window";
+  static constexpr const char* kGaugeAlert = "leakage.alert";
+  static constexpr const char* kGaugeSaturated = "leakage.saturated";
+
+ private:
+  /// Publish cadence in observations (amortizes the O(buckets) recompute).
+  static constexpr uint64_t kPublishEvery = 64;
+
+  LeakageAuditor(const LeakageAuditConfig& config, MetricsRegistry* registry);
+
+  /// Inserts a new distinct point into the gap structure. Caller holds
+  /// mutex_.
+  void InsertPointLocked(uint64_t x);
+
+  /// Derives the verdict from current state. Caller holds mutex_.
+  LeakageVerdict ComputeLocked() const;
+
+  void PublishLocked(const LeakageVerdict& v);
+
+  const LeakageAuditConfig config_;
+
+  mutable std::mutex mutex_;
+  uint64_t observations_ = 0;
+  bool saturated_ = false;
+
+  // --- Gap structure ------------------------------------------------------
+  // Distinct observed points, plus all circular arcs between consecutive
+  // points as (gap_length, successor_point) pairs. gap_length counts the
+  // *never-observed* values strictly between two consecutive points, so it
+  // matches attack::GapAttack::LongestGap on the same stream. A lone point
+  // contributes one full-circle arc (space - 1, point).
+  std::set<uint64_t> points_;
+  std::multiset<std::pair<uint64_t, uint64_t>> gaps_;
+
+  // --- Sliding window -----------------------------------------------------
+  // Ring of bucket indices of the last `window` observations; counts live
+  // in a common::Histogram so the chi-square reuses Histogram::ChiSquareVs.
+  std::vector<uint32_t> ring_;
+  size_t ring_next_ = 0;
+  uint64_t ring_count_ = 0;  ///< min(observations, window).
+  Histogram window_hist_;
+  /// Distinct points per bucket (the self-calibrating expected masses).
+  std::vector<uint64_t> support_;
+
+  // --- Published gauges (null when registry was null) ---------------------
+  Gauge* g_observations_ = nullptr;
+  Gauge* g_distinct_ = nullptr;
+  Gauge* g_largest_ = nullptr;
+  Gauge* g_second_ = nullptr;
+  Gauge* g_margin_ = nullptr;
+  Gauge* g_offset_ = nullptr;
+  Gauge* g_confidence_ = nullptr;
+  Gauge* g_chi2_ = nullptr;
+  Gauge* g_chi2_critical_ = nullptr;
+  Gauge* g_window_ = nullptr;
+  Gauge* g_alert_ = nullptr;
+  Gauge* g_saturated_ = nullptr;
+};
+
+}  // namespace mope::obs
+
+#endif  // MOPE_OBS_LEAKAGE_H_

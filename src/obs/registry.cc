@@ -61,6 +61,29 @@ uint64_t ExpHistogram::ApproxQuantile(double q) const {
   return BucketBound(kNumBuckets - 1);
 }
 
+uint64_t ExpHistogram::QuantileInterpolated(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = BucketCount(i);
+    if (n == 0) continue;
+    if (seen + static_cast<double>(n) >= target) {
+      const uint64_t lo = i == 0 ? 0 : BucketBound(i - 1);
+      if (i > kMaxPow2) return lo;  // overflow bucket: no upper bound
+      const uint64_t hi = BucketBound(i);
+      const double frac =
+          n == 0 ? 0.0 : (target - seen) / static_cast<double>(n);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += static_cast<double>(n);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
 void ExpHistogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -111,6 +134,11 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
   for (const auto& [name, hist] : histograms_) {
     out.emplace_back(name + ".count", hist->Count());
     out.emplace_back(name + ".sum", hist->Sum());
+    if (hist->Count() > 0) {
+      out.emplace_back(name + ".p50", hist->QuantileInterpolated(0.50));
+      out.emplace_back(name + ".p95", hist->QuantileInterpolated(0.95));
+      out.emplace_back(name + ".p99", hist->QuantileInterpolated(0.99));
+    }
     for (int i = 0; i < ExpHistogram::kNumBuckets; ++i) {
       const uint64_t n = hist->BucketCount(i);
       if (n == 0) continue;
@@ -154,8 +182,24 @@ std::string MetricsRegistry::RenderText() const {
                std::to_string(cumulative) + "\n";
       }
     }
+    // Prometheus histogram convention: the full cumulative `_bucket` series
+    // (ending at le="+Inf" == _count) first, then `_sum`, then `_count`.
     out += prom + "_sum " + std::to_string(hist->Sum()) + "\n";
     out += prom + "_count " + std::to_string(hist->Count()) + "\n";
+    // Interpolated quantiles as companion gauges (a native histogram's
+    // consumers would compute these server-side via histogram_quantile();
+    // exporting them too costs three lines and saves every dashboard the
+    // PromQL).
+    if (hist->Count() > 0) {
+      for (const auto& [suffix, q] :
+           {std::pair<const char*, double>{"_p50", 0.50},
+            {"_p95", 0.95},
+            {"_p99", 0.99}}) {
+        out += "# TYPE " + prom + suffix + " gauge\n";
+        out += prom + suffix + " " +
+               std::to_string(hist->QuantileInterpolated(q)) + "\n";
+      }
+    }
   }
   return out;
 }
@@ -183,7 +227,11 @@ std::string MetricsRegistry::RenderJson() const {
     first = false;
     out += "\"" + JsonEscape(name) + "\":{\"count\":" +
            std::to_string(hist->Count()) +
-           ",\"sum\":" + std::to_string(hist->Sum()) + ",\"buckets\":{";
+           ",\"sum\":" + std::to_string(hist->Sum()) +
+           ",\"p50\":" + std::to_string(hist->QuantileInterpolated(0.50)) +
+           ",\"p95\":" + std::to_string(hist->QuantileInterpolated(0.95)) +
+           ",\"p99\":" + std::to_string(hist->QuantileInterpolated(0.99)) +
+           ",\"buckets\":{";
     bool first_bucket = true;
     for (int i = 0; i < ExpHistogram::kNumBuckets; ++i) {
       const uint64_t n = hist->BucketCount(i);

@@ -96,6 +96,14 @@ class ExpHistogram {
   /// 0 when empty. A coarse quantile for dashboards, exact per bucket.
   uint64_t ApproxQuantile(double q) const;
 
+  /// Quantile with linear interpolation inside the winning bucket (between
+  /// its power-of-two lower and upper bounds). Still approximate — exact
+  /// only at bucket boundaries — but monotone in q and far smoother than
+  /// ApproxQuantile's bound snapping; this is what the p50/p95/p99 series
+  /// in snapshots and expositions report. The overflow bucket has no upper
+  /// bound and reports its lower bound.
+  uint64_t QuantileInterpolated(double q) const;
+
   void Reset();
 
   /// Bridges into the repo's analysis type: a common::Histogram with one bin

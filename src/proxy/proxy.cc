@@ -1,6 +1,7 @@
 #include "proxy/proxy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "obs/trace.h"
@@ -34,7 +35,7 @@ Proxy::Proxy(const ProxyConfig& config, ope::MopeScheme mope,
              engine::DbServer* server)
     : config_(config), mope_(std::move(mope)),
       connection_(std::move(connection)), server_(server),
-      rng_(config.rng_seed) {
+      rng_(config.rng_seed), issued_starts_(config.domain) {
   obs::MetricsRegistry* registry =
       config_.registry != nullptr ? config_.registry : obs::Registry();
   real_queries_ = registry->GetCounter("proxy.real_queries");
@@ -44,6 +45,39 @@ Proxy::Proxy(const ProxyConfig& config, ope::MopeScheme mope,
   rows_returned_ = registry->GetCounter("proxy.rows_returned");
   retries_ = registry->GetCounter("proxy.retries");
   batch_queries_hist_ = registry->GetHistogram("proxy.batch_queries");
+  mix_fakes_per_real_ =
+      registry->GetGauge("proxy.mix.fakes_per_real_milli");
+  mix_expected_fakes_ =
+      registry->GetGauge("proxy.mix.expected_fakes_per_real_milli");
+  mix_sampler_tv_ = registry->GetGauge("proxy.mix.sampler_tv_milli");
+}
+
+void Proxy::UpdateMixHealthLocked() {
+  if (totals_.real_queries_sent > 0) {
+    const double realized =
+        static_cast<double>(totals_.fake_queries_sent) /
+        static_cast<double>(totals_.real_queries_sent);
+    mix_fakes_per_real_->Set(static_cast<int64_t>(realized * 1000.0 + 0.5));
+  }
+  const dist::MixPlan* plan =
+      algorithm_ != nullptr ? algorithm_->mix_plan() : nullptr;
+  if (plan == nullptr) return;
+  mix_expected_fakes_->Set(
+      static_cast<int64_t>(plan->expected_fakes_per_real() * 1000.0 + 0.5));
+  // Sampler drift: total variation between the empirical distribution of
+  // everything issued (real + fake starts) and the plan's perceived target.
+  // This is the exact quantity the mixing identity alpha*Q + (1-alpha)*Qbar
+  // promises tends to 0 — drift here means the fake sampler (or the assumed
+  // Q) is wrong, and the server-side chi-square will eventually agree.
+  if (issued_starts_.total() > 0 &&
+      issued_starts_.size() == plan->perceived.size()) {
+    double tv = 0.0;
+    for (uint64_t i = 0; i < issued_starts_.size(); ++i) {
+      tv += std::abs(issued_starts_.Probability(i) - plan->perceived.prob(i));
+    }
+    tv *= 0.5;
+    mix_sampler_tv_->Set(static_cast<int64_t>(tv * 1000.0 + 0.5));
+  }
 }
 
 Result<std::unique_ptr<Proxy>> Proxy::Create(const ProxyConfig& config,
@@ -206,6 +240,7 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
     } else {
       ++response.fake_queries_sent;
     }
+    issued_starts_.Add(fq.start);
   }
 
   // 4: encrypt and ship in disjunctive batches, one batch per clock tick.
@@ -264,6 +299,7 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
   server_requests_->Increment(response.server_requests);
   rows_received_->Increment(response.rows_received);
   rows_returned_->Increment(response.rows.size());
+  UpdateMixHealthLocked();
   return response;
 }
 

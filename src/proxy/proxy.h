@@ -166,6 +166,10 @@ class Proxy {
   QueryResponse totals_;
   uint64_t retries_performed_ = 0;
 
+  /// Refreshes the proxy.mix.* health gauges after a batch. Caller holds
+  /// mutex_.
+  void UpdateMixHealthLocked();
+
   // proxy.* counter family (cached handles; the registry owns the metrics).
   // The same names are emitted whether the connection is embedded or remote,
   // so the two deployments report byte-identical counter sets.
@@ -176,6 +180,17 @@ class Proxy {
   obs::Counter* rows_returned_ = nullptr;
   obs::Counter* retries_ = nullptr;
   obs::ExpHistogram* batch_queries_hist_ = nullptr;
+
+  // proxy.mix.* — client-side mix health (obs/leakage.h's counterpart on the
+  // trusted side): the realized fake rate and issued-start distribution
+  // against the algorithm's mixing plan, so a broken fake sampler is visible
+  // at the proxy *before* the server-side leakage statistic degrades.
+  // Fixed-point milli-units, same convention as the leakage.* gauges.
+  obs::Gauge* mix_fakes_per_real_ = nullptr;      ///< Realized (cumulative).
+  obs::Gauge* mix_expected_fakes_ = nullptr;      ///< Plan: 1/alpha - 1.
+  obs::Gauge* mix_sampler_tv_ = nullptr;  ///< TV(issued starts, perceived).
+  /// Empirical start distribution over everything issued (real + fake).
+  Histogram issued_starts_;
 };
 
 }  // namespace mope::proxy

@@ -148,4 +148,17 @@ Result<uint64_t> MopeSystem::RotateKey(const std::string& table,
   return proxy->RotateKey(&rng_);
 }
 
+Status MopeSystem::EnableLeakageAudit(uint64_t domain,
+                                      obs::LeakageAuditConfig overrides) {
+  if (domain == 0) {
+    return Status::InvalidArgument("leakage audit needs the column domain");
+  }
+  // Everything here is public: the ciphertext space is a deterministic
+  // function of the (public) domain, so the untrusted server could enable
+  // this itself — which is the point of the exercise.
+  overrides.space = ope::SuggestRange(domain);
+  overrides.domain = domain;
+  return server_.EnableLeakageAudit(overrides);
+}
+
 }  // namespace mope::proxy

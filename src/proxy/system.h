@@ -100,6 +100,15 @@ class MopeSystem {
   Result<uint64_t> RotateKey(const std::string& table,
                              const std::string& column);
 
+  /// Turns on the embedded server's live leakage auditor for an encrypted
+  /// column, deriving the audit parameters from public information only:
+  /// space = the ciphertext range SuggestRange(domain) the column was loaded
+  /// with, domain = the plaintext domain M. The leakage.* gauges land in the
+  /// *server's* registry — they model what the untrusted side can compute.
+  /// `domain` must match the column's EncryptedColumnSpec.
+  Status EnableLeakageAudit(uint64_t domain,
+                            obs::LeakageAuditConfig overrides = {});
+
  private:
   engine::DbServer server_;
   /// Heap-held so MopeSystem stays movable (a registry owns a mutex).

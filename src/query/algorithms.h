@@ -49,6 +49,13 @@ class QueryAlgorithm {
   virtual Result<std::vector<FixedQuery>> Process(const RangeQuery& q,
                                                   mope::BitSource* rng) = 0;
 
+  /// The static mixing plan driving this algorithm, when one exists: the
+  /// non-adaptive algorithms always carry one; the adaptive algorithm only
+  /// once its cross-over policy froze the estimate. Null otherwise. The
+  /// proxy's mix-health gauges compare the realized fake rate and sampled
+  /// start distribution against this plan's alpha and perceived target.
+  virtual const dist::MixPlan* mix_plan() const { return nullptr; }
+
   const QueryConfig& config() const { return config_; }
 
  protected:
@@ -70,6 +77,7 @@ class UniformQueryAlgorithm final : public QueryAlgorithm {
                                           mope::BitSource* rng) override;
 
   const dist::MixPlan& plan() const { return plan_; }
+  const dist::MixPlan* mix_plan() const override { return &plan_; }
 
  private:
   UniformQueryAlgorithm(const QueryConfig& config, dist::MixPlan plan)
@@ -92,6 +100,7 @@ class PeriodicQueryAlgorithm final : public QueryAlgorithm {
 
   uint64_t period() const { return period_; }
   const dist::MixPlan& plan() const { return plan_; }
+  const dist::MixPlan* mix_plan() const override { return &plan_; }
 
  private:
   PeriodicQueryAlgorithm(const QueryConfig& config, uint64_t period,
@@ -144,6 +153,12 @@ class AdaptiveQueryAlgorithm final : public QueryAlgorithm {
 
   /// True once the cross-over policy froze the plan.
   bool frozen() const { return frozen_plan_.has_value(); }
+
+  /// Before the freeze the plan is still being learned per piece, so there
+  /// is no static expectation to audit against.
+  const dist::MixPlan* mix_plan() const override {
+    return frozen_plan_ ? &*frozen_plan_ : nullptr;
+  }
 
  private:
   AdaptiveQueryAlgorithm(const QueryConfig& config, uint64_t period,

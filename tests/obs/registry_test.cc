@@ -101,11 +101,16 @@ TEST(MetricsRegistryTest, SnapshotFlattensAndSorts) {
   h->Observe(3);
 
   const auto snapshot = registry.Snapshot();
+  // Both samples sit in bucket (2,4]: the interpolated p50 is its midpoint,
+  // the tail quantiles approach (and truncate toward) the upper bound.
   const std::vector<std::pair<std::string, uint64_t>> expected = {
       {"a.counter", 1},
       {"b.counter", 7},
       {"lat.count", 2},
       {"lat.le.4", 2},
+      {"lat.p50", 3},
+      {"lat.p95", 3},
+      {"lat.p99", 3},
       {"lat.sum", 6},
       {"m.gauge", 5},
   };
@@ -128,6 +133,22 @@ TEST(MetricsRegistryTest, RenderTextGolden) {
   EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
   EXPECT_NE(text.find("lat_ns_sum 5\n"), std::string::npos);
   EXPECT_NE(text.find("lat_ns_count 1\n"), std::string::npos);
+  // Quantiles ride along as companion gauges after _sum/_count, keeping the
+  // core series in Prometheus's native histogram convention.
+  const size_t count_pos = text.find("lat_ns_count 1\n");
+  EXPECT_NE(text.find("# TYPE lat_ns_p50 gauge\nlat_ns_p50 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ns_p95 7\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_p99 7\n"), std::string::npos);
+  EXPECT_GT(text.find("lat_ns_p50"), count_pos);
+}
+
+TEST(MetricsRegistryTest, RenderTextOmitsQuantilesForEmptyHistogram) {
+  MetricsRegistry registry;
+  registry.GetHistogram("idle");
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("idle_count 0\n"), std::string::npos);
+  EXPECT_EQ(text.find("idle_p50"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, RenderJsonGolden) {
@@ -138,7 +159,29 @@ TEST(MetricsRegistryTest, RenderJsonGolden) {
   EXPECT_EQ(registry.RenderJson(),
             "{\"counters\":{\"c\":1},\"gauges\":{\"g\":-2},"
             "\"histograms\":{\"h\":{\"count\":1,\"sum\":2,"
+            "\"p50\":1,\"p95\":1,\"p99\":1,"
             "\"buckets\":{\"2\":1}}}}");
+}
+
+TEST(ExpHistogramTest, QuantileInterpolatedWithinBuckets) {
+  ExpHistogram h;
+  EXPECT_EQ(h.QuantileInterpolated(0.5), 0u);  // empty
+  // 100 samples uniform-ish across (64,128]: quantiles interpolate linearly
+  // through the bucket instead of snapping to the 128 upper bound.
+  for (int i = 0; i < 100; ++i) h.Observe(100);
+  EXPECT_EQ(h.QuantileInterpolated(0.0), 64u);
+  EXPECT_EQ(h.QuantileInterpolated(0.5), 96u);    // 64 + 0.5 * 64
+  EXPECT_EQ(h.QuantileInterpolated(1.0), 128u);
+  // Two-bucket split: 90 in (2,4], 10 in (512,1024]; p50 stays in the low
+  // bucket, p99 lands 90% through the high one.
+  ExpHistogram split;
+  for (int i = 0; i < 90; ++i) split.Observe(3);
+  for (int i = 0; i < 10; ++i) split.Observe(900);
+  EXPECT_LE(split.QuantileInterpolated(0.5), 4u);
+  EXPECT_GT(split.QuantileInterpolated(0.99), 512u);
+  EXPECT_LE(split.QuantileInterpolated(0.99), 1024u);
+  // Interpolated beats the bucket-bound ApproxQuantile's 1024 snap.
+  EXPECT_LT(split.QuantileInterpolated(0.99), split.ApproxQuantile(0.99));
 }
 
 TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {

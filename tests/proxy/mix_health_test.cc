@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "dist/distribution.h"
+#include "proxy/system.h"
+#include "query/query_types.h"
+
+namespace mope::proxy {
+namespace {
+
+using engine::Column;
+using engine::Row;
+using engine::Schema;
+using engine::ValueType;
+using query::RangeQuery;
+
+constexpr uint64_t kDomain = 100;
+constexpr uint64_t kK = 10;
+
+// The trusted side's half of the leakage story: the proxy publishes
+// proxy.mix.* gauges comparing the realized fake rate and issued-start
+// distribution against the algorithm's mixing plan, so an operator can tell
+// a broken fake sampler apart from a healthy one *before* the server-side
+// auditor sees the divergence.
+
+std::map<std::string, int64_t> MixGauges(const MopeSystem& system) {
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, value] : system.metrics()->Snapshot()) {
+    if (name.rfind("proxy.mix.", 0) == 0) {
+      // Gauges are bit-cast to u64 in snapshots; undo it.
+      out[name] = static_cast<int64_t>(value);
+    }
+  }
+  return out;
+}
+
+TEST(MixHealthTest, UniformModePublishesPlanAndRealizedRates) {
+  MopeSystem system(41);
+  std::vector<double> w(kDomain);
+  for (uint64_t i = 0; i < kDomain; ++i) w[i] = (i < 10) ? 1.0 : 0.01;
+  auto skew = dist::Distribution::FromWeights(std::move(w));
+  ASSERT_TRUE(skew.ok());
+  EncryptedColumnSpec spec;
+  spec.column = "key";
+  spec.domain = kDomain;
+  spec.k = kK;
+  spec.mode = QueryMode::kUniform;
+  Schema schema({Column{"key", ValueType::kInt}});
+  std::vector<Row> rows;
+  for (int64_t v = 0; v < static_cast<int64_t>(kDomain); ++v) {
+    rows.push_back(Row{v});
+  }
+  ASSERT_TRUE(system.LoadTable("t", schema, rows, spec, &*skew).ok());
+
+  // User queries must actually follow the declared Q for the mixing identity
+  // (and thus the TV gauge) to converge; sample piece starts from it.
+  Rng user_rng(99);
+  uint64_t reals = 0, fakes = 0;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t start = skew->Sample(&user_rng);
+    if (start > kDomain - kK) start = kDomain - kK;
+    auto resp = system.Query("t", "key", RangeQuery{start, start + kK - 1});
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    reals += resp->real_queries_sent;
+    fakes += resp->fake_queries_sent;
+  }
+  ASSERT_GT(fakes, 0u);
+
+  const auto gauges = MixGauges(system);
+  ASSERT_EQ(gauges.count("proxy.mix.fakes_per_real_milli"), 1u);
+  ASSERT_EQ(gauges.count("proxy.mix.expected_fakes_per_real_milli"), 1u);
+  ASSERT_EQ(gauges.count("proxy.mix.sampler_tv_milli"), 1u);
+
+  // Realized gauge is exactly the counters' ratio, in milli-units.
+  const int64_t realized = gauges.at("proxy.mix.fakes_per_real_milli");
+  EXPECT_EQ(realized,
+            static_cast<int64_t>(1000.0 * static_cast<double>(fakes) /
+                                     static_cast<double>(reals) +
+                                 0.5));
+
+  // Plan gauge is mu_Q * M - 1 (in milli); the realized rate converges to it
+  // — geometric sampling noise bounded to 25% after ~300 queries.
+  const int64_t expected = gauges.at("proxy.mix.expected_fakes_per_real_milli");
+  EXPECT_GT(expected, 0);
+  const double rel = static_cast<double>(realized - expected) /
+                     static_cast<double>(expected);
+  EXPECT_LT(rel < 0 ? -rel : rel, 0.25);
+
+  // Healthy sampler: issued starts track the perceived (uniform) target.
+  // TV distance is milli-scaled; < 250 means the empirical mix is within
+  // 0.25 of the target — far from the ~0.9 a fakeless stream would show.
+  EXPECT_LT(gauges.at("proxy.mix.sampler_tv_milli"), 250);
+  EXPECT_GE(gauges.at("proxy.mix.sampler_tv_milli"), 0);
+}
+
+TEST(MixHealthTest, AdaptiveModePublishesOnlyAfterPlanFreezes) {
+  MopeSystem system(42);
+  EncryptedColumnSpec spec;
+  spec.column = "key";
+  spec.domain = kDomain;
+  spec.k = kK;
+  spec.mode = QueryMode::kAdaptiveUniform;
+  Schema schema({Column{"key", ValueType::kInt}});
+  std::vector<Row> rows;
+  for (int64_t v = 0; v < static_cast<int64_t>(kDomain); ++v) {
+    rows.push_back(Row{v});
+  }
+  ASSERT_TRUE(system.LoadTable("t", schema, rows, spec).ok());
+
+  // Before any query the plan hasn't frozen: the expected-fakes gauge (the
+  // plan-derived one) stays unset at 0.
+  EXPECT_EQ(MixGauges(system)["proxy.mix.expected_fakes_per_real_milli"], 0);
+
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t start = (3 * static_cast<uint64_t>(i)) % (kDomain - kK);
+    auto resp = system.Query("t", "key", RangeQuery{start, start + kK - 1});
+    ASSERT_TRUE(resp.ok()) << resp.status();
+  }
+  // The realized-rate gauge tracks the counters regardless of plan state.
+  EXPECT_GE(MixGauges(system).at("proxy.mix.fakes_per_real_milli"), 0);
+}
+
+}  // namespace
+}  // namespace mope::proxy

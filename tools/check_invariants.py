@@ -38,6 +38,15 @@ Machine-enforces the correctness conventions that code review used to carry:
                          measures time takes an obs::Clock so tests can
                          substitute a ManualClock and trace/latency output
                          stays deterministic under test.
+  R8 auditor-ciphertext-only
+                         src/obs/leakage.* must not include any src/ope/,
+                         src/proxy/ or src/sql/ header. The live leakage
+                         auditor models what the *untrusted server* can
+                         compute from the ciphertext stream; an include of
+                         key-holding or plaintext-holding layers would let
+                         trusted-side data leak into that model and silently
+                         overstate the monitor's power. The trust boundary
+                         is enforced mechanically, not by review.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -72,7 +81,7 @@ NODISCARD_API = (
 
 class Rule:
     def __init__(self, rule_id, pattern, message, includes, excludes=(),
-                 statement_level_only=False):
+                 statement_level_only=False, match_raw=False):
         self.rule_id = rule_id
         self.pattern = re.compile(pattern)
         self.message = message
@@ -82,6 +91,10 @@ class Rule:
         # continuation of an enclosing multi-line call such as
         # MOPE_ASSIGN_OR_RETURN(x,\n    scheme.Encrypt(m));
         self.statement_level_only = statement_level_only
+        # Match against the raw line instead of the string-stripped one —
+        # needed by rules that inspect #include "..." paths, which live
+        # inside string literals.
+        self.match_raw = match_raw
 
     def applies_to(self, rel: str) -> bool:
         if not any(rel.startswith(p) for p in self.includes):
@@ -153,6 +166,17 @@ RULES = [
         includes=("src/", "tests/", "bench/", "examples/"),
         excludes=("src/net/",),
     ),
+    # The include pattern matches both "ope/..." (the repo's canonical
+    # spelling, -I src) and a "src/ope/..." or "../ope/..." relative path.
+    Rule(
+        "auditor-ciphertext-only",
+        r'#\s*include\s*["<](?:\.\./)*(?:src/)?(?:ope|proxy|sql)/',
+        "the leakage auditor is ciphertext-only: src/obs/leakage.* must not "
+        "see key-holding (ope/, proxy/) or plaintext-holding (sql/) layers — "
+        "it models what the untrusted server can compute",
+        includes=("src/obs/leakage.",),
+        match_raw=True,
+    ),
 ]
 
 
@@ -202,7 +226,7 @@ def lint_file(root: Path, rel: str) -> list[str]:
         for rule in rules:
             if rule.statement_level_only and depth_at_start > 0:
                 continue
-            if rule.pattern.search(line):
+            if rule.pattern.search(raw if rule.match_raw else line):
                 violations.append(
                     f"{rel}:{lineno}: [{rule.rule_id}] {rule.message}\n"
                     f"    {raw.strip()}"

@@ -130,6 +130,30 @@ class CatchesSeededViolations(unittest.TestCase):
         )
         self.assertIn("raw-socket", rule_ids(v))
 
+    def test_leakage_auditor_includes_ope(self) -> None:
+        v = run_on_tree(
+            {"src/obs/leakage.cc": '#include "ope/mope.h"\n'}
+        )
+        self.assertIn("auditor-ciphertext-only", rule_ids(v))
+
+    def test_leakage_auditor_includes_proxy_header(self) -> None:
+        v = run_on_tree(
+            {"src/obs/leakage.h": '#include "proxy/proxy.h"\n'}
+        )
+        self.assertIn("auditor-ciphertext-only", rule_ids(v))
+
+    def test_leakage_auditor_includes_sql_angle(self) -> None:
+        v = run_on_tree(
+            {"src/obs/leakage.cc": "#include <sql/parser.h>\n"}
+        )
+        self.assertIn("auditor-ciphertext-only", rule_ids(v))
+
+    def test_leakage_auditor_includes_src_relative(self) -> None:
+        v = run_on_tree(
+            {"src/obs/leakage.cc": '#include "../ope/ope.h"\n'}
+        )
+        self.assertIn("auditor-ciphertext-only", rule_ids(v))
+
 
 class NoFalsePositives(unittest.TestCase):
     def test_clean_file(self) -> None:
@@ -226,6 +250,23 @@ class NoFalsePositives(unittest.TestCase):
                  "  auto f = std::bind(&T::Run, this);\n"}
         )
         self.assertEqual(v, [])
+
+    def test_leakage_auditor_clean_includes_allowed(self) -> None:
+        # common/ and obs/ are exactly what the untrusted server also has.
+        v = run_on_tree(
+            {"src/obs/leakage.cc":
+                 '#include "common/histogram.h"\n'
+                 '#include "obs/registry.h"\n'}
+        )
+        self.assertEqual(v, [])
+
+    def test_leakage_rule_scoped_to_auditor_files(self) -> None:
+        # Other obs/ files (and the proxy itself) include proxy/ legally;
+        # R8 binds only src/obs/leakage.*.
+        v = run_on_tree(
+            {"src/obs/registry.cc": '#include "proxy/proxy.h"\n'}
+        )
+        self.assertNotIn("auditor-ciphertext-only", rule_ids(v))
 
     def test_real_repo_is_clean(self) -> None:
         root = Path(__file__).resolve().parent.parent

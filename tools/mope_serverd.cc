@@ -36,6 +36,8 @@
 
 #include "engine/snapshot.h"
 #include "net/server.h"
+#include "obs/leakage.h"
+#include "ope/ope.h"
 #include "proxy/system.h"
 #include "workload/tpch.h"
 
@@ -71,7 +73,13 @@ void PrintUsage(const char* argv0) {
       "  --host H          bind address (default 127.0.0.1)\n"
       "  --port N          TCP port; 0 picks an ephemeral one (default 5811)\n"
       "  --workers N       worker threads (default 4)\n"
-      "  --metrics         dump the metrics registry at shutdown\n",
+      "  --metrics         dump the metrics registry at shutdown\n"
+      "  --audit           live leakage auditor over the observed ciphertext\n"
+      "                    range stream; leakage.* gauges join the stats\n"
+      "                    endpoint (shell: \\leakage)\n"
+      "  --audit-domain M  plaintext domain the audited column was declared\n"
+      "                    with (default: the TPC-H date domain); needed so\n"
+      "                    --snapshot mode knows the public parameter M\n",
       argv0);
 }
 
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   bool tpch = false;
   bool dump_metrics = false;
+  bool audit = false;
+  uint64_t audit_domain = workload::kTpchDateDomain;
   double scale = 0.002;
   uint64_t seed = 0x5811;
   net::TcpServerOptions options;
@@ -118,6 +128,10 @@ int main(int argc, char** argv) {
       options.num_workers = std::atoi(next());
     } else if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg == "--audit-domain") {
+      audit_domain = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return 0;
@@ -172,6 +186,25 @@ int main(int argc, char** argv) {
                  "serving %zu encrypted lineitem rows (seed 0x%llx)\n",
                  data.lineitem.size(),
                  static_cast<unsigned long long>(seed));
+  }
+
+  if (audit) {
+    // The daemon is the untrusted party, so it configures the auditor from
+    // public parameters only: the declared plaintext domain M and the
+    // ciphertext range derived from it. No key, no plaintexts.
+    obs::LeakageAuditConfig audit_config;
+    audit_config.domain = audit_domain;
+    audit_config.space = ope::SuggestRange(audit_domain);
+    const Status enabled = server->EnableLeakageAudit(audit_config);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "cannot enable leakage audit: %s\n",
+                   enabled.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "leakage audit on (domain %llu, ciphertext space %llu)\n",
+                 static_cast<unsigned long long>(audit_domain),
+                 static_cast<unsigned long long>(audit_config.space));
   }
 
   auto daemon = net::TcpServer::Start(server, options);
