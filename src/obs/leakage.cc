@@ -78,6 +78,7 @@ LeakageAuditor::LeakageAuditor(const LeakageAuditConfig& config,
     g_window_ = registry->GetGauge(kGaugeWindowFill);
     g_alert_ = registry->GetGauge(kGaugeAlert);
     g_saturated_ = registry->GetGauge(kGaugeSaturated);
+    g_out_of_space_ = registry->GetGauge(kGaugeOutOfSpace);
   }
 }
 
@@ -117,7 +118,16 @@ void LeakageAuditor::InsertPointLocked(uint64_t x) {
 
 void LeakageAuditor::ObserveStart(uint64_t start) {
   std::lock_guard<std::mutex> lock(mutex_);
-  MOPE_CHECK(start < config_.space, "leakage audit: start out of space");
+  if (start >= config_.space) {
+    // Wire-controlled value outside the audited space (hostile frame, or a
+    // client/server --audit-domain mismatch): count it and move on — a
+    // remote peer must never be able to abort the server.
+    ++out_of_space_;
+    if (g_out_of_space_ != nullptr) {
+      g_out_of_space_->Set(static_cast<int64_t>(out_of_space_));
+    }
+    return;
+  }
   ++observations_;
 
   // 128-bit intermediate: start * buckets overflows u64 for wide ciphertext
@@ -134,6 +144,12 @@ void LeakageAuditor::ObserveStart(uint64_t start) {
     }
   } else {
     saturated_ = true;
+    // The point cap dropped a new distinct start, but it still enters the
+    // window below — keep its bucket's support weight growing so no windowed
+    // sample ever sits in a zero-expected bucket (which would pin the
+    // chi-square at the infinite sentinel). Repeats of a dropped start
+    // over-weight its bucket slightly; acceptable in the saturated regime.
+    support_[bucket] += 1;
   }
 
   // Sliding window: evict the bucket id falling out, admit the new one.
@@ -156,6 +172,7 @@ LeakageVerdict LeakageAuditor::ComputeLocked() const {
   v.observations = observations_;
   v.distinct = points_.size();
   v.window_fill = ring_count_;
+  v.out_of_space = out_of_space_;
 
   if (!gaps_.empty()) {
     auto it = gaps_.rbegin();
@@ -205,8 +222,10 @@ LeakageVerdict LeakageAuditor::ComputeLocked() const {
     for (double& e : expected) e /= mass;
     // Bins the support has never touched carry expected 0; ChiSquareVs
     // treats observed-there as infinite. With the self-calibrating weights
-    // that cannot happen (every windowed sample grew its own bucket's
-    // support); with an explicit target it is a genuine alarm.
+    // that cannot happen — every windowed sample grew its own bucket's
+    // support, including post-saturation drops (see ObserveStart) — so the
+    // sentinel below only fires for an explicit target, where observed mass
+    // in a zero-probability bucket is a genuine alarm.
     v.chi2 = window_hist_.ChiSquareVs(expected);
     if (!std::isfinite(v.chi2)) {
       v.chi2 = 1e9;  // publishable sentinel for "observed mass where target is 0"
@@ -235,6 +254,7 @@ void LeakageAuditor::PublishLocked(const LeakageVerdict& v) {
   g_window_->Set(static_cast<int64_t>(v.window_fill));
   g_alert_->Set(v.alert ? 1 : 0);
   g_saturated_->Set(saturated_ ? 1 : 0);
+  g_out_of_space_->Set(static_cast<int64_t>(v.out_of_space));
 }
 
 void LeakageAuditor::Publish() {
@@ -269,7 +289,7 @@ std::string LeakageAuditor::DescribeStats(
   }
   uint64_t distinct = 0, largest = 0, second = 0, margin = 0, offset = 0;
   uint64_t confidence_milli = 0, chi2_milli = 0, chi2_crit_milli = 0;
-  uint64_t window = 0, alert = 0, saturated = 0;
+  uint64_t window = 0, alert = 0, saturated = 0, out_of_space = 0;
   find(kGaugeDistinct, &distinct);
   find(kGaugeLargestGap, &largest);
   find(kGaugeSecondGap, &second);
@@ -281,6 +301,7 @@ std::string LeakageAuditor::DescribeStats(
   find(kGaugeWindowFill, &window);
   find(kGaugeAlert, &alert);
   find(kGaugeSaturated, &saturated);
+  find(kGaugeOutOfSpace, &out_of_space);
 
   const double confidence = static_cast<double>(confidence_milli) / kMilli;
   const double chi2 = static_cast<double>(chi2_milli) / kMilli;
@@ -295,6 +316,10 @@ std::string LeakageAuditor::DescribeStats(
       << "  offset estimate     " << offset
       << "  <- ciphertext one past the largest gap; decrypts to plaintext 0 "
          "if the attack has converged\n";
+  if (out_of_space != 0) {
+    out << "  out-of-space starts " << out_of_space
+        << "  <- skipped; check the client/server audit domains agree\n";
+  }
   char buf[128];
   std::snprintf(buf, sizeof(buf), "  gap confidence      %.3f\n", confidence);
   out << buf;

@@ -91,7 +91,8 @@ struct LeakageAuditConfig {
 
   /// Hard cap on tracked distinct points (memory bound on a hostile or
   /// misconfigured stream). Beyond it new points only feed the window
-  /// statistic and `leakage.saturated` is raised.
+  /// statistic and the O(buckets) support weights, and `leakage.saturated`
+  /// is raised.
   uint64_t max_points = 1 << 20;
 };
 
@@ -112,6 +113,7 @@ struct LeakageVerdict {
   double chi2 = 0.0;           ///< Windowed chi-square vs expected.
   double chi2_critical = 0.0;  ///< Critical value at config.alpha.
   uint64_t window_fill = 0;    ///< Observations currently in the window.
+  uint64_t out_of_space = 0;   ///< Starts >= space, skipped (see ObserveStart).
   bool alert = false;          ///< Combined verdict.
 };
 
@@ -123,7 +125,10 @@ class LeakageAuditor {
   static Result<std::unique_ptr<LeakageAuditor>> Create(
       const LeakageAuditConfig& config, MetricsRegistry* registry);
 
-  /// Records one observed range start point (must be < config.space).
+  /// Records one observed range start point. Starts >= config.space are
+  /// counted under `leakage.out_of_space` and otherwise ignored — the value
+  /// arrives straight off the wire, so a hostile or misconfigured client
+  /// (e.g. an --audit-domain mismatch) must never abort the server.
   /// Thread-safe; O(log n) against the gap structure, O(1) for the window.
   void ObserveStart(uint64_t start);
 
@@ -156,12 +161,14 @@ class LeakageAuditor {
       "leakage.gap.offset_estimate";
   static constexpr const char* kGaugeConfidenceMilli =
       "leakage.gap.confidence_milli";
-  static constexpr const char* kGaugeChi2Milli = "leakage.uniformity.chi2";
+  static constexpr const char* kGaugeChi2Milli =
+      "leakage.uniformity.chi2_milli";
   static constexpr const char* kGaugeChi2CriticalMilli =
-      "leakage.uniformity.chi2_critical";
+      "leakage.uniformity.chi2_critical_milli";
   static constexpr const char* kGaugeWindowFill = "leakage.uniformity.window";
   static constexpr const char* kGaugeAlert = "leakage.alert";
   static constexpr const char* kGaugeSaturated = "leakage.saturated";
+  static constexpr const char* kGaugeOutOfSpace = "leakage.out_of_space";
 
  private:
   /// Publish cadence in observations (amortizes the O(buckets) recompute).
@@ -182,6 +189,7 @@ class LeakageAuditor {
 
   mutable std::mutex mutex_;
   uint64_t observations_ = 0;
+  uint64_t out_of_space_ = 0;
   bool saturated_ = false;
 
   // --- Gap structure ------------------------------------------------------
@@ -216,6 +224,7 @@ class LeakageAuditor {
   Gauge* g_window_ = nullptr;
   Gauge* g_alert_ = nullptr;
   Gauge* g_saturated_ = nullptr;
+  Gauge* g_out_of_space_ = nullptr;
 };
 
 }  // namespace mope::obs

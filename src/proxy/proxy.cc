@@ -35,7 +35,7 @@ Proxy::Proxy(const ProxyConfig& config, ope::MopeScheme mope,
              engine::DbServer* server)
     : config_(config), mope_(std::move(mope)),
       connection_(std::move(connection)), server_(server),
-      rng_(config.rng_seed), issued_starts_(config.domain) {
+      rng_(config.rng_seed) {
   obs::MetricsRegistry* registry =
       config_.registry != nullptr ? config_.registry : obs::Registry();
   real_queries_ = registry->GetCounter("proxy.real_queries");
@@ -233,6 +233,14 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
   }
   batch_queries_hist_->Observe(batch.size());
 
+  // The issued-start histogram only exists to feed the sampler-TV gauge, so
+  // it is allocated on the first query that has a plan to compare against
+  // (adaptive algorithms gain one mid-stream, at the cross-over freeze).
+  if (issued_starts_.size() == 0 && algorithm_ != nullptr &&
+      algorithm_->mix_plan() != nullptr) {
+    issued_starts_ = Histogram(config_.domain);
+  }
+
   QueryResponse response;
   for (const FixedQuery& fq : batch) {
     if (fq.kind == QueryKind::kReal) {
@@ -240,7 +248,9 @@ Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
     } else {
       ++response.fake_queries_sent;
     }
-    issued_starts_.Add(fq.start);
+    // Bounds-guarded: an algorithm bug emitting an out-of-domain start must
+    // degrade the TV gauge, not abort the client on the histogram CHECK.
+    if (fq.start < issued_starts_.size()) issued_starts_.Add(fq.start);
   }
 
   // 4: encrypt and ship in disjunctive batches, one batch per clock tick.

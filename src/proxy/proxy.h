@@ -190,6 +190,9 @@ class Proxy {
   obs::Gauge* mix_expected_fakes_ = nullptr;      ///< Plan: 1/alpha - 1.
   obs::Gauge* mix_sampler_tv_ = nullptr;  ///< TV(issued starts, perceived).
   /// Empirical start distribution over everything issued (real + fake).
+  /// O(domain) bins, so allocated lazily on the first query that has a
+  /// mixing plan to audit against — passthrough and pre-freeze adaptive
+  /// proxies (no plan, TV gauge undefined) never pay for it.
   Histogram issued_starts_;
 };
 

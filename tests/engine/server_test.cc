@@ -110,5 +110,31 @@ TEST(DbServerTest, EmptyBatchIsValid) {
   EXPECT_TRUE(rows->empty());
 }
 
+// A range whose (client-supplied) interval domain exceeds the audit space
+// can carry a start point past it. With --audit on that used to CHECK-abort
+// the daemon — the auditor must skip and count such starts instead.
+TEST(DbServerTest, AuditSurvivesStartsBeyondAuditSpace) {
+  DbServer server = MakeServer();
+  obs::LeakageAuditConfig config;
+  config.space = 100;
+  config.buckets = 8;
+  config.window = 16;
+  ASSERT_TRUE(server.EnableLeakageAudit(config).ok());
+
+  // Interval domain 1000 >> audit space 100, start 500 >= space.
+  auto rows = server.ExecuteRangeBatch("data", "key",
+                                       {ModularInterval(500, 5, 1000),
+                                        ModularInterval(10, 5, 100)});
+  ASSERT_TRUE(rows.ok());
+
+  uint64_t out_of_space = 0, observations = 0;
+  for (const auto& [name, value] : server.metrics()->Snapshot()) {
+    if (name == obs::LeakageAuditor::kGaugeOutOfSpace) out_of_space = value;
+    if (name == obs::LeakageAuditor::kGaugeObservations) observations = value;
+  }
+  EXPECT_EQ(out_of_space, 1u);
+  EXPECT_EQ(observations, 1u);  // the in-space range still feeds the audit
+}
+
 }  // namespace
 }  // namespace mope::engine

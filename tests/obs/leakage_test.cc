@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -268,6 +269,58 @@ TEST(LeakageAuditorTest, SaturationCapsTrackedPointsAndRaisesGauge) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// The observed start arrives straight off the wire: values outside the
+// audited space (hostile frame, or client/server audit-domain mismatch)
+// must be skipped and counted, never CHECK-abort the server.
+TEST(LeakageAuditorTest, OutOfSpaceStartsAreSkippedAndCounted) {
+  MetricsRegistry registry;
+  LeakageAuditConfig config;
+  config.space = 64;
+  config.buckets = 8;
+  config.window = 16;
+  auto auditor = MakeAuditor(config, &registry);
+
+  auditor->ObserveStart(5);
+  auditor->ObserveStart(64);                   // == space
+  auditor->ObserveStart(uint64_t{1} << 40);    // absurd wire value
+  auditor->ObserveStart(7);
+
+  const LeakageVerdict v = auditor->Verdict();
+  EXPECT_EQ(v.observations, 2u);  // only the in-space starts
+  EXPECT_EQ(v.distinct, 2u);
+  EXPECT_EQ(v.out_of_space, 2u);
+  uint64_t gauge = 0;
+  for (const auto& [name, value] : registry.Snapshot()) {
+    if (name == LeakageAuditor::kGaugeOutOfSpace) gauge = value;
+  }
+  EXPECT_EQ(gauge, 2u);
+}
+
+// After the max_points cap saturates, new distinct starts still enter the
+// sliding window — their buckets must keep accruing support weight, or the
+// self-calibrating chi-square degenerates to the infinite sentinel and
+// latches a false alert on a perfectly healthy stream.
+TEST(LeakageAuditorTest, SaturatedStreamKeepsChiSquareFiniteAndQuiet) {
+  MetricsRegistry registry;
+  LeakageAuditConfig config;
+  config.space = 256;
+  config.buckets = 8;
+  config.window = 128;
+  config.max_points = 4;  // saturate almost immediately
+  config.min_observations = 256;
+  auto auditor = MakeAuditor(config, &registry);
+
+  Rng rng(0xfeed);
+  for (int i = 0; i < 1024; ++i) {
+    auditor->ObserveStart(rng.UniformUint64(config.space));
+  }
+  const LeakageVerdict v = auditor->Verdict();
+  EXPECT_EQ(v.distinct, 4u);
+  ASSERT_TRUE(std::isfinite(v.chi2));
+  EXPECT_LT(v.chi2, v.chi2_critical);
+  EXPECT_FALSE(v.alert);
 }
 
 TEST(LeakageAuditorTest, PublishesGaugesOnCadenceWithoutExplicitCalls) {
