@@ -33,5 +33,10 @@ endif()
 if(_mope_san_flags)
   add_compile_options(${_mope_san_flags} -g)
   add_link_options(${_mope_san_flags})
-  message(STATUS "MOPE: sanitizers enabled (${MOPE_SANITIZE})")
+  # Lock-rank assertions (common/thread_annotations.h) default to !NDEBUG,
+  # and the sanitizer presets build RelWithDebInfo — force them on here so
+  # the CI suites that exercise concurrency also exercise the lock ordering.
+  add_compile_definitions(MOPE_LOCK_RANK_CHECKS=1)
+  message(STATUS "MOPE: sanitizers enabled (${MOPE_SANITIZE}), "
+                 "lock-rank checks forced on")
 endif()

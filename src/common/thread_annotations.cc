@@ -1,0 +1,54 @@
+#include "common/thread_annotations.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace mope {
+namespace lock_rank {
+namespace detail {
+
+namespace {
+// Ranks currently held by this thread, in acquisition order. A plain vector:
+// depth is bounded by the number of distinct ranks (single digits), and the
+// thread_local keeps the bookkeeping contention-free.
+thread_local std::vector<int> t_held_ranks;
+}  // namespace
+
+void RankAcquire(int rank) {
+  if (!t_held_ranks.empty()) {
+    const int max_held =
+        *std::max_element(t_held_ranks.begin(), t_held_ranks.end());
+    if (rank <= max_held) {
+      std::fprintf(
+          stderr,
+          "mope lock-rank violation: acquiring rank %d while holding rank %d "
+          "(acquisition order must be strictly increasing; see DESIGN.md "
+          "section 8)\n",
+          rank, max_held);
+      std::abort();
+    }
+  }
+  t_held_ranks.push_back(rank);
+}
+
+void RankRelease(int rank) {
+  // Reverse find: releases are usually LIFO but MutexLock scopes may
+  // interleave, so tolerate out-of-order release of distinct ranks.
+  for (auto it = t_held_ranks.rbegin(); it != t_held_ranks.rend(); ++it) {
+    if (*it == rank) {
+      t_held_ranks.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "mope lock-rank violation: releasing rank %d that this thread "
+               "does not hold\n",
+               rank);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace lock_rank
+}  // namespace mope

@@ -130,9 +130,10 @@ class DbServer {
   obs::Counter* bytes_received_;
   obs::Counter* bytes_sent_;
   obs::ExpHistogram* batch_ranges_hist_;  ///< Ranges per received batch.
-  // The live leakage auditor (see obs/leakage.h); null until enabled. The
-  // auditor carries its own mutex: ObserveStart is safe from the engine's
-  // callers whether or not they serialize data operations.
+  // The live leakage auditor (see obs/leakage.h); null until enabled. Its
+  // thread-safety contract is in its annotations (ObserveStart excludes the
+  // auditor's own lock); the one thing the types can't say is that this
+  // *pointer* is only written by EnableLeakageAudit before serving starts.
   std::unique_ptr<obs::LeakageAuditor> leakage_auditor_;
 };
 

@@ -54,12 +54,21 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
   if (consumed != nullptr) *consumed = frame_size;
 
   const uint64_t start_ns = clock_->NowNanos();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   MOPE_ASSIGN_OR_RETURN(std::string reply, HandleFrameLocked(frame));
   server_->AddTransferBytes(frame_size, reply.size());
   frames_served_->Increment();
   dispatch_ns_->Observe(clock_->NowNanos() - start_ns);
   return reply;
+}
+
+Result<engine::Schema> WireDispatcher::LookupSchemaLocked(
+    const std::string& table) const {
+  MOPE_ASSIGN_OR_RETURN(
+      const engine::Table* tbl,
+      static_cast<const engine::DbServer*>(server_)->catalog().GetTable(
+          table));
+  return tbl->schema();
 }
 
 Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
@@ -87,13 +96,10 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
     case MessageType::kSchemaRequest: {
       auto table = DecodeSchemaRequest(frame.payload);
       if (!table.ok()) return table.status();
-      auto schema = [&]() -> Result<engine::Schema> {
-        MOPE_ASSIGN_OR_RETURN(
-            const engine::Table* tbl,
-            static_cast<const engine::DbServer*>(server_)->catalog().GetTable(
-                *table));
-        return tbl->schema();
-      }();
+      // Named helper rather than an immediately-invoked lambda: the thread
+      // safety analysis treats a lambda as a separate function, so guarded
+      // accesses inside one would not see the lock held here.
+      const Result<engine::Schema> schema = LookupSchemaLocked(*table);
       return ReplyOrStatus(schema, MessageType::kSchemaReply,
                            [](const engine::Schema& s) {
                              return EncodeSchemaReply(s);

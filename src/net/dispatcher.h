@@ -21,11 +21,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/server.h"
 #include "net/wire.h"
 #include "obs/clock.h"
@@ -59,13 +59,22 @@ class WireDispatcher {
   uint64_t frames_served() const { return frames_served_->Value(); }
 
  private:
-  Result<std::string> HandleFrameLocked(const Frame& frame);
+  Result<std::string> HandleFrameLocked(const Frame& frame)
+      MOPE_REQUIRES(mutex_);
+  /// Catalog lookup for a schema request (split out so the capability
+  /// analysis sees the engine access inside the dispatch critical section).
+  Result<engine::Schema> LookupSchemaLocked(const std::string& table) const
+      MOPE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  engine::DbServer* server_;
+  /// Serializes engine access: DbServer is single-threaded by design (the
+  /// paper's server is one unmodified DBMS), so the pointee is guarded even
+  /// though the pointer itself is const after construction.
+  mutable Mutex mutex_{lock_rank::kDispatcher};
+  engine::DbServer* server_ MOPE_PT_GUARDED_BY(mutex_);
   size_t max_reply_payload_bytes_;
   obs::Clock* clock_;
   // Handles into the server's registry (so the stats endpoint serves them).
+  // Atomic targets: safe to bump without the dispatch mutex.
   obs::Counter* frames_served_;
   obs::ExpHistogram* dispatch_ns_;
 };

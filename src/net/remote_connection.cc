@@ -67,7 +67,7 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
   const obs::ScopedSpan span("net.roundtrip");
   const uint64_t trace_id = obs::CurrentTraceId();
   const uint64_t start_ns = clock_->NowNanos();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   roundtrips_->Increment();
   Status last = Status::Unavailable("no attempt made");
   for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {

@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -87,17 +87,21 @@ class RemoteConnection final : public proxy::ServerConnection {
 
  private:
   Result<Frame> RoundTrip(MessageType request_type, std::string payload,
-                          MessageType expected_reply);
-  Status EnsureConnectedLocked();
-  void DisconnectLocked();
+                          MessageType expected_reply) MOPE_EXCLUDES(mutex_);
+  Status EnsureConnectedLocked() MOPE_REQUIRES(mutex_);
+  void DisconnectLocked() MOPE_REQUIRES(mutex_);
 
   RemoteOptions options_;
   obs::Clock* clock_;
-  mutable std::mutex mutex_;  ///< One in-flight request per connection.
-  std::unique_ptr<Transport> transport_;
-  // Registry counters (atomic), not mutex_-guarded: mutex_ is held across
-  // retry backoff sleeps (up to seconds), and stats readers must never block
-  // behind a retrying request.
+  mutable Mutex mutex_{
+      lock_rank::kClientConnection};  ///< One in-flight request per connection.
+  std::unique_ptr<Transport> transport_ MOPE_GUARDED_BY(mutex_);
+  // Registry counters (atomic targets), deliberately *not* annotated with the
+  // connection mutex: mutex_ is held across retry backoff sleeps (up to
+  // seconds), and stats readers — retries()/connects() below, and any
+  // registry snapshot — must never block behind a retrying request. Guarding
+  // them would force those readers to take mutex_, which is exactly the
+  // coupling this split exists to prevent.
   obs::Counter* retries_;
   obs::Counter* connects_;
   obs::Counter* roundtrips_;

@@ -30,7 +30,13 @@ void TcpServer::Stop() {
   if (stopping_.exchange(true)) {
     return;  // second Stop (e.g. destructor after explicit Stop)
   }
-  queue_cv_.notify_all();
+  // Acquire and release the queue mutex between raising the flag and
+  // notifying. Without it a worker that evaluated its wait predicate (false)
+  // but had not yet blocked would miss this wakeup and sleep forever: the
+  // empty critical section forces such a worker to either see the flag or be
+  // fully parked in the wait before the notify fires.
+  { const MutexLock lock(&queue_mutex_); }
+  queue_cv_.NotifyAll();
   if (listen_thread_.joinable()) listen_thread_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -51,20 +57,23 @@ void TcpServer::ListenLoop() {
     }
     if (*session == nullptr) continue;  // poll timeout: re-check stop flag
     connections_accepted_->Increment();
+    bool admitted = false;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      if (pending_.size() >= options_.max_pending_sessions) {
-        // Every worker is busy and the backlog is full: shed this connection
-        // now (close reads as Unavailable client-side and is retried) rather
-        // than park it in an unbounded queue.
-        lock.unlock();
-        connections_rejected_->Increment();
-        (*session)->Close();
-        continue;
+      const MutexLock lock(&queue_mutex_);
+      if (pending_.size() < options_.max_pending_sessions) {
+        pending_.push_back(std::move(*session));
+        admitted = true;
       }
-      pending_.push_back(std::move(*session));
     }
-    queue_cv_.notify_one();
+    if (admitted) {
+      queue_cv_.NotifyOne();
+    } else {
+      // Every worker is busy and the backlog is full: shed this connection
+      // now (close reads as Unavailable client-side and is retried) rather
+      // than park it in an unbounded queue.
+      connections_rejected_->Increment();
+      (*session)->Close();
+    }
   }
 }
 
@@ -72,10 +81,13 @@ void TcpServer::WorkerLoop() {
   while (true) {
     std::unique_ptr<SocketTransport> session;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load() || !pending_.empty();
-      });
+      MutexLock lock(&queue_mutex_);
+      // An explicit loop instead of the predicate-lambda wait: the capability
+      // analysis checks a lambda body as its own function, which would not
+      // see the lock this scope holds over `pending_`.
+      while (!stopping_.load() && pending_.empty()) {
+        queue_cv_.Wait(lock);
+      }
       if (pending_.empty()) return;  // stopping and drained
       session = std::move(pending_.front());
       pending_.pop_front();

@@ -20,16 +20,15 @@
 /// rejected instead of queueing unboundedly.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/server.h"
 #include "net/dispatcher.h"
 #include "net/socket.h"
@@ -102,9 +101,10 @@ class TcpServer {
   obs::Counter* connections_accepted_;
   obs::Counter* connections_rejected_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<SocketTransport>> pending_;
+  Mutex queue_mutex_{lock_rank::kServerAcceptQueue};
+  CondVar queue_cv_;
+  std::deque<std::unique_ptr<SocketTransport>> pending_
+      MOPE_GUARDED_BY(queue_mutex_);
 
   std::thread listen_thread_;
   std::vector<std::thread> workers_;

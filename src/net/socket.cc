@@ -15,7 +15,12 @@ namespace mope::net {
 namespace {
 
 Status ErrnoStatus(const std::string& what, int err) {
-  return Status::Unavailable(what + ": " + std::strerror(err));
+  // strerror's static buffer is fine here: every caller passes a just-read
+  // errno from its own thread and the string is copied out immediately; the
+  // racy alternative (strerror_l / GNU strerror_r) buys nothing for these
+  // advisory messages.
+  return Status::Unavailable(
+      what + ": " + std::strerror(err));  // NOLINT(concurrency-mt-unsafe)
 }
 
 /// "localhost" or dotted-quad IPv4 only — no DNS (see file comment).

@@ -117,7 +117,7 @@ void LeakageAuditor::InsertPointLocked(uint64_t x) {
 }
 
 void LeakageAuditor::ObserveStart(uint64_t start) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (start >= config_.space) {
     // Wire-controlled value outside the audited space (hostile frame, or a
     // client/server --audit-domain mismatch): count it and move on — a
@@ -258,12 +258,12 @@ void LeakageAuditor::PublishLocked(const LeakageVerdict& v) {
 }
 
 void LeakageAuditor::Publish() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   PublishLocked(ComputeLocked());
 }
 
 LeakageVerdict LeakageAuditor::Verdict() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   LeakageVerdict v = ComputeLocked();
   PublishLocked(v);
   return v;

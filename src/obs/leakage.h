@@ -43,7 +43,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -51,6 +50,7 @@
 
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/registry.h"
 
 namespace mope::obs {
@@ -130,15 +130,15 @@ class LeakageAuditor {
   /// arrives straight off the wire, so a hostile or misconfigured client
   /// (e.g. an --audit-domain mismatch) must never abort the server.
   /// Thread-safe; O(log n) against the gap structure, O(1) for the window.
-  void ObserveStart(uint64_t start);
+  void ObserveStart(uint64_t start) MOPE_EXCLUDES(mutex_);
 
   /// Recomputes the derived statistics and publishes them to the gauges.
   /// Called automatically every `kPublishEvery` observations; cheap enough
   /// (O(buckets)) to also call per batch.
-  void Publish();
+  void Publish() MOPE_EXCLUDES(mutex_);
 
   /// Current statistics (also publishes, so gauges and verdict agree).
-  LeakageVerdict Verdict();
+  LeakageVerdict Verdict() MOPE_EXCLUDES(mutex_);
 
   const LeakageAuditConfig& config() const { return config_; }
 
@@ -176,21 +176,20 @@ class LeakageAuditor {
 
   LeakageAuditor(const LeakageAuditConfig& config, MetricsRegistry* registry);
 
-  /// Inserts a new distinct point into the gap structure. Caller holds
-  /// mutex_.
-  void InsertPointLocked(uint64_t x);
+  /// Inserts a new distinct point into the gap structure.
+  void InsertPointLocked(uint64_t x) MOPE_REQUIRES(mutex_);
 
-  /// Derives the verdict from current state. Caller holds mutex_.
-  LeakageVerdict ComputeLocked() const;
+  /// Derives the verdict from current state.
+  LeakageVerdict ComputeLocked() const MOPE_REQUIRES(mutex_);
 
-  void PublishLocked(const LeakageVerdict& v);
+  void PublishLocked(const LeakageVerdict& v) MOPE_REQUIRES(mutex_);
 
   const LeakageAuditConfig config_;
 
-  mutable std::mutex mutex_;
-  uint64_t observations_ = 0;
-  uint64_t out_of_space_ = 0;
-  bool saturated_ = false;
+  mutable Mutex mutex_{lock_rank::kLeakageAuditor};
+  uint64_t observations_ MOPE_GUARDED_BY(mutex_) = 0;
+  uint64_t out_of_space_ MOPE_GUARDED_BY(mutex_) = 0;
+  bool saturated_ MOPE_GUARDED_BY(mutex_) = false;
 
   // --- Gap structure ------------------------------------------------------
   // Distinct observed points, plus all circular arcs between consecutive
@@ -198,18 +197,19 @@ class LeakageAuditor {
   // *never-observed* values strictly between two consecutive points, so it
   // matches attack::GapAttack::LongestGap on the same stream. A lone point
   // contributes one full-circle arc (space - 1, point).
-  std::set<uint64_t> points_;
-  std::multiset<std::pair<uint64_t, uint64_t>> gaps_;
+  std::set<uint64_t> points_ MOPE_GUARDED_BY(mutex_);
+  std::multiset<std::pair<uint64_t, uint64_t>> gaps_ MOPE_GUARDED_BY(mutex_);
 
   // --- Sliding window -----------------------------------------------------
   // Ring of bucket indices of the last `window` observations; counts live
   // in a common::Histogram so the chi-square reuses Histogram::ChiSquareVs.
-  std::vector<uint32_t> ring_;
-  size_t ring_next_ = 0;
-  uint64_t ring_count_ = 0;  ///< min(observations, window).
-  Histogram window_hist_;
+  std::vector<uint32_t> ring_ MOPE_GUARDED_BY(mutex_);
+  size_t ring_next_ MOPE_GUARDED_BY(mutex_) = 0;
+  /// min(observations, window).
+  uint64_t ring_count_ MOPE_GUARDED_BY(mutex_) = 0;
+  Histogram window_hist_ MOPE_GUARDED_BY(mutex_);
   /// Distinct points per bucket (the self-calibrating expected masses).
-  std::vector<uint64_t> support_;
+  std::vector<uint64_t> support_ MOPE_GUARDED_BY(mutex_);
 
   // --- Published gauges (null when registry was null) ---------------------
   Gauge* g_observations_ = nullptr;

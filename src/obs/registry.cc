@@ -100,21 +100,21 @@ mope::Histogram ExpHistogram::ToHistogram() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 ExpHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<ExpHistogram>();
   return slot.get();
@@ -122,7 +122,7 @@ ExpHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
     const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
   for (const auto& [name, counter] : counters_) {
@@ -155,7 +155,7 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
 }
 
 std::string MetricsRegistry::RenderText() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PromName(name);
@@ -205,7 +205,7 @@ std::string MetricsRegistry::RenderText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -251,7 +251,7 @@ std::string MetricsRegistry::RenderJson() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();

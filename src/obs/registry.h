@@ -28,12 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 
 namespace mope::obs {
 
@@ -147,10 +147,15 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mutex_;  ///< Guards the maps, never the metric values.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_;
+  /// Guards the maps, never the metric values (those are atomic). Highest
+  /// rank in the tree: the registry is a leaf every layer may call into.
+  mutable Mutex mutex_{lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MOPE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MOPE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_
+      MOPE_GUARDED_BY(mutex_);
 };
 
 /// The process-global default registry, for instrumented code constructed

@@ -26,7 +26,7 @@ Trace::Trace(std::string name, Clock* clock)
 
 uint32_t Trace::StartSpan(std::string span_name) {
   const uint64_t now = clock_->NowNanos();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   Span span;
   span.name = std::move(span_name);
   span.parent = open_stack_.empty() ? 0 : open_stack_.back();
@@ -39,7 +39,7 @@ uint32_t Trace::StartSpan(std::string span_name) {
 
 void Trace::EndSpan(uint32_t id) {
   const uint64_t now = clock_->NowNanos();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].end_ns = now;
   // Spans close LIFO in correct code; tolerate out-of-order ends by popping
@@ -52,22 +52,22 @@ void Trace::EndSpan(uint32_t id) {
 }
 
 void Trace::IncrementCounter(const std::string& name, uint64_t n) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   counters_[name] += n;
 }
 
 std::vector<Span> Trace::spans() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return spans_;
 }
 
 std::map<std::string, uint64_t> Trace::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return counters_;
 }
 
 size_t Trace::CountSpans(const std::string& span_name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   size_t n = 0;
   for (const Span& span : spans_) {
     if (span.name == span_name) ++n;
@@ -76,7 +76,7 @@ size_t Trace::CountSpans(const std::string& span_name) const {
 }
 
 bool Trace::TimingsMonotone() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   uint64_t last_sibling_start = 0;
   for (size_t i = 0; i < spans_.size(); ++i) {
     const Span& span = spans_[i];
@@ -100,7 +100,7 @@ bool Trace::TimingsMonotone() const {
 }
 
 std::string Trace::RenderTree() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   std::string out =
       "trace " + std::to_string(trace_id_) + " \"" + name_ + "\"\n";
   // Depth of each span = depth(parent) + 1, computable in one pass because

@@ -26,10 +26,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 
 namespace mope::obs {
@@ -79,10 +79,11 @@ class Trace {
   Clock* const clock_;
   const uint64_t trace_id_;
 
-  mutable std::mutex mutex_;
-  std::vector<Span> spans_;
-  std::vector<uint32_t> open_stack_;  ///< 1-based ids of open spans.
-  std::map<std::string, uint64_t> counters_;
+  mutable Mutex mutex_{lock_rank::kTrace};
+  std::vector<Span> spans_ MOPE_GUARDED_BY(mutex_);
+  /// 1-based ids of open spans.
+  std::vector<uint32_t> open_stack_ MOPE_GUARDED_BY(mutex_);
+  std::map<std::string, uint64_t> counters_ MOPE_GUARDED_BY(mutex_);
 };
 
 // --- Thread-local activation ---------------------------------------------

@@ -1,15 +1,17 @@
 #include "proxy/connection_registry.h"
 
 #include <map>
-#include <mutex>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace mope::proxy {
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, ConnectionSchemeFactory> factories;
+  Mutex mutex{lock_rank::kConnectionRegistry};
+  std::map<std::string, ConnectionSchemeFactory> factories
+      MOPE_GUARDED_BY(mutex);
 };
 
 // Function-local static: safe against initialization-order issues when
@@ -24,7 +26,7 @@ Registry& GlobalRegistry() {
 void RegisterConnectionScheme(const std::string& scheme,
                               ConnectionSchemeFactory factory) {
   Registry& registry = GlobalRegistry();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const MutexLock lock(&registry.mutex);
   registry.factories[scheme] = std::move(factory);
 }
 
@@ -42,7 +44,7 @@ Result<std::unique_ptr<ServerConnection>> MakeConnection(
   ConnectionSchemeFactory factory;
   {
     Registry& registry = GlobalRegistry();
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const MutexLock lock(&registry.mutex);
     const auto it = registry.factories.find(scheme);
     if (it == registry.factories.end()) {
       return Status::NotFound("no connection scheme registered for '" +

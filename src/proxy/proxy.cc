@@ -189,7 +189,7 @@ Result<std::vector<std::pair<engine::RowId, engine::Row>>> Proxy::SendBatch(
 }
 
 Result<uint64_t> Proxy::RotateKey(mope::BitSource* entropy) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (server_ == nullptr) {
     return Status::NotSupported(
         "key rotation requires maintenance access to the embedded server");
@@ -216,7 +216,7 @@ Result<uint64_t> Proxy::RotateKey(mope::BitSource* entropy) {
 }
 
 Result<QueryResponse> Proxy::ExecuteRange(const RangeQuery& q) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (q.first > q.last || q.last >= config_.domain) {
     return Status::InvalidArgument("range query endpoints invalid");
   }

@@ -22,12 +22,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dist/distribution.h"
 #include "engine/server.h"
 #include "obs/registry.h"
@@ -103,7 +103,8 @@ class Proxy {
       const dist::Distribution* known_q = nullptr);
 
   /// Executes a client range query end to end.
-  Result<QueryResponse> ExecuteRange(const query::RangeQuery& q);
+  Result<QueryResponse> ExecuteRange(const query::RangeQuery& q)
+      MOPE_EXCLUDES(mutex_);
 
   /// Schema of the server-side table this proxy fronts, fetched through the
   /// connection — works identically for embedded and remote servers.
@@ -112,11 +113,19 @@ class Proxy {
   }
 
   /// Encrypts a single plaintext value (used when loading data through the
-  /// proxy, so the server never sees plaintexts).
-  Result<uint64_t> EncryptValue(uint64_t m) const { return mope_.Encrypt(m); }
+  /// proxy, so the server never sees plaintexts). Takes the proxy lock: the
+  /// scheme is replaced wholesale by RotateKey, so an unlocked read could
+  /// encrypt under a torn half-rotated key.
+  Result<uint64_t> EncryptValue(uint64_t m) const MOPE_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
+    return mope_.Encrypt(m);
+  }
 
-  /// Decrypts a ciphertext (client-side use only).
-  Result<uint64_t> DecryptValue(uint64_t c) const { return mope_.Decrypt(c); }
+  /// Decrypts a ciphertext (client-side use only). Locked, as EncryptValue.
+  Result<uint64_t> DecryptValue(uint64_t c) const MOPE_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
+    return mope_.Decrypt(c);
+  }
 
   /// Re-encrypts the whole column under a fresh MOPE key — new OPE key and
   /// new secret offset — rewriting every server-side ciphertext (the index
@@ -124,15 +133,23 @@ class Proxy {
   /// mitigation the paper sketches in Section 9: rotating the encryption at
   /// intervals bounds what a plaintext-ciphertext pair exposure reveals.
   /// Returns the number of rows re-encrypted.
-  Result<uint64_t> RotateKey(mope::BitSource* entropy);
+  Result<uint64_t> RotateKey(mope::BitSource* entropy) MOPE_EXCLUDES(mutex_);
 
   const ProxyConfig& config() const { return config_; }
 
-  /// Cumulative accounting across all queries.
-  const QueryResponse& totals() const { return totals_; }
+  /// Cumulative accounting across all queries. Returned by value under the
+  /// proxy lock: a reference into guarded state would let callers observe
+  /// counters mid-update while another client's query executes.
+  QueryResponse totals() const MOPE_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
+    return totals_;
+  }
 
   /// Transient-failure retries performed so far.
-  uint64_t retries_performed() const { return retries_performed_; }
+  uint64_t retries_performed() const MOPE_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
+    return retries_performed_;
+  }
 
   /// Metrics snapshot of the server this proxy fronts, fetched through the
   /// connection (a wire round trip for remote servers, a direct registry
@@ -148,27 +165,37 @@ class Proxy {
         std::unique_ptr<ServerConnection> connection,
         engine::DbServer* server);
 
-  /// Instantiates the configured query algorithm.
+  /// Instantiates the configured query algorithm. Create-time only, before
+  /// the proxy is visible to any other thread.
   Status SetupAlgorithm(const dist::Distribution* known_q);
 
   /// Sends one batch, retrying up to config_.max_retries times.
   Result<std::vector<std::pair<engine::RowId, engine::Row>>> SendBatch(
-      const std::vector<ModularInterval>& cipher_ranges);
+      const std::vector<ModularInterval>& cipher_ranges)
+      MOPE_REQUIRES(mutex_);
 
   ProxyConfig config_;
-  mutable std::mutex mutex_;  ///< Serializes client requests (Fig. 4: many clients).
-  ope::MopeScheme mope_;
+  /// Serializes client requests (Fig. 4: many clients). Lowest rank in the
+  /// tree — the outermost lock of the whole query path.
+  mutable Mutex mutex_{lock_rank::kProxy};
+  ope::MopeScheme mope_ MOPE_GUARDED_BY(mutex_);
+  /// Const after Create; the pointee serializes itself (RemoteConnection's
+  /// own lock), which is what lets FetchServerStats bypass the proxy lock.
   std::unique_ptr<ServerConnection> connection_;
-  engine::DbServer* server_;  ///< Maintenance access; null for custom connections.
-  Rng rng_;
-  std::unique_ptr<query::QueryAlgorithm> algorithm_;  // null for passthrough
-  size_t key_column_index_ = 0;
-  QueryResponse totals_;
-  uint64_t retries_performed_ = 0;
+  /// Maintenance access; null for custom connections. Pointer const after
+  /// construction; the engine underneath is only touched under the proxy
+  /// lock (RotateKey's column rewrite).
+  engine::DbServer* server_ MOPE_PT_GUARDED_BY(mutex_);
+  Rng rng_ MOPE_GUARDED_BY(mutex_);
+  /// Null for passthrough. Pointer set once at Create; the algorithm's
+  /// mutable sampling state is only exercised under the proxy lock.
+  std::unique_ptr<query::QueryAlgorithm> algorithm_ MOPE_PT_GUARDED_BY(mutex_);
+  size_t key_column_index_ = 0;  ///< Const after Create.
+  QueryResponse totals_ MOPE_GUARDED_BY(mutex_);
+  uint64_t retries_performed_ MOPE_GUARDED_BY(mutex_) = 0;
 
-  /// Refreshes the proxy.mix.* health gauges after a batch. Caller holds
-  /// mutex_.
-  void UpdateMixHealthLocked();
+  /// Refreshes the proxy.mix.* health gauges after a batch.
+  void UpdateMixHealthLocked() MOPE_REQUIRES(mutex_);
 
   // proxy.* counter family (cached handles; the registry owns the metrics).
   // The same names are emitted whether the connection is embedded or remote,
@@ -193,7 +220,7 @@ class Proxy {
   /// O(domain) bins, so allocated lazily on the first query that has a
   /// mixing plan to audit against — passthrough and pre-freeze adaptive
   /// proxies (no plan, TV gauge undefined) never pay for it.
-  Histogram issued_starts_;
+  Histogram issued_starts_ MOPE_GUARDED_BY(mutex_);
 };
 
 }  // namespace mope::proxy

@@ -47,6 +47,18 @@ Machine-enforces the correctness conventions that code review used to carry:
                          trusted-side data leak into that model and silently
                          overstate the monitor's power. The trust boundary
                          is enforced mechanically, not by review.
+  R9 raw-mutex           Raw standard mutex/lock/condvar types are banned
+                         outside src/common/: locking goes through the
+                         annotated mope::Mutex / mope::MutexLock wrappers
+                         (common/thread_annotations.h) so Clang's Thread
+                         Safety Analysis sees every acquisition. Applies to
+                         src/, tests/, bench/, examples/.
+     mutex-unannotated   (companion file-level check) A src/ file outside
+                         src/common/ that declares a mope::Mutex or
+                         mope::SharedMutex member must annotate at least one
+                         member with MOPE_GUARDED_BY / MOPE_PT_GUARDED_BY —
+                         a capability nothing is guarded by protects
+                         nothing, and the analysis silently passes the file.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -169,6 +181,17 @@ RULES = [
     # The include pattern matches both "ope/..." (the repo's canonical
     # spelling, -I src) and a "src/ope/..." or "../ope/..." relative path.
     Rule(
+        "raw-mutex",
+        r"std::(?:recursive_|timed_|shared_timed_|shared_)?mutex\b|"
+        r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+        r"std::condition_variable",
+        "raw standard mutex/lock type: use mope::Mutex / mope::MutexLock / "
+        "mope::CondVar (common/thread_annotations.h) so the thread safety "
+        "analysis sees the acquisition",
+        includes=("src/", "tests/", "bench/", "examples/"),
+        excludes=("src/common/",),
+    ),
+    Rule(
         "auditor-ciphertext-only",
         r'#\s*include\s*["<](?:\.\./)*(?:src/)?(?:ope|proxy|sql)/',
         "the leakage auditor is ciphertext-only: src/obs/leakage.* must not "
@@ -206,19 +229,47 @@ def strip_strings(line: str) -> str:
     return "".join(out)
 
 
+# File-level companion to R9: a wrapper-mutex *member declaration* (as
+# opposed to a MutexLock/CondVar local) obliges the file to annotate what it
+# guards. MutexLock/WriterMutexLock/... don't match: the name must end right
+# after "Mutex" followed by whitespace and an identifier.
+MUTEX_DECL_RE = re.compile(r"\b(?:mope::)?(?:Shared)?Mutex\s+[A-Za-z_]\w*\s*[;{(=]")
+GUARD_ANNOTATION_RE = re.compile(r"\bMOPE_(?:PT_)?GUARDED_BY\s*\(")
+
+
+def check_mutex_annotations(rel: str, lines: list[tuple[int, str, str]]
+                            ) -> list[str]:
+    """lines: (lineno, raw, comment-and-string-stripped code)."""
+    if not rel.startswith("src/") or rel.startswith("src/common/"):
+        return []
+    decls = [(lineno, raw) for lineno, raw, code in lines
+             if MUTEX_DECL_RE.search(code) and not ESCAPE_RE.search(raw)]
+    if not decls:
+        return []
+    if any(GUARD_ANNOTATION_RE.search(code) for _, _, code in lines):
+        return []
+    lineno, raw = decls[0]
+    return [
+        f"{rel}:{lineno}: [mutex-unannotated] file declares a mope::Mutex "
+        "but annotates nothing with MOPE_GUARDED_BY / MOPE_PT_GUARDED_BY — "
+        "state the capability's protectees or the analysis checks nothing\n"
+        f"    {raw.strip()}"
+    ]
+
+
 def lint_file(root: Path, rel: str) -> list[str]:
     violations = []
     rules = [r for r in RULES if r.applies_to(rel)]
-    if not rules:
-        return violations
     try:
         text = (root / rel).read_text(encoding="utf-8", errors="replace")
     except OSError as err:
         return [f"{rel}: unreadable: {err}"]
     depth = 0  # running ( ... ) nesting depth at the start of each line
+    stripped_lines = []  # (lineno, raw, comment-and-string-stripped code)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = strip_strings(raw)
         code = line.split("//", 1)[0]
+        stripped_lines.append((lineno, raw, code))
         depth_at_start = depth
         depth = max(0, depth + code.count("(") - code.count(")"))
         if ESCAPE_RE.search(raw):
@@ -231,6 +282,7 @@ def lint_file(root: Path, rel: str) -> list[str]:
                     f"{rel}:{lineno}: [{rule.rule_id}] {rule.message}\n"
                     f"    {raw.strip()}"
                 )
+    violations.extend(check_mutex_annotations(rel, stripped_lines))
     return violations
 
 

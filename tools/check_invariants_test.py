@@ -154,6 +154,40 @@ class CatchesSeededViolations(unittest.TestCase):
         )
         self.assertIn("auditor-ciphertext-only", rule_ids(v))
 
+    def test_raw_mutex_member(self) -> None:
+        v = run_on_tree(
+            {"src/net/bad.h": "#include <mutex>\n"
+                              "class T { std::mutex mu_; };\n"}
+        )
+        self.assertIn("raw-mutex", rule_ids(v))
+
+    def test_raw_lock_guard_in_tests_tree(self) -> None:
+        v = run_on_tree(
+            {"tests/bad_test.cc":
+                 "const std::lock_guard<std::mutex> lock(mu);\n"}
+        )
+        self.assertIn("raw-mutex", rule_ids(v))
+
+    def test_raw_shared_mutex_and_condvar(self) -> None:
+        v = run_on_tree(
+            {"src/engine/bad.h": "std::shared_mutex rw_;\n",
+             "src/obs/bad.cc": "std::condition_variable cv_;\n"}
+        )
+        self.assertIn("raw-mutex", rule_ids(v))
+
+    def test_unannotated_wrapper_mutex(self) -> None:
+        # A capability nothing is guarded by: the declaring file must carry
+        # at least one MOPE_GUARDED_BY / MOPE_PT_GUARDED_BY.
+        v = run_on_tree(
+            {"src/net/bad.h":
+                 '#include "common/thread_annotations.h"\n'
+                 "class T {\n"
+                 "  mope::Mutex mu_;\n"
+                 "  int guarded_value_ = 0;\n"
+                 "};\n"}
+        )
+        self.assertIn("mutex-unannotated", rule_ids(v))
+
 
 class NoFalsePositives(unittest.TestCase):
     def test_clean_file(self) -> None:
@@ -267,6 +301,50 @@ class NoFalsePositives(unittest.TestCase):
             {"src/obs/registry.cc": '#include "proxy/proxy.h"\n'}
         )
         self.assertNotIn("auditor-ciphertext-only", rule_ids(v))
+
+    def test_wrapper_mutex_with_annotation_clean(self) -> None:
+        v = run_on_tree(
+            {"src/net/good.h":
+                 '#include "common/thread_annotations.h"\n'
+                 "class T {\n"
+                 "  mope::Mutex mu_;\n"
+                 "  int value_ MOPE_GUARDED_BY(mu_) = 0;\n"
+                 "};\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_mutex_lock_local_is_not_a_decl(self) -> None:
+        # MutexLock / WriterMutexLock locals are uses, not capability
+        # declarations; they carry no annotation obligation.
+        v = run_on_tree(
+            {"src/net/good.cc":
+                 "void F() { const MutexLock lock(&mu_); }\n"
+                 "void G() { WriterMutexLock lock(&rw_); }\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_raw_mutex_exempt_in_common(self) -> None:
+        # src/common/ hosts the wrappers themselves.
+        v = run_on_tree(
+            {"src/common/thread_annotations.h": "std::mutex mu_;\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_unannotated_check_scoped_to_src(self) -> None:
+        # Tests may declare wrapper mutexes ad hoc without the annotation
+        # obligation (their state is usually function-local anyway).
+        v = run_on_tree(
+            {"tests/good_test.cc": "mope::Mutex mu;\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_raw_mutex_escape_comment(self) -> None:
+        v = run_on_tree(
+            {"src/net/good.h":
+                 "std::mutex mu_;  "
+                 "// invariant-ok: interop with an external API\n"}
+        )
+        self.assertEqual(v, [])
 
     def test_real_repo_is_clean(self) -> None:
         root = Path(__file__).resolve().parent.parent

@@ -13,7 +13,9 @@ Usage:  python3 tools/run_clang_tidy.py [--build-dir build] [--jobs N]
 from __future__ import annotations
 
 import argparse
+import collections
 import multiprocessing
+import re
 import shutil
 import subprocess
 import sys
@@ -21,6 +23,18 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 SKIP = 77
+
+# clang-tidy diagnostic lines end in "[check-name]" (possibly a comma-joined
+# list); collected into the per-check histogram printed at the end so CI logs
+# show at a glance which check groups (e.g. concurrency-*) fired.
+CHECK_TAG_RE = re.compile(
+    r"(?:warning|error):.*\[([A-Za-z0-9_.,-]+)\]\s*$", re.MULTILINE)
+
+
+def count_checks(output: str, histogram: collections.Counter) -> None:
+    for tags in CHECK_TAG_RE.findall(output):
+        for tag in tags.split(","):
+            histogram[tag] += 1
 
 
 def find_clang_tidy() -> str | None:
@@ -64,15 +78,21 @@ def main(argv: list[str]) -> int:
         return src, proc.returncode, proc.stdout + proc.stderr
 
     failed = 0
+    findings = collections.Counter()
     with ThreadPoolExecutor(max_workers=args.jobs) as pool:
         for src, code, output in pool.map(run_one, sources):
             rel = src.relative_to(root)
+            count_checks(output, findings)
             if code != 0:
                 failed += 1
                 print(f"FAIL {rel}\n{output}")
             else:
                 print(f"  ok {rel}")
 
+    if findings:
+        print("run_clang_tidy: findings by check:")
+        for check, n in findings.most_common():
+            print(f"  {n:5d}  {check}")
     if failed:
         print(f"run_clang_tidy: {failed}/{len(sources)} files with findings")
         return 1
