@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace mope {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+uint32_t Update(uint32_t crc, std::string_view bytes) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  return Update(0xFFFFFFFFu, bytes) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32Continue(uint32_t crc, std::string_view bytes) {
+  return Update(crc ^ 0xFFFFFFFFu, bytes) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mope

@@ -5,7 +5,8 @@
 namespace mope::engine {
 
 DbServer::DbServer()
-    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+    : catalog_(std::make_unique<Catalog>()),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
       batches_received_(metrics_->GetCounter("engine.batches_received")),
       ranges_received_(metrics_->GetCounter("engine.ranges_received")),
       segments_scanned_(metrics_->GetCounter("engine.segments_scanned")),
@@ -33,7 +34,7 @@ Result<std::vector<Segment>> DbServer::PrepareSegments(
     const std::string& table, const std::string& column,
     const std::vector<ModularInterval>& ranges, const Table** table_out,
     const BPlusTree** index_out) {
-  MOPE_ASSIGN_OR_RETURN(Table * tbl, catalog_.GetTable(table));
+  MOPE_ASSIGN_OR_RETURN(Table * tbl, catalog_->GetTable(table));
   MOPE_ASSIGN_OR_RETURN(const BPlusTree* index, tbl->GetIndex(column));
   *table_out = tbl;
   *index_out = index;
@@ -56,6 +57,32 @@ Result<std::vector<Segment>> DbServer::PrepareSegments(
     leakage_auditor_->Publish();
   }
   return segments;
+}
+
+Status DbServer::OpenStorage(const std::string& data_dir,
+                             const DurableCatalog::Options& options) {
+  if (durable_ != nullptr) {
+    return Status::InvalidArgument("storage is already attached");
+  }
+  DurableCatalog::Options opts = options;
+  if (opts.metrics == nullptr) opts.metrics = metrics_.get();
+  MOPE_ASSIGN_OR_RETURN(durable_,
+                        DurableCatalog::Open(data_dir, catalog_.get(), opts));
+  return Status::OK();
+}
+
+Status DbServer::CheckpointStorage() {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument("no storage attached");
+  }
+  return durable_->Checkpoint();
+}
+
+Status DbServer::SyncStorage() {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument("no storage attached");
+  }
+  return durable_->Sync();
 }
 
 Status DbServer::EnableLeakageAudit(const obs::LeakageAuditConfig& config) {

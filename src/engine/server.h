@@ -26,6 +26,7 @@
 
 #include "common/interval.h"
 #include "common/status.h"
+#include "engine/durability.h"
 #include "engine/executor.h"
 #include "engine/table.h"
 #include "obs/leakage.h"
@@ -51,8 +52,36 @@ class DbServer {
  public:
   DbServer();
 
-  Catalog* catalog() { return &catalog_; }
-  const Catalog& catalog() const { return catalog_; }
+  Catalog* catalog() { return catalog_.get(); }
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Attaches a disk-backed storage engine rooted at `data_dir`. On an
+  /// existing directory this runs WAL redo + catalog recovery, repopulating
+  /// this server's (must-be-empty) catalog; on a fresh one it just creates
+  /// the files. Afterwards every catalog mutation is WAL-logged and applied
+  /// to heap/index pages before it lands in memory; the pages hold the same
+  /// MOPE ciphertexts the in-memory tables do, so the disk is inside the
+  /// same trust boundary as the server's RAM. The storage `storage.*`
+  /// counters land in this server's metrics registry (unless the options
+  /// name another one). Call before serving starts; not thread-safe against
+  /// concurrent queries.
+  Status OpenStorage(const std::string& data_dir,
+                     const DurableCatalog::Options& options = {});
+
+  /// True after OpenStorage succeeded.
+  bool has_storage() const { return durable_ != nullptr; }
+
+  /// The durable catalog, or nullptr when OpenStorage was never called.
+  DurableCatalog* durable_catalog() { return durable_.get(); }
+
+  /// Flushes all pages + catalog blob and truncates the WAL. Requires
+  /// writer quiescence (the daemon's dispatcher serializes writes).
+  /// InvalidArgument when storage is not attached.
+  Status CheckpointStorage();
+
+  /// Group-commit barrier: all logged mutations become durable.
+  /// InvalidArgument when storage is not attached.
+  Status SyncStorage();
 
   /// Executes one batch of ciphertext range predicates (each an interval on
   /// the ciphertext space, wrapping allowed) against the index on `column`
@@ -116,9 +145,10 @@ class DbServer {
       const std::vector<ModularInterval>& ranges, const Table** table_out,
       const BPlusTree** index_out);
 
-  Catalog catalog_;
   // Heap-held so DbServer stays movable (tests build servers in value-
-  // returning factories) and the cached handles below survive the move.
+  // returning factories) and so DurableCatalog's Catalog* plus the cached
+  // handles below survive the move.
+  std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   // Hot-path handles into *metrics_ (stable for the registry's lifetime).
   obs::Counter* batches_received_;
@@ -135,6 +165,9 @@ class DbServer {
   // auditor's own lock); the one thing the types can't say is that this
   // *pointer* is only written by EnableLeakageAudit before serving starts.
   std::unique_ptr<obs::LeakageAuditor> leakage_auditor_;
+  // Declared after catalog_: the DurableCatalog destructor uninstalls its
+  // hooks from the catalog's tables, so it must be destroyed first.
+  std::unique_ptr<DurableCatalog> durable_;
 };
 
 }  // namespace mope::engine

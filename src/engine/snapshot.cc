@@ -1,8 +1,6 @@
 #include "engine/snapshot.h"
 
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "engine/codec.h"
 
@@ -107,25 +105,41 @@ Result<Catalog> DeserializeCatalog(const std::string& bytes) {
   return catalog;
 }
 
-Status SaveCatalog(const Catalog& catalog, const std::string& path) {
-  MOPE_ASSIGN_OR_RETURN(std::string bytes, SerializeCatalog(catalog));
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::InvalidArgument("cannot write '" + path + "'");
+Status ImportCatalog(const Catalog& src, Catalog* dst) {
+  for (const std::string& name : src.TableNames()) {
+    MOPE_ASSIGN_OR_RETURN(const Table* table, src.GetTable(name));
+    MOPE_ASSIGN_OR_RETURN(Table * copy,
+                          dst->CreateTable(name, table->schema()));
+    for (RowId r = 0; r < table->row_count(); ++r) {
+      MOPE_RETURN_NOT_OK(copy->Insert(table->row(r)).status());
+    }
+    for (const Column& col : table->schema().columns()) {
+      if (table->HasIndex(col.name)) {
+        MOPE_RETURN_NOT_OK(copy->CreateIndex(col.name));
+      }
+    }
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  return out.good() ? Status::OK()
-                    : Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& path) {
+  return SaveCatalog(catalog, path, storage::Env::Posix());
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& path,
+                   storage::Env* env) {
+  MOPE_ASSIGN_OR_RETURN(std::string bytes, SerializeCatalog(catalog));
+  // Atomic replace: a crash leaves the previous snapshot, never a prefix.
+  return env->WriteFileAtomic(path, bytes);
 }
 
 Result<Catalog> LoadCatalog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open '" + path + "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeCatalog(buffer.str());
+  return LoadCatalog(path, storage::Env::Posix());
+}
+
+Result<Catalog> LoadCatalog(const std::string& path, storage::Env* env) {
+  MOPE_ASSIGN_OR_RETURN(std::string bytes, env->ReadFile(path));
+  return DeserializeCatalog(bytes);
 }
 
 }  // namespace mope::engine

@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "storage/env.h"
 
 namespace mope::engine {
 
@@ -28,9 +29,22 @@ Result<std::string> SerializeCatalog(const Catalog& catalog);
 /// on magic/bounds/type violations (truncated or tampered snapshots).
 Result<Catalog> DeserializeCatalog(const std::string& bytes);
 
-/// File convenience wrappers.
+/// File convenience wrappers. SaveCatalog is durable and atomic: the bytes
+/// go to a temp file which is fsync'd and renamed over `path` (see
+/// storage::Env::WriteFileAtomic), so a crash mid-save leaves the previous
+/// snapshot intact — never a truncated one. The Env overloads exist for
+/// fault-injection tests; the two-argument forms use the real file system.
 Status SaveCatalog(const Catalog& catalog, const std::string& path);
+Status SaveCatalog(const Catalog& catalog, const std::string& path,
+                   storage::Env* env);
 Result<Catalog> LoadCatalog(const std::string& path);
+Result<Catalog> LoadCatalog(const std::string& path, storage::Env* env);
+
+/// Replays every table of `src` into `dst` through the public mutation API
+/// (CreateTable / Insert / CreateIndex), so durability hooks installed on
+/// `dst` observe each row — this is how a snapshot is imported into a
+/// storage-backed server. Fails if `dst` already has a clashing table name.
+Status ImportCatalog(const Catalog& src, Catalog* dst);
 
 }  // namespace mope::engine
 

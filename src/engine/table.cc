@@ -63,6 +63,10 @@ Result<RowId> Table::Insert(Row row) {
     }
   }
   const RowId id = rows_.size();
+  if (hooks_ != nullptr) {
+    // Write-ahead: the row reaches the log and the heap page before memory.
+    MOPE_RETURN_NOT_OK(hooks_->OnInsert(id, row));
+  }
   for (auto& [col, index] : indexes_) {
     index->Insert(static_cast<uint64_t>(std::get<int64_t>(row[col])), id);
   }
@@ -87,11 +91,14 @@ Status Table::UpdateValue(RowId id, size_t column, Value value) {
                                    schema_.column(column).name + "'");
   }
   const auto it = indexes_.find(column);
+  if (it != indexes_.end() && std::get<int64_t>(value) < 0) {
+    return Status::InvalidArgument("indexed column value must be >= 0");
+  }
+  if (hooks_ != nullptr) {
+    MOPE_RETURN_NOT_OK(hooks_->OnUpdateValue(id, column, value));
+  }
   if (it != indexes_.end()) {
     const int64_t new_key = std::get<int64_t>(value);
-    if (new_key < 0) {
-      return Status::InvalidArgument("indexed column value must be >= 0");
-    }
     const int64_t old_key = std::get<int64_t>(rows_[id][column]);
     if (!it->second->Erase(static_cast<uint64_t>(old_key), id)) {
       return Status::Internal("index entry missing during update");
@@ -110,13 +117,21 @@ Status Table::CreateIndex(const std::string& column_name) {
   if (indexes_.contains(col)) {
     return Status::AlreadyExists("index on '" + column_name + "' exists");
   }
-  auto index = std::make_unique<BPlusTree>();
+  // Validate every existing row before the hook fires: a durable
+  // create-index record must never describe an index the build then
+  // abandons halfway.
   for (RowId id = 0; id < rows_.size(); ++id) {
-    const int64_t v = std::get<int64_t>(rows_[id][col]);
-    if (v < 0) {
+    if (std::get<int64_t>(rows_[id][col]) < 0) {
       return Status::InvalidArgument("indexed column value must be >= 0");
     }
-    index->Insert(static_cast<uint64_t>(v), id);
+  }
+  if (hooks_ != nullptr) {
+    MOPE_RETURN_NOT_OK(hooks_->OnCreateIndex(col));
+  }
+  auto index = std::make_unique<BPlusTree>();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index->Insert(static_cast<uint64_t>(std::get<int64_t>(rows_[id][col])),
+                  id);
   }
   indexes_[col] = std::move(index);
   return Status::OK();
@@ -141,15 +156,24 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
     return Status::AlreadyExists("table '" + name + "' exists");
   }
   auto table = std::make_unique<Table>(name, std::move(schema));
+  if (hooks_ != nullptr) {
+    MOPE_ASSIGN_OR_RETURN(TableDurabilityHooks * table_hooks,
+                          hooks_->OnCreateTable(name, table->schema()));
+    table->set_durability_hooks(table_hooks);
+  }
   Table* raw = table.get();
   tables_[name] = std::move(table);
   return raw;
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  if (tables_.erase(name) == 0) {
+  if (!tables_.contains(name)) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
+  if (hooks_ != nullptr) {
+    MOPE_RETURN_NOT_OK(hooks_->OnDropTable(name));
+  }
+  tables_.erase(name);
   return Status::OK();
 }
 

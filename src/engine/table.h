@@ -63,6 +63,22 @@ class Schema {
   std::map<std::string, size_t> by_name_;
 };
 
+/// Durability hooks: a Table with hooks installed reports every mutation
+/// *before* applying it in memory, after all validation has passed. The
+/// implementation (engine::DurableCatalog) writes the mutation ahead into
+/// the storage engine's WAL/heap; a hook failure aborts the mutation with
+/// nothing applied on either side. A Table without hooks (the default) is
+/// the original purely in-memory engine.
+class TableDurabilityHooks {
+ public:
+  virtual ~TableDurabilityHooks() = default;
+
+  /// `id` is the RowId the row is about to receive.
+  virtual Status OnInsert(RowId id, const Row& row) = 0;
+  virtual Status OnUpdateValue(RowId id, size_t column, const Value& value) = 0;
+  virtual Status OnCreateIndex(size_t column) = 0;
+};
+
 /// An in-memory row-store table with optional secondary indexes.
 class Table {
  public:
@@ -95,12 +111,29 @@ class Table {
 
   bool HasIndex(const std::string& column_name) const;
 
+  /// Installs (or clears, with nullptr) the durability hooks. The hooks
+  /// object must outlive the table or the next set_durability_hooks call.
+  void set_durability_hooks(TableDurabilityHooks* hooks) { hooks_ = hooks; }
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   // column index -> B+-tree over that column's int values.
   std::map<size_t, std::unique_ptr<BPlusTree>> indexes_;
+  TableDurabilityHooks* hooks_ = nullptr;
+};
+
+/// Catalog-level durability hooks: DDL counterparts of TableDurabilityHooks.
+class CatalogDurabilityHooks {
+ public:
+  virtual ~CatalogDurabilityHooks() = default;
+
+  /// Called before the table becomes visible. Returns the per-table hooks
+  /// to install on it (the implementation allocates the table's heap here).
+  virtual Result<TableDurabilityHooks*> OnCreateTable(const std::string& name,
+                                                      const Schema& schema) = 0;
+  virtual Status OnDropTable(const std::string& name) = 0;
 };
 
 /// The server's catalog of tables.
@@ -119,8 +152,12 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Installs (or clears) the DDL durability hooks.
+  void set_durability_hooks(CatalogDurabilityHooks* hooks) { hooks_ = hooks; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  CatalogDurabilityHooks* hooks_ = nullptr;
 };
 
 }  // namespace mope::engine

@@ -1,7 +1,6 @@
 #include "net/wire.h"
 
-#include <array>
-
+#include "common/crc32.h"
 #include "engine/codec.h"
 
 namespace mope::net {
@@ -18,18 +17,6 @@ namespace {
 /// decoder reserve gigabytes before the (bounded) payload runs out.
 constexpr uint64_t kMaxRangesPerBatch = 1u << 20;
 
-std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
 Result<ModularInterval> ReadInterval(ByteReader* reader) {
   MOPE_ASSIGN_OR_RETURN(uint64_t start, reader->U64());
   MOPE_ASSIGN_OR_RETURN(uint64_t length, reader->U64());
@@ -44,14 +31,7 @@ Result<ModularInterval> ReadInterval(ByteReader* reader) {
 
 }  // namespace
 
-uint32_t Crc32(std::string_view bytes) {
-  static const std::array<uint32_t, 256> table = MakeCrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (const char ch : bytes) {
-    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+uint32_t Crc32(std::string_view bytes) { return mope::Crc32(bytes); }
 
 std::string EncodeFrame(MessageType type, std::string payload,
                         uint64_t trace_id) {

@@ -30,7 +30,12 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
   // Populate in a nested scope so any mid-load failure rolls the half-built
   // table back out of the catalog: a table with some rows encrypted and no
   // proxy would otherwise stay queryable-looking but permanently broken.
+  //
+  // The index is created before the first row so that with durable storage
+  // attached the index-create lands in the WAL ahead of every insert: a
+  // crash at any point during the load recovers to a queryable prefix.
   const Status load = [&]() -> Status {
+    MOPE_RETURN_NOT_OK(table->CreateIndex(spec.column));
     for (const engine::Row& row : rows) {
       engine::Row encrypted = row;
       const int64_t plain = std::get<int64_t>(encrypted[enc_col]);
@@ -44,7 +49,7 @@ Status MopeSystem::LoadTable(const std::string& name, engine::Schema schema,
       encrypted[enc_col] = static_cast<int64_t>(cipher);
       MOPE_RETURN_NOT_OK(table->Insert(std::move(encrypted)).status());
     }
-    return table->CreateIndex(spec.column);
+    return Status::OK();
   }();
   if (!load.ok()) {
     MOPE_RETURN_NOT_OK(server_.catalog()->DropTable(name));

@@ -1,0 +1,351 @@
+#include "storage/btree_file.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace mope::storage {
+
+namespace {
+
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 24;
+constexpr uint16_t kLeafCap =
+    static_cast<uint16_t>(PageView::payload_size() / kLeafEntrySize);
+constexpr uint16_t kInternalCap =
+    static_cast<uint16_t>(PageView::payload_size() / kInternalEntrySize);
+
+using Entry = std::pair<uint64_t, uint64_t>;  // (key, row_id)
+
+Entry LeafGet(const PageView& page, uint16_t i) {
+  const char* p = page.payload() + kLeafEntrySize * i;
+  return {LoadU64(p), LoadU64(p + 8)};
+}
+
+void LeafSet(PageView page, uint16_t i, Entry e) {
+  char* p = page.payload() + kLeafEntrySize * i;
+  StoreU64(p, e.first);
+  StoreU64(p + 8, e.second);
+}
+
+struct InternalEntry {
+  Entry sep;
+  PageId child;
+};
+
+InternalEntry InternalGet(const PageView& page, uint16_t i) {
+  const char* p = page.payload() + kInternalEntrySize * i;
+  return {{LoadU64(p), LoadU64(p + 8)}, LoadU64(p + 16)};
+}
+
+void InternalSet(PageView page, uint16_t i, const InternalEntry& e) {
+  char* p = page.payload() + kInternalEntrySize * i;
+  StoreU64(p, e.sep.first);
+  StoreU64(p + 8, e.sep.second);
+  StoreU64(p + 16, e.child);
+}
+
+/// Child page covering `e` in an internal node: entries[i].child for the
+/// largest i with sep <= e, else the leftmost child in aux.
+PageId ChildFor(const PageView& page, Entry e) {
+  const uint16_t n = page.count();
+  uint16_t lo = 0;
+  uint16_t hi = n;  // first entry with sep > e
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    if (InternalGet(page, mid).sep <= e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? page.aux() : InternalGet(page, lo - 1).child;
+}
+
+/// First leaf position with entry >= e.
+uint16_t LeafLowerBound(const PageView& page, Entry e) {
+  uint16_t lo = 0;
+  uint16_t hi = page.count();
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    if (LeafGet(page, mid) < e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+struct BTreeFile::Split {
+  Entry sep;
+  PageId right;
+};
+
+Result<std::unique_ptr<BTreeFile>> BTreeFile::Open(BufferPool* pool,
+                                                   PageId root) {
+  if (root == kInvalidPageId) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool->Create(PageType::kBTreeLeaf));
+    guard.MarkDirty();
+    root = guard.id();
+  }
+  return std::unique_ptr<BTreeFile>(new BTreeFile(pool, root));
+}
+
+Status BTreeFile::InsertRec(PageId page_id, uint64_t key, uint64_t row_id,
+                            std::unique_ptr<Split>* split) {
+  MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page_id));
+  PageView page = guard.view();
+  const Entry entry{key, row_id};
+
+  if (page.type() == PageType::kBTreeLeaf) {
+    const uint16_t pos = LeafLowerBound(page, entry);
+    if (page.count() < kLeafCap) {
+      char* base = page.payload();
+      std::memmove(base + kLeafEntrySize * (pos + 1),
+                   base + kLeafEntrySize * pos,
+                   kLeafEntrySize * (page.count() - pos));
+      LeafSet(page, pos, entry);
+      page.set_count(page.count() + 1);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split: gather, insert, redistribute half-and-half.
+    std::vector<Entry> entries;
+    entries.reserve(page.count() + 1);
+    for (uint16_t i = 0; i < page.count(); ++i) {
+      entries.push_back(LeafGet(page, i));
+    }
+    entries.insert(entries.begin() + pos, entry);
+    MOPE_ASSIGN_OR_RETURN(PageGuard right, pool_->Create(PageType::kBTreeLeaf));
+    PageView right_page = right.view();
+    const size_t left_n = entries.size() / 2;
+    for (size_t i = 0; i < left_n; ++i) {
+      LeafSet(page, static_cast<uint16_t>(i), entries[i]);
+    }
+    page.set_count(static_cast<uint16_t>(left_n));
+    for (size_t i = left_n; i < entries.size(); ++i) {
+      LeafSet(right_page, static_cast<uint16_t>(i - left_n), entries[i]);
+    }
+    right_page.set_count(static_cast<uint16_t>(entries.size() - left_n));
+    right_page.set_next(page.next());
+    page.set_next(right.id());
+    guard.MarkDirty();
+    right.MarkDirty();
+    *split = std::make_unique<Split>(Split{entries[left_n], right.id()});
+    return Status::OK();
+  }
+
+  if (page.type() != PageType::kBTreeInternal) {
+    return Status::Corruption("B+-tree descent hit a non-index page " +
+                              std::to_string(page_id));
+  }
+  const PageId child = ChildFor(page, entry);
+  std::unique_ptr<Split> child_split;
+  // Release the parent pin across the recursive call so a descent never
+  // holds more than one pin (the pool can be tiny).
+  guard.Release();
+  MOPE_RETURN_NOT_OK(InsertRec(child, key, row_id, &child_split));
+  if (child_split == nullptr) return Status::OK();
+
+  MOPE_ASSIGN_OR_RETURN(guard, pool_->Fetch(page_id));
+  page = guard.view();
+  // Position of the new separator among the entries.
+  uint16_t pos = 0;
+  while (pos < page.count() && InternalGet(page, pos).sep < child_split->sep) {
+    ++pos;
+  }
+  const InternalEntry new_entry{child_split->sep, child_split->right};
+  if (page.count() < kInternalCap) {
+    char* base = page.payload();
+    std::memmove(base + kInternalEntrySize * (pos + 1),
+                 base + kInternalEntrySize * pos,
+                 kInternalEntrySize * (page.count() - pos));
+    InternalSet(page, pos, new_entry);
+    page.set_count(page.count() + 1);
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  std::vector<InternalEntry> entries;
+  entries.reserve(page.count() + 1);
+  for (uint16_t i = 0; i < page.count(); ++i) {
+    entries.push_back(InternalGet(page, i));
+  }
+  entries.insert(entries.begin() + pos, new_entry);
+  const size_t mid = entries.size() / 2;  // this entry moves up
+  MOPE_ASSIGN_OR_RETURN(PageGuard right, pool_->Create(PageType::kBTreeInternal));
+  PageView right_page = right.view();
+  for (size_t i = 0; i < mid; ++i) {
+    InternalSet(page, static_cast<uint16_t>(i), entries[i]);
+  }
+  page.set_count(static_cast<uint16_t>(mid));
+  right_page.set_aux(entries[mid].child);
+  for (size_t i = mid + 1; i < entries.size(); ++i) {
+    InternalSet(right_page, static_cast<uint16_t>(i - mid - 1), entries[i]);
+  }
+  right_page.set_count(static_cast<uint16_t>(entries.size() - mid - 1));
+  guard.MarkDirty();
+  right.MarkDirty();
+  *split = std::make_unique<Split>(Split{entries[mid].sep, right.id()});
+  return Status::OK();
+}
+
+Status BTreeFile::Insert(uint64_t key, uint64_t row_id) {
+  std::unique_ptr<Split> split;
+  MOPE_RETURN_NOT_OK(InsertRec(root_, key, row_id, &split));
+  if (split == nullptr) return Status::OK();
+  MOPE_ASSIGN_OR_RETURN(PageGuard new_root,
+                        pool_->Create(PageType::kBTreeInternal));
+  PageView page = new_root.view();
+  page.set_aux(root_);
+  InternalSet(page, 0, InternalEntry{split->sep, split->right});
+  page.set_count(1);
+  new_root.MarkDirty();
+  root_ = new_root.id();
+  return Status::OK();
+}
+
+Result<PageId> BTreeFile::FindLeaf(uint64_t key, uint64_t row_id) {
+  PageId page_id = root_;
+  for (;;) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page_id));
+    const PageView page = guard.view();
+    if (page.type() == PageType::kBTreeLeaf) return page_id;
+    if (page.type() != PageType::kBTreeInternal) {
+      return Status::Corruption("B+-tree descent hit a non-index page " +
+                                std::to_string(page_id));
+    }
+    page_id = ChildFor(page, Entry{key, row_id});
+  }
+}
+
+Result<bool> BTreeFile::Erase(uint64_t key, uint64_t row_id) {
+  const Entry entry{key, row_id};
+  MOPE_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, row_id));
+  MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf_id));
+  PageView page = guard.view();
+  const uint16_t pos = LeafLowerBound(page, entry);
+  if (pos >= page.count() || LeafGet(page, pos) != entry) return false;
+  char* base = page.payload();
+  std::memmove(base + kLeafEntrySize * pos, base + kLeafEntrySize * (pos + 1),
+               kLeafEntrySize * (page.count() - pos - 1));
+  page.set_count(page.count() - 1);
+  guard.MarkDirty();
+  return true;
+}
+
+Result<size_t> BTreeFile::ScanRange(
+    uint64_t lo, uint64_t hi,
+    const std::function<void(uint64_t, uint64_t)>& fn, ScanStats* stats) {
+  if (lo > hi) return size_t{0};
+  MOPE_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo, 0));
+  size_t visited = 0;
+  while (leaf_id != kInvalidPageId) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf_id));
+    const PageView page = guard.view();
+    if (stats != nullptr) ++stats->nodes_visited;
+    const uint16_t start = LeafLowerBound(page, Entry{lo, 0});
+    for (uint16_t i = start; i < page.count(); ++i) {
+      const Entry e = LeafGet(page, i);
+      if (e.first > hi) return visited;
+      if (fn) fn(e.first, e.second);
+      ++visited;
+    }
+    leaf_id = page.next();
+  }
+  return visited;
+}
+
+Result<size_t> BTreeFile::CountRange(uint64_t lo, uint64_t hi) {
+  return ScanRange(lo, hi, nullptr, nullptr);
+}
+
+Status BTreeFile::CheckNode(PageId page_id, int depth, int* leaf_depth,
+                            uint64_t lo_key, uint64_t lo_rid, bool has_lo,
+                            uint64_t hi_key, uint64_t hi_rid, bool has_hi,
+                            PageId* prev_leaf) {
+  MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page_id));
+  const PageView page = guard.view();
+  const Entry lo{lo_key, lo_rid};
+  const Entry hi{hi_key, hi_rid};
+
+  if (page.type() == PageType::kBTreeLeaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Internal("leaves at differing depths");
+    }
+    if (page.count() > kLeafCap) return Status::Internal("leaf overfull");
+    for (uint16_t i = 0; i < page.count(); ++i) {
+      const Entry e = LeafGet(page, i);
+      if (i > 0 && !(LeafGet(page, i - 1) < e)) {
+        return Status::Internal("leaf entries out of order");
+      }
+      if (has_lo && e < lo) return Status::Internal("leaf entry below bound");
+      if (has_hi && !(e < hi)) {
+        return Status::Internal("leaf entry above bound");
+      }
+    }
+    // The left-to-right traversal order must match the sibling chain.
+    if (*prev_leaf != kInvalidPageId) {
+      MOPE_ASSIGN_OR_RETURN(PageGuard prev, pool_->Fetch(*prev_leaf));
+      if (prev.view().next() != page_id) {
+        return Status::Internal("broken leaf sibling chain");
+      }
+    }
+    *prev_leaf = page_id;
+    return Status::OK();
+  }
+
+  if (page.type() != PageType::kBTreeInternal) {
+    return Status::Internal("unexpected page type in B+-tree");
+  }
+  if (page.count() == 0 || page.count() > kInternalCap) {
+    return Status::Internal("internal node entry count out of range");
+  }
+  // Copy out the separators before recursing: the guard's pin is released
+  // so descents deep in a tiny pool cannot wedge on this frame.
+  std::vector<InternalEntry> entries;
+  entries.reserve(page.count());
+  for (uint16_t i = 0; i < page.count(); ++i) {
+    entries.push_back(InternalGet(page, i));
+    if (i > 0 && !(entries[i - 1].sep < entries[i].sep)) {
+      return Status::Internal("internal separators out of order");
+    }
+  }
+  const PageId leftmost = page.aux();
+  guard.Release();
+
+  MOPE_RETURN_NOT_OK(CheckNode(leftmost, depth + 1, leaf_depth, lo_key, lo_rid,
+                               has_lo, entries[0].sep.first,
+                               entries[0].sep.second, true, prev_leaf));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const bool last = i + 1 == entries.size();
+    MOPE_RETURN_NOT_OK(CheckNode(
+        entries[i].child, depth + 1, leaf_depth, entries[i].sep.first,
+        entries[i].sep.second, true,
+        last ? hi_key : entries[i + 1].sep.first,
+        last ? hi_rid : entries[i + 1].sep.second, last ? has_hi : true,
+        prev_leaf));
+  }
+  return Status::OK();
+}
+
+Status BTreeFile::CheckInvariants() {
+  int leaf_depth = -1;
+  PageId prev_leaf = kInvalidPageId;
+  MOPE_RETURN_NOT_OK(CheckNode(root_, 0, &leaf_depth, 0, 0, false, 0, 0, false,
+                               &prev_leaf));
+  // The last leaf must terminate the chain.
+  if (prev_leaf != kInvalidPageId) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard last, pool_->Fetch(prev_leaf));
+    if (last.view().next() != kInvalidPageId) {
+      return Status::Internal("leaf chain continues past the last leaf");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mope::storage

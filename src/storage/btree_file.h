@@ -1,0 +1,98 @@
+#ifndef MOPE_STORAGE_BTREE_FILE_H_
+#define MOPE_STORAGE_BTREE_FILE_H_
+
+/// \file btree_file.h
+/// Paged B+-tree from (uint64 ciphertext key, uint64 row id) pairs to row
+/// ids, with nodes stored in buffer-pool pages — the on-disk counterpart of
+/// engine::BPlusTree, mirroring its semantics (duplicate keys, composite
+/// (key, row_id) entry identity, leaf chain for range scans).
+///
+/// Page layouts:
+///   kBTreeLeaf:     payload = count entries of [u64 key][u64 row_id]
+///                   (16 B, 254 per page); `next` = right sibling.
+///   kBTreeInternal: payload = count entries of [u64 sep_key][u64 sep_rid]
+///                   [u64 child] (24 B, 169 per page); `aux` = leftmost
+///                   child. Child `entries[i].child` covers pairs >=
+///                   (sep_key, sep_rid)[i]; `aux` covers pairs below
+///                   entries[0].
+///
+/// Deletion is lazy: the entry is removed from its leaf but nodes are never
+/// merged or rebalanced, so leaves can run empty. Separators stay valid as
+/// ordering fences. The serving path is the in-memory tree; this structure
+/// exists for durability, so occupancy is traded for simplicity.
+///
+/// Index pages are NOT WAL-logged. After a clean checkpoint they are
+/// consistent on disk; after a crash, recovery rebuilds every index from
+/// the (logged, redone) heap instead of trusting possibly-torn index pages.
+/// That trade keeps multi-page split logging out of the WAL entirely — see
+/// DESIGN.md §9.
+///
+/// Not internally synchronized, same discipline as TableHeap.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace mope::storage {
+
+class BTreeFile {
+ public:
+  /// Opens an existing tree rooted at `root`, or creates an empty one
+  /// (single empty leaf) when `root` is kInvalidPageId. The root page id is
+  /// the engine's to persist; it can change on root splits — read it back
+  /// via root() when checkpointing.
+  static Result<std::unique_ptr<BTreeFile>> Open(BufferPool* pool,
+                                                 PageId root);
+
+  /// Inserts an entry. Precondition (as for engine::BPlusTree): the
+  /// (key, row_id) pair is not already present.
+  Status Insert(uint64_t key, uint64_t row_id);
+
+  /// Removes one entry matching (key, row_id); false when absent.
+  Result<bool> Erase(uint64_t key, uint64_t row_id);
+
+  /// Leaf pages touched by a scan — the I/O a disk-backed DBMS pays.
+  struct ScanStats {
+    size_t nodes_visited = 0;
+  };
+
+  /// Calls fn(key, row_id) for every entry with lo <= key <= hi in
+  /// ascending (key, row_id) order; returns the number visited. `stats`
+  /// accumulates when non-null.
+  Result<size_t> ScanRange(
+      uint64_t lo, uint64_t hi,
+      const std::function<void(uint64_t, uint64_t)>& fn,
+      ScanStats* stats = nullptr);
+
+  /// Counts entries in [lo, hi].
+  Result<size_t> CountRange(uint64_t lo, uint64_t hi);
+
+  /// Verifies ordering, uniform leaf depth, sibling links and entry counts
+  /// (no occupancy floor — deletion is lazy). Internal on violation.
+  Status CheckInvariants();
+
+  PageId root() const { return root_; }
+
+ private:
+  BTreeFile(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct Split;  // propagated (separator, new right page) from a child
+
+  Result<PageId> FindLeaf(uint64_t key, uint64_t row_id);
+  Status InsertRec(PageId page_id, uint64_t key, uint64_t row_id,
+                   std::unique_ptr<Split>* split);
+  Status CheckNode(PageId page_id, int depth, int* leaf_depth, uint64_t lo_key,
+                   uint64_t lo_rid, bool has_lo, uint64_t hi_key,
+                   uint64_t hi_rid, bool has_hi, PageId* prev_leaf);
+
+  BufferPool* const pool_;
+  PageId root_;
+};
+
+}  // namespace mope::storage
+
+#endif  // MOPE_STORAGE_BTREE_FILE_H_

@@ -1,0 +1,149 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+namespace mope::storage {
+
+namespace {
+
+obs::MetricsRegistry* OrGlobal(obs::MetricsRegistry* metrics) {
+  return metrics != nullptr ? metrics : obs::Registry();
+}
+
+}  // namespace
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
+                       EnsureDurable ensure_durable,
+                       obs::MetricsRegistry* metrics)
+    : disk_(disk),
+      ensure_durable_(std::move(ensure_durable)),
+      frames_(num_frames == 0 ? 1 : num_frames),
+      hits_(OrGlobal(metrics)->GetCounter("storage.pool.hits")),
+      misses_(OrGlobal(metrics)->GetCounter("storage.pool.misses")),
+      evictions_(OrGlobal(metrics)->GetCounter("storage.pool.evictions")),
+      writebacks_(OrGlobal(metrics)->GetCounter("storage.pool.writebacks")),
+      flushes_(OrGlobal(metrics)->GetCounter("storage.pool.flushes")) {}
+
+Status BufferPool::WriteBackLocked(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  // WAL-ahead: the log records that produced these bytes reach the medium
+  // before the bytes do.
+  MOPE_RETURN_NOT_OK(ensure_durable_(PageView(frame.data.get()).lsn()));
+  MOPE_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
+  frame.dirty = false;
+  writebacks_->Increment();
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::AcquireFrameLocked() {
+  if (next_fresh_frame_ < frames_.size()) {
+    const size_t idx = next_fresh_frame_++;
+    frames_[idx].data = std::make_unique<char[]>(kPageSize);
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool: all " +
+                            std::to_string(frames_.size()) +
+                            " frames pinned");
+  }
+  const size_t idx = lru_.front();
+  lru_.pop_front();
+  lru_pos_.erase(idx);
+  Frame& frame = frames_[idx];
+  MOPE_RETURN_NOT_OK(WriteBackLocked(frame));
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  evictions_->Increment();
+  return idx;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  MutexLock lock(&mutex_);
+  if (auto it = page_table_.find(id); it != page_table_.end()) {
+    const size_t idx = it->second;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count == 0) {
+      if (auto pos = lru_pos_.find(idx); pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+    }
+    ++frame.pin_count;
+    hits_->Increment();
+    return PageGuard(this, idx, id, frame.data.get());
+  }
+  MOPE_ASSIGN_OR_RETURN(size_t idx, AcquireFrameLocked());
+  Frame& frame = frames_[idx];
+  const Status read = disk_->ReadPage(id, frame.data.get());
+  if (!read.ok()) {
+    // The frame stays free-listed for the next acquirer.
+    lru_pos_[idx] = lru_.insert(lru_.begin(), idx);
+    return read;
+  }
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[id] = idx;
+  misses_->Increment();
+  return PageGuard(this, idx, id, frame.data.get());
+}
+
+Result<PageGuard> BufferPool::Create(PageType type) {
+  MutexLock lock(&mutex_);
+  MOPE_ASSIGN_OR_RETURN(size_t idx, AcquireFrameLocked());
+  const PageId id = disk_->AllocatePage();
+  Frame& frame = frames_[idx];
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  PageView(frame.data.get()).Format(type);
+  page_table_[id] = idx;
+  misses_->Increment();
+  return PageGuard(this, idx, id, frame.data.get());
+}
+
+Status BufferPool::FlushAll() {
+  MutexLock lock(&mutex_);
+  for (size_t idx = 0; idx < next_fresh_frame_; ++idx) {
+    Frame& frame = frames_[idx];
+    if (frame.page_id == kInvalidPageId) continue;
+    MOPE_RETURN_NOT_OK(WriteBackLocked(frame));
+  }
+  flushes_->Increment();
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame_idx, bool dirty) {
+  MutexLock lock(&mutex_);
+  Frame& frame = frames_[frame_idx];
+  MOPE_CHECK(frame.pin_count > 0, "unpin of an unpinned frame");
+  if (dirty) frame.dirty = true;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(frame_idx);
+    lru_pos_[frame_idx] = std::prev(lru_.end());
+  }
+}
+
+}  // namespace mope::storage

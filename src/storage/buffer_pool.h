@@ -1,0 +1,139 @@
+#ifndef MOPE_STORAGE_BUFFER_POOL_H_
+#define MOPE_STORAGE_BUFFER_POOL_H_
+
+/// \file buffer_pool.h
+/// Fixed-size page cache between the paged structures and the DiskManager:
+/// pinned frames, LRU replacement of unpinned ones, dirty write-back.
+///
+/// Callers obtain pages as PageGuard values — movable RAII pins. While a
+/// guard is alive its frame cannot be evicted and its bytes may be read or
+/// (after MarkDirty) written without holding any pool lock; the pin count
+/// is the synchronization statement. Dropping the guard unpins.
+///
+/// WAL-ahead: evicting or flushing a dirty frame first calls the
+/// `ensure_durable` callback with the page's header LSN, so every log
+/// record that produced the page's contents is on the medium before the
+/// page itself is. This is the rule that makes redo-from-the-log a
+/// complete story (see wal.h); the pool enforces it so no caller can
+/// forget.
+///
+/// Lock ranks: the pool's mutex (kStoragePool) is taken first and nests
+/// the WAL's (kStorageWal, via ensure_durable) and the disk's
+/// (kStorageDisk, via WritePage/ReadPage) inside it.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/registry.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace mope::storage {
+
+class BufferPool;
+
+/// RAII pin on one buffer-pool frame. Movable, not copyable. An invalid
+/// (default or moved-from) guard has data() == nullptr.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() const { return data_; }
+  PageView view() const { return PageView(data_); }
+
+  /// Declares that the caller wrote the page; write-back happens at
+  /// eviction or FlushAll, not here.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, PageId id, char* data)
+      : pool_(pool), frame_(frame), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+class BufferPool {
+ public:
+  /// `ensure_durable(lsn)` must make every WAL record with LSN <= lsn
+  /// durable (Wal::SyncTo). Pass a no-op returning OK when running without
+  /// a WAL (benches, tools). `metrics` may be null (global registry).
+  using EnsureDurable = std::function<Status(uint64_t lsn)>;
+  BufferPool(DiskManager* disk, size_t num_frames, EnsureDurable ensure_durable,
+             obs::MetricsRegistry* metrics);
+
+  /// Pins page `id`, reading it from disk on a miss (evicting an unpinned
+  /// frame if the pool is full). Internal error when every frame is pinned
+  /// (callers hold only O(1) pins, so that is a bug, not load).
+  Result<PageGuard> Fetch(PageId id) MOPE_EXCLUDES(mutex_);
+
+  /// Allocates a fresh page id, pins a frame for it and formats it as
+  /// `type`. The new page is born dirty.
+  Result<PageGuard> Create(PageType type) MOPE_EXCLUDES(mutex_);
+
+  /// Writes back every dirty resident frame (pinned ones included — the
+  /// caller quiesces writers first; checkpoint does). Does not sync the
+  /// page file; the checkpoint protocol does that after.
+  Status FlushAll() MOPE_EXCLUDES(mutex_);
+
+  size_t frame_count() const { return frames_.size(); }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  void Unpin(size_t frame, bool dirty) MOPE_EXCLUDES(mutex_);
+
+  /// Finds a frame to (re)use: a never-used one, else the LRU unpinned one
+  /// (writing it back if dirty). ResourceExhausted when all are pinned.
+  Result<size_t> AcquireFrameLocked() MOPE_REQUIRES(mutex_);
+  Status WriteBackLocked(Frame& frame) MOPE_REQUIRES(mutex_);
+
+  DiskManager* const disk_;
+  const EnsureDurable ensure_durable_;
+
+  mutable Mutex mutex_{lock_rank::kStoragePool};
+  std::vector<Frame> frames_ MOPE_GUARDED_BY(mutex_);
+  std::unordered_map<PageId, size_t> page_table_ MOPE_GUARDED_BY(mutex_);
+  /// Unpinned resident frames, least-recently-released first.
+  std::list<size_t> lru_ MOPE_GUARDED_BY(mutex_);
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      MOPE_GUARDED_BY(mutex_);
+  size_t next_fresh_frame_ MOPE_GUARDED_BY(mutex_) = 0;
+
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* writebacks_;
+  obs::Counter* flushes_;
+};
+
+}  // namespace mope::storage
+
+#endif  // MOPE_STORAGE_BUFFER_POOL_H_

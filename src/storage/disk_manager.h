@@ -1,0 +1,76 @@
+#ifndef MOPE_STORAGE_DISK_MANAGER_H_
+#define MOPE_STORAGE_DISK_MANAGER_H_
+
+/// \file disk_manager.h
+/// Page-granular file I/O over an Env file, with per-page checksums.
+///
+/// The DiskManager owns the page file (`pages.db` in a data directory) and
+/// is the only component that moves whole pages between memory and the
+/// medium. Every write stamps the page's CRC-32; every read verifies it and
+/// returns Corruption on mismatch — which is how torn pages are *detected*;
+/// WAL full-page images are how they are *repaired* (see wal.h).
+///
+/// Thread safety: guarded by its own mope::Mutex (rank kStorageDisk). In
+/// practice the BufferPool serializes access anyway, but the lock keeps the
+/// page-count bookkeeping safe for direct users (benches, recovery).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/registry.h"
+#include "storage/env.h"
+#include "storage/page.h"
+
+namespace mope::storage {
+
+class DiskManager {
+ public:
+  /// Opens (creating if absent) the page file at `path`. A file size that
+  /// is not a multiple of kPageSize — a crash mid-extension — is rounded
+  /// down; the torn tail page is rewritten by redo from its full-page image.
+  /// `metrics` may be null (falls back to the process-global registry).
+  static Result<std::unique_ptr<DiskManager>> Open(
+      Env* env, const std::string& path, obs::MetricsRegistry* metrics);
+
+  /// Reads page `id` into `out` (at least kPageSize bytes) and verifies its
+  /// checksum. Corruption on mismatch; OutOfRange past the end of the file.
+  Status ReadPage(PageId id, char* out) MOPE_EXCLUDES(mutex_);
+
+  /// Stamps the checksum into `page` (mutating it) and writes it out. Does
+  /// not sync; durability points are the caller's (checkpoint / WAL-ahead).
+  Status WritePage(PageId id, char* page) MOPE_EXCLUDES(mutex_);
+
+  /// Hands out the next page id. The file is extended lazily by the first
+  /// write; an allocated-but-never-written page does not survive a crash,
+  /// which is fine — redo re-allocates deterministically from the records.
+  PageId AllocatePage() MOPE_EXCLUDES(mutex_);
+
+  /// Ensures ids up to and including `id` are considered allocated (used by
+  /// recovery when redo records reference pages the meta didn't know yet).
+  void ReserveThrough(PageId id) MOPE_EXCLUDES(mutex_);
+
+  uint64_t page_count() MOPE_EXCLUDES(mutex_);
+
+  Status Sync() MOPE_EXCLUDES(mutex_);
+
+ private:
+  DiskManager(std::unique_ptr<RandomAccessFile> file, uint64_t pages,
+              obs::MetricsRegistry* metrics);
+
+  mutable Mutex mutex_{lock_rank::kStorageDisk};
+  std::unique_ptr<RandomAccessFile> file_ MOPE_GUARDED_BY(mutex_);
+  /// First never-handed-out page id; >= every page the file holds.
+  PageId next_page_ MOPE_GUARDED_BY(mutex_);
+
+  obs::Counter* page_reads_;
+  obs::Counter* page_writes_;
+  obs::Counter* syncs_;
+  obs::Counter* read_corruptions_;
+};
+
+}  // namespace mope::storage
+
+#endif  // MOPE_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,227 @@
+#include "storage/table_heap.h"
+
+#include <utility>
+
+namespace mope::storage {
+
+namespace heap_page {
+
+namespace {
+
+char* SlotEntry(PageView page, uint16_t slot) {
+  return page.data() + kPageSize - 4 * (static_cast<size_t>(slot) + 1);
+}
+
+}  // namespace
+
+void Init(PageView page) {
+  page.Format(PageType::kHeap);
+  page.set_aux(kPageHeaderSize);
+}
+
+bool HasRoom(PageView page, size_t record_size) {
+  const size_t free_begin = page.aux();
+  const size_t dir_begin = kPageSize - 4 * (static_cast<size_t>(page.count()) + 1);
+  return free_begin + record_size <= dir_begin;
+}
+
+uint16_t AppendSlot(PageView page, std::string_view record) {
+  const uint16_t slot = page.count();
+  const uint16_t offset = static_cast<uint16_t>(page.aux());
+  std::memcpy(page.data() + offset, record.data(), record.size());
+  char* entry = SlotEntry(page, slot);
+  StoreU16(entry, offset);
+  StoreU16(entry + 2, static_cast<uint16_t>(record.size()));
+  page.set_aux(offset + record.size());
+  page.set_count(slot + 1);
+  return slot;
+}
+
+Status UpdateSlot(PageView page, uint16_t slot, std::string_view record) {
+  if (slot >= page.count()) {
+    return Status::InvalidArgument("heap slot " + std::to_string(slot) +
+                                   " out of range");
+  }
+  char* entry = SlotEntry(page, slot);
+  const uint16_t offset = LoadU16(entry);
+  const uint16_t len = LoadU16(entry + 2);
+  if (record.size() > len) {
+    return Status::InvalidArgument(
+        "in-place heap update may not grow a record (" +
+        std::to_string(record.size()) + " > " + std::to_string(len) + ")");
+  }
+  std::memcpy(page.data() + offset, record.data(), record.size());
+  StoreU16(entry + 2, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+Result<std::string_view> ReadSlot(PageView page, uint16_t slot) {
+  if (slot >= page.count()) {
+    return Status::NotFound("heap slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  const char* entry = SlotEntry(page, slot);
+  const uint16_t offset = LoadU16(entry);
+  const uint16_t len = LoadU16(entry + 2);
+  if (offset < kPageHeaderSize || offset + static_cast<size_t>(len) > kPageSize) {
+    return Status::Corruption("heap slot points outside the page");
+  }
+  return std::string_view(page.data() + offset, len);
+}
+
+}  // namespace heap_page
+
+std::string EncodeHeapSlotPayload(PageId page_id, uint16_t slot,
+                                  std::string_view record) {
+  std::string out;
+  out.reserve(12 + record.size());
+  char buf[12];
+  StoreU64(buf, page_id);
+  StoreU16(buf + 8, slot);
+  StoreU16(buf + 10, static_cast<uint16_t>(record.size()));
+  out.append(buf, 12);
+  out.append(record);
+  return out;
+}
+
+Result<HeapSlotPayload> DecodeHeapSlotPayload(std::string_view payload) {
+  if (payload.size() < 12) {
+    return Status::Corruption("heap WAL record shorter than its header");
+  }
+  HeapSlotPayload p;
+  p.page_id = LoadU64(payload.data());
+  p.slot = LoadU16(payload.data() + 8);
+  const uint16_t len = LoadU16(payload.data() + 10);
+  if (payload.size() != 12 + static_cast<size_t>(len)) {
+    return Status::Corruption("heap WAL record length mismatch");
+  }
+  p.record = payload.substr(12);
+  return p;
+}
+
+std::string EncodeHeapLinkPayload(PageId page_id, PageId next) {
+  std::string out(16, '\0');
+  StoreU64(out.data(), page_id);
+  StoreU64(out.data() + 8, next);
+  return out;
+}
+
+Result<HeapLinkPayload> DecodeHeapLinkPayload(std::string_view payload) {
+  if (payload.size() != 16) {
+    return Status::Corruption("heap link WAL record must be 16 bytes");
+  }
+  return HeapLinkPayload{LoadU64(payload.data()), LoadU64(payload.data() + 8)};
+}
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Open(BufferPool* pool,
+                                                   WalLogger* log,
+                                                   PageId head) {
+  if (head == kInvalidPageId) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool->Create(PageType::kHeap));
+    heap_page::Init(guard.view());
+    guard.MarkDirty();
+    // Image-log the empty head right away: the engine's create-table WAL
+    // record will reference this page id, so redo must be able to
+    // materialize the page even if it was never flushed before the crash.
+    MOPE_RETURN_NOT_OK(log->LogImageIfFirst(guard));
+    const PageId id = guard.id();
+    return std::unique_ptr<TableHeap>(new TableHeap(pool, log, id, id));
+  }
+  PageId tail = head;
+  for (;;) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(tail));
+    if (guard.view().type() != PageType::kHeap) {
+      return Status::Corruption("heap chain page " + std::to_string(tail) +
+                                " is not a heap page");
+    }
+    const PageId next = guard.view().next();
+    if (next == kInvalidPageId) break;
+    tail = next;
+  }
+  return std::unique_ptr<TableHeap>(new TableHeap(pool, log, head, tail));
+}
+
+Result<RecordId> TableHeap::Append(std::string_view record) {
+  if (record.size() > heap_page::kMaxRecordSize) {
+    return Status::InvalidArgument("record of " +
+                                   std::to_string(record.size()) +
+                                   " bytes exceeds one heap page");
+  }
+  MOPE_ASSIGN_OR_RETURN(PageGuard tail, pool_->Fetch(tail_));
+  if (!heap_page::HasRoom(tail.view(), record.size())) {
+    // Grow the chain: new tail page, then re-link the old tail. Both
+    // modifications are WAL-logged (image-first) before they land.
+    MOPE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->Create(PageType::kHeap));
+    heap_page::Init(fresh.view());
+    MOPE_RETURN_NOT_OK(log_->LogImageIfFirst(fresh));
+    MOPE_RETURN_NOT_OK(log_->LogImageIfFirst(tail));
+    MOPE_ASSIGN_OR_RETURN(
+        uint64_t link_lsn,
+        log_->Log(WalRecordType::kHeapLink,
+                  EncodeHeapLinkPayload(tail.id(), fresh.id())));
+    tail.view().set_next(fresh.id());
+    tail.view().set_lsn(link_lsn);
+    tail.MarkDirty();
+    fresh.MarkDirty();
+    tail_ = fresh.id();
+    tail = std::move(fresh);
+  }
+  MOPE_RETURN_NOT_OK(log_->LogImageIfFirst(tail));
+  const uint16_t slot = tail.view().count();
+  MOPE_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      log_->Log(WalRecordType::kHeapAppend,
+                EncodeHeapSlotPayload(tail.id(), slot, record)));
+  heap_page::AppendSlot(tail.view(), record);
+  tail.view().set_lsn(lsn);
+  tail.MarkDirty();
+  return RecordId{tail.id(), slot};
+}
+
+Status TableHeap::Update(RecordId rid, std::string_view record) {
+  MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page_id));
+  // Validate before logging: a record that cannot be applied must not
+  // reach the log (redo would trip over it).
+  MOPE_ASSIGN_OR_RETURN(std::string_view existing,
+                        heap_page::ReadSlot(guard.view(), rid.slot));
+  if (record.size() > existing.size()) {
+    return Status::InvalidArgument(
+        "in-place heap update may not grow a record (" +
+        std::to_string(record.size()) + " > " +
+        std::to_string(existing.size()) + ")");
+  }
+  MOPE_RETURN_NOT_OK(log_->LogImageIfFirst(guard));
+  MOPE_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      log_->Log(WalRecordType::kHeapUpdate,
+                EncodeHeapSlotPayload(rid.page_id, rid.slot, record)));
+  MOPE_RETURN_NOT_OK(heap_page::UpdateSlot(guard.view(), rid.slot, record));
+  guard.view().set_lsn(lsn);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<std::string> TableHeap::Read(RecordId rid) {
+  MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page_id));
+  MOPE_ASSIGN_OR_RETURN(std::string_view bytes,
+                        heap_page::ReadSlot(guard.view(), rid.slot));
+  return std::string(bytes);
+}
+
+Status TableHeap::Scan(
+    const std::function<Status(RecordId, std::string_view)>& fn) const {
+  PageId page_id = head_;
+  while (page_id != kInvalidPageId) {
+    MOPE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page_id));
+    const uint16_t count = guard.view().count();
+    for (uint16_t slot = 0; slot < count; ++slot) {
+      MOPE_ASSIGN_OR_RETURN(std::string_view bytes,
+                            heap_page::ReadSlot(guard.view(), slot));
+      MOPE_RETURN_NOT_OK(fn(RecordId{page_id, slot}, bytes));
+    }
+    page_id = guard.view().next();
+  }
+  return Status::OK();
+}
+
+}  // namespace mope::storage

@@ -1,0 +1,132 @@
+#ifndef MOPE_STORAGE_TABLE_HEAP_H_
+#define MOPE_STORAGE_TABLE_HEAP_H_
+
+/// \file table_heap.h
+/// Slotted record pages chained into a per-table heap file.
+///
+/// Page payload layout (PageType::kHeap):
+///
+///   [kPageHeaderSize ... aux)                 record cells, growing up
+///   [aux ... kPageSize - 4*count)             free space
+///   [kPageSize - 4*count ... kPageSize)       slot directory, growing down
+///
+/// The header's `aux` field is the free-space offset; slot directory entry
+/// i (counted from the page end) is [u16 cell_offset][u16 length]. Records
+/// are never deleted (rows in this engine are append-only; the MOPE key
+/// rotation rewrites ciphertexts in place), so there are no tombstones and
+/// RecordIds are stable forever. In-place updates may shrink a record but
+/// never grow it — the only production updater is the rotation path, whose
+/// int64 ciphertext encoding is the same 9 bytes before and after.
+///
+/// Durability: every mutation logs its WAL record *before* touching the
+/// page (via WalLogger, which also emits the once-per-epoch page image) and
+/// stamps the record's LSN into the page header. The redo side lives in
+/// storage_engine.cc and reuses the same heap_page primitives below.
+///
+/// The cells hold serialized rows of MOPE ciphertexts — the trust boundary
+/// puts nothing but ciphertext and structure on these pages.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/wal_logger.h"
+
+namespace mope::storage {
+
+/// Stable address of one record: (page, slot index on that page).
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+/// Primitives over one slotted heap page. Pure page-buffer manipulation —
+/// no logging, no pool — shared by the forward path (TableHeap) and redo
+/// (StorageEngine).
+namespace heap_page {
+
+/// Largest record a single (empty) page can hold.
+inline constexpr size_t kMaxRecordSize = PageView::payload_size() - 4;
+
+void Init(PageView page);
+bool HasRoom(PageView page, size_t record_size);
+
+/// Appends `record` as slot `count()`; returns the slot index.
+/// Precondition: HasRoom.
+uint16_t AppendSlot(PageView page, std::string_view record);
+
+/// Rewrites slot `slot` in place. The record must not be larger than the
+/// slot's current length (InvalidArgument otherwise).
+Status UpdateSlot(PageView page, uint16_t slot, std::string_view record);
+
+/// The bytes of slot `slot` (a view into the page buffer).
+Result<std::string_view> ReadSlot(PageView page, uint16_t slot);
+
+}  // namespace heap_page
+
+/// WAL payload codecs for the heap record types (shared with redo).
+std::string EncodeHeapSlotPayload(PageId page_id, uint16_t slot,
+                                  std::string_view record);
+struct HeapSlotPayload {
+  PageId page_id;
+  uint16_t slot;
+  std::string_view record;
+};
+Result<HeapSlotPayload> DecodeHeapSlotPayload(std::string_view payload);
+std::string EncodeHeapLinkPayload(PageId page_id, PageId next);
+struct HeapLinkPayload {
+  PageId page_id;
+  PageId next;
+};
+Result<HeapLinkPayload> DecodeHeapLinkPayload(std::string_view payload);
+
+/// One table's chain of heap pages. Not internally synchronized: callers
+/// serialize writes the way they serialize Table mutations (the engine's
+/// existing discipline); concurrent reads through the pool are fine.
+class TableHeap {
+ public:
+  /// Opens an existing chain rooted at `head` (walking it to find the
+  /// tail), or — when `head` is kInvalidPageId — creates the first page.
+  /// The head page id is the engine's to persist (catalog meta).
+  static Result<std::unique_ptr<TableHeap>> Open(BufferPool* pool,
+                                                 WalLogger* log, PageId head);
+
+  /// Appends a record, growing the chain when the tail is full. Returns the
+  /// record's stable id.
+  Result<RecordId> Append(std::string_view record);
+
+  /// Rewrites a record in place (same size or smaller — see file comment).
+  Status Update(RecordId rid, std::string_view record);
+
+  /// Copies out one record.
+  Result<std::string> Read(RecordId rid);
+
+  /// Visits every record in chain-then-slot order (the order Append
+  /// produced them).
+  Status Scan(
+      const std::function<Status(RecordId, std::string_view)>& fn) const;
+
+  PageId head() const { return head_; }
+
+ private:
+  TableHeap(BufferPool* pool, WalLogger* log, PageId head, PageId tail)
+      : pool_(pool), log_(log), head_(head), tail_(tail) {}
+
+  BufferPool* const pool_;
+  WalLogger* const log_;
+  PageId head_;
+  PageId tail_;
+};
+
+}  // namespace mope::storage
+
+#endif  // MOPE_STORAGE_TABLE_HEAP_H_

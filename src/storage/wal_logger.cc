@@ -1,0 +1,34 @@
+#include "storage/wal_logger.h"
+
+#include <string>
+
+namespace mope::storage {
+
+Status WalLogger::LogImageIfFirst(const PageGuard& guard) {
+  if (wal_ == nullptr) return Status::OK();
+  // The epoch lock is held across the append (rank 53 < 54 permits it) so
+  // no concurrent writer can slip a logical record in front of the image.
+  MutexLock lock(&mutex_);
+  if (imaged_.count(guard.id()) != 0) return Status::OK();
+  std::string payload;
+  payload.reserve(8 + kPageSize);
+  char id_bytes[8];
+  StoreU64(id_bytes, guard.id());
+  payload.append(id_bytes, 8);
+  payload.append(guard.data(), kPageSize);
+  MOPE_RETURN_NOT_OK(wal_->Append(WalRecordType::kPageImage, payload).status());
+  imaged_.insert(guard.id());
+  return Status::OK();
+}
+
+Result<uint64_t> WalLogger::Log(WalRecordType type, std::string_view payload) {
+  if (wal_ == nullptr) return uint64_t{0};
+  return wal_->Append(type, payload);
+}
+
+void WalLogger::ResetEpoch() {
+  MutexLock lock(&mutex_);
+  imaged_.clear();
+}
+
+}  // namespace mope::storage

@@ -1,0 +1,63 @@
+#ifndef MOPE_STORAGE_WAL_LOGGER_H_
+#define MOPE_STORAGE_WAL_LOGGER_H_
+
+/// \file wal_logger.h
+/// The paged structures' writing interface to the WAL: record append plus
+/// full-page-write (FPW) tracking.
+///
+/// Torn-page story: a page write the power interrupts fails its checksum on
+/// the next read, and no byte of it can be trusted — so redo cannot start
+/// from the on-disk page. Instead, the *first* time a page is modified in a
+/// checkpoint epoch, its current (pre-modification) bytes are logged as a
+/// kPageImage record; every later modification logs only its small logical
+/// record. Redo restores the image verbatim and replays the records after
+/// it in LSN order, so the page is reconstructed without reading the
+/// (possibly torn) on-disk copy at all. A checkpoint flushes everything and
+/// starts a new epoch (ResetEpoch), so images are paid once per page per
+/// epoch.
+///
+/// A WalLogger with a null Wal is a valid no-durability mode (benches and
+/// tools that want the paged structures without a log): Log returns LSN 0
+/// and images are skipped.
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/wal.h"
+
+namespace mope::storage {
+
+class WalLogger {
+ public:
+  /// `wal` may be null: no-durability mode.
+  explicit WalLogger(Wal* wal) : wal_(wal) {}
+
+  /// Call before the first byte of `guard`'s page is modified. Logs the
+  /// page's current bytes as a kPageImage record once per epoch.
+  Status LogImageIfFirst(const PageGuard& guard) MOPE_EXCLUDES(mutex_);
+
+  /// Appends a logical record; returns its LSN (0 in no-durability mode).
+  Result<uint64_t> Log(WalRecordType type, std::string_view payload)
+      MOPE_EXCLUDES(mutex_);
+
+  /// Starts a new FPW epoch. Called by the checkpoint after everything the
+  /// old epoch touched is flushed and the log is truncated.
+  void ResetEpoch() MOPE_EXCLUDES(mutex_);
+
+  Wal* wal() const { return wal_; }
+
+ private:
+  Wal* const wal_;
+  mutable Mutex mutex_{lock_rank::kStorageEpoch};
+  /// Pages whose image is already in the log this epoch.
+  std::unordered_set<PageId> imaged_ MOPE_GUARDED_BY(mutex_);
+};
+
+}  // namespace mope::storage
+
+#endif  // MOPE_STORAGE_WAL_LOGGER_H_

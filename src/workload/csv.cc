@@ -2,8 +2,9 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
+
+#include "storage/env.h"
 
 namespace mope::workload {
 
@@ -167,25 +168,15 @@ std::string WriteCsv(const engine::Schema& schema,
 
 Result<std::vector<engine::Row>> LoadCsvFile(const engine::Schema& schema,
                                              const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open '" + path + "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(schema, buffer.str());
+  MOPE_ASSIGN_OR_RETURN(std::string text,
+                        storage::Env::Posix()->ReadFile(path));
+  return ParseCsv(schema, text);
 }
 
 Status SaveCsvFile(const engine::Schema& schema,
                    const std::vector<engine::Row>& rows,
                    const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::InvalidArgument("cannot write '" + path + "'");
-  }
-  out << WriteCsv(schema, rows);
-  return out.good() ? Status::OK()
-                    : Status::Internal("short write to '" + path + "'");
+  return storage::Env::Posix()->WriteFileAtomic(path, WriteCsv(schema, rows));
 }
 
 }  // namespace mope::workload

@@ -1,0 +1,297 @@
+#include "engine/durability.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "engine/server.h"
+#include "engine/snapshot.h"
+#include "engine/table.h"
+#include "obs/registry.h"
+#include "storage/env.h"
+
+namespace mope::engine {
+namespace {
+
+DurableCatalog::Options TestOptions(storage::Env* env,
+                                    obs::MetricsRegistry* metrics) {
+  DurableCatalog::Options options;
+  options.env = env;
+  options.metrics = metrics;
+  options.pool_frames = 16;
+  options.wal_sync_every = 1;  // every mutation commits before returning
+  return options;
+}
+
+Schema ItemsSchema() {
+  return Schema({Column{"c", ValueType::kInt},
+                 Column{"label", ValueType::kString}});
+}
+
+Status FillItems(Table* table, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    MOPE_RETURN_NOT_OK(
+        table->Insert({i * 11 % 257, "item " + std::to_string(i)}).status());
+  }
+  return Status::OK();
+}
+
+void ExpectItemsEqual(const Catalog& catalog, int64_t n) {
+  auto table = catalog.GetTable("items");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ((*table)->row_count(), static_cast<uint64_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const Row& row = (*table)->row(static_cast<RowId>(i));
+    EXPECT_EQ(row[0], Value(i * 11 % 257)) << i;
+    EXPECT_EQ(row[1], Value("item " + std::to_string(i))) << i;
+  }
+}
+
+TEST(DurableCatalogTest, CrashRecoveryRestoresRowsAndIndexes) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    EXPECT_FALSE((*durable)->recovered_from_crash());
+    auto table = catalog.CreateTable("items", ItemsSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(FillItems(*table, 300).ok());
+    ASSERT_TRUE((*table)->CreateIndex("c").ok());
+    // No checkpoint, no clean shutdown: kill -9.
+  }
+  env.SimulateCrash();
+
+  Catalog recovered;
+  auto durable = DurableCatalog::Open("/db", &recovered,
+                                      TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_TRUE((*durable)->recovered_from_crash());
+  ExpectItemsEqual(recovered, 300);
+
+  auto table = recovered.GetTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->HasIndex("c"));
+  auto index = (*table)->GetIndex("c");
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE((*index)->CheckInvariants().ok());
+  // The index answers queries over the recovered rows.
+  EXPECT_EQ((*index)->CountRange(0, 256), 300u);
+}
+
+TEST(DurableCatalogTest, MutationsAfterRecoveryKeepWorking) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok());
+    auto table = catalog.CreateTable("items", ItemsSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(FillItems(*table, 50).ok());
+  }
+  env.SimulateCrash();
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok());
+    auto table = catalog.GetTable("items");
+    ASSERT_TRUE(table.ok());
+    // Keep writing through the re-installed hooks, then crash again.
+    for (int64_t i = 50; i < 80; ++i) {
+      ASSERT_TRUE(
+          (*table)->Insert({i * 11 % 257, "item " + std::to_string(i)}).ok());
+    }
+  }
+  env.SimulateCrash();
+  Catalog final_catalog;
+  auto durable = DurableCatalog::Open("/db", &final_catalog,
+                                      TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ExpectItemsEqual(final_catalog, 80);
+}
+
+TEST(DurableCatalogTest, CheckpointMakesReopenClean) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok());
+    auto table = catalog.CreateTable("items", ItemsSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(FillItems(*table, 200).ok());
+    ASSERT_TRUE((*table)->CreateIndex("c").ok());
+    ASSERT_TRUE((*durable)->Checkpoint().ok());
+  }
+  env.SimulateCrash();
+
+  Catalog recovered;
+  auto durable = DurableCatalog::Open("/db", &recovered,
+                                      TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  // Clean reopen: nothing replayed, paged indexes reopened from their
+  // checkpointed roots rather than rebuilt.
+  EXPECT_FALSE((*durable)->recovered_from_crash());
+  ExpectItemsEqual(recovered, 200);
+  auto table = recovered.GetTable("items");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->HasIndex("c"));
+  EXPECT_EQ((*(*table)->GetIndex("c"))->CountRange(0, 256), 200u);
+}
+
+TEST(DurableCatalogTest, UpdateValueSurvivesCrash) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok());
+    auto table = catalog.CreateTable("items", ItemsSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(FillItems(*table, 20).ok());
+    ASSERT_TRUE((*table)->CreateIndex("c").ok());
+    // The key-rotation pattern: rewrite a ciphertext in place.
+    ASSERT_TRUE((*table)->UpdateValue(7, 0, Value(int64_t{9999})).ok());
+  }
+  env.SimulateCrash();
+
+  Catalog recovered;
+  auto durable = DurableCatalog::Open("/db", &recovered,
+                                      TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  auto table = recovered.GetTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row(7)[0], Value(int64_t{9999}));
+  auto index = (*table)->GetIndex("c");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->CountRange(9999, 9999), 1u);
+}
+
+TEST(DurableCatalogTest, DropTableSurvivesCrash) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok());
+    auto keep = catalog.CreateTable("keep", ItemsSchema());
+    auto drop = catalog.CreateTable("doomed", ItemsSchema());
+    ASSERT_TRUE(keep.ok() && drop.ok());
+    ASSERT_TRUE(FillItems(*keep, 10).ok());
+    ASSERT_TRUE(FillItems(*drop, 10).ok());
+    ASSERT_TRUE(catalog.DropTable("doomed").ok());
+  }
+  env.SimulateCrash();
+  Catalog recovered;
+  auto durable = DurableCatalog::Open("/db", &recovered,
+                                      TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_TRUE(recovered.GetTable("keep").ok());
+  EXPECT_TRUE(recovered.GetTable("doomed").status().IsNotFound());
+}
+
+TEST(DurableCatalogTest, OpenRequiresEmptyCatalog) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("preexisting", ItemsSchema()).ok());
+  auto durable =
+      DurableCatalog::Open("/db", &catalog, TestOptions(&env, &metrics));
+  EXPECT_FALSE(durable.ok());
+}
+
+TEST(DurableCatalogTest, StorageMetricsLandInProvidedRegistry) {
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  Catalog catalog;
+  auto durable =
+      DurableCatalog::Open("/db", &catalog, TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok());
+  auto table = catalog.CreateTable("items", ItemsSchema());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(FillItems(*table, 100).ok());
+  EXPECT_GT(metrics.GetCounter("storage.wal.records")->Value(), 0u);
+  EXPECT_GT(metrics.GetCounter("storage.wal.bytes")->Value(), 0u);
+}
+
+TEST(DbServerStorageTest, OpenStorageRecoversServedData) {
+  storage::InMemEnv env;
+  {
+    DbServer server;
+    EXPECT_FALSE(server.has_storage());
+    DurableCatalog::Options options;
+    options.env = &env;
+    options.wal_sync_every = 1;
+    ASSERT_TRUE(server.OpenStorage("/db", options).ok());
+    EXPECT_TRUE(server.has_storage());
+    auto table = server.catalog()->CreateTable("items", ItemsSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(FillItems(*table, 40).ok());
+    ASSERT_TRUE((*table)->CreateIndex("c").ok());
+    ASSERT_TRUE(server.SyncStorage().ok());
+    // Double-attach is rejected.
+    EXPECT_FALSE(server.OpenStorage("/db", options).ok());
+  }
+  env.SimulateCrash();
+
+  DbServer server;
+  DurableCatalog::Options options;
+  options.env = &env;
+  ASSERT_TRUE(server.OpenStorage("/db", options).ok());
+  ASSERT_TRUE(server.durable_catalog() != nullptr);
+  EXPECT_TRUE(server.durable_catalog()->recovered_from_crash());
+  ExpectItemsEqual(*server.catalog(), 40);
+  // The recovered server answers range queries over the rebuilt index.
+  auto rows = server.ExecuteRangeBatch(
+      "items", "c", {ModularInterval(0, 257, 1024)});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 40u);
+  ASSERT_TRUE(server.CheckpointStorage().ok());
+}
+
+TEST(DbServerStorageTest, StorageCallsWithoutAttachFail) {
+  DbServer server;
+  EXPECT_TRUE(server.CheckpointStorage().IsInvalidArgument());
+  EXPECT_TRUE(server.SyncStorage().IsInvalidArgument());
+  EXPECT_EQ(server.durable_catalog(), nullptr);
+}
+
+TEST(DurableCatalogTest, ImportCatalogFlowsThroughHooks) {
+  // The --data-dir bootstrap path: a snapshot-loaded catalog replayed into
+  // a storage-backed one must be durable.
+  Catalog source;
+  auto src_table = source.CreateTable("items", ItemsSchema());
+  ASSERT_TRUE(src_table.ok());
+  ASSERT_TRUE(FillItems(*src_table, 60).ok());
+  ASSERT_TRUE((*src_table)->CreateIndex("c").ok());
+
+  storage::InMemEnv env;
+  obs::MetricsRegistry metrics;
+  {
+    Catalog catalog;
+    auto durable = DurableCatalog::Open("/db", &catalog,
+                                        TestOptions(&env, &metrics));
+    ASSERT_TRUE(durable.ok());
+    ASSERT_TRUE(ImportCatalog(source, &catalog).ok());
+  }
+  env.SimulateCrash();
+
+  Catalog recovered;
+  auto durable = DurableCatalog::Open("/db", &recovered,
+                                      TestOptions(&env, &metrics));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ExpectItemsEqual(recovered, 60);
+  EXPECT_TRUE((*recovered.GetTable("items"))->HasIndex("c"));
+}
+
+}  // namespace
+}  // namespace mope::engine

@@ -75,6 +75,40 @@ TEST(SnapshotTest, RejectsTrailingGarbage) {
       DeserializeCatalog(*bytes + "extra").status().IsCorruption());
 }
 
+TEST(SnapshotTest, SaveIsAtomicUnderWriteFailure) {
+  storage::InMemEnv base;
+  storage::FaultyEnv env(&base);
+  const Catalog original = MakeCatalog();
+  ASSERT_TRUE(SaveCatalog(original, "/snap", &env).ok());
+
+  // Every subsequent write fails (torn, even): the failed save must leave
+  // the previous snapshot byte-for-byte intact — never a prefix.
+  Catalog bigger = MakeCatalog();
+  ASSERT_TRUE((*bigger.GetTable("items"))->Insert({1, 2.0, "extra"}).ok());
+  storage::FaultyEnv::Faults faults;
+  faults.fail_after_writes = 0;
+  faults.torn = true;
+  env.set_faults(faults);
+  EXPECT_FALSE(SaveCatalog(bigger, "/snap", &env).ok());
+
+  faults = storage::FaultyEnv::Faults{};
+  env.set_faults(faults);
+  auto restored = LoadCatalog("/snap", &env);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored->GetTable("items"))->row_count(), 200u);
+}
+
+TEST(SnapshotTest, SaveSurvivesCrashWhole) {
+  storage::InMemEnv env;
+  ASSERT_TRUE(SaveCatalog(MakeCatalog(), "/snap", &env).ok());
+  // kill -9 right after the save returns: the rename already happened and
+  // was made durable by SaveCatalog itself, not a later sync.
+  env.SimulateCrash();
+  auto restored = LoadCatalog("/snap", &env);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored->GetTable("items"))->row_count(), 200u);
+}
+
 TEST(SnapshotTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/mope_snapshot_test.bin";
   ASSERT_TRUE(SaveCatalog(MakeCatalog(), path).ok());

@@ -1,0 +1,192 @@
+#include "storage/btree_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/registry.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/env.h"
+
+namespace mope::storage {
+namespace {
+
+struct TreeFixture {
+  InMemEnv env;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> pool;
+
+  explicit TreeFixture(size_t frames = 64) {
+    auto dm = DiskManager::Open(&env, "/pages", &metrics);
+    EXPECT_TRUE(dm.ok());
+    disk = std::move(dm).value();
+    pool = std::make_unique<BufferPool>(
+        disk.get(), frames, [](uint64_t) { return Status::OK(); }, &metrics);
+  }
+};
+
+std::vector<std::pair<uint64_t, uint64_t>> CollectRange(BTreeFile* tree,
+                                                        uint64_t lo,
+                                                        uint64_t hi) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  auto n = tree->ScanRange(
+      lo, hi, [&out](uint64_t k, uint64_t r) { out.emplace_back(k, r); });
+  EXPECT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, out.size());
+  return out;
+}
+
+TEST(BTreeFileTest, EmptyTreeScansNothing) {
+  TreeFixture f;
+  auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_TRUE(CollectRange(tree->get(), 0, ~uint64_t{0}).empty());
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST(BTreeFileTest, InsertScanAgainstReference) {
+  TreeFixture f;
+  auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(0xB7EE);
+  std::vector<std::pair<uint64_t, uint64_t>> reference;
+  for (uint64_t rid = 0; rid < 3000; ++rid) {
+    const uint64_t key = rng.UniformUint64(500);  // heavy duplication
+    ASSERT_TRUE((*tree)->Insert(key, rid).ok()) << rid;
+    reference.emplace_back(key, rid);
+  }
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  std::sort(reference.begin(), reference.end());
+
+  EXPECT_EQ(CollectRange(tree->get(), 0, ~uint64_t{0}), reference);
+
+  // Sub-ranges, including empty and single-key ones.
+  for (auto [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {100, 200}, {0, 0}, {499, 499}, {500, 900}, {250, 250}}) {
+    std::vector<std::pair<uint64_t, uint64_t>> expect;
+    for (const auto& e : reference) {
+      if (e.first >= lo && e.first <= hi) expect.push_back(e);
+    }
+    EXPECT_EQ(CollectRange(tree->get(), lo, hi), expect) << lo << ".." << hi;
+    auto count = (*tree)->CountRange(lo, hi);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, expect.size());
+  }
+}
+
+TEST(BTreeFileTest, SequentialAndReverseInsertsSplitCorrectly) {
+  for (const bool reverse : {false, true}) {
+    TreeFixture f;
+    auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+    ASSERT_TRUE(tree.ok());
+    const uint64_t n = 2000;  // several leaf splits + root split
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t key = reverse ? n - 1 - i : i;
+      ASSERT_TRUE((*tree)->Insert(key, key).ok()) << key;
+    }
+    ASSERT_TRUE((*tree)->CheckInvariants().ok()) << "reverse=" << reverse;
+    auto all = CollectRange(tree->get(), 0, ~uint64_t{0});
+    ASSERT_EQ(all.size(), n);
+    for (uint64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(all[i].first, i);
+    }
+  }
+}
+
+TEST(BTreeFileTest, EraseRemovesExactlyOneEntry) {
+  TreeFixture f;
+  auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t rid = 0; rid < 10; ++rid) {
+    ASSERT_TRUE((*tree)->Insert(42, rid).ok());
+  }
+  auto erased = (*tree)->Erase(42, 5);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_TRUE(*erased);
+  auto missing = (*tree)->Erase(42, 5);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(*missing);
+  EXPECT_FALSE(*(*tree)->Erase(99, 0));
+
+  auto rest = CollectRange(tree->get(), 42, 42);
+  ASSERT_EQ(rest.size(), 9u);
+  for (const auto& e : rest) EXPECT_NE(e.second, 5u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST(BTreeFileTest, LazyDeletionToleratesEmptyLeaves) {
+  TreeFixture f;
+  auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 1500; ++i) {
+    ASSERT_TRUE((*tree)->Insert(i, i).ok());
+  }
+  // Drain a whole key region: some leaves go empty, none are merged.
+  for (uint64_t i = 300; i < 900; ++i) {
+    ASSERT_TRUE((*tree)->Erase(i, i).ok());
+  }
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  EXPECT_EQ(*(*tree)->CountRange(0, 1499), 900u);
+  EXPECT_EQ(*(*tree)->CountRange(300, 899), 0u);
+  EXPECT_EQ(CollectRange(tree->get(), 250, 950).size(), 101u);
+}
+
+TEST(BTreeFileTest, ReopenFromRootSeesEverything) {
+  TreeFixture f;
+  PageId root;
+  {
+    auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+    ASSERT_TRUE(tree.ok());
+    for (uint64_t i = 0; i < 1000; ++i) {
+      ASSERT_TRUE((*tree)->Insert(i * 3, i).ok());
+    }
+    root = (*tree)->root();
+  }
+  auto tree = BTreeFile::Open(f.pool.get(), root);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+  EXPECT_EQ(*(*tree)->CountRange(0, 3000), 1000u);
+  ASSERT_TRUE((*tree)->Insert(1, 12345).ok());
+  EXPECT_EQ(*(*tree)->CountRange(0, 3000), 1001u);
+}
+
+TEST(BTreeFileTest, ScanStatsCountLeafPages) {
+  TreeFixture f;
+  auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*tree)->Insert(i, i).ok());
+  }
+  BTreeFile::ScanStats stats;
+  auto n = (*tree)->ScanRange(0, 1999, [](uint64_t, uint64_t) {}, &stats);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2000u);
+  // 254 entries per leaf: a full scan touches at least ceil(2000/254) = 8.
+  EXPECT_GE(stats.nodes_visited, 8u);
+  // A point scan touches far fewer leaves than a full scan.
+  BTreeFile::ScanStats point;
+  ASSERT_TRUE((*tree)->ScanRange(17, 17, [](uint64_t, uint64_t) {}, &point).ok());
+  EXPECT_LT(point.nodes_visited, stats.nodes_visited);
+}
+
+TEST(BTreeFileTest, WorksThroughTinyPool) {
+  // 8 frames is the supported floor: descents + splits must never hold more
+  // pins than that.
+  TreeFixture f(8);
+  auto tree = BTreeFile::Open(f.pool.get(), kInvalidPageId);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(0x71AE);
+  for (uint64_t rid = 0; rid < 4000; ++rid) {
+    ASSERT_TRUE((*tree)->Insert(rng.UniformUint64(1u << 20), rid).ok()) << rid;
+  }
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  EXPECT_EQ(*(*tree)->CountRange(0, ~uint64_t{0}), 4000u);
+}
+
+}  // namespace
+}  // namespace mope::storage

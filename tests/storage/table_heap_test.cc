@@ -1,0 +1,168 @@
+#include "storage/table_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+#include "storage/wal_logger.h"
+
+namespace mope::storage {
+namespace {
+
+struct HeapFixture {
+  InMemEnv env;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<Wal> wal;
+  std::unique_ptr<WalLogger> logger;
+  std::unique_ptr<BufferPool> pool;
+
+  explicit HeapFixture(size_t frames = 16) {
+    auto dm = DiskManager::Open(&env, "/pages", &metrics);
+    EXPECT_TRUE(dm.ok());
+    disk = std::move(dm).value();
+    auto w = Wal::Open(&env, "/wal", 1, 0, &metrics);
+    EXPECT_TRUE(w.ok());
+    wal = std::move(w).value();
+    logger = std::make_unique<WalLogger>(wal.get());
+    Wal* wal_ptr = wal.get();
+    pool = std::make_unique<BufferPool>(
+        disk.get(), frames,
+        [wal_ptr](uint64_t lsn) { return wal_ptr->SyncTo(lsn); }, &metrics);
+  }
+};
+
+TEST(TableHeapTest, AppendReadRoundTrip) {
+  HeapFixture f;
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+  ASSERT_TRUE(heap.ok()) << heap.status();
+  auto rid = (*heap)->Append("ciphertext row bytes");
+  ASSERT_TRUE(rid.ok());
+  auto back = (*heap)->Read(*rid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "ciphertext row bytes");
+}
+
+TEST(TableHeapTest, ChainGrowsAcrossManyPages) {
+  HeapFixture f(4);  // smaller than the chain: forces real paging
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+  ASSERT_TRUE(heap.ok());
+  const std::string record(600, 'x');  // ~6 per page
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 100; ++i) {
+    auto rid = (*heap)->Append(record + std::to_string(i));
+    ASSERT_TRUE(rid.ok()) << i << ": " << rid.status();
+    rids.push_back(*rid);
+  }
+  // Multiple distinct pages were used.
+  EXPECT_GT(rids.back().page_id, rids.front().page_id);
+  // Scan visits every record in append order.
+  size_t i = 0;
+  Status scan = (*heap)->Scan([&](RecordId rid, std::string_view bytes) {
+    EXPECT_EQ(rid, rids[i]) << i;
+    EXPECT_EQ(bytes, record + std::to_string(i));
+    ++i;
+    return Status::OK();
+  });
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(i, rids.size());
+}
+
+TEST(TableHeapTest, ReopenFindsTailAndKeepsAppending) {
+  HeapFixture f;
+  PageId head;
+  RecordId last;
+  {
+    auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+    ASSERT_TRUE(heap.ok());
+    head = (*heap)->head();
+    const std::string record(1000, 'y');
+    for (int i = 0; i < 20; ++i) {
+      auto rid = (*heap)->Append(record);
+      ASSERT_TRUE(rid.ok());
+      last = *rid;
+    }
+  }
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), head);
+  ASSERT_TRUE(heap.ok());
+  auto rid = (*heap)->Append("after reopen");
+  ASSERT_TRUE(rid.ok());
+  // Appended on (or after) the old tail page, not a fresh chain.
+  EXPECT_GE(rid->page_id, last.page_id);
+  auto back = (*heap)->Read(*rid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "after reopen");
+}
+
+TEST(TableHeapTest, UpdateInPlaceSameOrSmaller) {
+  HeapFixture f;
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+  ASSERT_TRUE(heap.ok());
+  auto rid = (*heap)->Append("0123456789");
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE((*heap)->Update(*rid, "abcdefghij").ok());
+  EXPECT_EQ(*(*heap)->Read(*rid), "abcdefghij");
+  ASSERT_TRUE((*heap)->Update(*rid, "short").ok());
+  EXPECT_EQ(*(*heap)->Read(*rid), "short");
+}
+
+TEST(TableHeapTest, UpdateMayNotGrow) {
+  HeapFixture f;
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+  ASSERT_TRUE(heap.ok());
+  auto rid = (*heap)->Append("tiny");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_TRUE((*heap)->Update(*rid, "much longer record").IsInvalidArgument());
+  EXPECT_EQ(*(*heap)->Read(*rid), "tiny");
+}
+
+TEST(TableHeapTest, OversizeRecordRejected) {
+  HeapFixture f;
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+  ASSERT_TRUE(heap.ok());
+  const std::string big(heap_page::kMaxRecordSize + 1, 'z');
+  EXPECT_TRUE((*heap)->Append(big).status().IsInvalidArgument());
+  const std::string max(heap_page::kMaxRecordSize, 'z');
+  EXPECT_TRUE((*heap)->Append(max).ok());
+}
+
+TEST(TableHeapTest, ReadOfBadRidFails) {
+  HeapFixture f;
+  auto heap = TableHeap::Open(f.pool.get(), f.logger.get(), kInvalidPageId);
+  ASSERT_TRUE(heap.ok());
+  auto rid = (*heap)->Append("one");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_FALSE((*heap)->Read(RecordId{rid->page_id, 40}).ok());
+}
+
+TEST(HeapPayloadCodecTest, SlotPayloadRoundTrip) {
+  const std::string payload = EncodeHeapSlotPayload(7, 3, "record");
+  auto decoded = DecodeHeapSlotPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->page_id, 7u);
+  EXPECT_EQ(decoded->slot, 3);
+  EXPECT_EQ(decoded->record, "record");
+  EXPECT_TRUE(DecodeHeapSlotPayload("short").status().IsCorruption());
+  EXPECT_TRUE(
+      DecodeHeapSlotPayload(payload.substr(0, payload.size() - 1))
+          .status()
+          .IsCorruption());
+}
+
+TEST(HeapPayloadCodecTest, LinkPayloadRoundTrip) {
+  const std::string payload = EncodeHeapLinkPayload(5, 9);
+  auto decoded = DecodeHeapLinkPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->page_id, 5u);
+  EXPECT_EQ(decoded->next, 9u);
+  EXPECT_TRUE(DecodeHeapLinkPayload("x").status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace mope::storage

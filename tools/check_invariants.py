@@ -59,6 +59,13 @@ Machine-enforces the correctness conventions that code review used to carry:
                          member with MOPE_GUARDED_BY / MOPE_PT_GUARDED_BY —
                          a capability nothing is guarded by protects
                          nothing, and the analysis silently passes the file.
+  R10 raw-file-io        fopen/open/creat and the std::fstream family are
+                         banned in src/ outside src/storage/ — every file
+                         touch goes through storage::Env (env.h) so fsync
+                         discipline, atomic replace and fault injection live
+                         in one audited layer. Catalog snapshots, CSV
+                         import/export and the storage engine all ride the
+                         same seam; tests swap in InMemEnv/FaultyEnv.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -190,6 +197,20 @@ RULES = [
         "analysis sees the acquisition",
         includes=("src/", "tests/", "bench/", "examples/"),
         excludes=("src/common/",),
+    ),
+    # Bare lowercase open()/creat() are matched only when not preceded by an
+    # identifier char, ':', '.' or '>', so Wal::Open, pool->Open and
+    # "reopen" stay legal; the fstream family and f*open are matched by name.
+    Rule(
+        "raw-file-io",
+        r"std::(?:i|o)?fstream\b|std::filebuf\b|"
+        r"(?<![\w:])(?:fopen|freopen|tmpfile|mkstemp)\s*\(|"
+        r"(?<![\w:.>])(?:open|openat|creat)\s*\(",
+        "raw file I/O outside src/storage/: go through storage::Env "
+        "(storage/env.h) so fsync discipline, atomic replace and fault "
+        "injection stay in one audited layer",
+        includes=("src/",),
+        excludes=("src/storage/",),
     ),
     Rule(
         "auditor-ciphertext-only",

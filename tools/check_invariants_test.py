@@ -175,6 +175,25 @@ class CatchesSeededViolations(unittest.TestCase):
         )
         self.assertIn("raw-mutex", rule_ids(v))
 
+    def test_raw_fstream_outside_storage(self) -> None:
+        v = run_on_tree(
+            {"src/engine/bad.cc": "#include <fstream>\n"
+                                  "std::ofstream out(path);\n"}
+        )
+        self.assertIn("raw-file-io", rule_ids(v))
+
+    def test_raw_fopen_outside_storage(self) -> None:
+        v = run_on_tree(
+            {"src/workload/bad.cc": 'FILE* f = fopen("x.csv", "rb");\n'}
+        )
+        self.assertIn("raw-file-io", rule_ids(v))
+
+    def test_raw_open_syscall_outside_storage(self) -> None:
+        v = run_on_tree(
+            {"src/obs/bad.cc": "int fd = open(path, O_RDWR);\n"}
+        )
+        self.assertIn("raw-file-io", rule_ids(v))
+
     def test_unannotated_wrapper_mutex(self) -> None:
         # A capability nothing is guarded by: the declaring file must carry
         # at least one MOPE_GUARDED_BY / MOPE_PT_GUARDED_BY.
@@ -345,6 +364,27 @@ class NoFalsePositives(unittest.TestCase):
                  "// invariant-ok: interop with an external API\n"}
         )
         self.assertEqual(v, [])
+
+    def test_storage_layer_exempt_from_raw_file_io(self) -> None:
+        # src/storage/ *is* the audited layer — the Env implementations make
+        # the actual syscalls.
+        v = run_on_tree(
+            {"src/storage/env.cc":
+                 "int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);\n"
+                 'FILE* f = fopen(path.c_str(), "rb");\n'}
+        )
+        self.assertNotIn("raw-file-io", rule_ids(v))
+
+    def test_named_open_methods_not_raw_file_io(self) -> None:
+        # Wal::Open / pool->Open / "reopen" are ordinary identifiers; only
+        # the bare open()/creat() syscall spelling is banned.
+        v = run_on_tree(
+            {"src/engine/good.cc":
+                 "  auto wal = Wal::Open(env, path, 1);\n"
+                 "  auto st = disk->Open();\n"
+                 "  Reopen();\n"}
+        )
+        self.assertNotIn("raw-file-io", rule_ids(v))
 
     def test_real_repo_is_clean(self) -> None:
         root = Path(__file__).resolve().parent.parent

@@ -11,6 +11,15 @@
 /// Usage:
 ///   mope_serverd --snapshot PATH [--host H] [--port N] [--workers N]
 ///   mope_serverd --tpch [--scale F] [--seed N] [--host H] [--port N]
+///   mope_serverd (--snapshot PATH | --tpch) --data-dir DIR [...]
+///
+/// --data-dir attaches the disk-backed storage engine (src/storage/): every
+/// mutation is write-ahead logged and applied to heap/index pages under DIR.
+/// A DIR that already holds data is recovered on startup — crash recovery
+/// replays the WAL — and served as-is (the --snapshot/--tpch source is then
+/// only a bootstrap for an empty DIR). The pages hold the same MOPE
+/// ciphertexts the in-memory catalog does; kill -9 never costs more than a
+/// WAL replay plus an index rebuild, and never a re-encryption.
 ///
 /// --metrics dumps the server's full metrics registry (Prometheus text
 /// format) to stderr at shutdown, in addition to the one-line summary. A
@@ -73,6 +82,9 @@ void PrintUsage(const char* argv0) {
       "  --host H          bind address (default 127.0.0.1)\n"
       "  --port N          TCP port; 0 picks an ephemeral one (default 5811)\n"
       "  --workers N       worker threads (default 4)\n"
+      "  --data-dir DIR    disk-backed storage: WAL + pages live in DIR; an\n"
+      "                    existing DIR is recovered (WAL replay) and served,\n"
+      "                    a fresh one is seeded from --snapshot/--tpch\n"
       "  --metrics         dump the metrics registry at shutdown\n"
       "  --audit           live leakage auditor over the observed ciphertext\n"
       "                    range stream; leakage.* gauges join the stats\n"
@@ -89,6 +101,7 @@ int main(int argc, char** argv) {
   using namespace mope;  // NOLINT
 
   std::string snapshot_path;
+  std::string data_dir;
   bool tpch = false;
   bool dump_metrics = false;
   bool audit = false;
@@ -109,6 +122,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--snapshot") {
       snapshot_path = next();
+    } else if (arg == "--data-dir") {
+      data_dir = next();
     } else if (arg == "--tpch") {
       tpch = true;
     } else if (arg == "--scale") {
@@ -153,21 +168,60 @@ int main(int argc, char** argv) {
   engine::DbServer standalone;
   std::unique_ptr<proxy::MopeSystem> system;
   engine::DbServer* server = &standalone;
+  if (tpch) {
+    system = std::make_unique<proxy::MopeSystem>(seed);
+    server = system->server();
+  }
 
-  if (!snapshot_path.empty()) {
+  // Storage attaches before any data load: the catalog is still empty, so
+  // recovery can repopulate it, and a subsequent import flows through the
+  // durability hooks (WAL-first) instead of bypassing them.
+  bool recovered_data = false;
+  if (!data_dir.empty()) {
+    const Status attached = server->OpenStorage(data_dir);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "cannot open --data-dir %s: %s\n",
+                   data_dir.c_str(), attached.ToString().c_str());
+      return 1;
+    }
+    const size_t tables = server->catalog()->TableNames().size();
+    recovered_data = tables > 0;
+    if (recovered_data) {
+      std::fprintf(
+          stderr, "recovered %zu table(s) from %s%s\n", tables,
+          data_dir.c_str(),
+          server->durable_catalog()->recovered_from_crash()
+              ? " (crash recovery: WAL replayed, indexes rebuilt)"
+              : "");
+    }
+  }
+
+  if (recovered_data) {
+    // The durable state wins; --snapshot/--tpch only seed an empty dir.
+  } else if (!snapshot_path.empty()) {
     auto loaded = engine::LoadCatalog(snapshot_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "cannot load snapshot: %s\n",
                    loaded.status().ToString().c_str());
       return 1;
     }
-    *standalone.catalog() = std::move(loaded).value();
+    if (server->has_storage()) {
+      // Replay through the hooked catalog so every row is WAL-logged.
+      const Status imported =
+          engine::ImportCatalog(*loaded, server->catalog());
+      if (!imported.ok()) {
+        std::fprintf(stderr, "cannot import snapshot: %s\n",
+                     imported.ToString().c_str());
+        return 1;
+      }
+    } else {
+      *standalone.catalog() = std::move(loaded).value();
+    }
     std::fprintf(stderr, "serving snapshot %s\n", snapshot_path.c_str());
   } else {
     workload::TpchConfig config;
     config.scale_factor = scale;
     const workload::TpchData data = workload::GenerateTpch(config);
-    system = std::make_unique<proxy::MopeSystem>(seed);
     proxy::EncryptedColumnSpec spec;
     spec.column = "l_shipdate";
     spec.domain = workload::kTpchDateDomain;
@@ -181,11 +235,21 @@ int main(int argc, char** argv) {
                    status.ToString().c_str());
       return 1;
     }
-    server = system->server();
     std::fprintf(stderr,
                  "serving %zu encrypted lineitem rows (seed 0x%llx)\n",
                  data.lineitem.size(),
                  static_cast<unsigned long long>(seed));
+  }
+
+  if (server->has_storage() && !recovered_data) {
+    // Make the freshly imported data cheap to reopen: flush pages, persist
+    // index roots, truncate the WAL.
+    const Status cp = server->CheckpointStorage();
+    if (!cp.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", cp.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "data dir %s checkpointed\n", data_dir.c_str());
   }
 
   if (audit) {
@@ -224,6 +288,15 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "shutting down...\n");
   (*daemon)->Stop();
+  if (server->has_storage()) {
+    // Clean-shutdown checkpoint: the next start reopens the paged indexes
+    // from their checkpointed roots instead of rebuilding them.
+    const Status cp = server->CheckpointStorage();
+    if (!cp.ok()) {
+      std::fprintf(stderr, "shutdown checkpoint failed: %s\n",
+                   cp.ToString().c_str());
+    }
+  }
 
   const engine::ServerStats stats = server->stats();
   std::fprintf(stderr,
