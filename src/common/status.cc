@@ -33,7 +33,8 @@ std::string Status::ToString() const {
 namespace internal {
 
 void CheckFailed(const char* file, int line, const char* what) {
-  std::fprintf(stderr, "MOPE_CHECK failed at %s:%d: %s\n", file, line, what);
+  std::fprintf(  // invariant-ok: R11 abort path below the logger's lock
+      stderr, "MOPE_CHECK failed at %s:%d: %s\n", file, line, what);
   std::abort();
 }
 

@@ -21,7 +21,7 @@ void RankAcquire(int rank) {
     const int max_held =
         *std::max_element(t_held_ranks.begin(), t_held_ranks.end());
     if (rank <= max_held) {
-      std::fprintf(
+      std::fprintf(  // invariant-ok: R11 abort path below the logger's lock
           stderr,
           "mope lock-rank violation: acquiring rank %d while holding rank %d "
           "(acquisition order must be strictly increasing; see DESIGN.md "
@@ -42,10 +42,11 @@ void RankRelease(int rank) {
       return;
     }
   }
-  std::fprintf(stderr,
-               "mope lock-rank violation: releasing rank %d that this thread "
-               "does not hold\n",
-               rank);
+  std::fprintf(  // invariant-ok: R11 abort path below the logger's lock
+      stderr,
+      "mope lock-rank violation: releasing rank %d that this thread "
+      "does not hold\n",
+      rank);
   std::abort();
 }
 

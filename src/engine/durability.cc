@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "engine/codec.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace mope::engine {
 
@@ -234,6 +236,7 @@ Result<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
   storage_options.wal_sync_every = options.wal_sync_every;
   storage_options.env = options.env;
   storage_options.metrics = options.metrics;
+  storage_options.clock = options.clock;
   MOPE_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageEngine> engine,
                         storage::StorageEngine::Open(dir, storage_options));
   std::unique_ptr<DurableCatalog> durable(
@@ -244,6 +247,7 @@ Result<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
 
 Status DurableCatalog::Recover(const Options& options) {
   (void)options;
+  const obs::ScopedSpan span("engine.recovery");
   recovered_from_crash_ = engine_->crash_recovered();
 
   MOPE_ASSIGN_OR_RETURN(TableMetaMap metas,
@@ -307,6 +311,13 @@ Status DurableCatalog::Recover(const Options& options) {
   if (recovered_from_crash_) {
     MOPE_RETURN_NOT_OK(Checkpoint());
   }
+  obs::LogEvent(obs::Logger::Default(),
+                recovered_from_crash_ ? obs::LogLevel::kInfo
+                                      : obs::LogLevel::kDebug,
+                "engine", "recovered")
+      .Arg("tables", tables_.size())
+      .Arg("crash_recovery", recovered_from_crash_)
+      .Arg("wal_records", engine_->recovered_records());
   return Status::OK();
 }
 
@@ -359,6 +370,7 @@ Result<std::string> DurableCatalog::EncodeCatalogBlob() const {
 }
 
 Status DurableCatalog::Checkpoint() {
+  const obs::ScopedSpan span("engine.checkpoint");
   MOPE_ASSIGN_OR_RETURN(std::string blob, EncodeCatalogBlob());
   return engine_->Checkpoint(blob);
 }

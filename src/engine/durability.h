@@ -36,6 +36,7 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "obs/clock.h"
 #include "obs/registry.h"
 #include "storage/btree_file.h"
 #include "storage/storage_engine.h"
@@ -50,6 +51,7 @@ class DurableCatalog : public CatalogDurabilityHooks {
     uint64_t wal_sync_every = 32;
     storage::Env* env = nullptr;            // default: Env::Posix()
     obs::MetricsRegistry* metrics = nullptr;  // default: global registry
+    obs::Clock* clock = nullptr;              // default: SystemClock()
   };
 
   /// Opens `dir` (running recovery), rebuilds `*catalog` from the durable

@@ -1,6 +1,11 @@
 #include "net/dispatcher.h"
 
+#include <map>
 #include <utility>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/trace_export.h"
 
 namespace mope::net {
 
@@ -38,14 +43,24 @@ std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
 }  // namespace
 
 WireDispatcher::WireDispatcher(engine::DbServer* server,
-                               size_t max_reply_payload_bytes,
-                               obs::Clock* clock)
+                               DispatcherOptions options)
     : server_(server),
-      max_reply_payload_bytes_(max_reply_payload_bytes),
-      clock_(clock != nullptr ? clock : obs::SystemClock()),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : obs::SystemClock()),
       frames_served_(
           server->metrics()->GetCounter("net.server.frames_served")),
+      slow_queries_(server->metrics()->GetCounter("server.slow_queries")),
       dispatch_ns_(server->metrics()->GetHistogram("server.dispatch_ns")) {}
+
+WireDispatcher::WireDispatcher(engine::DbServer* server,
+                               size_t max_reply_payload_bytes,
+                               obs::Clock* clock)
+    : WireDispatcher(server, [&] {
+        DispatcherOptions options;
+        options.max_reply_payload_bytes = max_reply_payload_bytes;
+        options.clock = clock;
+        return options;
+      }()) {}
 
 Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
                                                      size_t* consumed) {
@@ -53,13 +68,92 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
   MOPE_ASSIGN_OR_RETURN(Frame frame, DecodeFrame(bytes, &frame_size));
   if (consumed != nullptr) *consumed = frame_size;
 
+  if (options_.slow_query_threshold_ns == 0) {
+    const uint64_t start_ns = clock_->NowNanos();
+    const MutexLock lock(&mutex_);
+    MOPE_ASSIGN_OR_RETURN(std::string reply, HandleFrameLocked(frame));
+    server_->AddTransferBytes(frame_size, reply.size());
+    frames_served_->Increment();
+    dispatch_ns_->Observe(clock_->NowNanos() - start_ns);
+    return reply;
+  }
+
+  // Slow-query mode: give the request a server-side trace so instrumented
+  // layers underneath (storage WAL, buffer pool, checkpoint) attach spans.
+  // Adopting the wire trace id (when the client sent one) is what lets the
+  // operator join this trace against the client's own span tree.
+  obs::Trace trace("server.dispatch", clock_, frame.trace_id);
+  const obs::ScopedTraceActivation activation(&trace);
   const uint64_t start_ns = clock_->NowNanos();
-  const MutexLock lock(&mutex_);
-  MOPE_ASSIGN_OR_RETURN(std::string reply, HandleFrameLocked(frame));
-  server_->AddTransferBytes(frame_size, reply.size());
+  std::string reply;
+  {
+    const obs::ScopedSpan span("server.handle");
+    const MutexLock lock(&mutex_);
+    MOPE_ASSIGN_OR_RETURN(reply, HandleFrameLocked(frame));
+    server_->AddTransferBytes(frame_size, reply.size());
+  }
   frames_served_->Increment();
-  dispatch_ns_->Observe(clock_->NowNanos() - start_ns);
+  const uint64_t elapsed_ns = clock_->NowNanos() - start_ns;
+  dispatch_ns_->Observe(elapsed_ns);
+  if (elapsed_ns >= options_.slow_query_threshold_ns) {
+    ReportSlowQuery(frame, elapsed_ns, trace);
+  }
   return reply;
+}
+
+void WireDispatcher::ReportSlowQuery(const Frame& frame, uint64_t elapsed_ns,
+                                     const obs::Trace& trace) {
+  slow_queries_->Increment();
+
+  // Aggregate the span tree into a per-name time breakdown: one log line an
+  // operator can read without opening the trace viewer.
+  std::map<std::string, uint64_t> by_name;
+  for (const obs::Span& span : trace.spans()) {
+    if (span.end_ns >= span.start_ns) {
+      by_name[span.name] += span.end_ns - span.start_ns;
+    }
+  }
+  {
+    obs::LogEvent event(obs::Logger::Default(), obs::LogLevel::kWarn,
+                        "server", "slow_query");
+    event.Arg("type", static_cast<uint64_t>(frame.type))
+        .Arg("elapsed_ns", elapsed_ns)
+        .Arg("threshold_ns", options_.slow_query_threshold_ns);
+    for (const auto& [name, dur_ns] : by_name) {
+      event.Arg(("span_ns." + name).c_str(), dur_ns);
+    }
+  }
+
+  if (options_.trace_env != nullptr &&
+      !options_.slow_query_trace_path.empty()) {
+    const Status written = options_.trace_env->WriteFileAtomic(
+        options_.slow_query_trace_path, obs::ExportChromeTrace(trace));
+    if (!written.ok()) {
+      MOPE_LOG(kWarn, "server", "slow_query_trace_write_failed")
+          .Arg("path", options_.slow_query_trace_path)
+          .Arg("error", written.message());
+    }
+  }
+}
+
+void WireDispatcher::MaybeCheckpointLocked(const Frame& frame) {
+  if (options_.checkpoint_every == 0 || !server_->has_storage()) return;
+  if (++frames_since_checkpoint_ < options_.checkpoint_every) return;
+  frames_since_checkpoint_ = 0;
+  // Inside the dispatch critical section: exactly the writer quiescence the
+  // checkpoint protocol requires. The cost lands in this request's dispatch
+  // latency (and its trace, when slow-query mode is on) by design — the
+  // periodic-durability tax should be visible, not hidden.
+  const obs::ScopedSpan span("server.checkpoint");
+  const Status status = server_->CheckpointStorage();
+  if (!status.ok()) {
+    MOPE_LOG(kError, "server", "checkpoint_failed")
+        .Arg("error", status.message());
+  } else {
+    MOPE_LOG(kDebug, "server", "checkpointed")
+        .Arg("after_frames", options_.checkpoint_every)
+        .Arg("trace_carried", frame.trace_id != 0);
+  }
 }
 
 Result<engine::Schema> WireDispatcher::LookupSchemaLocked(
@@ -76,22 +170,26 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
     case MessageType::kRangeBatchRequest: {
       auto request = DecodeRangeBatchRequest(frame.payload);
       if (!request.ok()) return request.status();
-      return ReplyOrStatus(
+      std::string reply = ReplyOrStatus(
           server_->ExecuteRangeBatchWithIds(request->table, request->column,
                                             request->ranges),
           MessageType::kRangeBatchReply,
           [](const RowsWithIds& rows) { return EncodeRangeBatchReply(rows); },
-          max_reply_payload_bytes_, frame.trace_id);
+          options_.max_reply_payload_bytes, frame.trace_id);
+      MaybeCheckpointLocked(frame);
+      return reply;
     }
     case MessageType::kCountBatchRequest: {
       auto request = DecodeRangeBatchRequest(frame.payload);
       if (!request.ok()) return request.status();
-      return ReplyOrStatus(
+      std::string reply = ReplyOrStatus(
           server_->CountRangeBatch(request->table, request->column,
                                    request->ranges),
           MessageType::kCountBatchReply,
           [](uint64_t count) { return EncodeCountBatchReply(count); },
-          max_reply_payload_bytes_, frame.trace_id);
+          options_.max_reply_payload_bytes, frame.trace_id);
+      MaybeCheckpointLocked(frame);
+      return reply;
     }
     case MessageType::kSchemaRequest: {
       auto table = DecodeSchemaRequest(frame.payload);
@@ -104,7 +202,7 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
                            [](const engine::Schema& s) {
                              return EncodeSchemaReply(s);
                            },
-                           max_reply_payload_bytes_, frame.trace_id);
+                           options_.max_reply_payload_bytes, frame.trace_id);
     }
     case MessageType::kStatsRequest: {
       if (!frame.payload.empty()) {
@@ -116,7 +214,7 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
           Result<StatsReply>(server_->metrics()->Snapshot()),
           MessageType::kStatsReply,
           [](const StatsReply& stats) { return EncodeStatsReply(stats); },
-          max_reply_payload_bytes_, frame.trace_id);
+          options_.max_reply_payload_bytes, frame.trace_id);
     }
     case MessageType::kRangeBatchReply:
     case MessageType::kCountBatchReply:

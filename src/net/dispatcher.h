@@ -30,17 +30,44 @@
 #include "net/wire.h"
 #include "obs/clock.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
+#include "storage/env.h"
 
 namespace mope::net {
 
+struct DispatcherOptions {
+  /// Caps the encoded reply body: a query whose result would overflow one
+  /// frame is *answered* with kStatusReply(InvalidArgument) — never an
+  /// abort, never a dropped session. Tests lower it to exercise the
+  /// overflow path cheaply.
+  size_t max_reply_payload_bytes = kMaxPayloadBytes;
+  /// Times per-request dispatch latency (nullptr = SystemClock; tests
+  /// inject a ManualClock for deterministic histograms).
+  obs::Clock* clock = nullptr;
+  /// Slow-query accounting: a request whose dispatch takes at least this
+  /// long gets a server-side trace, a structured `event=slow_query` log
+  /// line with a per-span time breakdown, and (when `trace_env` is set and
+  /// `slow_query_trace_path` non-empty) a Chrome-trace export written
+  /// atomically to that path. The server-side trace adopts the request
+  /// frame's wire trace id, so the log line, the export, and the client's
+  /// own span tree all correlate. 0 disables.
+  uint64_t slow_query_threshold_ns = 0;
+  std::string slow_query_trace_path;
+  storage::Env* trace_env = nullptr;
+  /// Checkpoint the attached storage after every N data-bearing requests
+  /// (periodic durability without waiting for shutdown; the dispatch mutex
+  /// provides the writer quiescence CheckpointStorage requires). 0 never
+  /// checkpoints from the dispatcher. A slow-query trace of a request that
+  /// triggered one shows exactly where the WAL/buffer-pool time went.
+  uint64_t checkpoint_every = 0;
+};
+
 class WireDispatcher {
  public:
-  /// `server` must outlive the dispatcher. `max_reply_payload_bytes` caps the
-  /// encoded reply body: a query whose result would overflow one frame is
-  /// *answered* with kStatusReply(InvalidArgument) — never an abort, never a
-  /// dropped session. Tests lower it to exercise the overflow path cheaply.
-  /// `clock` times per-request dispatch latency (nullptr = SystemClock;
-  /// tests inject a ManualClock for deterministic histograms).
+  /// `server` must outlive the dispatcher.
+  WireDispatcher(engine::DbServer* server, DispatcherOptions options);
+
+  /// Convenience form preserving the original signature.
   explicit WireDispatcher(engine::DbServer* server,
                           size_t max_reply_payload_bytes = kMaxPayloadBytes,
                           obs::Clock* clock = nullptr);
@@ -65,17 +92,25 @@ class WireDispatcher {
   /// analysis sees the engine access inside the dispatch critical section).
   Result<engine::Schema> LookupSchemaLocked(const std::string& table) const
       MOPE_REQUIRES(mutex_);
+  /// Periodic-checkpoint policy; called after every data-bearing request.
+  void MaybeCheckpointLocked(const Frame& frame) MOPE_REQUIRES(mutex_);
+  /// Slow-query aftermath: log line + Chrome-trace export. `trace` is the
+  /// (still thread-activated) server-side trace of the request.
+  void ReportSlowQuery(const Frame& frame, uint64_t elapsed_ns,
+                       const obs::Trace& trace);
 
   /// Serializes engine access: DbServer is single-threaded by design (the
   /// paper's server is one unmodified DBMS), so the pointee is guarded even
   /// though the pointer itself is const after construction.
   mutable Mutex mutex_{lock_rank::kDispatcher};
   engine::DbServer* server_ MOPE_PT_GUARDED_BY(mutex_);
-  size_t max_reply_payload_bytes_;
+  DispatcherOptions options_;
   obs::Clock* clock_;
+  uint64_t frames_since_checkpoint_ MOPE_GUARDED_BY(mutex_) = 0;
   // Handles into the server's registry (so the stats endpoint serves them).
   // Atomic targets: safe to bump without the dispatch mutex.
   obs::Counter* frames_served_;
+  obs::Counter* slow_queries_;
   obs::ExpHistogram* dispatch_ns_;
 };
 

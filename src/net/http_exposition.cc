@@ -1,0 +1,238 @@
+#include "net/http_exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/log.h"
+
+namespace mope::net {
+
+namespace {
+
+/// Assembles one complete HTTP/1.1 response. Always closes the connection:
+/// the endpoint serves scrapers, not browsers, and one-shot connections keep
+/// the state machine trivial.
+std::string MakeResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                code, reason, content_type, body.size());
+  out += head;
+  out += body;
+  return out;
+}
+
+std::string U64Field(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+HttpExposition::HttpExposition(engine::DbServer* server,
+                               HttpExpositionOptions options,
+                               obs::Clock* clock)
+    : server_(server),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : obs::SystemClock()),
+      requests_(server->metrics()->GetCounter("net.http.requests")),
+      bad_requests_(server->metrics()->GetCounter("net.http.bad_requests")) {}
+
+HttpExposition::~HttpExposition() { Stop(); }
+
+Status HttpExposition::Start() {
+  MOPE_ASSIGN_OR_RETURN(listener_, TcpListener::Bind(options_.host,
+                                                     options_.port));
+  start_ns_ = clock_->NowNanos();
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void HttpExposition::Stop() {
+  if (stopping_.exchange(true)) {
+    if (serve_thread_.joinable()) serve_thread_.join();
+    return;
+  }
+  if (listener_ != nullptr) listener_->Close();
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+void HttpExposition::ServeLoop() {
+  SocketOptions conn_options;
+  conn_options.read_timeout_ms = options_.read_timeout_ms;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<std::unique_ptr<SocketTransport>> accepted =
+        listener_->Accept(options_.poll_interval_ms, conn_options);
+    if (!accepted.ok()) break;  // Listener closed: shutting down.
+    if (accepted.value() == nullptr) continue;  // Poll timeout; re-check flag.
+    // Serve inline: responses are small and rendered from atomic reads, so
+    // one connection at a time bounds resource use without hurting scrapes.
+    ServeConnection(accepted.value().get());
+  }
+}
+
+void HttpExposition::ServeConnection(SocketTransport* conn) {
+  // Read until the end of the request head, the size cap, or the deadline.
+  // The cap bounds the head itself, not just the bytes read so far: an
+  // oversized head that arrives in a single read is still rejected.
+  std::string request;
+  char buf[1024];
+  while (true) {
+    const size_t head_end = request.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      if (head_end + 4 <= options_.max_request_bytes) break;
+      bad_requests_->Increment();
+      const std::string response = MakeResponse(
+          431, "Request Header Fields Too Large", "text/plain",
+          "request too large\n");
+      (void)conn->Write(response.data(), response.size());
+      return;
+    }
+    if (request.size() >= options_.max_request_bytes) {
+      bad_requests_->Increment();
+      const std::string response = MakeResponse(
+          431, "Request Header Fields Too Large", "text/plain",
+          "request too large\n");
+      (void)conn->Write(response.data(), response.size());
+      return;
+    }
+    const Result<size_t> n = conn->Read(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) {
+      bad_requests_->Increment();
+      return;  // Timeout, reset, or EOF mid-head: nothing to answer.
+    }
+    request.append(buf, n.value());
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t line_end = request.find("\r\n");
+  std::string_view line(request.data(), line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    bad_requests_->Increment();
+    const std::string response =
+        MakeResponse(400, "Bad Request", "text/plain", "bad request\n");
+    (void)conn->Write(response.data(), response.size());
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  const std::string response = HandleRequest(method, target);
+  (void)conn->Write(response.data(), response.size());
+}
+
+std::string HttpExposition::HandleRequest(std::string_view method,
+                                          std::string_view target) {
+  requests_->Increment();
+  if (method != "GET") {
+    bad_requests_->Increment();
+    return MakeResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is served\n");
+  }
+  // Ignore any query string: /metrics?x=y scrapes like /metrics.
+  const size_t q = target.find('?');
+  const std::string_view path =
+      q == std::string_view::npos ? target : target.substr(0, q);
+
+  MOPE_LOG(kDebug, "http", "request").Arg("path", path);
+  if (path == "/metrics") {
+    return MakeResponse(200, "OK", "text/plain; version=0.0.4",
+                        MetricsBody());
+  }
+  if (path == "/healthz") {
+    return MakeResponse(200, "OK", "text/plain", HealthzBody());
+  }
+  if (path == "/statusz") {
+    return MakeResponse(200, "OK", "application/json", StatuszBody());
+  }
+  bad_requests_->Increment();
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "routes: /metrics /healthz /statusz\n");
+}
+
+std::string HttpExposition::MetricsBody() const {
+  return server_->metrics()->RenderText();
+}
+
+std::string HttpExposition::HealthzBody() const {
+  // Liveness plus durability state. Everything here is either const after
+  // OpenStorage (which completes before serving starts) or an atomic
+  // counter — no lock shared with the query path.
+  std::string body = "ok\n";
+  const bool attached = server_->has_storage();
+  body += "storage=";
+  body += attached ? "attached" : "none";
+  body += "\n";
+  if (attached) {
+    engine::DurableCatalog* durable = server_->durable_catalog();
+    body += "crash_recovered=";
+    body += durable->recovered_from_crash() ? "true" : "false";
+    body += "\n";
+    body += "recovered_records=";
+    body += U64Field(durable->storage()->recovered_records());
+    body += "\n";
+    body += "checkpoints=";
+    body +=
+        U64Field(server_->metrics()
+                     ->GetCounter("storage.engine.checkpoints")->Value());
+    body += "\n";
+  }
+  return body;
+}
+
+std::string HttpExposition::StatuszBody() const {
+  const uint64_t now = clock_->NowNanos();
+  std::string body = "{\"uptime_ns\":";
+  body += U64Field(now >= start_ns_ ? now - start_ns_ : 0);
+
+  body += ",\"storage\":{\"attached\":";
+  const bool attached = server_->has_storage();
+  body += attached ? "true" : "false";
+  if (attached) {
+    engine::DurableCatalog* durable = server_->durable_catalog();
+    body += ",\"crash_recovered\":";
+    body += durable->recovered_from_crash() ? "true" : "false";
+    body += ",\"recovered_records\":";
+    body += U64Field(durable->storage()->recovered_records());
+  }
+  body += "}";
+
+  obs::LeakageAuditor* auditor = server_->leakage_auditor();
+  if (auditor != nullptr) {
+    const obs::LeakageVerdict v = auditor->Verdict();
+    body += ",\"leakage\":{\"observations\":";
+    body += U64Field(v.observations);
+    body += ",\"distinct\":";
+    body += U64Field(v.distinct);
+    body += ",\"largest_gap\":";
+    body += U64Field(v.largest_gap);
+    body += ",\"offset_estimate\":";
+    body += U64Field(v.offset_estimate);
+    char frac[64];
+    std::snprintf(frac, sizeof(frac), ",\"confidence\":%.6g,\"chi2\":%.6g",
+                  v.confidence, v.chi2);
+    body += frac;
+    body += ",\"alert\":";
+    body += v.alert ? "true" : "false";
+    body += "}";
+  } else {
+    body += ",\"leakage\":null";
+  }
+
+  body += ",\"metrics\":";
+  body += server_->metrics()->RenderJson();
+  body += "}";
+  return body;
+}
+
+}  // namespace mope::net

@@ -1,0 +1,97 @@
+#ifndef MOPE_NET_HTTP_EXPOSITION_H_
+#define MOPE_NET_HTTP_EXPOSITION_H_
+
+/// \file http_exposition.h
+/// Minimal HTTP/1.1 exposition endpoint for operators and scrapers.
+///
+/// Serves three read-only routes straight from an engine::DbServer:
+///
+///   GET /metrics  — Prometheus text exposition of the server's registry
+///                   (storage.wal.fsync_ns quantiles, leakage.* gauges,
+///                   engine.* counters — everything the daemon accounts).
+///   GET /healthz  — liveness plus durability state (storage attached?,
+///                   crash-recovered?, checkpoints so far) as key=value
+///                   lines. 200 whenever the daemon can answer at all.
+///   GET /statusz  — one JSON object: uptime, storage/recovery state, the
+///                   live leakage verdict, and the full metrics dump.
+///
+/// Deliberately not a web server: one serving thread, one request per
+/// connection (`Connection: close`), GET only, request head capped at
+/// `max_request_bytes`, and every response is rendered from atomic metric
+/// reads or const-after-open state — no engine data structures are touched,
+/// so a scraper can never block or corrupt the query path, and a hostile
+/// peer costs at most one bounded read with a deadline. This rides the same
+/// socket layer as the wire protocol (net/socket.h, the only legal home for
+/// raw sockets under linter rule R6).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/server.h"
+#include "net/socket.h"
+#include "obs/clock.h"
+
+namespace mope::net {
+
+struct HttpExpositionOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0: ephemeral; the bound port is port().
+  /// Cadence at which the blocked accept re-checks the stop flag.
+  int poll_interval_ms = 50;
+  /// Hard cap on the request head; longer requests get 431 and a close.
+  size_t max_request_bytes = 8192;
+  /// Deadline for reading one request head off an accepted connection.
+  int read_timeout_ms = 2000;
+};
+
+/// The endpoint. Start() binds and spawns the serving thread; Stop() (or the
+/// destructor) joins it. `server` must outlive this object.
+class HttpExposition {
+ public:
+  /// `clock` times uptime for /statusz; nullptr selects SystemClock().
+  HttpExposition(engine::DbServer* server, HttpExpositionOptions options,
+                 obs::Clock* clock = nullptr);
+  ~HttpExposition();
+
+  HttpExposition(const HttpExposition&) = delete;
+  HttpExposition& operator=(const HttpExposition&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The bound port (valid after Start() returned OK).
+  uint16_t port() const { return listener_->port(); }
+
+  /// Routing core, exposed for tests: maps (method, target) to a full HTTP
+  /// response string. `target` may carry a query string (ignored).
+  std::string HandleRequest(std::string_view method, std::string_view target);
+
+ private:
+  void ServeLoop();
+  void ServeConnection(SocketTransport* conn);
+
+  std::string MetricsBody() const;
+  std::string HealthzBody() const;
+  std::string StatuszBody() const;
+
+  engine::DbServer* const server_;
+  const HttpExpositionOptions options_;
+  obs::Clock* const clock_;
+  uint64_t start_ns_ = 0;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread serve_thread_;
+
+  // Atomic handles into the server's registry.
+  obs::Counter* requests_;
+  obs::Counter* bad_requests_;
+};
+
+}  // namespace mope::net
+
+#endif  // MOPE_NET_HTTP_EXPOSITION_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/wire.h"
+#include "obs/log.h"
 
 namespace mope::net {
 
@@ -66,12 +67,17 @@ void TcpServer::ListenLoop() {
       }
     }
     if (admitted) {
+      MOPE_LOG(kDebug, "net", "connection_accepted")
+          .Arg("total", connections_accepted_->Value());
       queue_cv_.NotifyOne();
     } else {
       // Every worker is busy and the backlog is full: shed this connection
       // now (close reads as Unavailable client-side and is retried) rather
       // than park it in an unbounded queue.
       connections_rejected_->Increment();
+      MOPE_LOG(kWarn, "net", "connection_rejected")
+          .Arg("pending_cap", options_.max_pending_sessions)
+          .Arg("total_rejected", connections_rejected_->Value());
       (*session)->Close();
     }
   }
@@ -94,6 +100,7 @@ void TcpServer::WorkerLoop() {
     }
     ServeSession(session.get());
     session->Close();
+    MOPE_LOG(kDebug, "net", "session_closed");
   }
 }
 

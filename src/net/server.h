@@ -50,6 +50,9 @@ struct TcpServerOptions {
   size_t max_pending_sessions = 64;
   /// Socket deadlines for accepted connections.
   SocketOptions session_options;
+  /// Dispatcher policy (reply caps, slow-query accounting, periodic
+  /// checkpointing); shared by every session of this daemon.
+  DispatcherOptions dispatcher;
 };
 
 class TcpServer {
@@ -83,7 +86,7 @@ class TcpServer {
   TcpServer(engine::DbServer* server, TcpServerOptions options,
             std::unique_ptr<TcpListener> listener)
       : options_(std::move(options)), listener_(std::move(listener)),
-        dispatcher_(server),
+        dispatcher_(server, options_.dispatcher),
         connections_accepted_(server->metrics()->GetCounter(
             "net.server.connections_accepted")),
         connections_rejected_(server->metrics()->GetCounter(

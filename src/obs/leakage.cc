@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/math_util.h"
+#include "obs/log.h"
 
 namespace mope::obs {
 
@@ -241,6 +242,24 @@ LeakageVerdict LeakageAuditor::ComputeLocked() const {
 }
 
 void LeakageAuditor::PublishLocked(const LeakageVerdict& v) {
+  // Edge-triggered alert log: one line when the verdict flips, not one per
+  // publish (rank-legal: kLeakageAuditor < kLogSink).
+  if (v.alert != alert_logged_) {
+    alert_logged_ = v.alert;
+    if (v.alert) {
+      MOPE_LOG(kWarn, "leakage", "alert_raised")
+          .Arg("observations", v.observations)
+          .Arg("distinct", v.distinct)
+          .Arg("chi2_milli", static_cast<uint64_t>(ToMilli(
+                                 std::min(v.chi2, 1e15))))
+          .Arg("confidence_milli",
+               static_cast<uint64_t>(ToMilli(v.confidence)))
+          .Arg("offset_estimate", v.offset_estimate);
+    } else {
+      MOPE_LOG(kInfo, "leakage", "alert_cleared")
+          .Arg("observations", v.observations);
+    }
+  }
   if (g_observations_ == nullptr) return;
   g_observations_->Set(static_cast<int64_t>(v.observations));
   g_distinct_->Set(static_cast<int64_t>(v.distinct));

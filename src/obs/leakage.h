@@ -190,6 +190,9 @@ class LeakageAuditor {
   uint64_t observations_ MOPE_GUARDED_BY(mutex_) = 0;
   uint64_t out_of_space_ MOPE_GUARDED_BY(mutex_) = 0;
   bool saturated_ MOPE_GUARDED_BY(mutex_) = false;
+  /// Last alert state logged, so alert transitions produce exactly one
+  /// structured log line each way (edge-triggered, not level-triggered).
+  bool alert_logged_ MOPE_GUARDED_BY(mutex_) = false;
 
   // --- Gap structure ------------------------------------------------------
   // Distinct observed points, plus all circular arcs between consecutive

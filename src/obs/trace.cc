@@ -19,10 +19,10 @@ thread_local Trace* t_current_trace = nullptr;
 
 }  // namespace
 
-Trace::Trace(std::string name, Clock* clock)
+Trace::Trace(std::string name, Clock* clock, uint64_t forced_id)
     : name_(std::move(name)),
       clock_(clock != nullptr ? clock : SystemClock()),
-      trace_id_(NextTraceId()) {}
+      trace_id_(forced_id != 0 ? forced_id : NextTraceId()) {}
 
 uint32_t Trace::StartSpan(std::string span_name) {
   const uint64_t now = clock_->NowNanos();

@@ -46,7 +46,11 @@ struct Span {
 class Trace {
  public:
   /// `clock` must outlive the trace; nullptr selects SystemClock().
-  explicit Trace(std::string name, Clock* clock = nullptr);
+  /// `forced_id` adopts an externally assigned trace id (a server picking up
+  /// the id a client stamped into the wire frame header); 0 draws a fresh id
+  /// from the process-wide counter.
+  explicit Trace(std::string name, Clock* clock = nullptr,
+                 uint64_t forced_id = 0);
 
   uint64_t trace_id() const { return trace_id_; }
   const std::string& name() const { return name_; }

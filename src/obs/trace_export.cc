@@ -78,7 +78,9 @@ std::string ExportChromeTrace(const Trace& trace, int pid, int tid) {
         << ",\"args\":{\"value\":" << value << "}}";
   }
 
-  out << "]}";
+  // The trace id rides along so an exported file can be joined against the
+  // structured log line (`trace=<id>`) that pointed at it.
+  out << "],\"otherData\":{\"trace_id\":\"" << trace.trace_id() << "\"}}";
   return out.str();
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace mope::storage {
 
 namespace {
@@ -36,18 +38,22 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
                        EnsureDurable ensure_durable,
-                       obs::MetricsRegistry* metrics)
+                       obs::MetricsRegistry* metrics, obs::Clock* clock)
     : disk_(disk),
       ensure_durable_(std::move(ensure_durable)),
       frames_(num_frames == 0 ? 1 : num_frames),
+      clock_(clock != nullptr ? clock : obs::SystemClock()),
       hits_(OrGlobal(metrics)->GetCounter("storage.pool.hits")),
       misses_(OrGlobal(metrics)->GetCounter("storage.pool.misses")),
       evictions_(OrGlobal(metrics)->GetCounter("storage.pool.evictions")),
       writebacks_(OrGlobal(metrics)->GetCounter("storage.pool.writebacks")),
-      flushes_(OrGlobal(metrics)->GetCounter("storage.pool.flushes")) {}
+      flushes_(OrGlobal(metrics)->GetCounter("storage.pool.flushes")),
+      miss_stall_ns_(
+          OrGlobal(metrics)->GetHistogram("storage.pool.miss_stall_ns")) {}
 
 Status BufferPool::WriteBackLocked(Frame& frame) {
   if (!frame.dirty) return Status::OK();
+  const obs::ScopedSpan span("storage.pool.writeback");
   // WAL-ahead: the log records that produced these bytes reach the medium
   // before the bytes do.
   MOPE_RETURN_NOT_OK(ensure_durable_(PageView(frame.data.get()).lsn()));
@@ -68,6 +74,7 @@ Result<size_t> BufferPool::AcquireFrameLocked() {
                             std::to_string(frames_.size()) +
                             " frames pinned");
   }
+  const obs::ScopedSpan span("storage.pool.evict");
   const size_t idx = lru_.front();
   lru_.pop_front();
   lru_pos_.erase(idx);
@@ -96,7 +103,15 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   }
   MOPE_ASSIGN_OR_RETURN(size_t idx, AcquireFrameLocked());
   Frame& frame = frames_[idx];
-  const Status read = disk_->ReadPage(id, frame.data.get());
+  Status read;
+  {
+    // A miss stalls its caller on a disk read; the span shows up in slow
+    // query traces, the histogram in the scrape.
+    const obs::ScopedSpan span("storage.pool.miss");
+    const uint64_t start_ns = clock_->NowNanos();
+    read = disk_->ReadPage(id, frame.data.get());
+    miss_stall_ns_->Observe(clock_->NowNanos() - start_ns);
+  }
   if (!read.ok()) {
     // The frame stays free-listed for the next acquirer.
     lru_pos_[idx] = lru_.insert(lru_.begin(), idx);
@@ -125,6 +140,9 @@ Result<PageGuard> BufferPool::Create(PageType type) {
 }
 
 Status BufferPool::FlushAll() {
+  // Spanned unconditionally: a checkpoint's flush belongs in its trace even
+  // when every frame turns out to be clean.
+  const obs::ScopedSpan span("storage.pool.flush");
   MutexLock lock(&mutex_);
   for (size_t idx = 0; idx < next_fresh_frame_; ++idx) {
     Frame& frame = frames_[idx];

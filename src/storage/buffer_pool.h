@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/clock.h"
 #include "obs/registry.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -79,8 +80,9 @@ class BufferPool {
   /// durable (Wal::SyncTo). Pass a no-op returning OK when running without
   /// a WAL (benches, tools). `metrics` may be null (global registry).
   using EnsureDurable = std::function<Status(uint64_t lsn)>;
+  /// `clock` times the miss-stall histogram (nullptr = SystemClock).
   BufferPool(DiskManager* disk, size_t num_frames, EnsureDurable ensure_durable,
-             obs::MetricsRegistry* metrics);
+             obs::MetricsRegistry* metrics, obs::Clock* clock = nullptr);
 
   /// Pins page `id`, reading it from disk on a miss (evicting an unpinned
   /// frame if the pool is full). Internal error when every frame is pinned
@@ -127,11 +129,15 @@ class BufferPool {
       MOPE_GUARDED_BY(mutex_);
   size_t next_fresh_frame_ MOPE_GUARDED_BY(mutex_) = 0;
 
+  obs::Clock* clock_;
   obs::Counter* hits_;
   obs::Counter* misses_;
   obs::Counter* evictions_;
   obs::Counter* writebacks_;
   obs::Counter* flushes_;
+  /// Time a Fetch spent stalled on the disk read of a missed page
+  /// (`storage.pool.miss_stall_ns`): the working-set health signal.
+  obs::ExpHistogram* miss_stall_ns_;
 };
 
 }  // namespace mope::storage

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/crc32.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 #include "storage/table_heap.h"
 
@@ -90,7 +92,7 @@ StorageEngine::StorageEngine(Env* env, std::string dir,
   pool_ = std::make_unique<BufferPool>(
       disk_.get(), std::max<size_t>(options.pool_frames, 8),
       [wal = wal_.get()](uint64_t lsn) { return wal->SyncTo(lsn); },
-      options.metrics);
+      options.metrics, options.clock);
 }
 
 Status StorageEngine::RedoRecords(DiskManager* disk,
@@ -174,6 +176,7 @@ Status StorageEngine::RedoRecords(DiskManager* disk,
 
 Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     const std::string& dir, const StorageOptions& options) {
+  const obs::ScopedSpan open_span("storage.recovery");
   Env* env = options.env != nullptr ? options.env : Env::Posix();
   MOPE_RETURN_NOT_OK(env->CreateDir(dir));
 
@@ -193,6 +196,7 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
 
   std::vector<WalRecord> catalog_records;
   if (!records.empty()) {
+    const obs::ScopedSpan redo_span("storage.wal.redo");
     MOPE_RETURN_NOT_OK(RedoRecords(disk.get(), records, &catalog_records));
     MOPE_RETURN_NOT_OK(disk->Sync());
   }
@@ -206,7 +210,7 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   MOPE_ASSIGN_OR_RETURN(
       std::unique_ptr<Wal> wal,
       Wal::Open(env, WalPath(dir), next_lsn, options.wal_sync_every,
-                options.metrics));
+                options.metrics, options.clock));
 
   std::unique_ptr<StorageEngine> engine(new StorageEngine(
       env, dir, std::move(disk), std::move(wal), options));
@@ -218,11 +222,20 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     engine->recoveries_->Increment();
     engine->recovered_records_counter_->Increment(
         static_cast<int64_t>(records.size()));
+    // Crash recovery is the event an operator grep'd the old fprintf lines
+    // for; it stays info-level. Clean opens log at debug below.
+    MOPE_LOG(kInfo, "storage", "wal_replayed")
+        .Arg("dir", dir)
+        .Arg("records", records.size())
+        .Arg("checkpoint_lsn", meta.checkpoint_lsn);
+  } else {
+    MOPE_LOG(kDebug, "storage", "opened").Arg("dir", dir);
   }
   return engine;
 }
 
 Status StorageEngine::Checkpoint(std::string_view catalog_blob) {
+  const obs::ScopedSpan span("storage.checkpoint");
   // Callers quiesce writers across the call (the engine's own write
   // serialization does this): a record logged concurrently with steps 1-5
   // could land after the Sync yet before the Restart and be lost.

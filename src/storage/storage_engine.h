@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/clock.h"
 #include "obs/registry.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -67,6 +68,9 @@ struct StorageOptions {
   Env* env = nullptr;
   /// Defaults to the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Times the fsync / miss-stall latency histograms. Defaults to
+  /// SystemClock(); tests inject a ManualClock for deterministic buckets.
+  obs::Clock* clock = nullptr;
 };
 
 class StorageEngine {

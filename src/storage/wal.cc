@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/crc32.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace mope::storage {
@@ -18,27 +19,32 @@ obs::MetricsRegistry* OrGlobal(obs::MetricsRegistry* metrics) {
 }  // namespace
 
 Wal::Wal(Env* env, std::string path, std::unique_ptr<AppendFile> file,
-         uint64_t next_lsn, uint64_t sync_every, obs::MetricsRegistry* metrics)
+         uint64_t next_lsn, uint64_t sync_every, obs::MetricsRegistry* metrics,
+         obs::Clock* clock)
     : env_(env),
       path_(std::move(path)),
       file_(std::move(file)),
       next_lsn_(next_lsn),
       last_synced_lsn_(next_lsn == 0 ? 0 : next_lsn - 1),
       sync_every_(sync_every),
+      clock_(clock != nullptr ? clock : obs::SystemClock()),
       records_(OrGlobal(metrics)->GetCounter("storage.wal.records")),
       bytes_(OrGlobal(metrics)->GetCounter("storage.wal.bytes")),
-      syncs_(OrGlobal(metrics)->GetCounter("storage.wal.syncs")) {}
+      syncs_(OrGlobal(metrics)->GetCounter("storage.wal.syncs")),
+      fsync_ns_(OrGlobal(metrics)->GetHistogram("storage.wal.fsync_ns")) {}
 
 Result<std::unique_ptr<Wal>> Wal::Open(Env* env, const std::string& path,
                                        uint64_t next_lsn, uint64_t sync_every,
-                                       obs::MetricsRegistry* metrics) {
+                                       obs::MetricsRegistry* metrics,
+                                       obs::Clock* clock) {
   MOPE_ASSIGN_OR_RETURN(std::unique_ptr<AppendFile> file,
                         env->OpenAppend(path, /*truncate=*/false));
   return std::unique_ptr<Wal>(new Wal(env, path, std::move(file), next_lsn,
-                                      sync_every, metrics));
+                                      sync_every, metrics, clock));
 }
 
 Result<uint64_t> Wal::Append(WalRecordType type, std::string_view payload) {
+  const obs::ScopedSpan span("storage.wal.append");
   MutexLock lock(&mutex_);
   const uint64_t lsn = next_lsn_++;
   char header[kHeaderSize];
@@ -65,7 +71,15 @@ Status Wal::SyncLocked() {
     pending_.clear();
   }
   if (unsynced_records_ == 0) return Status::OK();
-  MOPE_RETURN_NOT_OK(file_->Sync());
+  {
+    // The fsync is the commit point and the dominant cost of a write path;
+    // it gets both a span (visible in slow-query traces) and a latency
+    // histogram (visible to a scraper as fsync_ns quantiles).
+    const obs::ScopedSpan span("storage.wal.sync");
+    const uint64_t start_ns = clock_->NowNanos();
+    MOPE_RETURN_NOT_OK(file_->Sync());
+    fsync_ns_->Observe(clock_->NowNanos() - start_ns);
+  }
   syncs_->Increment();
   last_synced_lsn_ = next_lsn_ - 1;
   unsynced_records_ = 0;
@@ -90,8 +104,15 @@ Status Wal::Restart() {
   MOPE_ASSIGN_OR_RETURN(file_, env_->OpenAppend(path_, /*truncate=*/true));
   // Make the truncation itself durable: without this fsync a crash can
   // resurrect the pre-checkpoint log contents, and only the checkpoint-LSN
-  // guard in ReadAll would save us. Belt and suspenders.
-  MOPE_RETURN_NOT_OK(file_->Sync());
+  // guard in ReadAll would save us. Belt and suspenders. It is a real WAL
+  // fsync on the commit path of every checkpoint, so it feeds the same
+  // span and latency histogram as record syncs.
+  {
+    const obs::ScopedSpan span("storage.wal.sync");
+    const uint64_t start_ns = clock_->NowNanos();
+    MOPE_RETURN_NOT_OK(file_->Sync());
+    fsync_ns_->Observe(clock_->NowNanos() - start_ns);
+  }
   last_synced_lsn_ = next_lsn_ - 1;
   return Status::OK();
 }

@@ -39,6 +39,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/clock.h"
 #include "obs/registry.h"
 #include "storage/env.h"
 
@@ -72,11 +73,13 @@ class Wal {
   /// Opens the log for appending (keeping existing contents — recovery
   /// reads them first via ReadAll). `next_lsn` must be greater than every
   /// LSN already in the file. `sync_every` = N groups N appends per fsync
-  /// (1 = sync every record; 0 = only explicit Sync calls).
+  /// (1 = sync every record; 0 = only explicit Sync calls). `clock` times
+  /// the per-fsync latency histogram (nullptr = SystemClock).
   static Result<std::unique_ptr<Wal>> Open(Env* env, const std::string& path,
                                            uint64_t next_lsn,
                                            uint64_t sync_every,
-                                           obs::MetricsRegistry* metrics);
+                                           obs::MetricsRegistry* metrics,
+                                           obs::Clock* clock = nullptr);
 
   /// Appends one record, returns its LSN. May auto-Sync per policy.
   Result<uint64_t> Append(WalRecordType type, std::string_view payload)
@@ -104,7 +107,8 @@ class Wal {
 
  private:
   Wal(Env* env, std::string path, std::unique_ptr<AppendFile> file,
-      uint64_t next_lsn, uint64_t sync_every, obs::MetricsRegistry* metrics);
+      uint64_t next_lsn, uint64_t sync_every, obs::MetricsRegistry* metrics,
+      obs::Clock* clock);
 
   Status SyncLocked() MOPE_REQUIRES(mutex_);
 
@@ -118,9 +122,13 @@ class Wal {
   uint64_t unsynced_records_ MOPE_GUARDED_BY(mutex_) = 0;
   const uint64_t sync_every_;
 
+  obs::Clock* clock_;
   obs::Counter* records_;
   obs::Counter* bytes_;
   obs::Counter* syncs_;
+  /// Latency of each fsync covering a commit group (`storage.wal.fsync_ns`):
+  /// the number an operator watches when group commit is mistuned.
+  obs::ExpHistogram* fsync_ns_;
 };
 
 }  // namespace mope::storage

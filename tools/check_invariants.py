@@ -66,6 +66,15 @@ Machine-enforces the correctness conventions that code review used to carry:
                          in one audited layer. Catalog snapshots, CSV
                          import/export and the storage engine all ride the
                          same seam; tests swap in InMemEnv/FaultyEnv.
+  R11 raw-output         printf/fprintf/puts/fputs and std::cout/cerr/clog
+                         are banned in src/ and tools/ outside src/obs/log.*
+                         (the logger's own stderr sink) — operational
+                         messages go through the structured logger so they
+                         are parseable, leveled, rate-limited and serialized
+                         under one sink lock. Interactive output (usage
+                         text, --metrics dumps, abort-path diagnostics that
+                         cannot trust the logger) opts out per line with
+                         `// invariant-ok: R11 <reason>`.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -212,6 +221,21 @@ RULES = [
         includes=("src/",),
         excludes=("src/storage/",),
     ),
+    # Operational messages must be structured (one parseable line, level,
+    # subsystem, rate limit, single sink lock) — a stray fprintf interleaves
+    # mid-line with the log under concurrency and is invisible to scrapers.
+    # Interactive surfaces (usage text, --metrics dumps, abort diagnostics
+    # that cannot trust the logger) opt out per-line with invariant-ok.
+    Rule(
+        "raw-output",
+        r"(?<![\w.>])(?:v?f?printf|puts|fputs|fputc|putchar)\s*\(|"
+        r"std::c(?:out|err|log)\b",
+        "raw stdio/stream output: operational messages go through the "
+        "structured logger (obs/log.h, MOPE_LOG); interactive usage/help "
+        "text may opt out with invariant-ok",
+        includes=("src/", "tools/"),
+        excludes=("src/obs/log.",),
+    ),
     Rule(
         "auditor-ciphertext-only",
         r'#\s*include\s*["<](?:\.\./)*(?:src/)?(?:ope|proxy|sql)/',
@@ -309,7 +333,7 @@ def lint_file(root: Path, rel: str) -> list[str]:
 
 def collect_sources(root: Path) -> list[str]:
     rels = []
-    for top in ("src", "tests", "bench", "examples"):
+    for top in ("src", "tests", "bench", "examples", "tools"):
         base = root / top
         if not base.is_dir():
             continue

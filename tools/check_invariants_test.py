@@ -194,6 +194,28 @@ class CatchesSeededViolations(unittest.TestCase):
         )
         self.assertIn("raw-file-io", rule_ids(v))
 
+    def test_raw_fprintf_outside_logger(self) -> None:
+        v = run_on_tree(
+            {"src/engine/bad.cc":
+                 "#include <cstdio>\n"
+                 'void F() { std::fprintf(stderr, "recovered\\n"); }\n'}
+        )
+        self.assertIn("raw-output", rule_ids(v))
+
+    def test_raw_printf_in_tools(self) -> None:
+        v = run_on_tree(
+            {"tools/bad_daemon.cc": 'void F() { printf("listening\\n"); }\n'}
+        )
+        self.assertIn("raw-output", rule_ids(v))
+
+    def test_raw_cerr_stream(self) -> None:
+        v = run_on_tree(
+            {"src/net/bad.cc":
+                 "#include <iostream>\n"
+                 'void F() { std::cerr << "oops" << std::endl; }\n'}
+        )
+        self.assertIn("raw-output", rule_ids(v))
+
     def test_unannotated_wrapper_mutex(self) -> None:
         # A capability nothing is guarded by: the declaring file must carry
         # at least one MOPE_GUARDED_BY / MOPE_PT_GUARDED_BY.
@@ -235,6 +257,35 @@ class NoFalsePositives(unittest.TestCase):
                 "src/sql/good.cc":
                     'const char* kMsg = "call time() elsewhere";\n'
             }
+        )
+        self.assertEqual(v, [])
+
+    def test_logger_sink_exempt_from_raw_output(self) -> None:
+        # src/obs/log.* is the one sanctioned stderr site: the default sink
+        # itself must be able to write raw bytes.
+        v = run_on_tree(
+            {"src/obs/log.cc":
+                 "#include <cstdio>\n"
+                 "void Sink(const char* s) { std::fputs(s, stderr); }\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_snprintf_is_not_raw_output(self) -> None:
+        # Formatting into a buffer is not output; only the stdio writers are.
+        v = run_on_tree(
+            {"src/net/good.cc":
+                 "#include <cstdio>\n"
+                 "void F(char* b) { std::snprintf(b, 8, \"%d\", 1); }\n"}
+        )
+        self.assertEqual(v, [])
+
+    def test_raw_output_escape_in_tools(self) -> None:
+        v = run_on_tree(
+            {"tools/good_daemon.cc":
+                 "void Usage() {\n"
+                 "  std::fprintf(  // invariant-ok: R11 usage/help text\n"
+                 '      stderr, "usage: ...\\n");\n'
+                 "}\n"}
         )
         self.assertEqual(v, [])
 

@@ -21,17 +21,28 @@
 /// ciphertexts the in-memory catalog does; kill -9 never costs more than a
 /// WAL replay plus an index rebuild, and never a re-encryption.
 ///
-/// --metrics dumps the server's full metrics registry (Prometheus text
-/// format) to stderr at shutdown, in addition to the one-line summary. A
-/// live daemon also answers StatsRequest frames (shell: `\serverstats`), so
-/// the registry is inspectable over the wire without stopping anything.
+/// Observability:
+///   - Every operational message is a structured log line (src/obs/log.h)
+///     on stderr: `ts_ns=... level=... subsystem=... event=... k=v`.
+///     --log-json switches to JSON lines; --log-level sets the floor.
+///   - --http-port starts the HTTP exposition endpoint (GET /metrics in
+///     Prometheus text format, /healthz, /statusz) on a second port.
+///   - --metrics dumps the registry to stderr at shutdown; --metrics-out
+///     atomically writes the same Prometheus text to a file instead.
+///   - --slow-query-ms logs a per-span breakdown for any request that
+///     exceeds the threshold, and --slow-query-trace additionally exports
+///     the request's Chrome trace (chrome://tracing) with the same trace
+///     id, WAL and buffer-pool spans included.
+///   - --checkpoint-every N checkpoints the storage engine every N
+///     data-bearing requests, putting storage.wal.* / storage.pool.* work
+///     (and spans) on the serving path.
 ///
 /// With --tpch, a proxy process built with the *same seed* (default 0x5811,
 /// matching mope_shell) re-derives the identical MOPE key from its own rng
 /// and can query the data without any key exchange.
 ///
 /// SIGINT/SIGTERM shut down gracefully: in-flight requests complete,
-/// replies flush, then the daemon prints its traffic counters and exits.
+/// replies flush, then the daemon logs its traffic counters and exits.
 
 #include <cerrno>
 #include <csignal>
@@ -39,15 +50,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "engine/snapshot.h"
+#include "net/http_exposition.h"
 #include "net/server.h"
 #include "obs/leakage.h"
+#include "obs/log.h"
 #include "ope/ope.h"
 #include "proxy/system.h"
+#include "storage/env.h"
 #include "workload/tpch.h"
 
 namespace {
@@ -72,27 +87,56 @@ bool ParsePort(const char* raw, uint16_t* out) {
 }
 
 void PrintUsage(const char* argv0) {
-  std::fprintf(
+  // Usage text goes to the raw stream, not the structured log: it is the
+  // program's interactive answer to --help, not an operational event.
+  std::fprintf(  // invariant-ok: R11 usage/help text
       stderr,
       "usage: %s (--snapshot PATH | --tpch) [options]\n"
-      "  --snapshot PATH   serve an encrypted catalog snapshot\n"
-      "  --tpch            generate + encrypt a TPC-H lineitem table\n"
-      "  --scale F         TPC-H scale factor (default 0.002)\n"
-      "  --seed N          key/proxy seed for --tpch (default 0x5811)\n"
-      "  --host H          bind address (default 127.0.0.1)\n"
-      "  --port N          TCP port; 0 picks an ephemeral one (default 5811)\n"
-      "  --workers N       worker threads (default 4)\n"
-      "  --data-dir DIR    disk-backed storage: WAL + pages live in DIR; an\n"
-      "                    existing DIR is recovered (WAL replay) and served,\n"
-      "                    a fresh one is seeded from --snapshot/--tpch\n"
-      "  --metrics         dump the metrics registry at shutdown\n"
-      "  --audit           live leakage auditor over the observed ciphertext\n"
-      "                    range stream; leakage.* gauges join the stats\n"
-      "                    endpoint (shell: \\leakage)\n"
-      "  --audit-domain M  plaintext domain the audited column was declared\n"
-      "                    with (default: the TPC-H date domain); needed so\n"
-      "                    --snapshot mode knows the public parameter M\n",
+      "  --snapshot PATH     serve an encrypted catalog snapshot\n"
+      "  --tpch              generate + encrypt a TPC-H lineitem table\n"
+      "  --scale F           TPC-H scale factor (default 0.002)\n"
+      "  --seed N            key/proxy seed for --tpch (default 0x5811)\n"
+      "  --host H            bind address (default 127.0.0.1)\n"
+      "  --port N            TCP port; 0 picks an ephemeral one (default "
+      "5811)\n"
+      "  --workers N         worker threads (default 4)\n"
+      "  --data-dir DIR      disk-backed storage: WAL + pages live in DIR; "
+      "an\n"
+      "                      existing DIR is recovered (WAL replay) and "
+      "served,\n"
+      "                      a fresh one is seeded from --snapshot/--tpch\n"
+      "  --http-port N       HTTP exposition endpoint (GET /metrics "
+      "Prometheus\n"
+      "                      text, /healthz, /statusz); 0 = ephemeral\n"
+      "  --slow-query-ms N   log a span breakdown for requests slower than "
+      "N ms\n"
+      "  --slow-query-trace FILE  also export the offending request's "
+      "Chrome\n"
+      "                      trace (atomic write; same trace id as the log "
+      "line)\n"
+      "  --checkpoint-every N  checkpoint storage every N data requests\n"
+      "  --metrics           dump the metrics registry at shutdown\n"
+      "  --metrics-out FILE  atomically write the Prometheus text dump to "
+      "FILE\n"
+      "                      at shutdown\n"
+      "  --log-json          JSON-lines log format instead of key=value\n"
+      "  --log-level LEVEL   debug|info|warn|error (default info)\n"
+      "  --audit             live leakage auditor over the observed "
+      "ciphertext\n"
+      "                      range stream; leakage.* gauges join the stats\n"
+      "                      endpoint (shell: \\leakage)\n"
+      "  --audit-domain M    plaintext domain the audited column was "
+      "declared\n"
+      "                      with (default: the TPC-H date domain); needed "
+      "so\n"
+      "                      --snapshot mode knows the public parameter M\n",
       argv0);
+}
+
+/// Flag-parse diagnostics also predate the configured logger; they stay on
+/// the raw stream next to the usage text they accompany.
+void FlagError(const char* fmt, const char* detail) {
+  std::fprintf(stderr, fmt, detail);  // invariant-ok: R11 usage/help text
 }
 
 }  // namespace
@@ -102,12 +146,20 @@ int main(int argc, char** argv) {
 
   std::string snapshot_path;
   std::string data_dir;
+  std::string metrics_out;
   bool tpch = false;
   bool dump_metrics = false;
   bool audit = false;
+  bool http_enabled = false;
+  uint16_t http_port = 0;
   uint64_t audit_domain = workload::kTpchDateDomain;
+  double slow_query_ms = 0;  // fractional ms OK: 0.001 = 1us threshold
+  std::string slow_query_trace;
+  uint64_t checkpoint_every = 0;
   double scale = 0.002;
   uint64_t seed = 0x5811;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  bool log_json = false;
   net::TcpServerOptions options;
   options.port = 5811;
 
@@ -115,7 +167,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        FlagError("%s needs a value\n", arg.c_str());
         std::exit(2);
       }
       return argv[++i];
@@ -135,14 +187,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--port") {
       const char* raw = next();
       if (!ParsePort(raw, &options.port)) {
-        std::fprintf(stderr, "--port must be an integer in [0, 65535], got '%s'\n",
-                     raw);
+        FlagError("--port must be an integer in [0, 65535], got '%s'\n", raw);
         return 2;
       }
     } else if (arg == "--workers") {
       options.num_workers = std::atoi(next());
+    } else if (arg == "--http-port") {
+      const char* raw = next();
+      if (!ParsePort(raw, &http_port)) {
+        FlagError("--http-port must be an integer in [0, 65535], got '%s'\n",
+                  raw);
+        return 2;
+      }
+      http_enabled = true;
+    } else if (arg == "--slow-query-ms") {
+      slow_query_ms = std::atof(next());
+    } else if (arg == "--slow-query-trace") {
+      slow_query_trace = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--log-json") {
+      log_json = true;
+    } else if (arg == "--log-level") {
+      const char* raw = next();
+      if (!obs::ParseLogLevel(raw, &log_level)) {
+        FlagError("--log-level must be debug|info|warn|error, got '%s'\n",
+                  raw);
+        return 2;
+      }
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--audit-domain") {
@@ -151,16 +227,24 @@ int main(int argc, char** argv) {
       PrintUsage(argv[0]);
       return 0;
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      FlagError("unknown flag %s\n", arg.c_str());
       PrintUsage(argv[0]);
       return 2;
     }
   }
   if (snapshot_path.empty() == !tpch) {
-    std::fprintf(stderr, "pick exactly one of --snapshot or --tpch\n");
+    FlagError("pick exactly one of --snapshot or --tpch\n", "");
     PrintUsage(argv[0]);
     return 2;
   }
+
+  // Configure the process logger before the first loggable event. From here
+  // on every message in the process — including the library layers — flows
+  // through the single ranked sink, so startup lines and worker-thread
+  // connection events never interleave mid-line.
+  obs::Logger* logger = obs::Logger::Default();
+  logger->SetMinLevel(log_level);
+  logger->SetFormat(log_json ? obs::LogFormat::kJson : obs::LogFormat::kText);
 
   // The daemon's engine. In --tpch mode a throwaway MopeSystem does the
   // data-owner work (key draw + encryption) in-process; its embedded server
@@ -172,6 +256,7 @@ int main(int argc, char** argv) {
     system = std::make_unique<proxy::MopeSystem>(seed);
     server = system->server();
   }
+  logger->SetDropCounterRegistry(server->metrics());
 
   // Storage attaches before any data load: the catalog is still empty, so
   // recovery can repopulate it, and a subsequent import flows through the
@@ -180,19 +265,19 @@ int main(int argc, char** argv) {
   if (!data_dir.empty()) {
     const Status attached = server->OpenStorage(data_dir);
     if (!attached.ok()) {
-      std::fprintf(stderr, "cannot open --data-dir %s: %s\n",
-                   data_dir.c_str(), attached.ToString().c_str());
+      MOPE_LOG(kError, "main", "storage_open_failed")
+          .Arg("data_dir", data_dir)
+          .Arg("status", attached.ToString());
       return 1;
     }
     const size_t tables = server->catalog()->TableNames().size();
     recovered_data = tables > 0;
     if (recovered_data) {
-      std::fprintf(
-          stderr, "recovered %zu table(s) from %s%s\n", tables,
-          data_dir.c_str(),
-          server->durable_catalog()->recovered_from_crash()
-              ? " (crash recovery: WAL replayed, indexes rebuilt)"
-              : "");
+      MOPE_LOG(kInfo, "main", "recovered")
+          .Arg("tables", tables)
+          .Arg("data_dir", data_dir)
+          .Arg("crash_recovery",
+               server->durable_catalog()->recovered_from_crash());
     }
   }
 
@@ -201,8 +286,9 @@ int main(int argc, char** argv) {
   } else if (!snapshot_path.empty()) {
     auto loaded = engine::LoadCatalog(snapshot_path);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load snapshot: %s\n",
-                   loaded.status().ToString().c_str());
+      MOPE_LOG(kError, "main", "snapshot_load_failed")
+          .Arg("path", snapshot_path)
+          .Arg("status", loaded.status().ToString());
       return 1;
     }
     if (server->has_storage()) {
@@ -210,14 +296,15 @@ int main(int argc, char** argv) {
       const Status imported =
           engine::ImportCatalog(*loaded, server->catalog());
       if (!imported.ok()) {
-        std::fprintf(stderr, "cannot import snapshot: %s\n",
-                     imported.ToString().c_str());
+        MOPE_LOG(kError, "main", "snapshot_import_failed")
+            .Arg("path", snapshot_path)
+            .Arg("status", imported.ToString());
         return 1;
       }
     } else {
       *standalone.catalog() = std::move(loaded).value();
     }
-    std::fprintf(stderr, "serving snapshot %s\n", snapshot_path.c_str());
+    MOPE_LOG(kInfo, "main", "serving_snapshot").Arg("path", snapshot_path);
   } else {
     workload::TpchConfig config;
     config.scale_factor = scale;
@@ -231,14 +318,13 @@ int main(int argc, char** argv) {
     const Status status = system->LoadTable("lineitem", data.lineitem_schema,
                                             data.lineitem, spec);
     if (!status.ok()) {
-      std::fprintf(stderr, "tpch load failed: %s\n",
-                   status.ToString().c_str());
+      MOPE_LOG(kError, "main", "tpch_load_failed")
+          .Arg("status", status.ToString());
       return 1;
     }
-    std::fprintf(stderr,
-                 "serving %zu encrypted lineitem rows (seed 0x%llx)\n",
-                 data.lineitem.size(),
-                 static_cast<unsigned long long>(seed));
+    MOPE_LOG(kInfo, "main", "serving_tpch")
+        .Arg("rows", data.lineitem.size())
+        .Arg("seed", seed);
   }
 
   if (server->has_storage() && !recovered_data) {
@@ -246,10 +332,12 @@ int main(int argc, char** argv) {
     // index roots, truncate the WAL.
     const Status cp = server->CheckpointStorage();
     if (!cp.ok()) {
-      std::fprintf(stderr, "checkpoint failed: %s\n", cp.ToString().c_str());
+      MOPE_LOG(kError, "main", "checkpoint_failed")
+          .Arg("data_dir", data_dir)
+          .Arg("status", cp.ToString());
       return 1;
     }
-    std::fprintf(stderr, "data dir %s checkpointed\n", data_dir.c_str());
+    MOPE_LOG(kInfo, "main", "checkpointed").Arg("data_dir", data_dir);
   }
 
   if (audit) {
@@ -261,54 +349,92 @@ int main(int argc, char** argv) {
     audit_config.space = ope::SuggestRange(audit_domain);
     const Status enabled = server->EnableLeakageAudit(audit_config);
     if (!enabled.ok()) {
-      std::fprintf(stderr, "cannot enable leakage audit: %s\n",
-                   enabled.ToString().c_str());
+      MOPE_LOG(kError, "main", "audit_enable_failed")
+          .Arg("status", enabled.ToString());
       return 1;
     }
-    std::fprintf(stderr,
-                 "leakage audit on (domain %llu, ciphertext space %llu)\n",
-                 static_cast<unsigned long long>(audit_domain),
-                 static_cast<unsigned long long>(audit_config.space));
+    MOPE_LOG(kInfo, "main", "audit_on")
+        .Arg("domain", audit_domain)
+        .Arg("space", audit_config.space);
   }
+
+  // Slow-query instrumentation and periodic checkpointing ride the
+  // dispatcher options; the trace export (if any) goes through the Env seam
+  // so the write is atomic.
+  options.dispatcher.slow_query_threshold_ns =
+      static_cast<uint64_t>(slow_query_ms * 1e6);
+  options.dispatcher.slow_query_trace_path = slow_query_trace;
+  options.dispatcher.trace_env = storage::Env::Posix();
+  options.dispatcher.checkpoint_every = checkpoint_every;
 
   auto daemon = net::TcpServer::Start(server, options);
   if (!daemon.ok()) {
-    std::fprintf(stderr, "cannot start: %s\n",
-                 daemon.status().ToString().c_str());
+    MOPE_LOG(kError, "main", "start_failed")
+        .Arg("status", daemon.status().ToString());
     return 1;
   }
-  std::fprintf(stderr, "mope_serverd listening on %s:%u\n",
-               options.host.c_str(), (*daemon)->port());
-  std::fflush(stderr);
+  MOPE_LOG(kInfo, "main", "listening")
+      .Arg("host", options.host)
+      .Arg("port", static_cast<uint64_t>((*daemon)->port()));
+
+  std::unique_ptr<net::HttpExposition> http;
+  if (http_enabled) {
+    net::HttpExpositionOptions http_options;
+    http_options.host = options.host;
+    http_options.port = http_port;
+    http = std::make_unique<net::HttpExposition>(server, http_options);
+    const Status started = http->Start();
+    if (!started.ok()) {
+      MOPE_LOG(kError, "main", "http_start_failed")
+          .Arg("status", started.ToString());
+      return 1;
+    }
+    MOPE_LOG(kInfo, "main", "http_listening")
+        .Arg("host", http_options.host)
+        .Arg("port", static_cast<uint64_t>(http->port()));
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::fprintf(stderr, "shutting down...\n");
+  MOPE_LOG(kInfo, "main", "shutting_down");
+  if (http != nullptr) http->Stop();
   (*daemon)->Stop();
   if (server->has_storage()) {
     // Clean-shutdown checkpoint: the next start reopens the paged indexes
     // from their checkpointed roots instead of rebuilding them.
     const Status cp = server->CheckpointStorage();
     if (!cp.ok()) {
-      std::fprintf(stderr, "shutdown checkpoint failed: %s\n",
-                   cp.ToString().c_str());
+      MOPE_LOG(kError, "main", "shutdown_checkpoint_failed")
+          .Arg("status", cp.ToString());
     }
   }
 
   const engine::ServerStats stats = server->stats();
-  std::fprintf(stderr,
-               "served %llu connections (%llu shed at accept), %llu frames; "
-               "%llu bytes in, %llu bytes out\n",
-               static_cast<unsigned long long>((*daemon)->connections_accepted()),
-               static_cast<unsigned long long>((*daemon)->connections_rejected()),
-               static_cast<unsigned long long>((*daemon)->frames_served()),
-               static_cast<unsigned long long>(stats.bytes_received),
-               static_cast<unsigned long long>(stats.bytes_sent));
+  MOPE_LOG(kInfo, "main", "stats")
+      .Arg("connections", (*daemon)->connections_accepted())
+      .Arg("shed", (*daemon)->connections_rejected())
+      .Arg("frames", (*daemon)->frames_served())
+      .Arg("bytes_in", stats.bytes_received)
+      .Arg("bytes_out", stats.bytes_sent);
+  if (!metrics_out.empty()) {
+    const Status written = storage::Env::Posix()->WriteFileAtomic(
+        metrics_out, server->metrics()->RenderText());
+    if (!written.ok()) {
+      MOPE_LOG(kError, "main", "metrics_out_failed")
+          .Arg("path", metrics_out)
+          .Arg("status", written.ToString());
+      return 1;
+    }
+    MOPE_LOG(kInfo, "main", "metrics_written").Arg("path", metrics_out);
+  }
   if (dump_metrics) {
-    std::fprintf(stderr, "%s", server->metrics()->RenderText().c_str());
+    // A data dump on request, not an operational event; exempt like the
+    // usage text.
+    std::fprintf(stderr, "%s",  // invariant-ok: R11 --metrics dump
+                 server->metrics()->RenderText().c_str());
   }
   return 0;
 }

@@ -49,8 +49,8 @@ start_daemon() {
   server_pid=$!
   port=""
   for _ in $(seq 1 600); do
-    port="$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$server_log" |
-            head -n 1)"
+    port="$(sed -n 's/.*event=listening .*port=\([0-9][0-9]*\).*/\1/p' \
+            "$server_log" | head -n 1)"
     [ -n "$port" ] && break
     if ! kill -0 "$server_pid" 2>/dev/null; then
       echo "smoke_recovery: server exited during startup" >&2
@@ -81,7 +81,7 @@ hard_kill() {
 # --- Scenario 1: kill after checkpoint, answers must be identical. ---------
 start_daemon 0.002 "$dir1"
 echo "smoke_recovery: daemon up on port $port (data dir $dir1)"
-grep -q "data dir .* checkpointed" "$server_log" || {
+grep -q "event=checkpointed" "$server_log" || {
   echo "smoke_recovery: fresh data dir was not checkpointed after load" >&2
   cat "$server_log" >&2
   exit 1
@@ -103,7 +103,7 @@ for f in pages.db wal.log storage.meta; do
 done
 
 start_daemon 0.002 "$dir1"
-grep -q "recovered 1 table(s)" "$server_log" || {
+grep -q "event=recovered .*tables=1" "$server_log" || {
   echo "smoke_recovery: restart did not recover the table" >&2
   cat "$server_log" >&2
   exit 1
@@ -123,7 +123,7 @@ hard_kill
 server_pid=$!
 killed_midload=""
 for _ in $(seq 1 2000); do
-  if grep -q "data dir .* checkpointed" "$server_log"; then
+  if grep -q "event=checkpointed" "$server_log"; then
     break  # load finished before we pulled the trigger
   fi
   wal_size="$(stat -c %s "$dir2/wal.log" 2>/dev/null || echo 0)"
@@ -143,7 +143,7 @@ fi
 echo "smoke_recovery: daemon killed mid-load (wal.log at $wal_size bytes)"
 
 start_daemon 0.02 "$dir2"
-grep -q "crash recovery: WAL replayed" "$server_log" || {
+grep -q "crash_recovery=true" "$server_log" || {
   echo "smoke_recovery: restart did not report WAL replay" >&2
   cat "$server_log" >&2
   exit 1

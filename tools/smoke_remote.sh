@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Live two-process smoke test for the client/server split + stats endpoint.
+# Live two-process smoke test for the client/server split + observability.
 #
-# Boots a real mope_serverd (TPC-H lineitem, l_shipdate MOPE-encrypted),
-# points a mope_shell proxy at it over loopback TCP, runs one encrypted
-# query, then pulls the server's metrics registry over the wire with
-# \serverstats and asserts the frame counters actually moved. Finally the
-# daemon is shut down and its --metrics Prometheus dump is checked too.
+# Boots a real mope_serverd (TPC-H lineitem, l_shipdate MOPE-encrypted) with
+# the full telemetry surface on: disk-backed storage, HTTP exposition,
+# leakage audit, and slow-query tracing. A mope_shell proxy runs one
+# encrypted query over loopback TCP, then the script asserts:
+#
+#   - the \serverstats wire endpoint reports the frames the query cost,
+#   - GET /metrics serves Prometheus text with storage.wal fsync quantiles
+#     and leakage.* gauges, /healthz reports the attached storage, /statusz
+#     is JSON,
+#   - the query (over a deliberately tiny --slow-query-ms) produced one
+#     structured slow_query log line whose trace id matches the exported
+#     Chrome trace, and that trace contains WAL + buffer-pool spans,
+#   - shutdown writes the --metrics-out file atomically and the --metrics
+#     stderr dump still works.
 #
 # Usage: tools/smoke_remote.sh [BUILD_DIR]   (default: build)
 
@@ -20,38 +29,57 @@ for bin in "$SERVERD" "$MOPE_SHELL"; do
     exit 1
   fi
 done
+CURL="curl -sf --max-time 10"
 
 server_log="$(mktemp)"
+data_dir="$(mktemp -d)"
+trace_file="$(mktemp -u)"    # written atomically by the daemon
+metrics_file="$(mktemp -u)"  # written atomically at shutdown
 cleanup() {
   kill "$server_pid" 2>/dev/null || true
   wait "$server_pid" 2>/dev/null || true
-  rm -f "$server_log"
+  rm -rf "$server_log" "$data_dir" "$trace_file" "$trace_file.query" \
+      "$metrics_file"
 }
 
-# Port 0 = ephemeral: the daemon prints the port it actually bound, so
-# parallel CI jobs never collide.
-"$SERVERD" --tpch --scale 0.002 --port 0 --metrics 2>"$server_log" &
+# Port 0 = ephemeral: the daemon logs the ports it actually bound
+# (event=listening / event=http_listening), so parallel CI jobs never
+# collide. --slow-query-ms 0.001 makes every request "slow" so the query
+# below deterministically exercises the trace-export path, and
+# --checkpoint-every 1 puts real WAL + buffer-pool work inside it.
+"$SERVERD" --tpch --scale 0.002 --port 0 --metrics \
+    --data-dir "$data_dir" --http-port 0 --audit \
+    --slow-query-ms 0.001 --slow-query-trace "$trace_file" \
+    --checkpoint-every 1 --metrics-out "$metrics_file" 2>"$server_log" &
 server_pid=$!
 trap cleanup EXIT
 
-port=""
-for _ in $(seq 1 300); do
-  port="$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$server_log" |
-          head -n 1)"
-  [ -n "$port" ] && break
-  if ! kill -0 "$server_pid" 2>/dev/null; then
-    echo "smoke_remote: server exited during startup" >&2
+# wait_for_port EVENT: poll the structured log for `event=EVENT ... port=N`
+# and print N.
+wait_for_port() {
+  local found=""
+  for _ in $(seq 1 300); do
+    found="$(sed -n "s/.*event=$1 .*port=\([0-9][0-9]*\).*/\1/p" \
+             "$server_log" | head -n 1)"
+    [ -n "$found" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "smoke_remote: server exited during startup" >&2
+      cat "$server_log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$found" ]; then
+    echo "smoke_remote: never saw event=$1 in the log" >&2
     cat "$server_log" >&2
     exit 1
   fi
-  sleep 0.1
-done
-if [ -z "$port" ]; then
-  echo "smoke_remote: server never started listening" >&2
-  cat "$server_log" >&2
-  exit 1
-fi
-echo "smoke_remote: daemon up on port $port"
+  echo "$found"
+}
+
+port="$(wait_for_port listening)"
+http_port="$(wait_for_port http_listening)"
+echo "smoke_remote: daemon up on port $port (http on $http_port)"
 
 # One encrypted query over the wire. The shell re-derives the key from the
 # shared seed; the daemon only ever sees ciphertext ranges.
@@ -67,12 +95,20 @@ echo "$query_out" | grep -q '\[traffic: .* real + .* fake queries' || {
   exit 1
 }
 
+# Snapshot the slow-query export now: every frame is "slow" at this
+# threshold, so later traffic (\serverstats below) would overwrite it with
+# a trace that never touched storage.
+if [ ! -f "$trace_file" ]; then
+  echo "smoke_remote: slow-query Chrome trace was never exported" >&2
+  cat "$server_log" >&2
+  exit 1
+fi
+trace_snapshot="$trace_file.query"
+cp "$trace_file" "$trace_snapshot"
+
 # The live stats endpoint: fetch the server's registry over the wire and
 # check the daemon accounted for the frames the query just cost it.
 stats_out="$("$MOPE_SHELL" --connect "127.0.0.1:$port" -c '\serverstats')"
-echo "$stats_out" | grep -E \
-    'net.server.frames_served|engine.batches_received|engine.bytes_sent' \
-    || true
 frames="$(echo "$stats_out" |
           awk '$1 == "net.server.frames_served" {print $2}')"
 batches="$(echo "$stats_out" |
@@ -89,13 +125,77 @@ if [ -z "$batches" ] || [ "$batches" -eq 0 ]; then
 fi
 echo "smoke_remote: stats endpoint live ($frames frames, $batches batches)"
 
-# Clean shutdown; --metrics dumps the registry as Prometheus text.
+# --- HTTP exposition over a real scrape. -----------------------------------
+metrics_scrape="$($CURL "http://127.0.0.1:$http_port/metrics")"
+echo "$metrics_scrape" | grep -q '^storage_wal_fsync_ns_p50 ' || {
+  echo "smoke_remote: /metrics missing storage_wal_fsync_ns quantiles" >&2
+  echo "$metrics_scrape" >&2
+  exit 1
+}
+echo "$metrics_scrape" | grep -q '^leakage_' || {
+  echo "smoke_remote: /metrics missing leakage.* gauges" >&2
+  exit 1
+}
+echo "$metrics_scrape" | grep -q '^net_server_frames_served [1-9]' || {
+  echo "smoke_remote: /metrics frame counter zero or missing" >&2
+  exit 1
+}
+healthz="$($CURL "http://127.0.0.1:$http_port/healthz")"
+echo "$healthz" | grep -q '^ok$' || {
+  echo "smoke_remote: /healthz did not report ok" >&2
+  echo "$healthz" >&2
+  exit 1
+}
+echo "$healthz" | grep -q '^storage=attached$' || {
+  echo "smoke_remote: /healthz did not report attached storage" >&2
+  echo "$healthz" >&2
+  exit 1
+}
+$CURL "http://127.0.0.1:$http_port/statusz" | grep -q '"leakage"' || {
+  echo "smoke_remote: /statusz missing leakage verdict" >&2
+  exit 1
+}
+echo "smoke_remote: /metrics + /healthz + /statusz live"
+
+# --- Slow-query log line <-> Chrome trace correlation. ---------------------
+trace_id="$(sed -n 's/.*"trace_id":"\([0-9][0-9]*\)".*/\1/p' \
+            "$trace_snapshot")"
+if [ -z "$trace_id" ]; then
+  echo "smoke_remote: exported trace carries no trace id" >&2
+  cat "$trace_snapshot" >&2
+  exit 1
+fi
+grep -q "event=slow_query .*trace=$trace_id\$" "$server_log" || {
+  echo "smoke_remote: no slow_query log line with trace=$trace_id" >&2
+  grep "event=slow_query" "$server_log" >&2 || true
+  exit 1
+}
+for span in storage.wal.sync storage.pool.flush server.checkpoint; do
+  grep -q "\"name\":\"$span\"" "$trace_snapshot" || {
+    echo "smoke_remote: exported trace missing span $span" >&2
+    cat "$trace_snapshot" >&2
+    exit 1
+  }
+done
+echo "smoke_remote: slow query trace $trace_id correlated (log <-> export)"
+
+# Clean shutdown; --metrics dumps the registry as Prometheus text on stderr
+# and --metrics-out writes the same text to a file atomically.
 kill -TERM "$server_pid"
 wait "$server_pid"
-trap 'rm -f "$server_log"' EXIT
+trap 'rm -rf "$server_log" "$data_dir" "$trace_file" "$metrics_file"' EXIT
 grep -q '^net_server_frames_served [1-9]' "$server_log" || {
   echo "smoke_remote: --metrics dump missing nonzero frame counter" >&2
   cat "$server_log" >&2
+  exit 1
+}
+if [ ! -f "$metrics_file" ]; then
+  echo "smoke_remote: --metrics-out file was not written" >&2
+  exit 1
+fi
+grep -q '^storage_wal_fsync_ns_p50 ' "$metrics_file" || {
+  echo "smoke_remote: --metrics-out missing fsync quantiles" >&2
+  cat "$metrics_file" >&2
   exit 1
 }
 echo "smoke_remote: OK"
