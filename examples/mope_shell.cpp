@@ -20,8 +20,8 @@
 ///   mope_serverd --tpch --port 5811 &
 ///   mope_shell --connect 127.0.0.1:5811
 ///
-/// Meta-commands: \help  \stats  \serverstats  \leakage  \trace
-/// [--chrome FILE]  \rotate  \tables  \snapshot PATH  \quit
+/// Meta-commands: \help  \stats  \serverstats  \explain SQL  \leakage
+/// \trace [--chrome FILE]  \rotate  \tables  \snapshot PATH  \quit
 /// (\rotate and \snapshot need the embedded server; unavailable remotely.
 /// \serverstats works for both: embedded reads the registry directly,
 /// --connect fetches it from the daemon over the wire. `-c` accepts
@@ -47,6 +47,15 @@ namespace {
 using namespace mope;  // NOLINT
 
 void PrintResult(const sql::SqlResult& result) {
+  // EXPLAIN output is a pre-formatted plan tree: column padding would
+  // mangle the indentation, so print it verbatim.
+  if (result.columns.size() == 1 && result.columns[0] == "QUERY PLAN") {
+    std::printf("QUERY PLAN\n----------\n");
+    for (const auto& row : result.rows) {
+      std::printf("%s\n", engine::ValueToString(row[0]).c_str());
+    }
+    return;
+  }
   for (const auto& col : result.columns) std::printf("%18s", col.c_str());
   std::printf("\n");
   for (size_t i = 0; i < result.columns.size(); ++i) std::printf("%18s", "---");
@@ -72,9 +81,14 @@ void PrintHelp() {
       "on it. The PART table is attached client-side for joins.\n\n"
       "  SELECT SUM(l_extendedprice * l_discount) FROM lineitem\n"
       "    WHERE l_shipdate BETWEEN 366 AND 730 AND l_discount < 0.05\n\n"
+      "EXPLAIN <select> shows the fetch decision and local plan with\n"
+      "estimates; EXPLAIN ANALYZE <select> executes it and annotates each\n"
+      "operator with actuals plus the query's resource vector (real/fake\n"
+      "mix, HGD draws, server counter deltas, wire bytes).\n\n"
       "meta-commands:\n"
       "  \\help           this text        \\stats   session traffic\n"
       "  \\tables         schemas          \\rotate  rotate the MOPE key\n"
+      "  \\explain SQL    shorthand for EXPLAIN ANALYZE SQL\n"
       "  \\serverstats    the server's metrics registry (over the wire\n"
       "                  when --connect; the proxy never leaves its process)\n"
       "  \\leakage        live leakage-audit verdict from the server's\n"
@@ -150,7 +164,8 @@ int main(int argc, char** argv) {
   }
 
   std::string chrome_path;  // non-empty: export each trace as Chrome JSON
-  auto run = [&session, &chrome_path](const std::string& sql) {
+  bool tracing = false;     // \trace toggle; gates the span-tree dump
+  auto run = [&session, &chrome_path, &tracing](const std::string& sql) {
     auto result = session.Execute(sql);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -165,7 +180,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.fake_queries),
         static_cast<unsigned long long>(stats.server_requests),
         static_cast<unsigned long long>(stats.rows_fetched));
-    if (session.last_trace() != nullptr) {
+    // EXPLAIN ANALYZE leaves a trace behind even when \trace is off (the
+    // actuals need one); only dump the span tree when the user asked for it.
+    if (tracing && session.last_trace() != nullptr) {
       std::printf("%s", session.last_trace()->RenderTree().c_str());
       if (!chrome_path.empty()) {
         std::ofstream out(chrome_path, std::ios::trunc);
@@ -181,7 +198,6 @@ int main(int argc, char** argv) {
 
   // Handles one input line — meta-command or SQL. Shared between the
   // interactive loop and `-c`, so scripts can fetch \serverstats too.
-  bool tracing = false;
   auto handle_line = [&](const std::string& line) {
     if (line == "\\help") {
       PrintHelp();
@@ -207,11 +223,31 @@ int main(int argc, char** argv) {
         std::printf("error: %s\n", stats.status().ToString().c_str());
         return;
       }
+      // The "queries" section first: request totals by kind and dispatch
+      // latency quantiles, pulled out of the flat snapshot (the daemon's
+      // /statusz renders the same section from the same counters).
+      const auto lookup = [&stats](const char* name) -> unsigned long long {
+        for (const auto& [n, v] : *stats) {
+          if (n == name) return static_cast<unsigned long long>(v);
+        }
+        return 0;
+      };
+      std::printf(
+          "queries: range_batch=%llu count_batch=%llu schema=%llu "
+          "stats=%llu\n"
+          "dispatch_ns: p50=%llu p95=%llu p99=%llu\n",
+          lookup("server.requests.range_batch"),
+          lookup("server.requests.count_batch"),
+          lookup("server.requests.schema"), lookup("server.requests.stats"),
+          lookup("server.dispatch_ns.p50"), lookup("server.dispatch_ns.p95"),
+          lookup("server.dispatch_ns.p99"));
       std::printf("server metrics (%zu entries):\n", stats->size());
       for (const auto& [name, value] : *stats) {
         std::printf("  %-40s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
       }
+    } else if (line.rfind("\\explain ", 0) == 0) {
+      run("EXPLAIN ANALYZE " + line.substr(sizeof("\\explain ") - 1));
     } else if (line == "\\leakage" || line == "\\leakage on") {
       if (line == "\\leakage on") {
         if (!connect.empty()) {

@@ -2,7 +2,70 @@
 
 #include <algorithm>
 
+#include "obs/clock.h"
+#include "obs/registry.h"
+
 namespace mope::engine {
+
+void Operator::EnableProfiling(const ProfileContext* ctx) {
+  profile_ = ctx;
+  stats_ = OpStats{};
+  for (Operator* child : children()) child->EnableProfiling(ctx);
+}
+
+Status Operator::OpenProfiled() {
+  // A profiled execution starts here: drop actuals from any previous run so
+  // re-executing a cached plan reports this run, not the sum of all runs.
+  stats_ = OpStats{};
+  const uint64_t t0 = profile_->clock->NowNanos();
+  const uint64_t misses0 =
+      profile_->pool_misses != nullptr ? profile_->pool_misses->Value() : 0;
+  const uint64_t wal0 =
+      profile_->wal_bytes != nullptr ? profile_->wal_bytes->Value() : 0;
+  const Status s = OpenImpl();
+  stats_.open_ns += profile_->clock->NowNanos() - t0;
+  if (profile_->pool_misses != nullptr) {
+    stats_.pool_misses += profile_->pool_misses->Value() - misses0;
+  }
+  if (profile_->wal_bytes != nullptr) {
+    stats_.wal_bytes += profile_->wal_bytes->Value() - wal0;
+  }
+  return s;
+}
+
+Result<bool> Operator::NextProfiled(Row* out) {
+  const uint64_t t0 = profile_->clock->NowNanos();
+  const uint64_t misses0 =
+      profile_->pool_misses != nullptr ? profile_->pool_misses->Value() : 0;
+  const uint64_t wal0 =
+      profile_->wal_bytes != nullptr ? profile_->wal_bytes->Value() : 0;
+  Result<bool> r = NextImpl(out);
+  stats_.next_ns += profile_->clock->NowNanos() - t0;
+  ++stats_.next_calls;
+  if (r.ok() && r.value()) ++stats_.rows_out;
+  if (profile_->pool_misses != nullptr) {
+    stats_.pool_misses += profile_->pool_misses->Value() - misses0;
+  }
+  if (profile_->wal_bytes != nullptr) {
+    stats_.wal_bytes += profile_->wal_bytes->Value() - wal0;
+  }
+  return r;
+}
+
+void FoldOpStatsIntoRegistry(Operator* root, obs::MetricsRegistry* registry) {
+  const OpStats& stats = root->stats();
+  // An unprofiled (or never-opened) operator carries all-zero stats; folding
+  // those in would skew the per-type distributions toward zero.
+  if (stats.next_calls != 0 || stats.open_ns != 0 || stats.rows_out != 0) {
+    const std::string prefix = std::string("executor.op.") + root->name();
+    registry->GetHistogram(prefix + ".ns")
+        ->Observe(stats.open_ns + stats.next_ns);
+    registry->GetHistogram(prefix + ".rows")->Observe(stats.rows_out);
+  }
+  for (Operator* child : root->children()) {
+    FoldOpStatsIntoRegistry(child, registry);
+  }
+}
 
 Result<std::vector<Row>> Collect(Operator* op) {
   MOPE_RETURN_NOT_OK(op->Open());
@@ -34,12 +97,12 @@ std::vector<Segment> CoalesceSegments(std::vector<Segment> segments) {
   return merged;
 }
 
-Status SeqScanOp::Open() {
+Status SeqScanOp::OpenImpl() {
   next_ = 0;
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::Next(Row* out) {
+Result<bool> SeqScanOp::NextImpl(Row* out) {
   if (next_ >= table_->row_count()) return false;
   *out = table_->row(next_++);
   return true;
@@ -51,29 +114,37 @@ IndexRangeScanOp::IndexRangeScanOp(const Table* table, const BPlusTree* index,
       index_(index),
       segments_(CoalesceSegments(std::move(segments))) {}
 
-Status IndexRangeScanOp::Open() {
+Status IndexRangeScanOp::OpenImpl() {
   row_ids_.clear();
   next_ = 0;
   entries_visited_ = 0;
   nodes_visited_ = 0;
-  engine::BPlusTree::ScanStats scan_stats;
+  nodes_per_sweep_.clear();
+  nodes_per_sweep_.reserve(segments_.size());
   for (const Segment& seg : segments_) {
+    // Fresh stats per executed sweep: every coalesced segment's node visits
+    // are attributed, not just the first range's, so multi-range ANALYZE
+    // actuals are exact.
+    engine::BPlusTree::ScanStats sweep_stats;
     entries_visited_ += index_->ScanRange(
         seg.lo, seg.hi,
         [this](uint64_t, uint64_t rid) { row_ids_.push_back(rid); },
-        &scan_stats);
+        &sweep_stats);
+    nodes_per_sweep_.push_back(sweep_stats.nodes_visited);
+    nodes_visited_ += sweep_stats.nodes_visited;
   }
-  nodes_visited_ = scan_stats.nodes_visited;
+  mutable_stats()->entries_visited += entries_visited_;
+  mutable_stats()->nodes_visited += nodes_visited_;
   return Status::OK();
 }
 
-Result<bool> IndexRangeScanOp::Next(Row* out) {
+Result<bool> IndexRangeScanOp::NextImpl(Row* out) {
   if (next_ >= row_ids_.size()) return false;
   *out = table_->row(row_ids_[next_++]);
   return true;
 }
 
-Result<bool> FilterOp::Next(Row* out) {
+Result<bool> FilterOp::NextImpl(Row* out) {
   while (true) {
     MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
@@ -82,7 +153,7 @@ Result<bool> FilterOp::Next(Row* out) {
   }
 }
 
-Result<bool> ProjectOp::Next(Row* out) {
+Result<bool> ProjectOp::NextImpl(Row* out) {
   Row row;
   MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
   if (!has) return false;
@@ -105,7 +176,7 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> left,
       left_key_col_(left_key_col),
       right_key_col_(right_key_col) {}
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   MOPE_RETURN_NOT_OK(left_->Open());
   MOPE_RETURN_NOT_OK(right_->Open());
   build_.clear();
@@ -125,7 +196,7 @@ Status HashJoinOp::Open() {
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(Row* out) {
+Result<bool> HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (probing_) {
       if (probe_range_.first != probe_range_.second) {
@@ -173,7 +244,7 @@ int CompareForSort(const Value& a, const Value& b) {
 
 }  // namespace
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   MOPE_ASSIGN_OR_RETURN(rows_, Collect(child_.get()));
   next_ = 0;
   for (const SortKey& key : keys_) {
@@ -194,7 +265,7 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* out) {
+Result<bool> SortOp::NextImpl(Row* out) {
   if (next_ >= rows_.size()) return false;
   *out = rows_[next_++];
   return true;
@@ -240,7 +311,7 @@ Row AggregateOp::Finalize(int64_t group_key,
   return out;
 }
 
-Status AggregateOp::Open() {
+Status AggregateOp::OpenImpl() {
   MOPE_RETURN_NOT_OK(child_->Open());
   results_.clear();
   next_ = 0;
@@ -294,7 +365,7 @@ Status AggregateOp::Open() {
   return Status::OK();
 }
 
-Result<bool> AggregateOp::Next(Row* out) {
+Result<bool> AggregateOp::NextImpl(Row* out) {
   if (next_ >= results_.size()) return false;
   *out = results_[next_++];
   return true;

@@ -10,6 +10,17 @@
 /// pass over a shared index), filters, hash joins (TPC-H Q14 joins LINEITEM
 /// with PART), projections, and scalar/grouped aggregation (SUM / COUNT /
 /// AVG / MIN / MAX).
+///
+/// Every operator is instrumented for EXPLAIN ANALYZE: the public
+/// `Open()` / `Next()` entry points are non-virtual hooks that dispatch to
+/// the per-operator `OpenImpl()` / `NextImpl()` overrides. With profiling
+/// off the hook is a single pointer test (no clock reads, no counter
+/// traffic); with profiling on it fills the operator's `OpStats` block —
+/// rows out, `Next()` calls, cumulative wall time from the injectable
+/// `obs::Clock`, and buffer-pool-miss / WAL-byte deltas snapshotted from
+/// registry counters around each call. Timings and counter deltas are
+/// *inclusive* of children, as in PostgreSQL's EXPLAIN ANALYZE; subtract a
+/// child's numbers to get an operator's self cost.
 
 #include <cstdint>
 #include <functional>
@@ -23,25 +34,123 @@
 #include "common/status.h"
 #include "engine/table.h"
 
+namespace mope::obs {
+class Clock;
+class Counter;
+class MetricsRegistry;
+}  // namespace mope::obs
+
 namespace mope::engine {
 
+/// Per-operator execution actuals, filled only while profiling is enabled
+/// (see Operator::EnableProfiling). Reset on every profiled Open().
+struct OpStats {
+  uint64_t rows_out = 0;       ///< Rows produced by Next().
+  uint64_t next_calls = 0;     ///< Next() invocations (incl. the final miss).
+  uint64_t open_ns = 0;        ///< Wall time inside Open(), incl. children.
+  uint64_t next_ns = 0;        ///< Cumulative Next() time, incl. children.
+  uint64_t entries_visited = 0;    ///< Index entries touched (index scans).
+  uint64_t nodes_visited = 0;      ///< B+-tree leaf nodes touched.
+  uint64_t pool_misses = 0;    ///< Buffer-pool miss delta attributed here.
+  uint64_t wal_bytes = 0;      ///< WAL byte delta attributed here.
+};
+
+/// Shared profiling context threaded through an operator tree. The clock is
+/// required; the counters are optional delta sources (pass the live
+/// `storage.pool.misses` / `storage.wal.bytes` registry counters to
+/// attribute storage work to the operators that triggered it).
+struct ProfileContext {
+  obs::Clock* clock = nullptr;
+  const obs::Counter* pool_misses = nullptr;
+  const obs::Counter* wal_bytes = nullptr;
+};
+
 /// Pull-based operator interface.
+///
+/// Subclasses implement the protected `OpenImpl()` / `NextImpl()` hooks and
+/// never override the public entry points (linter rule R12 enforces this):
+/// routing every call through the base keeps the profiling contract — one
+/// branch when off, complete actuals when on — true for every operator.
 class Operator {
  public:
   virtual ~Operator() = default;
 
   /// Prepares the operator (and its children) for iteration.
-  virtual Status Open() = 0;
+  Status Open();
 
   /// Produces the next row into *out; returns false when exhausted.
-  virtual Result<bool> Next(Row* out) = 0;
+  Result<bool> Next(Row* out);
 
   /// Number of output columns.
   virtual size_t output_width() const = 0;
+
+  /// Stable operator-type name ("SeqScan", "HashJoin", ...). Used as the
+  /// EXPLAIN node label and the per-operator-type metrics key.
+  virtual const char* name() const = 0;
+
+  /// Direct children, outermost input first. EXPLAIN renders this shape and
+  /// EnableProfiling recurses over it.
+  virtual std::vector<Operator*> children() { return {}; }
+
+  /// One-line EXPLAIN label: the type name plus the planner's annotation
+  /// (predicate text, segment list, ...), when one was attached.
+  std::string describe() const {
+    return annotation_.empty() ? std::string(name())
+                               : std::string(name()) + " " + annotation_;
+  }
+  void set_annotation(std::string annotation) {
+    annotation_ = std::move(annotation);
+  }
+
+  /// Planner cardinality estimate for EXPLAIN (`rows=` in the plan output).
+  void set_estimated_rows(uint64_t rows) { estimated_rows_ = rows; }
+  uint64_t estimated_rows() const { return estimated_rows_; }
+
+  /// Turns profiling on (ctx != nullptr) or off for this subtree. The
+  /// context must outlive execution. Resets accumulated stats.
+  void EnableProfiling(const ProfileContext* ctx);
+
+  /// Actuals from the last profiled execution.
+  const OpStats& stats() const { return stats_; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* out) = 0;
+
+  /// Lets OpImpl code (index scans) attribute data-access detail.
+  OpStats* mutable_stats() { return &stats_; }
+  bool profiling_enabled() const { return profile_ != nullptr; }
+
+ private:
+  Status OpenProfiled();
+  Result<bool> NextProfiled(Row* out);
+
+  const ProfileContext* profile_ = nullptr;
+  OpStats stats_;
+  uint64_t estimated_rows_ = 0;
+  std::string annotation_;
 };
+
+inline Status Operator::Open() {
+  // Fast path: profiling off costs one predicted-not-taken branch.
+  if (profile_ == nullptr) return OpenImpl();
+  return OpenProfiled();
+}
+
+inline Result<bool> Operator::Next(Row* out) {
+  if (profile_ == nullptr) return NextImpl(out);
+  return NextProfiled(out);
+}
 
 /// Drains an operator tree into a materialized vector of rows.
 Result<std::vector<Row>> Collect(Operator* op);
+
+/// Folds a profiled tree's actuals into per-operator-type histograms in
+/// `registry`: `executor.op.<name>.ns` (inclusive wall time) and
+/// `executor.op.<name>.rows` (rows produced) per operator, recursively. The
+/// /metrics endpoint then serves latency/row distributions by operator type
+/// across all profiled queries. No-op for operators that were not profiled.
+void FoldOpStatsIntoRegistry(Operator* root, obs::MetricsRegistry* registry);
 
 /// Sorts segments and merges overlapping or adjacent ones — the shared-scan
 /// preparation for disjunctive range predicates. The result is disjoint and
@@ -53,11 +162,14 @@ class SeqScanOp final : public Operator {
  public:
   explicit SeqScanOp(const Table* table) : table_(table) {}
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override {
     return table_->schema().num_columns();
   }
+  const char* name() const override { return "SeqScan"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   const Table* table_;
@@ -73,17 +185,27 @@ class IndexRangeScanOp final : public Operator {
   IndexRangeScanOp(const Table* table, const BPlusTree* index,
                    std::vector<Segment> segments);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override {
     return table_->schema().num_columns();
   }
+  const char* name() const override { return "IndexRangeScan"; }
 
-  /// Index entries visited during the last Open/odrain cycle.
+  /// Index entries visited during the last Open/drain cycle.
   uint64_t entries_visited() const { return entries_visited_; }
-  /// B+-tree leaf nodes touched during the last Open.
+  /// B+-tree leaf nodes touched during the last Open, summed over sweeps.
   uint64_t nodes_visited() const { return nodes_visited_; }
   size_t segments_scanned() const { return segments_.size(); }
+  /// Leaf nodes touched by each executed sweep, in segment order. Every
+  /// coalesced segment runs its own sweep, and every sweep's visits are
+  /// attributed individually (not just the first range's), so ANALYZE
+  /// actuals stay exact for multi-range scans.
+  const std::vector<uint64_t>& nodes_per_sweep() const {
+    return nodes_per_sweep_;
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   const Table* table_;
@@ -93,6 +215,7 @@ class IndexRangeScanOp final : public Operator {
   size_t next_ = 0;
   uint64_t entries_visited_ = 0;
   uint64_t nodes_visited_ = 0;
+  std::vector<uint64_t> nodes_per_sweep_;
 };
 
 /// Row predicate; errors propagate out of Next.
@@ -103,9 +226,13 @@ class FilterOp final : public Operator {
   FilterOp(std::unique_ptr<Operator> child, Predicate pred)
       : child_(std::move(child)), pred_(std::move(pred)) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override { return child_->output_width(); }
+  const char* name() const override { return "Filter"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -118,9 +245,13 @@ class ProjectOp final : public Operator {
   ProjectOp(std::unique_ptr<Operator> child, std::vector<size_t> columns)
       : child_(std::move(child)), columns_(std::move(columns)) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override { return columns_.size(); }
+  const char* name() const override { return "Project"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -134,11 +265,17 @@ class HashJoinOp final : public Operator {
   HashJoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
              size_t left_key_col, size_t right_key_col);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override {
     return left_->output_width() + right_->output_width();
   }
+  const char* name() const override { return "HashJoin"; }
+  std::vector<Operator*> children() override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::unique_ptr<Operator> left_;
@@ -166,9 +303,13 @@ class SortOp final : public Operator {
   SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override { return child_->output_width(); }
+  const char* name() const override { return "Sort"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -183,19 +324,22 @@ class LimitOp final : public Operator {
   LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
       : child_(std::move(child)), limit_(limit) {}
 
-  Status Open() override {
+  size_t output_width() const override { return child_->output_width(); }
+  const char* name() const override { return "Limit"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override {
     emitted_ = 0;
     return child_->Open();
   }
 
-  Result<bool> Next(Row* out) override {
+  Result<bool> NextImpl(Row* out) override {
     if (emitted_ >= limit_) return false;
     MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (has) ++emitted_;
     return has;
   }
-
-  size_t output_width() const override { return child_->output_width(); }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -223,11 +367,15 @@ class AggregateOp final : public Operator {
   AggregateOp(std::unique_ptr<Operator> child, size_t group_by_col,
               std::vector<AggSpec> aggs);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   size_t output_width() const override {
     return aggs_.size() + (has_group_by_ ? 1 : 0);
   }
+  const char* name() const override { return "Aggregate"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   struct AggState {

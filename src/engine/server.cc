@@ -17,6 +17,39 @@ DbServer::DbServer()
       bytes_sent_(metrics_->GetCounter("engine.bytes_sent")),
       batch_ranges_hist_(metrics_->GetHistogram("engine.batch_ranges")) {}
 
+const std::vector<std::string>& ServerProfileProbe::CounterNames() {
+  // Kept small and stable: the engine work counters plus the storage-layer
+  // cost drivers. GetCounter creates absent ones at zero, so a server
+  // without attached storage still reports the storage fields (as zeros).
+  static const std::vector<std::string> kNames = {
+      "engine.batches_received", "engine.segments_scanned",
+      "engine.entries_visited",  "engine.index_nodes_visited",
+      "engine.rows_returned",    "storage.pool.misses",
+      "storage.wal.bytes",       "storage.wal.records",
+  };
+  return kNames;
+}
+
+ServerProfileProbe::ServerProfileProbe(DbServer* server) {
+  obs::MetricsRegistry* metrics = server->metrics();
+  baseline_.reserve(CounterNames().size());
+  for (const std::string& name : CounterNames()) {
+    obs::Counter* counter = metrics->GetCounter(name);
+    baseline_.emplace_back(counter, counter->Value());
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> ServerProfileProbe::Delta()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(baseline_.size());
+  for (size_t i = 0; i < baseline_.size(); ++i) {
+    out.emplace_back("srv." + CounterNames()[i],
+                     baseline_[i].first->Value() - baseline_[i].second);
+  }
+  return out;
+}
+
 ServerStats DbServer::stats() const {
   ServerStats s;
   s.batches_received = batches_received_->Value();
@@ -117,17 +150,21 @@ Result<std::vector<std::pair<RowId, Row>>> DbServer::ExecuteRangeBatchWithIds(
                         PrepareSegments(table, column, ranges, &tbl, &index));
 
   std::vector<std::pair<RowId, Row>> rows;
-  BPlusTree::ScanStats scan_stats;
   for (const Segment& seg : CoalesceSegments(std::move(segments))) {
+    // Fresh stats per executed sweep so every merged range's node visits
+    // are attributed as they happen — the trace-scoped delta snapshots that
+    // EXPLAIN ANALYZE takes around a request see the full per-sweep cost,
+    // not just the first range's.
+    BPlusTree::ScanStats sweep_stats;
     entries_visited_->Increment(index->ScanRange(
         seg.lo, seg.hi,
         [&rows, tbl](uint64_t, uint64_t rid) {
           rows.emplace_back(rid, tbl->row(rid));
         },
-        &scan_stats));
+        &sweep_stats));
     segments_scanned_->Increment();
+    index_nodes_visited_->Increment(sweep_stats.nodes_visited);
   }
-  index_nodes_visited_->Increment(scan_stats.nodes_visited);
   rows_returned_->Increment(rows.size());
   return rows;
 }
@@ -141,13 +178,13 @@ Result<uint64_t> DbServer::CountRangeBatch(
                         PrepareSegments(table, column, ranges, &tbl, &index));
 
   uint64_t count = 0;
-  BPlusTree::ScanStats scan_stats;
   for (const Segment& seg : CoalesceSegments(std::move(segments))) {
+    BPlusTree::ScanStats sweep_stats;
     count += index->ScanRange(seg.lo, seg.hi, [](uint64_t, uint64_t) {},
-                              &scan_stats);
+                              &sweep_stats);
     segments_scanned_->Increment();
+    index_nodes_visited_->Increment(sweep_stats.nodes_visited);
   }
-  index_nodes_visited_->Increment(scan_stats.nodes_visited);
   entries_visited_->Increment(count);
   rows_returned_->Increment(count);
   return count;
@@ -157,6 +194,9 @@ Result<std::vector<Row>> DbServer::ExecutePlan(Operator* plan) {
   MOPE_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(plan));
   batches_received_->Increment();
   rows_returned_->Increment(rows.size());
+  // Profiled plans contribute per-operator-type latency/row distributions
+  // to this server's /metrics; unprofiled ones skip out immediately.
+  FoldOpStatsIntoRegistry(plan, metrics_.get());
   return rows;
 }
 

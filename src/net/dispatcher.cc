@@ -1,6 +1,7 @@
 #include "net/dispatcher.h"
 
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -17,14 +18,18 @@ namespace {
 /// outcome — EncodeFrame would MOPE_CHECK on it, and a legitimate (or
 /// hostile) wide query must cost a StatusReply, not the process.
 /// `trace_id` (the request's, possibly 0) is echoed on whichever frame goes
-/// back so the client can attribute the reply to its span tree.
+/// back so the client can attribute the reply to its span tree; likewise a
+/// captured `profile` rides on both outcomes — a failed query still consumed
+/// the resources its probe measured.
 template <typename T, typename Encode>
 std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
                           Encode&& encode, size_t max_payload,
-                          uint64_t trace_id) {
+                          uint64_t trace_id, bool has_profile = false,
+                          std::string_view profile = {}) {
   if (!result.ok()) {
     return EncodeFrame(MessageType::kStatusReply,
-                       EncodeStatusReply(result.status()), trace_id);
+                       EncodeStatusReply(result.status()), trace_id,
+                       has_profile, profile);
   }
   std::string body = encode(result.value());
   if (body.size() > max_payload) {
@@ -35,9 +40,19 @@ std::string ReplyOrStatus(const Result<T>& result, MessageType reply_type,
             std::to_string(body.size()) + " > " +
             std::to_string(max_payload) +
             " bytes); narrow the ranges or lower the batch size")),
-        trace_id);
+        trace_id, has_profile, profile);
   }
-  return EncodeFrame(reply_type, std::move(body), trace_id);
+  return EncodeFrame(reply_type, std::move(body), trace_id, has_profile,
+                     profile);
+}
+
+/// Fills `*profile_out` with the probe's deltas plus the request's trace id
+/// and returns the wire-encoded profile section.
+std::string CaptureProfile(const engine::ServerProfileProbe& probe,
+                           uint64_t trace_id, StatsReply* profile_out) {
+  *profile_out = probe.Delta();
+  profile_out->emplace_back("profile.trace_id", trace_id);
+  return EncodeStatsReply(*profile_out);
 }
 
 }  // namespace
@@ -50,7 +65,15 @@ WireDispatcher::WireDispatcher(engine::DbServer* server,
       frames_served_(
           server->metrics()->GetCounter("net.server.frames_served")),
       slow_queries_(server->metrics()->GetCounter("server.slow_queries")),
-      dispatch_ns_(server->metrics()->GetHistogram("server.dispatch_ns")) {}
+      dispatch_ns_(server->metrics()->GetHistogram("server.dispatch_ns")),
+      requests_range_batch_(
+          server->metrics()->GetCounter("server.requests.range_batch")),
+      requests_count_batch_(
+          server->metrics()->GetCounter("server.requests.count_batch")),
+      requests_schema_(
+          server->metrics()->GetCounter("server.requests.schema")),
+      requests_stats_(server->metrics()->GetCounter("server.requests.stats")) {
+}
 
 WireDispatcher::WireDispatcher(engine::DbServer* server,
                                size_t max_reply_payload_bytes,
@@ -68,13 +91,34 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
   MOPE_ASSIGN_OR_RETURN(Frame frame, DecodeFrame(bytes, &frame_size));
   if (consumed != nullptr) *consumed = frame_size;
 
+  // Query-log sampling: every Nth data-bearing request is profiled as if
+  // the client had asked for it, and emitted as an `event=query` line after
+  // dispatch. The decision is made pre-dispatch so the probe brackets the
+  // engine call exactly like a client-requested profile does.
+  const bool data_bearing =
+      frame.type == static_cast<uint8_t>(MessageType::kRangeBatchRequest) ||
+      frame.type == static_cast<uint8_t>(MessageType::kCountBatchRequest);
+  const bool sampled =
+      data_bearing && options_.query_log_sample > 0 &&
+      query_seq_.fetch_add(1, std::memory_order_relaxed) %
+              options_.query_log_sample ==
+          0;
+  const bool want_profile = frame.has_profile || sampled;
+  StatsReply profile;
+
   if (options_.slow_query_threshold_ns == 0) {
     const uint64_t start_ns = clock_->NowNanos();
-    const MutexLock lock(&mutex_);
-    MOPE_ASSIGN_OR_RETURN(std::string reply, HandleFrameLocked(frame));
-    server_->AddTransferBytes(frame_size, reply.size());
+    std::string reply;
+    {
+      const MutexLock lock(&mutex_);
+      MOPE_ASSIGN_OR_RETURN(reply,
+                            HandleFrameLocked(frame, want_profile, &profile));
+      server_->AddTransferBytes(frame_size, reply.size());
+    }
     frames_served_->Increment();
-    dispatch_ns_->Observe(clock_->NowNanos() - start_ns);
+    const uint64_t elapsed_ns = clock_->NowNanos() - start_ns;
+    dispatch_ns_->Observe(elapsed_ns);
+    if (sampled) EmitQueryLog(frame, elapsed_ns, profile);
     return reply;
   }
 
@@ -89,7 +133,8 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
   {
     const obs::ScopedSpan span("server.handle");
     const MutexLock lock(&mutex_);
-    MOPE_ASSIGN_OR_RETURN(reply, HandleFrameLocked(frame));
+    MOPE_ASSIGN_OR_RETURN(reply,
+                          HandleFrameLocked(frame, want_profile, &profile));
     server_->AddTransferBytes(frame_size, reply.size());
   }
   frames_served_->Increment();
@@ -98,7 +143,24 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
   if (elapsed_ns >= options_.slow_query_threshold_ns) {
     ReportSlowQuery(frame, elapsed_ns, trace);
   }
+  if (sampled) EmitQueryLog(frame, elapsed_ns, profile);
   return reply;
+}
+
+void WireDispatcher::EmitQueryLog(const Frame& frame, uint64_t elapsed_ns,
+                                  const StatsReply& profile) {
+  // One line per sampled query, full profile inline: grep `event=query` and
+  // every resource the server attributed to the request is on the line,
+  // joinable against client-side traces via trace_id. Flows through the
+  // default logger, so its rate limiter has the final say under load.
+  obs::LogEvent event(obs::Logger::Default(), obs::LogLevel::kInfo, "server",
+                      "query");
+  event.Arg("type", static_cast<uint64_t>(frame.type))
+      .Arg("elapsed_ns", elapsed_ns)
+      .Arg("trace_id", frame.trace_id);
+  for (const auto& [name, value] : profile) {
+    event.Arg(name.c_str(), value);
+  }
 }
 
 void WireDispatcher::ReportSlowQuery(const Frame& frame, uint64_t elapsed_ns,
@@ -165,33 +227,56 @@ Result<engine::Schema> WireDispatcher::LookupSchemaLocked(
   return tbl->schema();
 }
 
-Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
+Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame,
+                                                      bool want_profile,
+                                                      StatsReply* profile_out) {
   switch (static_cast<MessageType>(frame.type)) {
     case MessageType::kRangeBatchRequest: {
+      requests_range_batch_->Increment();
       auto request = DecodeRangeBatchRequest(frame.payload);
       if (!request.ok()) return request.status();
+      // The probe brackets the engine call only: a periodic checkpoint that
+      // happens to fire afterwards is a server policy cost, deliberately
+      // excluded from the query's attributed profile (it shows up in the
+      // dispatch latency and the slow-query trace instead).
+      std::optional<engine::ServerProfileProbe> probe;
+      if (want_profile) probe.emplace(server_);
+      const Result<RowsWithIds> rows = server_->ExecuteRangeBatchWithIds(
+          request->table, request->column, request->ranges);
+      std::string encoded_profile;
+      if (want_profile) {
+        encoded_profile = CaptureProfile(*probe, frame.trace_id, profile_out);
+      }
       std::string reply = ReplyOrStatus(
-          server_->ExecuteRangeBatchWithIds(request->table, request->column,
-                                            request->ranges),
-          MessageType::kRangeBatchReply,
-          [](const RowsWithIds& rows) { return EncodeRangeBatchReply(rows); },
-          options_.max_reply_payload_bytes, frame.trace_id);
+          rows, MessageType::kRangeBatchReply,
+          [](const RowsWithIds& r) { return EncodeRangeBatchReply(r); },
+          options_.max_reply_payload_bytes, frame.trace_id, want_profile,
+          encoded_profile);
       MaybeCheckpointLocked(frame);
       return reply;
     }
     case MessageType::kCountBatchRequest: {
+      requests_count_batch_->Increment();
       auto request = DecodeRangeBatchRequest(frame.payload);
       if (!request.ok()) return request.status();
+      std::optional<engine::ServerProfileProbe> probe;
+      if (want_profile) probe.emplace(server_);
+      const Result<uint64_t> count = server_->CountRangeBatch(
+          request->table, request->column, request->ranges);
+      std::string encoded_profile;
+      if (want_profile) {
+        encoded_profile = CaptureProfile(*probe, frame.trace_id, profile_out);
+      }
       std::string reply = ReplyOrStatus(
-          server_->CountRangeBatch(request->table, request->column,
-                                   request->ranges),
-          MessageType::kCountBatchReply,
-          [](uint64_t count) { return EncodeCountBatchReply(count); },
-          options_.max_reply_payload_bytes, frame.trace_id);
+          count, MessageType::kCountBatchReply,
+          [](uint64_t c) { return EncodeCountBatchReply(c); },
+          options_.max_reply_payload_bytes, frame.trace_id, want_profile,
+          encoded_profile);
       MaybeCheckpointLocked(frame);
       return reply;
     }
     case MessageType::kSchemaRequest: {
+      requests_schema_->Increment();
       auto table = DecodeSchemaRequest(frame.payload);
       if (!table.ok()) return table.status();
       // Named helper rather than an immediately-invoked lambda: the thread
@@ -205,6 +290,7 @@ Result<std::string> WireDispatcher::HandleFrameLocked(const Frame& frame) {
                            options_.max_reply_payload_bytes, frame.trace_id);
     }
     case MessageType::kStatsRequest: {
+      requests_stats_->Increment();
       if (!frame.payload.empty()) {
         return Status::Corruption("stats request carries a payload");
       }

@@ -19,6 +19,7 @@
 /// kStatsRequest frame is answered with the full registry snapshot — the
 /// live stats endpoint `mope_serverd` exposes.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -60,6 +61,11 @@ struct DispatcherOptions {
   /// checkpoints from the dispatcher. A slow-query trace of a request that
   /// triggered one shows exactly where the WAL/buffer-pool time went.
   uint64_t checkpoint_every = 0;
+  /// Sampled query log: every Nth data-bearing request (range or count
+  /// batch) is profiled — as if the client had asked — and emitted as a
+  /// structured `event=query` log line carrying the full attributed
+  /// profile, through the default (rate-limited) logger. 0 disables.
+  uint64_t query_log_sample = 0;
 };
 
 class WireDispatcher {
@@ -86,7 +92,14 @@ class WireDispatcher {
   uint64_t frames_served() const { return frames_served_->Value(); }
 
  private:
-  Result<std::string> HandleFrameLocked(const Frame& frame)
+  /// `want_profile` makes the data-bearing cases snapshot the server's
+  /// counters around the engine call (engine::ServerProfileProbe) and attach
+  /// the deltas — plus the request's trace id — to the reply as the wire
+  /// profile extension; `*profile_out` receives the same entries for the
+  /// sampled query log. Non-data-bearing requests ignore the flag: their
+  /// deltas are all zero and the embedded path attributes the same set.
+  Result<std::string> HandleFrameLocked(const Frame& frame, bool want_profile,
+                                        StatsReply* profile_out)
       MOPE_REQUIRES(mutex_);
   /// Catalog lookup for a schema request (split out so the capability
   /// analysis sees the engine access inside the dispatch critical section).
@@ -98,6 +111,9 @@ class WireDispatcher {
   /// (still thread-activated) server-side trace of the request.
   void ReportSlowQuery(const Frame& frame, uint64_t elapsed_ns,
                        const obs::Trace& trace);
+  /// Emits the sampled `event=query` structured log line.
+  void EmitQueryLog(const Frame& frame, uint64_t elapsed_ns,
+                    const StatsReply& profile);
 
   /// Serializes engine access: DbServer is single-threaded by design (the
   /// paper's server is one unmodified DBMS), so the pointee is guarded even
@@ -112,6 +128,14 @@ class WireDispatcher {
   obs::Counter* frames_served_;
   obs::Counter* slow_queries_;
   obs::ExpHistogram* dispatch_ns_;
+  // Request totals by kind (the /statusz "queries" section).
+  obs::Counter* requests_range_batch_;
+  obs::Counter* requests_count_batch_;
+  obs::Counter* requests_schema_;
+  obs::Counter* requests_stats_;
+  /// Data-bearing requests seen while query-log sampling is on (every Nth
+  /// one is emitted). Atomic: bumped outside the dispatch mutex.
+  std::atomic<uint64_t> query_seq_{0};
 };
 
 }  // namespace mope::net

@@ -229,6 +229,29 @@ std::string HttpExposition::StatuszBody() const {
     body += ",\"leakage\":null";
   }
 
+  // Query-level summary: request totals by statement kind plus dispatch
+  // latency quantiles — the numbers an operator checks before opening the
+  // full metrics dump. All atomic reads; no lock shared with dispatch.
+  obs::MetricsRegistry* metrics = server_->metrics();
+  body += ",\"queries\":{\"range_batch\":";
+  body += U64Field(metrics->GetCounter("server.requests.range_batch")->Value());
+  body += ",\"count_batch\":";
+  body += U64Field(metrics->GetCounter("server.requests.count_batch")->Value());
+  body += ",\"schema\":";
+  body += U64Field(metrics->GetCounter("server.requests.schema")->Value());
+  body += ",\"stats\":";
+  body += U64Field(metrics->GetCounter("server.requests.stats")->Value());
+  obs::ExpHistogram* dispatch = metrics->GetHistogram("server.dispatch_ns");
+  body += ",\"dispatch_ns\":{\"count\":";
+  body += U64Field(dispatch->Count());
+  body += ",\"p50\":";
+  body += U64Field(dispatch->QuantileInterpolated(0.50));
+  body += ",\"p95\":";
+  body += U64Field(dispatch->QuantileInterpolated(0.95));
+  body += ",\"p99\":";
+  body += U64Field(dispatch->QuantileInterpolated(0.99));
+  body += "}}";
+
   body += ",\"metrics\":";
   body += server_->metrics()->RenderJson();
   body += "}";

@@ -13,7 +13,9 @@
 ///                   crash-recovered?, checkpoints so far) as key=value
 ///                   lines. 200 whenever the daemon can answer at all.
 ///   GET /statusz  — one JSON object: uptime, storage/recovery state, the
-///                   live leakage verdict, and the full metrics dump.
+///                   live leakage verdict, a "queries" summary (request
+///                   totals by kind, dispatch-latency p50/p95/p99), and the
+///                   full metrics dump.
 ///
 /// Deliberately not a web server: one serving thread, one request per
 /// connection (`Connection: close`), GET only, request head capped at

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "net/inmem.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "proxy/connection_registry.h"
 
@@ -66,6 +67,11 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
   // trace, N of these under one segment shows the real/fake batch fan-out.
   const obs::ScopedSpan span("net.roundtrip");
   const uint64_t trace_id = obs::CurrentTraceId();
+  // An active profile collector turns on the frame's profile extension: the
+  // request carries an empty section ("profile me"), the reply brings back
+  // the server's attributed counter deltas, merged below.
+  obs::ProfileCollector* collector = obs::CurrentProfileCollector();
+  const bool want_profile = collector != nullptr;
   const uint64_t start_ns = clock_->NowNanos();
   const MutexLock lock(&mutex_);
   roundtrips_->Increment();
@@ -87,10 +93,12 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
       if (IsTransient(last)) continue;
       return last;
     }
-    bytes_sent_->Increment(kFrameHeaderBytes +
-                           (trace_id != 0 ? kTraceIdBytes : 0) +
-                           payload.size());
-    last = WriteFrame(transport_.get(), request_type, payload, trace_id);
+    const uint64_t sent_bytes =
+        kFrameHeaderBytes + (trace_id != 0 ? kTraceIdBytes : 0) +
+        (want_profile ? kProfileLengthBytes : 0) + payload.size();
+    bytes_sent_->Increment(sent_bytes);
+    last = WriteFrame(transport_.get(), request_type, payload, trace_id,
+                      want_profile);
     if (!last.ok()) {
       DisconnectLocked();
       if (IsTransient(last)) continue;
@@ -105,9 +113,33 @@ Result<Frame> RemoteConnection::RoundTrip(MessageType request_type,
       if (IsTransient(last)) continue;
       return last;  // Corruption and friends: fail fast
     }
-    bytes_received_->Increment(kFrameHeaderBytes +
-                               (frame->trace_id != 0 ? kTraceIdBytes : 0) +
-                               frame->payload.size());
+    const uint64_t received_bytes =
+        kFrameHeaderBytes + (frame->trace_id != 0 ? kTraceIdBytes : 0) +
+        (frame->has_profile ? kProfileLengthBytes + frame->profile.size()
+                            : 0) +
+        frame->payload.size();
+    bytes_received_->Increment(received_bytes);
+    if (collector != nullptr) {
+      collector->Add("net.frames", 1);
+      collector->Add("net.frame_bytes_sent", sent_bytes);
+      collector->Add("net.frame_bytes_received", received_bytes);
+      if (frame->has_profile) {
+        auto entries = DecodeStatsReply(frame->profile);
+        if (!entries.ok()) {
+          DisconnectLocked();
+          return entries.status();
+        }
+        for (const auto& [name, value] : *entries) {
+          // Ids overwrite; resource deltas accumulate across the query's
+          // round trips (one per segment batch).
+          if (name == "profile.trace_id") {
+            collector->Set(name, value);
+          } else {
+            collector->Add(name, value);
+          }
+        }
+      }
+    }
     if (frame->type == static_cast<uint8_t>(MessageType::kStatusReply)) {
       Status carried;
       MOPE_RETURN_NOT_OK(DecodeStatusReply(frame->payload, &carried));

@@ -180,11 +180,12 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Bind(const std::string& host,
 
 Result<std::unique_ptr<SocketTransport>> TcpListener::Accept(
     int timeout_ms, const SocketOptions& options) {
-  if (fd_ < 0) return Status::Unavailable("listener closed");
-  MOPE_ASSIGN_OR_RETURN(bool ready, PollFd(fd_, POLLIN, timeout_ms));
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::Unavailable("listener closed");
+  MOPE_ASSIGN_OR_RETURN(bool ready, PollFd(fd, POLLIN, timeout_ms));
   if (!ready) return std::unique_ptr<SocketTransport>(nullptr);
   while (true) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) {
       // Non-blocking like ConnectTcp's fds: session writes must hit the
       // poll-based write deadline, not block in send() forever.
@@ -200,10 +201,8 @@ Result<std::unique_ptr<SocketTransport>> TcpListener::Accept(
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 }  // namespace mope::net

@@ -12,6 +12,7 @@
 /// deployment model is proxy and DBMS in one trust boundary's network, and
 /// refusing DNS keeps connect behavior deterministic and offline-safe.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -79,12 +80,14 @@ class TcpListener {
   Result<std::unique_ptr<SocketTransport>> Accept(int timeout_ms,
                                                   const SocketOptions& options);
 
+  /// Thread-safe against a concurrent Accept: the accept loop observes the
+  /// closed fd on its next poll timeout and returns Unavailable.
   void Close();
 
  private:
   TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_;
+  std::atomic<int> fd_;
   uint16_t port_;
 };
 

@@ -34,22 +34,32 @@ Result<ModularInterval> ReadInterval(ByteReader* reader) {
 uint32_t Crc32(std::string_view bytes) { return mope::Crc32(bytes); }
 
 std::string EncodeFrame(MessageType type, std::string payload,
-                        uint64_t trace_id) {
+                        uint64_t trace_id, bool has_profile,
+                        std::string_view profile) {
   MOPE_CHECK(payload.size() <= kMaxPayloadBytes, "frame payload too large");
-  // Traceless frames stay version 1, byte-identical to what older builds
-  // emit; only an actual trace id pays for the version-2 extension.
+  MOPE_CHECK(profile.size() <= kMaxPayloadBytes, "frame profile too large");
+  // Extension-free frames stay version 1, byte-identical to what older
+  // builds emit; only an actual trace id or profile pays for version 2.
   const bool traced = trace_id != 0;
+  const uint8_t flags =
+      static_cast<uint8_t>((traced ? kFrameFlagHasTraceId : 0) |
+                           (has_profile ? kFrameFlagHasProfile : 0));
   std::string out;
   out.reserve(kFrameHeaderBytes + (traced ? kTraceIdBytes : 0) +
+              (has_profile ? kProfileLengthBytes + profile.size() : 0) +
               payload.size());
   PutU32(&out, kWireMagic);
-  out.push_back(static_cast<char>(traced ? kWireVersion : 1));
+  out.push_back(static_cast<char>(flags != 0 ? kWireVersion : 1));
   out.push_back(static_cast<char>(type));
-  out.push_back(static_cast<char>(traced ? kFrameFlagHasTraceId : 0));
+  out.push_back(static_cast<char>(flags));
   out.push_back(0);  // reserved
   PutU32(&out, static_cast<uint32_t>(payload.size()));
   PutU32(&out, Crc32(payload));
   if (traced) PutU64(&out, trace_id);
+  if (has_profile) {
+    PutU32(&out, static_cast<uint32_t>(profile.size()));
+    out.append(profile);
+  }
   out.append(payload);
   return out;
 }
@@ -74,7 +84,8 @@ Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed) {
   // Version 1 predates the flags byte: both bytes are reserved-zero there.
   // In version 2, an unknown flag bit would change the framing underneath
   // us, so it is Corruption, not something to ignore.
-  if (version == 1 ? flags != 0 : (flags & ~kFrameFlagHasTraceId) != 0) {
+  constexpr uint8_t kKnownFlags = kFrameFlagHasTraceId | kFrameFlagHasProfile;
+  if (version == 1 ? flags != 0 : (flags & ~kKnownFlags) != 0) {
     return Status::Corruption(version == 1
                                   ? "nonzero reserved bytes in frame header"
                                   : "unknown frame flags");
@@ -88,24 +99,45 @@ Result<Frame> DecodeFrame(std::string_view bytes, size_t* consumed) {
                               std::to_string(length) + " bytes)");
   }
   MOPE_ASSIGN_OR_RETURN(uint32_t crc, header.U32());
-  const size_t ext_bytes =
-      (flags & kFrameFlagHasTraceId) != 0 ? kTraceIdBytes : 0;
-  if (bytes.size() - kFrameHeaderBytes < ext_bytes + length) {
-    return Status::Unavailable("incomplete frame payload");
-  }
   Frame frame;
   frame.type = type;
-  if (ext_bytes != 0) {
-    ByteReader ext(bytes.substr(kFrameHeaderBytes, kTraceIdBytes),
-                   "wire frame");
+  // Extensions sit between the header and the payload in flag-bit order;
+  // the profile one is length-prefixed, so framing is discovered in stages.
+  size_t offset = kFrameHeaderBytes;
+  if ((flags & kFrameFlagHasTraceId) != 0) {
+    if (bytes.size() < offset + kTraceIdBytes) {
+      return Status::Unavailable("incomplete frame payload");
+    }
+    ByteReader ext(bytes.substr(offset, kTraceIdBytes), "wire frame");
     MOPE_ASSIGN_OR_RETURN(frame.trace_id, ext.U64());
+    offset += kTraceIdBytes;
   }
-  const std::string_view payload =
-      bytes.substr(kFrameHeaderBytes + ext_bytes, length);
+  if ((flags & kFrameFlagHasProfile) != 0) {
+    frame.has_profile = true;
+    if (bytes.size() < offset + kProfileLengthBytes) {
+      return Status::Unavailable("incomplete frame payload");
+    }
+    ByteReader ext(bytes.substr(offset, kProfileLengthBytes), "wire frame");
+    MOPE_ASSIGN_OR_RETURN(uint32_t profile_len, ext.U32());
+    if (profile_len > kMaxPayloadBytes) {
+      return Status::Corruption("oversized profile extension (" +
+                                std::to_string(profile_len) + " bytes)");
+    }
+    offset += kProfileLengthBytes;
+    if (bytes.size() < offset + profile_len) {
+      return Status::Unavailable("incomplete frame payload");
+    }
+    frame.profile.assign(bytes.substr(offset, profile_len));
+    offset += profile_len;
+  }
+  if (bytes.size() - offset < length) {
+    return Status::Unavailable("incomplete frame payload");
+  }
+  const std::string_view payload = bytes.substr(offset, length);
   if (Crc32(payload) != crc) {
     return Status::Corruption("frame CRC mismatch");
   }
-  if (consumed != nullptr) *consumed = kFrameHeaderBytes + ext_bytes + length;
+  if (consumed != nullptr) *consumed = offset + length;
   frame.payload.assign(payload);
   return frame;
 }
@@ -161,12 +193,30 @@ Result<std::string> ReadFrameBytes(Transport* transport) {
                               std::to_string(length) + " bytes)");
   }
   // The flags byte tells us how many extension bytes precede the payload;
-  // flag *validity* is DecodeFrame's job once everything is in hand.
-  const size_t ext_bytes =
+  // flag *validity* is DecodeFrame's job once everything is in hand. The
+  // profile extension is length-prefixed, so its prefix is read first.
+  const size_t fixed_ext =
       (version >= 2 && (flags & kFrameFlagHasTraceId) != 0) ? kTraceIdBytes
                                                             : 0;
+  const bool has_profile =
+      version >= 2 && (flags & kFrameFlagHasProfile) != 0;
+  MOPE_RETURN_NOT_OK(ReadExact(
+      transport, fixed_ext + (has_profile ? kProfileLengthBytes : 0), &raw,
+      /*at_boundary=*/false));
+  size_t profile_len = 0;
+  if (has_profile) {
+    ByteReader plen(std::string_view(raw).substr(
+                        kFrameHeaderBytes + fixed_ext, kProfileLengthBytes),
+                    "wire frame");
+    MOPE_ASSIGN_OR_RETURN(uint32_t len32, plen.U32());
+    if (len32 > kMaxPayloadBytes) {
+      return Status::Corruption("oversized profile extension (" +
+                                std::to_string(len32) + " bytes)");
+    }
+    profile_len = len32;
+  }
   MOPE_RETURN_NOT_OK(
-      ReadExact(transport, ext_bytes + length, &raw, /*at_boundary=*/false));
+      ReadExact(transport, profile_len + length, &raw, /*at_boundary=*/false));
   return raw;
 }
 
@@ -176,7 +226,8 @@ Result<Frame> ReadFrame(Transport* transport) {
 }
 
 Status WriteFrame(Transport* transport, MessageType type, std::string payload,
-                  uint64_t trace_id) {
+                  uint64_t trace_id, bool has_profile,
+                  std::string_view profile) {
   // Callers hand WriteFrame unbounded application data (e.g. a huge range
   // batch); overflow must come back as a Status, not trip EncodeFrame's
   // precondition check.
@@ -185,7 +236,13 @@ Status WriteFrame(Transport* transport, MessageType type, std::string payload,
         "message too large for one frame (" + std::to_string(payload.size()) +
         " > " + std::to_string(kMaxPayloadBytes) + " bytes)");
   }
-  const std::string frame = EncodeFrame(type, std::move(payload), trace_id);
+  if (profile.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "profile too large for one frame (" + std::to_string(profile.size()) +
+        " > " + std::to_string(kMaxPayloadBytes) + " bytes)");
+  }
+  const std::string frame =
+      EncodeFrame(type, std::move(payload), trace_id, has_profile, profile);
   return transport->Write(frame.data(), frame.size());
 }
 

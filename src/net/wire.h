@@ -16,12 +16,20 @@
 ///       12     4  CRC-32 (IEEE) of the payload
 ///       16     …  extension fields selected by `flags`, then the payload
 ///
-/// Version 2 adds one optional extension: when kFrameFlagHasTraceId is set,
-/// an 8-byte little-endian trace id sits between the header and the payload
-/// (excluded from both the payload length and the CRC). Frames that carry no
-/// trace id are still emitted as byte-identical version-1 frames, so an old
-/// peer interoperates until tracing is actually used; unknown flag bits are
-/// rejected as Corruption rather than silently mis-framed.
+/// Version 2 adds two optional extensions between the header and payload,
+/// in flag-bit order and excluded from both the payload length and the CRC:
+///
+///   kFrameFlagHasTraceId  an 8-byte little-endian trace id
+///   kFrameFlagHasProfile  a u32 length followed by that many bytes of
+///                         profile (StatsReply-encoded name/u64 pairs).
+///                         On a request an empty profile section asks the
+///                         server to attribute this request's resource
+///                         deltas; the reply carries them back.
+///
+/// Frames that use no extension are still emitted as byte-identical
+/// version-1 frames, so an old peer interoperates until tracing or
+/// profiling is actually used; unknown flag bits are rejected as Corruption
+/// rather than silently mis-framed.
 ///
 /// Payloads are encoded with the same value codec as catalog snapshots
 /// (engine/codec.h). Request/reply pairs mirror proxy::ServerConnection:
@@ -55,7 +63,9 @@ inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Flags byte (offset 6) bits understood by this build.
 inline constexpr uint8_t kFrameFlagHasTraceId = 0x01;
+inline constexpr uint8_t kFrameFlagHasProfile = 0x02;
 inline constexpr size_t kTraceIdBytes = 8;
+inline constexpr size_t kProfileLengthBytes = 4;
 /// Upper bound on a payload; anything larger is rejected before allocation.
 inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 
@@ -75,23 +85,31 @@ enum class MessageType : uint8_t {
 /// unknown types through so the dispatcher can answer them with a clean
 /// Status instead of dropping the connection. `trace_id` is nonzero when the
 /// peer stamped the frame with an active query trace (version-2 extension).
+/// `has_profile` is true when the frame carried the profile extension —
+/// empty on a request (meaning "profile me"), filled with attributed
+/// counter deltas on a reply.
 struct Frame {
   uint8_t type = 0;
   uint64_t trace_id = 0;
+  bool has_profile = false;
+  std::string profile;  ///< StatsReply-encoded; meaningful iff has_profile.
   std::string payload;
 };
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.
 uint32_t Crc32(std::string_view bytes);
 
-/// Serializes one frame (header + payload). A zero `trace_id` produces a
-/// version-1 frame, byte-identical to what older builds emit; a nonzero id
-/// produces a version-2 frame carrying the trace-id extension. Precondition
-/// (MOPE_CHECKed): payload.size() <= kMaxPayloadBytes — for unbounded or
-/// peer-influenced data use WriteFrame (client side) or the dispatcher's
-/// reply cap (server side), which surface overflow as a Status instead.
+/// Serializes one frame (header + payload). A frame using no extension
+/// (zero `trace_id`, `has_profile` false) is emitted as a version-1 frame,
+/// byte-identical to what older builds emit; any extension selects version
+/// 2. `profile` is the StatsReply-encoded profile section (empty = request
+/// for one). Precondition (MOPE_CHECKed): payload and profile each fit in
+/// kMaxPayloadBytes — for unbounded or peer-influenced data use WriteFrame
+/// (client side) or the dispatcher's reply cap (server side), which surface
+/// overflow as a Status instead.
 std::string EncodeFrame(MessageType type, std::string payload,
-                        uint64_t trace_id = 0);
+                        uint64_t trace_id = 0, bool has_profile = false,
+                        std::string_view profile = {});
 
 /// Validates and decodes the frame at the front of `bytes`; on success sets
 /// `*consumed` to its total size. Corruption on any header/CRC violation;
@@ -107,9 +125,10 @@ Result<std::string> ReadFrameBytes(Transport* transport);
 Result<Frame> ReadFrame(Transport* transport);
 
 /// Encodes and writes one frame. InvalidArgument (no bytes written) when the
-/// payload exceeds kMaxPayloadBytes.
+/// payload (or profile section) exceeds kMaxPayloadBytes.
 Status WriteFrame(Transport* transport, MessageType type, std::string payload,
-                  uint64_t trace_id = 0);
+                  uint64_t trace_id = 0, bool has_profile = false,
+                  std::string_view profile = {});
 
 // --- Message bodies -------------------------------------------------------
 

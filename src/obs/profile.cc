@@ -1,0 +1,41 @@
+#include "obs/profile.h"
+
+namespace mope::obs {
+
+void ProfileCollector::Add(const std::string& name, uint64_t n) {
+  const MutexLock lock(&mutex_);
+  entries_[name] += n;
+}
+
+void ProfileCollector::Set(const std::string& name, uint64_t value) {
+  const MutexLock lock(&mutex_);
+  entries_[name] = value;
+}
+
+std::map<std::string, uint64_t> ProfileCollector::entries() const {
+  const MutexLock lock(&mutex_);
+  return entries_;
+}
+
+uint64_t ProfileCollector::Value(const std::string& name) const {
+  const MutexLock lock(&mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+namespace {
+thread_local ProfileCollector* g_current_collector = nullptr;
+}  // namespace
+
+ProfileCollector* CurrentProfileCollector() { return g_current_collector; }
+
+ScopedProfileActivation::ScopedProfileActivation(ProfileCollector* collector)
+    : previous_(g_current_collector) {
+  g_current_collector = collector;
+}
+
+ScopedProfileActivation::~ScopedProfileActivation() {
+  g_current_collector = previous_;
+}
+
+}  // namespace mope::obs

@@ -1,0 +1,75 @@
+#ifndef MOPE_OBS_PROFILE_H_
+#define MOPE_OBS_PROFILE_H_
+
+/// \file profile.h
+/// Per-query resource profiles: named uint64 entries collected across the
+/// trust boundary.
+///
+/// A ProfileCollector is activated around one query (EXPLAIN ANALYZE in the
+/// proxy's SQL session) the same way a Trace is: thread-locally, so the
+/// layers underneath contribute without signature plumbing. The wire layer
+/// checks CurrentProfileCollector() to decide whether to request a profile
+/// extension on outgoing v2 frames, and merges the server's reply entries
+/// (counter deltas the dispatcher snapshotted around the request) back into
+/// the collector. The embedded path (DirectConnection) snapshots the same
+/// counters around its direct calls, so a profile is field-identical whether
+/// the server is in-process or across TCP.
+///
+/// Entries merge by name (values add), so multi-request queries — the
+/// proxy's per-segment fetches — accumulate naturally.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace mope::obs {
+
+class ProfileCollector {
+ public:
+  ProfileCollector() = default;
+
+  /// Adds `n` to the named entry (creating it at zero).
+  void Add(const std::string& name, uint64_t n);
+
+  /// Overwrites the named entry (for ids and gauges, not deltas).
+  void Set(const std::string& name, uint64_t value);
+
+  /// Snapshot of all entries, name-ordered.
+  std::map<std::string, uint64_t> entries() const;
+
+  /// Value of one entry; 0 when absent.
+  uint64_t Value(const std::string& name) const;
+
+ private:
+  mutable Mutex mutex_{lock_rank::kTrace};
+  std::map<std::string, uint64_t> entries_ MOPE_GUARDED_BY(mutex_);
+};
+
+/// The collector active on this thread, or nullptr when profiling is off.
+ProfileCollector* CurrentProfileCollector();
+
+/// Installs `collector` as the thread's active profile sink for the scope's
+/// lifetime and restores the previous one on destruction.
+class ScopedProfileActivation {
+ public:
+  explicit ScopedProfileActivation(ProfileCollector* collector);
+  ~ScopedProfileActivation();
+
+  ScopedProfileActivation(const ScopedProfileActivation&) = delete;
+  ScopedProfileActivation& operator=(const ScopedProfileActivation&) = delete;
+
+ private:
+  ProfileCollector* previous_;
+};
+
+/// Adds to the active collector; no-op (one branch) when profiling is off.
+inline void BumpProfile(const char* name, uint64_t n) {
+  ProfileCollector* collector = CurrentProfileCollector();
+  if (collector != nullptr) collector->Add(name, n);
+}
+
+}  // namespace mope::obs
+
+#endif  // MOPE_OBS_PROFILE_H_

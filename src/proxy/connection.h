@@ -20,6 +20,8 @@
 #include "common/status.h"
 #include "engine/server.h"
 #include "engine/table.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace mope::proxy {
 
@@ -56,6 +58,12 @@ class ServerConnection {
 };
 
 /// In-process connection to an embedded DbServer.
+///
+/// Profile parity with the wire path: when a thread-local ProfileCollector
+/// is active (EXPLAIN ANALYZE), each data-bearing call is bracketed by an
+/// engine::ServerProfileProbe — the same fixed counter set the remote
+/// dispatcher snapshots — so an embedded query's profile is field-identical
+/// to one collected across TCP.
 class DirectConnection final : public ServerConnection {
  public:
   explicit DirectConnection(engine::DbServer* server) : server_(server) {}
@@ -63,7 +71,14 @@ class DirectConnection final : public ServerConnection {
   Result<std::vector<std::pair<engine::RowId, engine::Row>>> ExecuteRangeBatch(
       const std::string& table, const std::string& column,
       const std::vector<ModularInterval>& ranges) override {
-    return server_->ExecuteRangeBatchWithIds(table, column, ranges);
+    obs::ProfileCollector* collector = obs::CurrentProfileCollector();
+    if (collector == nullptr) {
+      return server_->ExecuteRangeBatchWithIds(table, column, ranges);
+    }
+    const engine::ServerProfileProbe probe(server_);
+    auto rows = server_->ExecuteRangeBatchWithIds(table, column, ranges);
+    MergeProfile(probe, collector);
+    return rows;
   }
 
   Result<engine::Schema> GetSchema(const std::string& table) override {
@@ -77,7 +92,14 @@ class DirectConnection final : public ServerConnection {
   Result<uint64_t> CountRangeBatch(
       const std::string& table, const std::string& column,
       const std::vector<ModularInterval>& ranges) override {
-    return server_->CountRangeBatch(table, column, ranges);
+    obs::ProfileCollector* collector = obs::CurrentProfileCollector();
+    if (collector == nullptr) {
+      return server_->CountRangeBatch(table, column, ranges);
+    }
+    const engine::ServerProfileProbe probe(server_);
+    auto count = server_->CountRangeBatch(table, column, ranges);
+    MergeProfile(probe, collector);
+    return count;
   }
 
   Result<std::vector<std::pair<std::string, uint64_t>>> FetchServerStats()
@@ -86,6 +108,16 @@ class DirectConnection final : public ServerConnection {
   }
 
  private:
+  /// Mirrors the remote merge in RemoteConnection::RoundTrip: deltas add
+  /// across the query's per-segment calls, the trace id overwrites.
+  static void MergeProfile(const engine::ServerProfileProbe& probe,
+                           obs::ProfileCollector* collector) {
+    for (const auto& [name, value] : probe.Delta()) {
+      collector->Add(name, value);
+    }
+    collector->Set("profile.trace_id", obs::CurrentTraceId());
+  }
+
   engine::DbServer* server_;
 };
 

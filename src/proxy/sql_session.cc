@@ -1,8 +1,10 @@
 #include "proxy/sql_session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "engine/executor.h"
+#include "sql/explain.h"
 #include "sql/parser.h"
 #include "sql/range_extract.h"
 
@@ -21,13 +23,32 @@ Status EncryptedSqlSession::AttachClientTable(
 
 Result<sql::SqlResult> EncryptedSqlSession::Execute(
     const std::string& sql_text) {
-  if (!tracing_enabled_) return ExecuteImpl(sql_text);
+  // EXPLAIN ANALYZE always runs traced + profiled: the actuals and the
+  // resource vector *are* the result. The prefix peek is cheap and a false
+  // negative on malformed input just means the parse error surfaces on the
+  // untraced path.
+  const bool analyze = sql::IsExplainAnalyze(sql_text);
+  if (!tracing_enabled_ && !analyze) return ExecuteImpl(sql_text);
+
   // A fresh trace per statement: the activation makes it visible to every
   // instrumented layer below (proxy, OPE, wire) without touching signatures,
   // and RemoteConnection stamps its id into outgoing frames.
   auto trace = std::make_unique<obs::Trace>("sql.execute", trace_clock_);
   const obs::ScopedTraceActivation activate(trace.get());
-  auto result = ExecuteImpl(sql_text);
+  if (analyze) {
+    // The collector is what flips the wire layer into profile mode: every
+    // round trip under this scope requests (and merges back) the server's
+    // attributed counter deltas.
+    auto profile = std::make_unique<obs::ProfileCollector>();
+    Result<sql::SqlResult> result = [&] {
+      const obs::ScopedProfileActivation profiling(profile.get());
+      return ExecuteImpl(sql_text);
+    }();
+    last_profile_ = std::move(profile);
+    last_trace_ = std::move(trace);
+    return result;
+  }
+  Result<sql::SqlResult> result = ExecuteImpl(sql_text);
   last_trace_ = std::move(trace);
   return result;
 }
@@ -35,12 +56,35 @@ Result<sql::SqlResult> EncryptedSqlSession::Execute(
 Result<sql::SqlResult> EncryptedSqlSession::ExecuteImpl(
     const std::string& sql_text) {
   stats_ = SessionStats{};
-  auto parsed = [&]() -> Result<sql::SelectStmt> {
+  auto parsed = [&]() -> Result<sql::Statement> {
     const obs::ScopedSpan span("session.parse");
-    return sql::Parse(sql_text);
+    return sql::ParseStatement(sql_text);
   }();
-  MOPE_ASSIGN_OR_RETURN(sql::SelectStmt stmt, std::move(parsed));
+  MOPE_ASSIGN_OR_RETURN(sql::Statement statement, std::move(parsed));
+  if (statement.explain) {
+    return ExplainImpl(std::move(statement.select), statement.analyze);
+  }
+  sql::SelectStmt stmt = std::move(statement.select);
 
+  MOPE_ASSIGN_OR_RETURN(FetchPlan fetch_plan, PlanFetch(stmt));
+
+  // Fetch through the proxy (fakes, batching, filtering all apply). The
+  // schema comes through the proxy's connection too, so the session works
+  // unchanged when the table lives in another process.
+  MOPE_ASSIGN_OR_RETURN(engine::Schema server_schema,
+                        fetch_plan.proxy->GetServerSchema());
+  MOPE_ASSIGN_OR_RETURN(std::vector<engine::Row> fetched,
+                        FetchSegments(fetch_plan));
+
+  engine::Catalog scratch;
+  MOPE_RETURN_NOT_OK(BuildScratch(stmt, std::move(server_schema),
+                                  std::move(fetched), &scratch));
+  const obs::ScopedSpan span("session.local_exec");
+  return sql::ExecuteSql(&scratch, sql_text);
+}
+
+Result<EncryptedSqlSession::FetchPlan> EncryptedSqlSession::PlanFetch(
+    const sql::SelectStmt& stmt) {
   // Locate the encrypted column of the FROM table and the fetch predicate.
   const auto enc_column = system_->EncryptedColumnOf(stmt.from_table);
   if (!enc_column.has_value()) {
@@ -61,30 +105,32 @@ Result<sql::SqlResult> EncryptedSqlSession::ExecuteImpl(
         "'");
   }
 
-  MOPE_ASSIGN_OR_RETURN(Proxy * proxy,
+  FetchPlan plan;
+  plan.enc_column = *enc_column;
+  MOPE_ASSIGN_OR_RETURN(plan.proxy,
                         system_->GetProxy(stmt.from_table, *enc_column));
-  const uint64_t domain = proxy->config().domain;
+  plan.domain = plan.proxy->config().domain;
 
   // Clamp the extracted segments to the column domain and coalesce them so
   // no row is fetched twice.
   std::vector<Segment> segments;
   for (Segment seg : ranges->segments) {
-    if (seg.lo >= domain) continue;
-    seg.hi = std::min(seg.hi, domain - 1);
+    if (seg.lo >= plan.domain) continue;
+    seg.hi = std::min(seg.hi, plan.domain - 1);
     segments.push_back(seg);
   }
-  segments = engine::CoalesceSegments(std::move(segments));
+  plan.segments = engine::CoalesceSegments(std::move(segments));
+  return plan;
+}
 
-  // Fetch through the proxy (fakes, batching, filtering all apply). The
-  // schema comes through the proxy's connection too, so the session works
-  // unchanged when the table lives in another process.
-  MOPE_ASSIGN_OR_RETURN(engine::Schema server_schema, proxy->GetServerSchema());
+Result<std::vector<engine::Row>> EncryptedSqlSession::FetchSegments(
+    const FetchPlan& plan) {
   std::vector<engine::Row> fetched;
-  for (const Segment& seg : segments) {
+  for (const Segment& seg : plan.segments) {
     const obs::ScopedSpan span("session.fetch_segment");
     MOPE_ASSIGN_OR_RETURN(
         QueryResponse resp,
-        proxy->ExecuteRange(query::RangeQuery{seg.lo, seg.hi}));
+        plan.proxy->ExecuteRange(query::RangeQuery{seg.lo, seg.hi}));
     ++stats_.ranges_fetched;
     stats_.real_queries += resp.real_queries_sent;
     stats_.fake_queries += resp.fake_queries_sent;
@@ -105,15 +151,20 @@ Result<sql::SqlResult> EncryptedSqlSession::ExecuteImpl(
   registry->GetCounter("session.fake_queries")->Increment(stats_.fake_queries);
   registry->GetCounter("session.server_requests")
       ->Increment(stats_.server_requests);
+  return fetched;
+}
 
+Status EncryptedSqlSession::BuildScratch(const sql::SelectStmt& stmt,
+                                         engine::Schema server_schema,
+                                         std::vector<engine::Row> fetched,
+                                         engine::Catalog* scratch) {
   // Client-side execution: a scratch catalog holding the fetched rows under
   // the original table name plus any attached client tables, running the
   // *original* statement (the fetch predicate re-applies as a residual
   // filter over plaintext).
-  engine::Catalog scratch;
   MOPE_ASSIGN_OR_RETURN(
       engine::Table * local,
-      scratch.CreateTable(stmt.from_table, std::move(server_schema)));
+      scratch->CreateTable(stmt.from_table, std::move(server_schema)));
   for (engine::Row& row : fetched) {
     MOPE_RETURN_NOT_OK(local->Insert(std::move(row)).status());
   }
@@ -122,13 +173,88 @@ Result<sql::SqlResult> EncryptedSqlSession::ExecuteImpl(
                           client_tables_.GetTable(stmt.join->table));
     MOPE_ASSIGN_OR_RETURN(
         engine::Table * copy,
-        scratch.CreateTable(stmt.join->table, aux->schema()));
+        scratch->CreateTable(stmt.join->table, aux->schema()));
     for (engine::RowId r = 0; r < aux->row_count(); ++r) {
       MOPE_RETURN_NOT_OK(copy->Insert(aux->row(r)).status());
     }
   }
-  const obs::ScopedSpan span("session.local_exec");
-  return sql::ExecuteSql(&scratch, sql_text);
+  return Status::OK();
+}
+
+Result<sql::SqlResult> EncryptedSqlSession::ExplainImpl(sql::SelectStmt stmt,
+                                                        bool analyze) {
+  MOPE_ASSIGN_OR_RETURN(FetchPlan fetch_plan, PlanFetch(stmt));
+  MOPE_ASSIGN_OR_RETURN(engine::Schema server_schema,
+                        fetch_plan.proxy->GetServerSchema());
+
+  std::vector<std::string> lines;
+  lines.push_back("Fetch: " + stmt.from_table + "." + fetch_plan.enc_column +
+                  " via encrypted proxy (segments=" +
+                  std::to_string(fetch_plan.segments.size()) +
+                  ", domain=" + std::to_string(fetch_plan.domain) + ")");
+
+  // Plain EXPLAIN plans over an *empty* local table by design: the proxy
+  // deliberately has no server-side statistics (cardinalities of encrypted
+  // data are exactly what the scheme hides), so pre-execution estimates
+  // reflect only what the client knows. ANALYZE replaces them with actuals.
+  std::vector<engine::Row> fetched;
+  if (analyze) {
+    MOPE_ASSIGN_OR_RETURN(fetched, FetchSegments(fetch_plan));
+  }
+
+  engine::Catalog scratch;
+  MOPE_RETURN_NOT_OK(BuildScratch(stmt, std::move(server_schema),
+                                  std::move(fetched), &scratch));
+  sql::Planner planner(&scratch);
+  MOPE_ASSIGN_OR_RETURN(sql::PlannedQuery plan, planner.Plan(std::move(stmt)));
+
+  if (analyze) {
+    engine::ProfileContext ctx;
+    ctx.clock =
+        trace_clock_ != nullptr ? trace_clock_ : obs::SystemClock();
+    // The local exec runs over the in-memory scratch catalog, so there are
+    // no storage counters to attribute here; the server-side pool/WAL costs
+    // arrive via the wire profile (srv.storage.*) instead.
+    plan.root->EnableProfiling(&ctx);
+    {
+      const obs::ScopedSpan span("session.local_exec");
+      MOPE_RETURN_NOT_OK(engine::Collect(plan.root.get()).status());
+    }
+    engine::FoldOpStatsIntoRegistry(plan.root.get(), system_->metrics());
+  }
+
+  sql::ExplainOptions options;
+  options.analyze = analyze;
+  for (std::string& line : sql::RenderPlanLines(plan.root.get(), options)) {
+    lines.push_back(std::move(line));
+  }
+
+  if (analyze) {
+    // The query-level resource vector, one entry per line: the session's
+    // real/fake accounting, the trace's fine-grained counters (HGD draws,
+    // OPE calls), and everything the profile collector gathered (server
+    // counter deltas keyed srv.*, wire bytes keyed net.*).
+    lines.push_back("Resources:");
+    lines.push_back("  session: ranges=" +
+                    std::to_string(stats_.ranges_fetched) +
+                    " rows_fetched=" + std::to_string(stats_.rows_fetched) +
+                    " real_queries=" + std::to_string(stats_.real_queries) +
+                    " fake_queries=" + std::to_string(stats_.fake_queries) +
+                    " server_requests=" +
+                    std::to_string(stats_.server_requests));
+    if (const obs::Trace* trace = obs::CurrentTrace(); trace != nullptr) {
+      for (const auto& [name, value] : trace->counters()) {
+        lines.push_back("  trace." + name + "=" + std::to_string(value));
+      }
+    }
+    if (const obs::ProfileCollector* profile = obs::CurrentProfileCollector();
+        profile != nullptr) {
+      for (const auto& [name, value] : profile->entries()) {
+        lines.push_back("  " + name + "=" + std::to_string(value));
+      }
+    }
+  }
+  return sql::PlanLinesToResult(std::move(lines));
 }
 
 }  // namespace mope::proxy

@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "proxy/system.h"
 #include "sql/planner.h"
@@ -40,10 +41,22 @@ class EncryptedSqlSession {
   Status AttachClientTable(const std::string& name, engine::Schema schema,
                            const std::vector<engine::Row>& rows);
 
-  /// Executes one SELECT. Requirements: FROM names a table with a
+  /// Executes one statement. SELECTs need: FROM names a table with a
   /// MOPE-encrypted column, and the WHERE clause contains a conjunct that is
   /// a range condition (or OR of range conditions) on that column — the
   /// fetch predicate. Everything else in the statement runs client-side.
+  ///
+  /// `EXPLAIN <select>` plans without executing and returns the plan as a
+  /// one-column result: a Fetch header (which encrypted column, how many
+  /// coalesced segments) plus the local operator tree with the planner's
+  /// cardinality estimates. `EXPLAIN ANALYZE <select>` executes the
+  /// statement under a fresh trace + profile (regardless of EnableTracing)
+  /// and annotates each operator with actuals — rows, Next() calls,
+  /// inclusive nanoseconds, index entries/nodes — followed by the
+  /// query-level resource vector: the real/fake query mix, trace counters
+  /// (HGD draws, OPE encrypt/decrypt calls), and every profile entry the
+  /// server attributed to this query's trace id (srv.* counter deltas,
+  /// net.* frame bytes). Readable afterwards via last_profile().
   Result<sql::SqlResult> Execute(const std::string& sql_text);
 
   /// Accounting for the most recent Execute call.
@@ -71,13 +84,44 @@ class EncryptedSqlSession {
   }
 
   /// Span tree of the most recent Execute, or null if tracing is off (or
-  /// nothing ran yet).
+  /// nothing ran yet). EXPLAIN ANALYZE always records one.
   const obs::Trace* last_trace() const { return last_trace_.get(); }
 
+  /// Resource profile of the most recent EXPLAIN ANALYZE, or null. Entries:
+  /// srv.* (server counter deltas attributed to this query), net.* (wire
+  /// frames/bytes, zero for an embedded server), profile.trace_id.
+  const obs::ProfileCollector* last_profile() const {
+    return last_profile_.get();
+  }
+
  private:
+  /// The per-statement fetch decision: which encrypted column, through which
+  /// proxy, over which coalesced ciphertext segments.
+  struct FetchPlan {
+    std::string enc_column;
+    Proxy* proxy = nullptr;
+    uint64_t domain = 0;
+    std::vector<Segment> segments;
+  };
+
   /// Execute minus the trace bookkeeping (runs with the trace, if any,
   /// already active on this thread).
   Result<sql::SqlResult> ExecuteImpl(const std::string& sql_text);
+  /// The EXPLAIN [ANALYZE] path: renders the fetch + local plan, executing
+  /// (and annotating actuals + resources) only when `analyze` is set.
+  Result<sql::SqlResult> ExplainImpl(sql::SelectStmt stmt, bool analyze);
+
+  /// Resolves the encrypted column and extracts/coalesces the fetch ranges.
+  Result<FetchPlan> PlanFetch(const sql::SelectStmt& stmt);
+  /// Runs the fetch plan through the proxy, filling stats_ and mirroring
+  /// the per-statement accounting into the system registry.
+  Result<std::vector<engine::Row>> FetchSegments(const FetchPlan& plan);
+  /// Builds the client-side scratch catalog: fetched rows under the original
+  /// table name plus copies of any attached client tables the join needs.
+  Status BuildScratch(const sql::SelectStmt& stmt,
+                      engine::Schema server_schema,
+                      std::vector<engine::Row> fetched,
+                      engine::Catalog* scratch);
 
   MopeSystem* system_;
   engine::Catalog client_tables_;
@@ -85,6 +129,7 @@ class EncryptedSqlSession {
   bool tracing_enabled_ = false;
   obs::Clock* trace_clock_ = nullptr;
   std::unique_ptr<obs::Trace> last_trace_;
+  std::unique_ptr<obs::ProfileCollector> last_profile_;
 };
 
 }  // namespace mope::proxy

@@ -105,6 +105,16 @@ struct SelectStmt {
   std::optional<uint64_t> limit;
 };
 
+/// A full statement: a SELECT, optionally wrapped in EXPLAIN [ANALYZE].
+/// Plain EXPLAIN renders the planned operator tree without executing;
+/// EXPLAIN ANALYZE executes under profiling and annotates the tree with
+/// per-operator actuals plus the query's resource vector.
+struct Statement {
+  bool explain = false;
+  bool analyze = false;  ///< implies explain
+  SelectStmt select;
+};
+
 }  // namespace mope::sql
 
 #endif  // MOPE_SQL_AST_H_

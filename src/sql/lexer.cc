@@ -12,6 +12,7 @@ constexpr std::array kKeywords = {
     "SELECT", "FROM",  "WHERE", "AND",   "OR",    "NOT",  "BETWEEN",
     "JOIN",   "ON",    "GROUP", "BY",    "AS",    "SUM",  "COUNT", "IN",
     "AVG",    "MIN",   "MAX",   "ORDER", "LIMIT", "ASC",  "DESC",
+    "EXPLAIN", "ANALYZE",
 };
 
 std::string ToUpper(std::string s) {

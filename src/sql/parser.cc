@@ -329,4 +329,35 @@ Result<SelectStmt> Parse(const std::string& sql) {
   return parser.ParseSelect();
 }
 
+bool IsExplainAnalyze(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return false;  // the real parse will report the error
+  return tokens->size() > 1 && (*tokens)[0].type == TokenType::kKeyword &&
+         (*tokens)[0].text == "EXPLAIN" &&
+         (*tokens)[1].type == TokenType::kKeyword &&
+         (*tokens)[1].text == "ANALYZE";
+}
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  MOPE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Statement stmt;
+  // Strip the EXPLAIN [ANALYZE] prefix before descending into the SELECT
+  // grammar: the wrapper changes how the statement is run, not its shape.
+  size_t skip = 0;
+  if (!tokens.empty() && tokens[0].type == TokenType::kKeyword &&
+      tokens[0].text == "EXPLAIN") {
+    stmt.explain = true;
+    skip = 1;
+    if (tokens.size() > 1 && tokens[1].type == TokenType::kKeyword &&
+        tokens[1].text == "ANALYZE") {
+      stmt.analyze = true;
+      skip = 2;
+    }
+  }
+  if (skip > 0) tokens.erase(tokens.begin(), tokens.begin() + skip);
+  Parser parser(std::move(tokens));
+  MOPE_ASSIGN_OR_RETURN(stmt.select, parser.ParseSelect());
+  return stmt;
+}
+
 }  // namespace mope::sql

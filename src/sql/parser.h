@@ -4,6 +4,7 @@
 /// \file parser.h
 /// Recursive-descent parser for the supported SELECT grammar:
 ///
+///   stmt     := [EXPLAIN [ANALYZE]] select
 ///   select   := SELECT (| '*' | item (',' item)*) FROM ident
 ///               [JOIN ident ON col_ref '=' col_ref]
 ///               [WHERE expr] [GROUP BY ident]
@@ -28,6 +29,15 @@ namespace mope::sql {
 
 /// Parses one SELECT statement; ParseError with offset context on failure.
 Result<SelectStmt> Parse(const std::string& sql);
+
+/// Parses a full statement, honouring an EXPLAIN [ANALYZE] prefix.
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Cheap prefix peek: true iff the text lexes and starts with
+/// EXPLAIN ANALYZE. Lets a caller arm trace/profile capture *before* the
+/// (traced, span-emitting) full parse runs; malformed input returns false
+/// and is diagnosed by the real parse.
+bool IsExplainAnalyze(const std::string& sql);
 
 }  // namespace mope::sql
 

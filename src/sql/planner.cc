@@ -26,9 +26,14 @@ class ComputeOp final : public Operator {
   ComputeOp(std::unique_ptr<Operator> child, std::vector<ExprPtr> exprs)
       : child_(std::move(child)), exprs_(std::move(exprs)) {}
 
-  Status Open() override { return child_->Open(); }
+  size_t output_width() const override { return exprs_.size(); }
+  const char* name() const override { return "Compute"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
 
-  Result<bool> Next(Row* out) override {
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+
+  Result<bool> NextImpl(Row* out) override {
     Row in;
     MOPE_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
     if (!has) return false;
@@ -40,8 +45,6 @@ class ComputeOp final : public Operator {
     }
     return true;
   }
-
-  size_t output_width() const override { return exprs_.size(); }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -75,6 +78,15 @@ std::string AggName(const SelectItem& item) {
   return std::string(fn) + "(" + item.expr->ToString() + ")";
 }
 
+/// System-R-flavoured cardinality guesses for EXPLAIN. Coarse on purpose:
+/// the engine keeps no column statistics, so estimates exist to show plan
+/// shape and relative magnitude. Tests assert structure, not exact values.
+constexpr uint64_t kSelectivityDenom = 3;
+
+uint64_t EstimateOf(const std::unique_ptr<Operator>& op) {
+  return op->estimated_rows();
+}
+
 }  // namespace
 
 Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
@@ -83,6 +95,7 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
   PlannedQuery out;
   RowLayout layout = RowLayout::ForTable(*base);
   std::unique_ptr<Operator> plan;
+  const uint64_t base_rows = base->row_count();
 
   // Access path for the base table: indexed multi-range sweep if the WHERE
   // clause offers one, else a sequential scan.
@@ -98,11 +111,18 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
       out.used_index = true;
       out.index_column = ranges->column;
       out.index_segments = scan->segments_scanned();
+      scan->set_annotation("on " + stmt.from_table + " via " + ranges->column +
+                           " (" + std::to_string(out.index_segments) +
+                           " segments)");
+      scan->set_estimated_rows(std::max<uint64_t>(
+          1, base_rows / kSelectivityDenom));
       plan = std::move(scan);
     }
   }
   if (plan == nullptr) {
     plan = std::make_unique<engine::SeqScanOp>(base);
+    plan->set_annotation("on " + stmt.from_table);
+    plan->set_estimated_rows(base_rows);
   }
 
   // Optional equi-join.
@@ -121,9 +141,14 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
       return Status::NotSupported("JOIN keys must be plain columns");
     }
 
+    auto build = std::make_unique<engine::SeqScanOp>(right);
+    build->set_annotation("on " + stmt.join->table);
+    build->set_estimated_rows(right->row_count());
+    const uint64_t left_est = EstimateOf(plan);
     plan = std::make_unique<engine::HashJoinOp>(
-        std::move(plan), std::make_unique<engine::SeqScanOp>(right),
-        *lk->bound_index, *rk->bound_index);
+        std::move(plan), std::move(build), *lk->bound_index, *rk->bound_index);
+    plan->set_annotation("on " + lk->ToString() + " = " + rk->ToString());
+    plan->set_estimated_rows(left_est);
     layout = RowLayout::Concat(layout, right_layout);
   }
 
@@ -131,13 +156,18 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
   // access path only when its ranges came from one conjunct).
   if (stmt.where != nullptr) {
     MOPE_RETURN_NOT_OK(BindExpr(stmt.where.get(), layout));
+    const std::string where_text = stmt.where->ToString();
     // Keep the predicate's expression tree alive inside the plan
     // (shared_ptr because std::function requires a copyable callable).
     std::shared_ptr<Expr> where(std::move(stmt.where));
+    const uint64_t child_est = EstimateOf(plan);
     plan = std::make_unique<engine::FilterOp>(
         std::move(plan), [where](const Row& row) -> Result<bool> {
           return EvalPredicate(*where, row);
         });
+    plan->set_annotation("where " + where_text);
+    plan->set_estimated_rows(std::max<uint64_t>(
+        1, child_est / kSelectivityDenom));
   }
 
   // Aggregation vs. projection.
@@ -168,15 +198,20 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
       }
       specs.push_back(std::move(spec));
     }
+    const uint64_t agg_child_est = EstimateOf(plan);
     if (stmt.group_by.has_value()) {
       MOPE_ASSIGN_OR_RETURN(size_t group_col,
                             layout.Resolve("", *stmt.group_by));
       out.output_columns.insert(out.output_columns.begin(), *stmt.group_by);
       plan = std::make_unique<engine::AggregateOp>(std::move(plan), group_col,
                                                    std::move(specs));
+      plan->set_annotation("group by " + *stmt.group_by);
+      plan->set_estimated_rows(std::max<uint64_t>(
+          1, agg_child_est / kSelectivityDenom));
     } else {
       plan = std::make_unique<engine::AggregateOp>(std::move(plan),
                                                    std::move(specs));
+      plan->set_estimated_rows(1);  // Scalar aggregation: always one row.
     }
   } else if (stmt.select_star) {
     for (size_t i = 0; i < layout.size(); ++i) {
@@ -190,12 +225,21 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
           item.alias.empty() ? item.expr->ToString() : item.alias);
       exprs.push_back(std::move(item.expr));
     }
+    const uint64_t child_est = EstimateOf(plan);
     plan = std::make_unique<ComputeOp>(std::move(plan), std::move(exprs));
+    std::string cols;
+    for (const std::string& name : out.output_columns) {
+      if (!cols.empty()) cols += ", ";
+      cols += name;
+    }
+    plan->set_annotation(cols);
+    plan->set_estimated_rows(child_est);
   }
 
   // ORDER BY resolves against the *output* columns (names or aliases).
   if (!stmt.order_by.empty()) {
     std::vector<engine::SortOp::SortKey> keys;
+    std::string key_text;
     for (const OrderByItem& item : stmt.order_by) {
       const auto it = std::find(out.output_columns.begin(),
                                 out.output_columns.end(), item.column);
@@ -206,12 +250,21 @@ Result<PlannedQuery> Planner::Plan(SelectStmt stmt) {
       keys.push_back(engine::SortOp::SortKey{
           static_cast<size_t>(it - out.output_columns.begin()),
           item.descending});
+      if (!key_text.empty()) key_text += ", ";
+      key_text += item.column;
+      if (item.descending) key_text += " desc";
     }
+    const uint64_t child_est = EstimateOf(plan);
     plan = std::make_unique<engine::SortOp>(std::move(plan), std::move(keys));
+    plan->set_annotation("by " + key_text);
+    plan->set_estimated_rows(child_est);
   }
 
   if (stmt.limit.has_value()) {
+    const uint64_t child_est = EstimateOf(plan);
     plan = std::make_unique<engine::LimitOp>(std::move(plan), *stmt.limit);
+    plan->set_annotation(std::to_string(*stmt.limit));
+    plan->set_estimated_rows(std::min<uint64_t>(child_est, *stmt.limit));
   }
 
   out.root = std::move(plan);

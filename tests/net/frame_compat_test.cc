@@ -1,11 +1,12 @@
-/// Wire-format compatibility for the version-2 trace-id extension.
+/// Wire-format compatibility for the version-2 extensions (trace id,
+/// profile).
 ///
-/// The contract under test: frames without a trace id are emitted as
-/// *byte-identical* version-1 frames (an old peer keeps working until tracing
-/// is actually used), a version-2 frame carries exactly one 8-byte trace id
-/// selected by the flags byte, and anything this build does not understand —
-/// unknown flag bits, flags in a version-1 frame — is rejected as Corruption
-/// instead of being silently mis-framed.
+/// The contract under test: frames using no extension are emitted as
+/// *byte-identical* version-1 frames (an old peer keeps working until
+/// tracing or profiling is actually used), a version-2 frame carries exactly
+/// the extensions selected by the flags byte, and anything this build does
+/// not understand — unknown flag bits, flags in a version-1 frame — is
+/// rejected as Corruption instead of being silently mis-framed.
 
 #include <gtest/gtest.h>
 
@@ -88,7 +89,7 @@ TEST(FrameCompatTest, UnknownFlagBitIsCorruption) {
   // A future extension bit this build does not know how to frame: the
   // payload boundary would be wrong, so the only safe answer is Corruption.
   const std::string frame =
-      BuildV1Frame(MessageType::kStatsRequest, "", /*flags=*/0x02,
+      BuildV1Frame(MessageType::kStatsRequest, "", /*flags=*/0x04,
                    /*version=*/kWireVersion);
   size_t consumed = 0;
   EXPECT_TRUE(DecodeFrame(frame, &consumed).status().IsCorruption());

@@ -1,0 +1,85 @@
+/// ProfileCollector semantics: merge-by-name accumulation, Set overwrite,
+/// and the thread-local activation scoping the wire and embedded layers key
+/// off to decide whether a query is being profiled.
+
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mope::obs {
+namespace {
+
+TEST(ProfileCollectorTest, AddAccumulatesByName) {
+  ProfileCollector collector;
+  collector.Add("srv.engine.rows_returned", 10);
+  collector.Add("srv.engine.rows_returned", 5);
+  collector.Add("net.frames", 1);
+  EXPECT_EQ(collector.Value("srv.engine.rows_returned"), 15u);
+  EXPECT_EQ(collector.Value("net.frames"), 1u);
+  EXPECT_EQ(collector.Value("absent"), 0u);
+}
+
+TEST(ProfileCollectorTest, SetOverwrites) {
+  ProfileCollector collector;
+  collector.Set("profile.trace_id", 7);
+  collector.Set("profile.trace_id", 9);
+  // Ids are identities, not deltas: a multi-request query must end with one
+  // trace id, not their sum.
+  EXPECT_EQ(collector.Value("profile.trace_id"), 9u);
+}
+
+TEST(ProfileCollectorTest, EntriesAreNameOrdered) {
+  ProfileCollector collector;
+  collector.Add("zeta", 1);
+  collector.Add("alpha", 2);
+  auto entries = collector.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.begin()->first, "alpha");
+}
+
+TEST(ProfileActivationTest, OffByDefaultAndScoped) {
+  EXPECT_EQ(CurrentProfileCollector(), nullptr);
+  ProfileCollector collector;
+  {
+    const ScopedProfileActivation scope(&collector);
+    EXPECT_EQ(CurrentProfileCollector(), &collector);
+  }
+  EXPECT_EQ(CurrentProfileCollector(), nullptr);
+}
+
+TEST(ProfileActivationTest, NestsAndRestoresPrevious) {
+  ProfileCollector outer;
+  ProfileCollector inner;
+  const ScopedProfileActivation outer_scope(&outer);
+  {
+    const ScopedProfileActivation inner_scope(&inner);
+    EXPECT_EQ(CurrentProfileCollector(), &inner);
+  }
+  EXPECT_EQ(CurrentProfileCollector(), &outer);
+}
+
+TEST(ProfileActivationTest, ActivationIsPerThread) {
+  ProfileCollector collector;
+  const ScopedProfileActivation scope(&collector);
+  ProfileCollector* seen = &collector;
+  // Another thread must not observe this thread's collector: a concurrent
+  // unprofiled query can't leak entries into someone's EXPLAIN ANALYZE.
+  std::thread([&seen] { seen = CurrentProfileCollector(); }).join();
+  EXPECT_EQ(seen, nullptr);
+}
+
+TEST(ProfileActivationTest, BumpProfileIsANoOpWhenOff) {
+  BumpProfile("anything", 3);  // must not crash, must not leak state
+  ProfileCollector collector;
+  {
+    const ScopedProfileActivation scope(&collector);
+    BumpProfile("net.frames", 2);
+  }
+  EXPECT_EQ(collector.Value("net.frames"), 2u);
+  EXPECT_EQ(collector.Value("anything"), 0u);
+}
+
+}  // namespace
+}  // namespace mope::obs

@@ -75,6 +75,18 @@ Machine-enforces the correctness conventions that code review used to carry:
                          text, --metrics dumps, abort-path diagnostics that
                          cannot trust the logger) opts out per line with
                          `// invariant-ok: R11 <reason>`.
+  R12 operator-hook-override
+                         (file-level check) In a file that defines an
+                         engine::Operator subclass, overriding the public
+                         `Open()` / `Next()` entry points is banned:
+                         subclasses implement the protected `OpenImpl()` /
+                         `NextImpl()` hooks instead. The public methods are
+                         the *instrumented* non-virtual dispatch points —
+                         an operator that overrides them silently drops out
+                         of EXPLAIN ANALYZE (no OpStats, no per-type
+                         histograms), and profiling-off still pays whatever
+                         the override does. Applies to src/, tests/, bench/,
+                         examples/.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -302,6 +314,43 @@ def check_mutex_annotations(rel: str, lines: list[tuple[int, str, str]]
     ]
 
 
+# R12: a class inheriting (possibly indirectly qualified) engine::Operator.
+OPERATOR_SUBCLASS_RE = re.compile(
+    r"\bclass\s+\w+(?:\s+final)?\s*:\s*public\s+(?:\w+::)*Operator\b")
+# An override of the public hook names. `OpenImpl(` / `NextImpl(` do not
+# match: the word boundary requires `(` right after Open/Next.
+PUBLIC_HOOK_OVERRIDE_RE = re.compile(
+    r"\b(?:Open|Next)\s*\([^)]*\)\s*(?:const\s*)?override\b")
+
+
+def check_operator_hooks(rel: str, lines: list[tuple[int, str, str]]
+                         ) -> list[str]:
+    """R12: Operator subclasses must implement OpenImpl/NextImpl, never
+    override the public Open/Next — those are the non-virtual instrumented
+    dispatch points that keep EXPLAIN ANALYZE's actuals complete.
+
+    lines: (lineno, raw, comment-and-string-stripped code)."""
+    if not any(rel.startswith(p)
+               for p in ("src/", "tests/", "bench/", "examples/")):
+        return []
+    if not any(OPERATOR_SUBCLASS_RE.search(code) for _, _, code in lines):
+        return []
+    violations = []
+    for lineno, raw, code in lines:
+        if ESCAPE_RE.search(raw):
+            continue
+        if PUBLIC_HOOK_OVERRIDE_RE.search(code):
+            violations.append(
+                f"{rel}:{lineno}: [operator-hook-override] Operator "
+                "subclasses must not override the public Open()/Next() — "
+                "implement the protected OpenImpl()/NextImpl() hooks so the "
+                "instrumented base dispatch (OpStats, EXPLAIN ANALYZE) "
+                "stays on the call path\n"
+                f"    {raw.strip()}"
+            )
+    return violations
+
+
 def lint_file(root: Path, rel: str) -> list[str]:
     violations = []
     rules = [r for r in RULES if r.applies_to(rel)]
@@ -328,6 +377,7 @@ def lint_file(root: Path, rel: str) -> list[str]:
                     f"    {raw.strip()}"
                 )
     violations.extend(check_mutex_annotations(rel, stripped_lines))
+    violations.extend(check_operator_hooks(rel, stripped_lines))
     return violations
 
 

@@ -437,6 +437,52 @@ class NoFalsePositives(unittest.TestCase):
         )
         self.assertNotIn("raw-file-io", rule_ids(v))
 
+    def test_operator_public_hook_override_caught(self) -> None:
+        v = run_on_tree(
+            {"src/engine/bad_op.h":
+                 "class RogueOp final : public Operator {\n"
+                 " public:\n"
+                 "  Status Open() override;\n"
+                 "  Result<bool> Next(Row* out) override;\n"
+                 "};\n"}
+        )
+        self.assertIn("operator-hook-override", rule_ids(v))
+
+    def test_operator_impl_hooks_clean(self) -> None:
+        # The sanctioned shape: protected OpenImpl/NextImpl overrides.
+        v = run_on_tree(
+            {"src/engine/good_op.h":
+                 "class GoodOp final : public engine::Operator {\n"
+                 " protected:\n"
+                 "  Status OpenImpl() override;\n"
+                 "  Result<bool> NextImpl(Row* out) override;\n"
+                 "};\n"}
+        )
+        self.assertNotIn("operator-hook-override", rule_ids(v))
+
+    def test_open_override_outside_operator_file_clean(self) -> None:
+        # Open()/Next() overrides are fine in files with no Operator
+        # subclass — Transport::Open, iterators, etc. are different APIs.
+        v = run_on_tree(
+            {"src/storage/iter.h":
+                 "class HeapIter final : public Iter {\n"
+                 " public:\n"
+                 "  Status Open() override;\n"
+                 "  bool Next(Row* out) override;\n"
+                 "};\n"}
+        )
+        self.assertNotIn("operator-hook-override", rule_ids(v))
+
+    def test_operator_hook_escape_comment(self) -> None:
+        v = run_on_tree(
+            {"src/engine/escaped_op.h":
+                 "class LegacyOp final : public Operator {\n"
+                 "  Status Open() override;"
+                 "  // invariant-ok: R12 shim measured separately\n"
+                 "};\n"}
+        )
+        self.assertNotIn("operator-hook-override", rule_ids(v))
+
     def test_real_repo_is_clean(self) -> None:
         root = Path(__file__).resolve().parent.parent
         violations = []

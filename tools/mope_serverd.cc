@@ -36,6 +36,9 @@
 ///   - --checkpoint-every N checkpoints the storage engine every N
 ///     data-bearing requests, putting storage.wal.* / storage.pool.* work
 ///     (and spans) on the serving path.
+///   - --query-log-sample N profiles every Nth data-bearing request exactly
+///     as a client's EXPLAIN ANALYZE would and logs it as a structured
+///     `event=query` line with the full attributed resource profile.
 ///
 /// With --tpch, a proxy process built with the *same seed* (default 0x5811,
 /// matching mope_shell) re-derives the identical MOPE key from its own rng
@@ -115,6 +118,11 @@ void PrintUsage(const char* argv0) {
       "                      trace (atomic write; same trace id as the log "
       "line)\n"
       "  --checkpoint-every N  checkpoint storage every N data requests\n"
+      "  --query-log-sample N  profile every Nth data-bearing request and "
+      "log\n"
+      "                      it as a structured event=query line carrying "
+      "the\n"
+      "                      full attributed resource profile (0 = off)\n"
       "  --metrics           dump the metrics registry at shutdown\n"
       "  --metrics-out FILE  atomically write the Prometheus text dump to "
       "FILE\n"
@@ -156,6 +164,7 @@ int main(int argc, char** argv) {
   double slow_query_ms = 0;  // fractional ms OK: 0.001 = 1us threshold
   std::string slow_query_trace;
   uint64_t checkpoint_every = 0;
+  uint64_t query_log_sample = 0;
   double scale = 0.002;
   uint64_t seed = 0x5811;
   obs::LogLevel log_level = obs::LogLevel::kInfo;
@@ -206,6 +215,8 @@ int main(int argc, char** argv) {
       slow_query_trace = next();
     } else if (arg == "--checkpoint-every") {
       checkpoint_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--query-log-sample") {
+      query_log_sample = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--metrics-out") {
@@ -366,6 +377,7 @@ int main(int argc, char** argv) {
   options.dispatcher.slow_query_trace_path = slow_query_trace;
   options.dispatcher.trace_env = storage::Env::Posix();
   options.dispatcher.checkpoint_every = checkpoint_every;
+  options.dispatcher.query_log_sample = query_log_sample;
 
   auto daemon = net::TcpServer::Start(server, options);
   if (!daemon.ok()) {

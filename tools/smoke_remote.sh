@@ -13,6 +13,13 @@
 #   - the query (over a deliberately tiny --slow-query-ms) produced one
 #     structured slow_query log line whose trace id matches the exported
 #     Chrome trace, and that trace contains WAL + buffer-pool spans,
+#   - a live EXPLAIN ANALYZE over TCP prints the per-operator plan with
+#     actuals plus the server-attributed resource vector, and the profile's
+#     srv.engine.batches_received reconciles *exactly* with the
+#     engine_batches_received delta between two /metrics scrapes bracketing
+#     the statement,
+#   - the daemon's sampled query log (--query-log-sample) carries the same
+#     profile, joinable by the EXPLAIN ANALYZE trace id,
 #   - shutdown writes the --metrics-out file atomically and the --metrics
 #     stderr dump still works.
 #
@@ -50,7 +57,8 @@ cleanup() {
 "$SERVERD" --tpch --scale 0.002 --port 0 --metrics \
     --data-dir "$data_dir" --http-port 0 --audit \
     --slow-query-ms 0.001 --slow-query-trace "$trace_file" \
-    --checkpoint-every 1 --metrics-out "$metrics_file" 2>"$server_log" &
+    --checkpoint-every 1 --metrics-out "$metrics_file" \
+    --query-log-sample 1 2>"$server_log" &
 server_pid=$!
 trap cleanup EXIT
 
@@ -155,7 +163,64 @@ $CURL "http://127.0.0.1:$http_port/statusz" | grep -q '"leakage"' || {
   echo "smoke_remote: /statusz missing leakage verdict" >&2
   exit 1
 }
+$CURL "http://127.0.0.1:$http_port/statusz" | grep -q '"queries"' || {
+  echo "smoke_remote: /statusz missing queries summary" >&2
+  exit 1
+}
 echo "smoke_remote: /metrics + /healthz + /statusz live"
+
+# --- Live EXPLAIN ANALYZE <-> /metrics reconciliation. ---------------------
+# Bracket one EXPLAIN ANALYZE with two /metrics scrapes: the profile's
+# server-attributed batch count must equal the registry counter's delta —
+# same numbers, two independent exposition paths. Nothing else talks to the
+# daemon in between, so the comparison is exact.
+batches_before="$($CURL "http://127.0.0.1:$http_port/metrics" |
+                  awk '$1 == "engine_batches_received" {print $2}')"
+explain_out="$("$MOPE_SHELL" --connect "127.0.0.1:$port" \
+    -c 'EXPLAIN ANALYZE SELECT COUNT(*) FROM lineitem WHERE l_shipdate BETWEEN 100 AND 400')"
+echo "$explain_out" | grep -q 'actual rows=' || {
+  echo "smoke_remote: EXPLAIN ANALYZE printed no per-operator actuals" >&2
+  echo "$explain_out" >&2
+  exit 1
+}
+echo "$explain_out" | grep -q '^  net\.frames=' || {
+  echo "smoke_remote: EXPLAIN ANALYZE resource vector missing wire bytes" >&2
+  echo "$explain_out" >&2
+  exit 1
+}
+profile_batches="$(echo "$explain_out" |
+    sed -n 's/^ *srv\.engine\.batches_received=\([0-9][0-9]*\)$/\1/p')"
+if [ -z "$profile_batches" ] || [ "$profile_batches" -eq 0 ]; then
+  echo "smoke_remote: profile carries no srv.engine.batches_received" >&2
+  echo "$explain_out" >&2
+  exit 1
+fi
+batches_after="$($CURL "http://127.0.0.1:$http_port/metrics" |
+                 awk '$1 == "engine_batches_received" {print $2}')"
+delta="$((batches_after - batches_before))"
+if [ "$delta" -ne "$profile_batches" ]; then
+  echo "smoke_remote: profile batches ($profile_batches) != /metrics delta" \
+       "($batches_after - $batches_before = $delta)" >&2
+  exit 1
+fi
+echo "smoke_remote: EXPLAIN ANALYZE profile reconciles with /metrics" \
+     "($profile_batches batches)"
+
+# The sampled query log carries the same profile, joinable by trace id.
+explain_trace="$(echo "$explain_out" |
+    sed -n 's/^ *profile\.trace_id=\([0-9][0-9]*\)$/\1/p')"
+if [ -z "$explain_trace" ]; then
+  echo "smoke_remote: EXPLAIN ANALYZE reported no profile.trace_id" >&2
+  echo "$explain_out" >&2
+  exit 1
+fi
+grep -q "event=query .*trace_id=$explain_trace .*srv\.engine\.batches_received=" \
+    "$server_log" || {
+  echo "smoke_remote: no event=query log line with trace_id=$explain_trace" >&2
+  grep "event=query" "$server_log" | head -n 3 >&2 || true
+  exit 1
+}
+echo "smoke_remote: sampled query log joins trace $explain_trace"
 
 # --- Slow-query log line <-> Chrome trace correlation. ---------------------
 trace_id="$(sed -n 's/.*"trace_id":"\([0-9][0-9]*\)".*/\1/p' \
