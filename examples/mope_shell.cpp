@@ -20,14 +20,16 @@
 ///   mope_serverd --tpch --port 5811 &
 ///   mope_shell --connect 127.0.0.1:5811
 ///
-/// Meta-commands: \help  \stats  \serverstats  \explain SQL  \leakage
-/// \trace [--chrome FILE]  \rotate  \tables  \snapshot PATH  \quit
+/// Meta-commands: \help  \stats  \serverstats  \history  \explain SQL
+/// \leakage  \trace [--chrome FILE]  \rotate  \tables  \snapshot PATH  \quit
 /// (\rotate and \snapshot need the embedded server; unavailable remotely.
 /// \serverstats works for both: embedded reads the registry directly,
 /// --connect fetches it from the daemon over the wire. `-c` accepts
 /// meta-commands too: `mope_shell --connect H:P -c '\serverstats'`.)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,7 +38,9 @@
 
 #include "engine/snapshot.h"
 #include "net/remote_connection.h"
+#include "obs/clock.h"
 #include "obs/leakage.h"
+#include "obs/timeseries.h"
 #include "obs/trace_export.h"
 #include "proxy/connection_registry.h"
 #include "proxy/sql_session.h"
@@ -91,6 +95,11 @@ void PrintHelp() {
       "  \\explain SQL    shorthand for EXPLAIN ANALYZE SQL\n"
       "  \\serverstats    the server's metrics registry (over the wire\n"
       "                  when --connect; the proxy never leaves its process)\n"
+      "  \\history [PREFIX [N]]\n"
+      "                  metric history: every \\history call snapshots the\n"
+      "                  server's registry into a client-side ring-buffer\n"
+      "                  sampler; with PREFIX it prints the last N (default\n"
+      "                  8) samples + rollups of each matching series\n"
       "  \\leakage        live leakage-audit verdict from the server's\n"
       "                  leakage.* gauges (enable with `\\leakage on`\n"
       "                  embedded, or `mope_serverd --audit` remotely)\n"
@@ -102,6 +111,24 @@ void PrintHelp() {
       "                  (load in chrome://tracing or ui.perfetto.dev)\n"
       "  \\snapshot PATH  persist the encrypted server catalog\n"
       "  \\quit           exit\n");
+}
+
+/// Kind heuristic for wire-fetched metric names: a StatsReply is untyped
+/// (flat name/value pairs), so \history infers just enough to pick the
+/// right rollups — quantile companions are derived levels, the leakage/alert
+/// gauges are signed levels, everything else accumulates like a counter.
+obs::MetricKind InferMetricKind(const std::string& name) {
+  const auto ends_with = [&name](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".p50") || ends_with(".p95") || ends_with(".p99")) {
+    return obs::MetricKind::kDerived;
+  }
+  if (name.rfind("leakage.", 0) == 0 || name.rfind("alerts.", 0) == 0) {
+    return obs::MetricKind::kGauge;
+  }
+  return obs::MetricKind::kCounter;
 }
 
 }  // namespace
@@ -162,6 +189,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "boot failed: %s\n", status.ToString().c_str());
     return 1;
   }
+
+  // \history state: a client-side ring-buffer sampler fed by wire-fetched
+  // StatsReply snapshots (the daemon's own sampler is server-side; this one
+  // gives the *proxy* operator history without any HTTP endpoint).
+  obs::MetricsRegistry history_registry;
+  obs::TimeSeriesOptions history_options;
+  history_options.window_capacity = 64;
+  obs::TimeSeriesSampler history(&history_registry, history_options);
+  unsigned long long history_snapshots = 0;  // \history calls so far
 
   std::string chrome_path;  // non-empty: export each trace as Chrome JSON
   bool tracing = false;     // \trace toggle; gates the span-tree dump
@@ -245,6 +281,80 @@ int main(int argc, char** argv) {
       for (const auto& [name, value] : *stats) {
         std::printf("  %-40s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
+      }
+    } else if (line == "\\history" || line.rfind("\\history ", 0) == 0) {
+      auto proxy = system.GetProxy("lineitem", "l_shipdate");
+      if (!proxy.ok()) {
+        std::printf("error: %s\n", proxy.status().ToString().c_str());
+        return;
+      }
+      auto stats = (*proxy)->FetchServerStats();
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return;
+      }
+      // One wire snapshot = one sample of every server metric; repeated
+      // \history calls are what build the series.
+      const uint64_t now_ns = obs::SystemClock()->NowNanos();
+      for (const auto& [name, value] : *stats) {
+        history.Ingest(now_ns, name, InferMetricKind(name), value);
+      }
+      ++history_snapshots;
+      std::string prefix;
+      size_t window = 8;
+      if (line.rfind("\\history ", 0) == 0) {
+        const std::string rest = line.substr(sizeof("\\history ") - 1);
+        const size_t space = rest.find(' ');
+        prefix = rest.substr(0, space);
+        if (space != std::string::npos) {
+          const unsigned long n =
+              std::strtoul(rest.c_str() + space + 1, nullptr, 10);
+          if (n == 0 || n > history.max_window()) {
+            std::printf("window must be in [1, %zu]\n", history.max_window());
+            return;
+          }
+          window = n;
+        }
+      }
+      if (prefix.empty()) {
+        std::printf("snapshot ingested: %zu series, %llu snapshots held\n"
+                    "usage: \\history PREFIX [N] prints matching series\n",
+                    history.series_count(), history_snapshots);
+        return;
+      }
+      auto views = history.Query(prefix, window);
+      if (!views.ok()) {
+        std::printf("error: %s\n", views.status().ToString().c_str());
+        return;
+      }
+      for (const auto& view : *views) {
+        std::printf("%s (%s):", view.name.c_str(),
+                    obs::MetricKindName(view.kind));
+        for (const auto& pt : view.points) {
+          if (view.kind == obs::MetricKind::kGauge) {
+            std::printf(" %lld", static_cast<long long>(pt.value));
+          } else {
+            std::printf(" %llu", static_cast<unsigned long long>(pt.value));
+          }
+        }
+        std::printf("\n");
+        const auto& r = view.rollup;
+        if (view.kind == obs::MetricKind::kGauge) {
+          std::printf("  [%zu samples  min=%lld max=%lld mean=%.6g]\n",
+                      r.samples, static_cast<long long>(r.min),
+                      static_cast<long long>(r.max), r.mean);
+        } else if (view.kind == obs::MetricKind::kCounter) {
+          std::printf("  [%zu samples  min=%llu max=%llu mean=%.6g "
+                      "delta=%llu rate=%.6g/s]\n",
+                      r.samples, static_cast<unsigned long long>(r.min),
+                      static_cast<unsigned long long>(r.max), r.mean,
+                      static_cast<unsigned long long>(r.delta),
+                      r.rate_per_sec);
+        } else {
+          std::printf("  [%zu samples  min=%llu max=%llu mean=%.6g]\n",
+                      r.samples, static_cast<unsigned long long>(r.min),
+                      static_cast<unsigned long long>(r.max), r.mean);
+        }
       }
     } else if (line.rfind("\\explain ", 0) == 0) {
       run("EXPLAIN ANALYZE " + line.substr(sizeof("\\explain ") - 1));

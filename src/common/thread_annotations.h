@@ -137,6 +137,9 @@ inline constexpr int kStorageWal = 54;        ///< storage::Wal::mutex_
 inline constexpr int kStorageDisk = 56;       ///< storage::DiskManager::mutex_
 inline constexpr int kConnectionRegistry = 60;///< proxy scheme registry
 inline constexpr int kTrace = 70;             ///< obs::Trace::mutex_
+inline constexpr int kFlightRecorder = 71;    ///< obs::FlightRecorder::mutex_
+inline constexpr int kTimeSeriesSampler = 72; ///< obs::TimeSeriesSampler::mutex_
+inline constexpr int kAlertEngine = 73;       ///< obs::AlertEngine::mutex_
 inline constexpr int kLogSink = 75;           ///< obs::Logger::mutex_
 inline constexpr int kMetricsRegistry = 80;   ///< obs::MetricsRegistry::mutex_
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/trace_export.h"
 
@@ -53,6 +54,20 @@ std::string CaptureProfile(const engine::ServerProfileProbe& probe,
   *profile_out = probe.Delta();
   profile_out->emplace_back("profile.trace_id", trace_id);
   return EncodeStatsReply(*profile_out);
+}
+
+/// Marks a completed dispatch in the crash flight recorder and persists the
+/// black box if it has new entries. Called outside the dispatch mutex: a
+/// kill -9 right after this point leaves a black box whose last event names
+/// the final query the server actually finished.
+void RecordDispatchDone(uint64_t trace_id) {
+  if (obs::FlightRecorder* recorder = obs::FlightRecorder::Installed()) {
+    recorder->Record(obs::FlightRecorder::EventKind::kEvent,
+                     "server.dispatch.done", trace_id);
+    // Best-effort by design: a full disk must not fail queries, and the
+    // recorder already logged the write error under its own subsystem.
+    (void)recorder->PersistIfDirty();
+  }
 }
 
 }  // namespace
@@ -119,6 +134,7 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
     const uint64_t elapsed_ns = clock_->NowNanos() - start_ns;
     dispatch_ns_->Observe(elapsed_ns);
     if (sampled) EmitQueryLog(frame, elapsed_ns, profile);
+    RecordDispatchDone(frame.trace_id);
     return reply;
   }
 
@@ -144,6 +160,9 @@ Result<std::string> WireDispatcher::HandleFrameBytes(std::string_view bytes,
     ReportSlowQuery(frame, elapsed_ns, trace);
   }
   if (sampled) EmitQueryLog(frame, elapsed_ns, profile);
+  // The server-side trace id (== frame.trace_id when the client sent one),
+  // so the done-marker joins the span events already in the ring.
+  RecordDispatchDone(trace.trace_id());
   return reply;
 }
 

@@ -33,6 +33,25 @@ std::string U64Field(uint64_t v) {
   return buf;
 }
 
+/// Value of `key` in a `k=v&k=v` query string; empty when absent. Metric
+/// names and window counts never need percent-decoding, so none is done.
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string_view pair =
+        query.substr(pos, amp == std::string_view::npos ? std::string_view::npos
+                                                        : amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return {};
+}
+
 }  // namespace
 
 HttpExposition::HttpExposition(engine::DbServer* server,
@@ -139,10 +158,13 @@ std::string HttpExposition::HandleRequest(std::string_view method,
     return MakeResponse(405, "Method Not Allowed", "text/plain",
                         "only GET is served\n");
   }
-  // Ignore any query string: /metrics?x=y scrapes like /metrics.
+  // Split off the query string: /vars consumes it, every other route
+  // scrapes the same with or without one.
   const size_t q = target.find('?');
   const std::string_view path =
       q == std::string_view::npos ? target : target.substr(0, q);
+  const std::string_view query =
+      q == std::string_view::npos ? std::string_view{} : target.substr(q + 1);
 
   MOPE_LOG(kDebug, "http", "request").Arg("path", path);
   if (path == "/metrics") {
@@ -155,9 +177,70 @@ std::string HttpExposition::HandleRequest(std::string_view method,
   if (path == "/statusz") {
     return MakeResponse(200, "OK", "application/json", StatuszBody());
   }
+  if (path == "/vars") {
+    return VarsResponse(query);
+  }
+  if (path == "/alertz") {
+    return AlertzResponse();
+  }
   bad_requests_->Increment();
   return MakeResponse(404, "Not Found", "text/plain",
-                      "routes: /metrics /healthz /statusz\n");
+                      "routes: /metrics /healthz /statusz /vars /alertz\n");
+}
+
+std::string HttpExposition::VarsResponse(std::string_view query) {
+  if (sampler_ == nullptr) {
+    bad_requests_->Increment();
+    return MakeResponse(503, "Service Unavailable", "text/plain",
+                        "time-series sampler disabled "
+                        "(start the daemon with --sample-every-ms)\n");
+  }
+  const std::string prefix(QueryParam(query, "metric"));
+  const std::string_view window_raw = QueryParam(query, "window");
+  // Default window: the full ring. An explicit window must be a positive
+  // integer no larger than the ring; everything else is the client's error.
+  size_t window = sampler_->max_window();
+  if (!window_raw.empty()) {
+    uint64_t parsed = 0;
+    bool ok = true;
+    for (const char c : window_raw) {
+      if (c < '0' || c > '9' || parsed > sampler_->max_window()) {
+        ok = false;
+        break;
+      }
+      parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (!ok || parsed == 0 || parsed > sampler_->max_window()) {
+      bad_requests_->Increment();
+      return MakeResponse(
+          400, "Bad Request", "text/plain",
+          "window must be an integer in [1, " +
+              std::to_string(sampler_->max_window()) + "]\n");
+    }
+    window = static_cast<size_t>(parsed);
+  }
+  const Result<std::string> body = sampler_->RenderJson(prefix, window);
+  if (!body.ok()) {
+    bad_requests_->Increment();
+    if (body.status().IsNotFound()) {
+      return MakeResponse(404, "Not Found", "text/plain",
+                          body.status().ToString() + "\n");
+    }
+    return MakeResponse(400, "Bad Request", "text/plain",
+                        body.status().ToString() + "\n");
+  }
+  return MakeResponse(200, "OK", "application/json", body.value());
+}
+
+std::string HttpExposition::AlertzResponse() {
+  if (alerts_ == nullptr) {
+    bad_requests_->Increment();
+    return MakeResponse(503, "Service Unavailable", "text/plain",
+                        "alert engine disabled "
+                        "(start the daemon with --alert-rule or "
+                        "--default-alerts)\n");
+  }
+  return MakeResponse(200, "OK", "application/json", alerts_->RenderJson());
 }
 
 std::string HttpExposition::MetricsBody() const {

@@ -17,6 +17,18 @@
 ///                   totals by kind, dispatch-latency p50/p95/p99), and the
 ///                   full metrics dump.
 ///
+/// Two more routes light up when the daemon attaches the temporal layer:
+///
+///   GET /vars?metric=<prefix>&window=<n>
+///                 — JSON time series from the attached TimeSeriesSampler:
+///                   the last <n> samples of every metric whose name starts
+///                   with <prefix>, plus windowed rollups. 503 when no
+///                   sampler is attached, 400 on a zero/oversized window,
+///                   404 when the prefix matches nothing.
+///   GET /alertz   — JSON state of the attached AlertEngine (every rule,
+///                   firing or not, with last value/threshold). 503 when no
+///                   engine is attached.
+///
 /// Deliberately not a web server: one serving thread, one request per
 /// connection (`Connection: close`), GET only, request head capped at
 /// `max_request_bytes`, and every response is rendered from atomic metric
@@ -35,7 +47,9 @@
 #include "common/status.h"
 #include "engine/server.h"
 #include "net/socket.h"
+#include "obs/alerts.h"
 #include "obs/clock.h"
+#include "obs/timeseries.h"
 
 namespace mope::net {
 
@@ -65,11 +79,21 @@ class HttpExposition {
   Status Start();
   void Stop();
 
+  /// Attaches the time-series sampler behind GET /vars (nullptr detaches;
+  /// the route then answers 503). Call before Start(); the sampler must
+  /// outlive this object or be detached first.
+  void AttachTimeSeries(obs::TimeSeriesSampler* sampler) {
+    sampler_ = sampler;
+  }
+  /// Attaches the alert engine behind GET /alertz (same contract).
+  void AttachAlerts(obs::AlertEngine* alerts) { alerts_ = alerts; }
+
   /// The bound port (valid after Start() returned OK).
   uint16_t port() const { return listener_->port(); }
 
   /// Routing core, exposed for tests: maps (method, target) to a full HTTP
-  /// response string. `target` may carry a query string (ignored).
+  /// response string. `target` may carry a query string (used by /vars,
+  /// ignored elsewhere).
   std::string HandleRequest(std::string_view method, std::string_view target);
 
  private:
@@ -79,11 +103,16 @@ class HttpExposition {
   std::string MetricsBody() const;
   std::string HealthzBody() const;
   std::string StatuszBody() const;
+  std::string VarsResponse(std::string_view query);
+  std::string AlertzResponse();
 
   engine::DbServer* const server_;
   const HttpExpositionOptions options_;
   obs::Clock* const clock_;
   uint64_t start_ns_ = 0;
+  /// Temporal layer; nullptr until the daemon attaches them (before Start).
+  obs::TimeSeriesSampler* sampler_ = nullptr;
+  obs::AlertEngine* alerts_ = nullptr;
 
   std::unique_ptr<TcpListener> listener_;
   std::atomic<bool> stopping_{false};

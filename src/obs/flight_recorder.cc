@@ -1,0 +1,347 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+namespace mope::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_installed{nullptr};
+
+// --- Async-signal-safe formatting ------------------------------------------
+// The fatal dump path may interrupt arbitrary code, so it formats with these
+// bounded, allocation-free writers instead of snprintf (not on the POSIX
+// async-signal-safe list).
+
+size_t AppendChar(char* buf, size_t pos, size_t cap, char c) {
+  if (pos < cap) buf[pos++] = c;
+  return pos;
+}
+
+size_t AppendStr(char* buf, size_t pos, size_t cap, const char* s) {
+  while (*s != '\0' && pos < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+size_t AppendU64(char* buf, size_t pos, size_t cap, uint64_t v) {
+  char digits[20];
+  size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Parses `key=<digits>` out of a black-box line; false when absent.
+bool ParseU64Field(const std::string& line, const char* key, uint64_t* out) {
+  const std::string needle = std::string(key) + "=";
+  size_t pos = line.find(needle);
+  while (pos != std::string::npos && pos != 0 && line[pos - 1] != ' ') {
+    pos = line.find(needle, pos + 1);  // `trace=` must not match `xtrace=`
+  }
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return false;
+  uint64_t v = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* FlightRecorder::EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin:
+      return "span_begin";
+    case EventKind::kSpanEnd:
+      return "span_end";
+    case EventKind::kLog:
+      return "log";
+    case EventKind::kEvent:
+      return "event";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(storage::Env* env, Options options,
+                               Clock* clock, MetricsRegistry* registry)
+    : env_(env),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : SystemClock()),
+      registry_(registry),
+      ring_mask_(RoundUpPow2(std::max<size_t>(options_.ring_entries, 2)) - 1),
+      entries_(new Entry[std::max<size_t>(options_.max_threads, 1) *
+                         (ring_mask_ + 1)]),
+      slots_(new Slot[std::max<size_t>(options_.max_threads, 1)]),
+      events_counter_(registry != nullptr
+                          ? registry->GetCounter("obs.flightrecorder.events")
+                          : nullptr) {}
+
+FlightRecorder::~FlightRecorder() {
+  // Defensive: a recorder must not stay installed past its lifetime.
+  FlightRecorder* self = this;
+  g_installed.compare_exchange_strong(self, nullptr,
+                                      std::memory_order_acq_rel);
+}
+
+void FlightRecorder::Install(FlightRecorder* recorder) {
+  g_installed.store(recorder, std::memory_order_release);
+}
+
+FlightRecorder* FlightRecorder::Installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+size_t FlightRecorder::SlotIndexForThisThread() {
+  // Stateless slot choice: hash the thread id. Collisions merely share a
+  // ring (the claim index is atomic, so multi-writer rings stay safe).
+  const size_t n = std::max<size_t>(options_.max_threads, 1);
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % n;
+}
+
+void FlightRecorder::Record(EventKind kind, const char* name,
+                            uint64_t trace_id) {
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const size_t slot = SlotIndexForThisThread();
+  const uint64_t claim =
+      slots_[slot].next.fetch_add(1, std::memory_order_relaxed);
+  Entry& entry =
+      entries_[slot * (ring_mask_ + 1) + (claim & ring_mask_)];
+  // Seqlock write: invalidate, fill, publish. A concurrent reader that
+  // catches the middle sees seq==0 or a seq mismatch and discards.
+  entry.seq.store(0, std::memory_order_release);
+  entry.ts_ns.store(clock_->NowNanos(), std::memory_order_relaxed);
+  entry.trace_id.store(trace_id, std::memory_order_relaxed);
+  entry.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  size_t i = 0;
+  if (name != nullptr) {
+    for (; name[i] != '\0' && i < kNameCapacity - 1; ++i) {
+      entry.name[i].store(name[i], std::memory_order_relaxed);
+    }
+  }
+  entry.name[i].store('\0', std::memory_order_relaxed);
+  entry.seq.store(seq, std::memory_order_release);
+  if (events_counter_ != nullptr) events_counter_->Increment();
+}
+
+bool FlightRecorder::SnapshotEntry(const Entry& entry, EntryCopy* out) const {
+  const uint64_t seq_before = entry.seq.load(std::memory_order_acquire);
+  if (seq_before == 0) return false;
+  out->seq = seq_before;
+  out->ts_ns = entry.ts_ns.load(std::memory_order_relaxed);
+  out->trace_id = entry.trace_id.load(std::memory_order_relaxed);
+  out->kind = entry.kind.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNameCapacity; ++i) {
+    out->name[i] = entry.name[i].load(std::memory_order_relaxed);
+  }
+  out->name[kNameCapacity - 1] = '\0';
+  const uint64_t seq_after = entry.seq.load(std::memory_order_acquire);
+  return seq_after == seq_before;
+}
+
+std::vector<FlightRecorder::EntryCopy> FlightRecorder::CollectEntries()
+    const {
+  const size_t slots = std::max<size_t>(options_.max_threads, 1);
+  const size_t per_slot = ring_mask_ + 1;
+  std::vector<EntryCopy> out;
+  out.reserve(slots * per_slot);
+  for (size_t s = 0; s < slots; ++s) {
+    for (size_t i = 0; i < per_slot; ++i) {
+      EntryCopy copy;
+      if (SnapshotEntry(entries_[s * per_slot + i], &copy)) {
+        out.push_back(copy);
+      }
+    }
+  }
+  return out;
+}
+
+Status FlightRecorder::Persist() {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("flight recorder has no black-box path");
+  }
+  const MutexLock lock(&mutex_);
+  const uint64_t high_water = seq_.load(std::memory_order_acquire);
+  std::vector<EntryCopy> entries = CollectEntries();
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryCopy& a, const EntryCopy& b) {
+              return a.seq < b.seq;
+            });
+  std::string text = "mope-blackbox v1\n";
+  for (const EntryCopy& e : entries) {
+    text += "event seq=" + std::to_string(e.seq);
+    text += " ts_ns=" + std::to_string(e.ts_ns);
+    text += " kind=";
+    text += EventKindName(static_cast<EventKind>(e.kind));
+    text += " name=";
+    text += e.name;
+    text += " trace=" + std::to_string(e.trace_id);
+    text += "\n";
+  }
+  if (registry_ != nullptr) {
+    text += "metrics\n";
+    text += registry_->RenderText();
+  }
+  const Status written = env_->WriteFileAtomic(options_.path, text);
+  if (!written.ok()) return written;
+  last_persisted_seq_.store(high_water, std::memory_order_release);
+  return Status::OK();
+}
+
+Status FlightRecorder::PersistIfDirty() {
+  if (seq_.load(std::memory_order_acquire) ==
+      last_persisted_seq_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  return Persist();
+}
+
+Status FlightRecorder::PrepareFatalDump() {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("flight recorder has no black-box path");
+  }
+  MOPE_ASSIGN_OR_RETURN(
+      fatal_file_, env_->OpenAppend(options_.path + ".fatal",
+                                    /*truncate=*/true));
+  return Status::OK();
+}
+
+void FlightRecorder::FatalSignalDump(int signo) {
+  // Async-signal-safe from here down: atomic loads, bounded stack buffers,
+  // and the pre-opened append handle (a raw ::write/::fsync underneath for
+  // the POSIX env). No locks, no allocation, no stdio.
+  if (fatal_file_ == nullptr) return;
+  if (fatal_dumped_.exchange(true)) return;  // reentrancy/double-signal latch
+  char buf[256];
+  size_t n = 0;
+  n = AppendStr(buf, n, sizeof(buf), "fatal signo=");
+  n = AppendU64(buf, n, sizeof(buf), static_cast<uint64_t>(signo));
+  n = AppendChar(buf, n, sizeof(buf), '\n');
+  (void)fatal_file_->Append(std::string_view(buf, n));
+
+  const size_t slots = std::max<size_t>(options_.max_threads, 1);
+  const size_t per_slot = ring_mask_ + 1;
+  for (size_t s = 0; s < slots; ++s) {
+    for (size_t i = 0; i < per_slot; ++i) {
+      EntryCopy copy;
+      if (!SnapshotEntry(entries_[s * per_slot + i], &copy)) continue;
+      n = 0;
+      n = AppendStr(buf, n, sizeof(buf), "event seq=");
+      n = AppendU64(buf, n, sizeof(buf), copy.seq);
+      n = AppendStr(buf, n, sizeof(buf), " ts_ns=");
+      n = AppendU64(buf, n, sizeof(buf), copy.ts_ns);
+      n = AppendStr(buf, n, sizeof(buf), " kind=");
+      n = AppendStr(buf, n, sizeof(buf),
+                    EventKindName(static_cast<EventKind>(copy.kind)));
+      n = AppendStr(buf, n, sizeof(buf), " name=");
+      n = AppendStr(buf, n, sizeof(buf), copy.name);
+      n = AppendStr(buf, n, sizeof(buf), " trace=");
+      n = AppendU64(buf, n, sizeof(buf), copy.trace_id);
+      n = AppendChar(buf, n, sizeof(buf), '\n');
+      (void)fatal_file_->Append(std::string_view(buf, n));
+    }
+  }
+  n = 0;
+  n = AppendStr(buf, n, sizeof(buf), "end\n");
+  (void)fatal_file_->Append(std::string_view(buf, n));
+  (void)fatal_file_->Sync();
+}
+
+Result<std::string> FlightRecorder::FormatDump(storage::Env* env,
+                                               const std::string& path) {
+  MOPE_ASSIGN_OR_RETURN(const std::string main_text, env->ReadFile(path));
+
+  struct ParsedEvent {
+    uint64_t seq;
+    std::string line;
+  };
+  std::vector<ParsedEvent> events;
+  std::string metrics;
+  bool in_metrics = false;
+  uint64_t fatal_signo = 0;
+  bool saw_fatal = false;
+
+  const auto consume = [&](const std::string& text, bool fatal_section) {
+    size_t start = 0;
+    bool metrics_here = false;
+    while (start <= text.size()) {
+      const size_t nl = text.find('\n', start);
+      const std::string line =
+          text.substr(start, nl == std::string::npos ? std::string::npos
+                                                     : nl - start);
+      start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+      if (metrics_here) {
+        if (!line.empty()) metrics += line + "\n";
+        continue;
+      }
+      if (line.rfind("event seq=", 0) == 0) {
+        uint64_t seq = 0;
+        if (ParseU64Field(line, "seq", &seq)) events.push_back({seq, line});
+      } else if (line == "metrics" && !fatal_section) {
+        metrics_here = true;
+        in_metrics = true;
+      } else if (line.rfind("fatal signo=", 0) == 0) {
+        saw_fatal = true;
+        (void)ParseU64Field(line, "signo", &fatal_signo);
+      }
+    }
+  };
+  consume(main_text, /*fatal_section=*/false);
+
+  const std::string fatal_path = path + ".fatal";
+  if (env->FileExists(fatal_path)) {
+    MOPE_ASSIGN_OR_RETURN(const std::string fatal_text,
+                          env->ReadFile(fatal_path));
+    consume(fatal_text, /*fatal_section=*/true);
+  }
+
+  // The continuous black box and a fatal dump overlap; order by seq and
+  // keep one line per event.
+  std::sort(events.begin(), events.end(),
+            [](const ParsedEvent& a, const ParsedEvent& b) {
+              return a.seq < b.seq;
+            });
+  events.erase(std::unique(events.begin(), events.end(),
+                           [](const ParsedEvent& a, const ParsedEvent& b) {
+                             return a.seq == b.seq;
+                           }),
+               events.end());
+
+  std::string out = "blackbox " + path + "\n";
+  if (saw_fatal) {
+    out += "fatal signo=" + std::to_string(fatal_signo) + "\n";
+  }
+  for (const ParsedEvent& e : events) {
+    out += e.line + "\n";
+  }
+  if (in_metrics) {
+    out += "metrics\n" + metrics;
+  }
+  out += "blackbox.events=" + std::to_string(events.size()) + "\n";
+  uint64_t last_seq = 0;
+  uint64_t last_trace = 0;
+  if (!events.empty()) {
+    last_seq = events.back().seq;
+    (void)ParseU64Field(events.back().line, "trace", &last_trace);
+  }
+  out += "blackbox.last_seq=" + std::to_string(last_seq) + "\n";
+  out += "blackbox.last_trace_id=" + std::to_string(last_trace) + "\n";
+  return out;
+}
+
+}  // namespace mope::obs

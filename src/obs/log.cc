@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace mope::obs {
@@ -261,6 +262,11 @@ void Logger::Emit(
     // Emit while still holding the sink lock: that IS the serialization
     // guarantee (satellite: startup/shutdown vs worker-thread output).
     sink(sink_user_data, line);
+  }
+  // Every emitted event also lands in the crash flight recorder's ring
+  // (lock-free), so a postmortem black box replays the tail of the log.
+  if (FlightRecorder* recorder = FlightRecorder::Installed()) {
+    recorder->Record(FlightRecorder::EventKind::kLog, event, trace_id);
   }
 }
 

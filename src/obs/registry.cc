@@ -39,6 +39,18 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kDerived:
+      return "derived";
+  }
+  return "unknown";
+}
+
 int ExpHistogram::BucketIndex(uint64_t sample) {
   // Bucket i holds samples in (2^(i-1), 2^i]; sample 0 and 1 land in bucket 0.
   if (sample <= 1) return 0;
@@ -134,11 +146,11 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
   for (const auto& [name, hist] : histograms_) {
     out.emplace_back(name + ".count", hist->Count());
     out.emplace_back(name + ".sum", hist->Sum());
-    if (hist->Count() > 0) {
-      out.emplace_back(name + ".p50", hist->QuantileInterpolated(0.50));
-      out.emplace_back(name + ".p95", hist->QuantileInterpolated(0.95));
-      out.emplace_back(name + ".p99", hist->QuantileInterpolated(0.99));
-    }
+    // Quantiles are emitted even for a never-observed histogram (as 0), so
+    // temporal consumers see a continuous series from the first scrape.
+    out.emplace_back(name + ".p50", hist->QuantileInterpolated(0.50));
+    out.emplace_back(name + ".p95", hist->QuantileInterpolated(0.95));
+    out.emplace_back(name + ".p99", hist->QuantileInterpolated(0.99));
     for (int i = 0; i < ExpHistogram::kNumBuckets; ++i) {
       const uint64_t n = hist->BucketCount(i);
       if (n == 0) continue;
@@ -151,6 +163,34 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
   }
   // The maps are ordered, but the three families interleave: fix one order.
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TypedSample> MetricsRegistry::TypedSnapshot() const {
+  const MutexLock lock(&mutex_);
+  std::vector<TypedSample> out;
+  out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, MetricKind::kCounter, counter->Value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, MetricKind::kGauge,
+                   static_cast<uint64_t>(gauge->Value())});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back({name + ".count", MetricKind::kCounter, hist->Count()});
+    out.push_back({name + ".sum", MetricKind::kCounter, hist->Sum()});
+    out.push_back(
+        {name + ".p50", MetricKind::kDerived, hist->QuantileInterpolated(0.50)});
+    out.push_back(
+        {name + ".p95", MetricKind::kDerived, hist->QuantileInterpolated(0.95)});
+    out.push_back(
+        {name + ".p99", MetricKind::kDerived, hist->QuantileInterpolated(0.99)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TypedSample& a, const TypedSample& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 
@@ -189,16 +229,16 @@ std::string MetricsRegistry::RenderText() const {
     // Interpolated quantiles as companion gauges (a native histogram's
     // consumers would compute these server-side via histogram_quantile();
     // exporting them too costs three lines and saves every dashboard the
-    // PromQL).
-    if (hist->Count() > 0) {
-      for (const auto& [suffix, q] :
-           {std::pair<const char*, double>{"_p50", 0.50},
-            {"_p95", 0.95},
-            {"_p99", 0.99}}) {
-        out += "# TYPE " + prom + suffix + " gauge\n";
-        out += prom + suffix + " " +
-               std::to_string(hist->QuantileInterpolated(q)) + "\n";
-      }
+    // PromQL). Emitted even when the histogram has never observed a sample
+    // (as 0): a scrape-side rate() or dashboard query over a fresh series
+    // must not gap between the first scrape and the first observation.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p95", 0.95},
+          {"_p99", 0.99}}) {
+      out += "# TYPE " + prom + suffix + " gauge\n";
+      out += prom + suffix + " " +
+             std::to_string(hist->QuantileInterpolated(q)) + "\n";
     }
   }
   return out;

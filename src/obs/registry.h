@@ -117,6 +117,24 @@ class ExpHistogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// How a flattened sample behaves over time — what a consumer (the
+/// time-series sampler, an alert rule) may assume about consecutive reads.
+enum class MetricKind : uint8_t {
+  kCounter,  ///< monotone non-decreasing; deltas/rates are meaningful
+  kGauge,    ///< signed level, bit-cast to u64; compare as int64_t
+  kDerived,  ///< recomputed each read (histogram count/sum/quantiles)
+};
+
+const char* MetricKindName(MetricKind kind);
+
+/// One flattened sample with its behavioural kind attached. `.count`/`.sum`
+/// of a histogram are kDerived-but-monotone; quantiles are kDerived levels.
+struct TypedSample {
+  std::string name;
+  MetricKind kind;
+  uint64_t value;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -134,6 +152,15 @@ class MetricsRegistry {
   /// `<name>.count`, `<name>.sum` and `<name>.le.<bound>` per non-empty
   /// bucket. This is the wire payload of a StatsReply.
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Snapshot variant for temporal consumers (the time-series sampler):
+  /// same name order, but each sample carries its MetricKind and the
+  /// per-bucket `.le.<bound>` series is skipped — a sampler wants the
+  /// derived count/sum/p50/p95/p99, not 42 bucket series per histogram.
+  /// Histogram `.count`/`.sum` report kCounter (they are monotone, so
+  /// delta/rate handling applies); quantiles report kDerived (unsigned
+  /// levels, recomputed each read).
+  std::vector<TypedSample> TypedSnapshot() const;
 
   /// Prometheus-style text exposition ('.' -> '_' in names; histograms as
   /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`).

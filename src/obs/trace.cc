@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace mope::obs {
 
 namespace {
@@ -26,6 +28,12 @@ Trace::Trace(std::string name, Clock* clock, uint64_t forced_id)
 
 uint32_t Trace::StartSpan(std::string span_name) {
   const uint64_t now = clock_->NowNanos();
+  // Feed the crash flight recorder before taking the span lock; Record is
+  // lock-free, so the ordering only matters for hygiene.
+  if (FlightRecorder* recorder = FlightRecorder::Installed()) {
+    recorder->Record(FlightRecorder::EventKind::kSpanBegin,
+                     span_name.c_str(), trace_id_);
+  }
   const MutexLock lock(&mutex_);
   Span span;
   span.name = std::move(span_name);
@@ -42,6 +50,11 @@ void Trace::EndSpan(uint32_t id) {
   const MutexLock lock(&mutex_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].end_ns = now;
+  if (FlightRecorder* recorder = FlightRecorder::Installed()) {
+    // Lock-free record; legal while holding the trace mutex (rank 70).
+    recorder->Record(FlightRecorder::EventKind::kSpanEnd,
+                     spans_[id - 1].name.c_str(), trace_id_);
+  }
   // Spans close LIFO in correct code; tolerate out-of-order ends by popping
   // through the target so the stack never wedges.
   while (!open_stack_.empty()) {

@@ -6,7 +6,10 @@
 
 #include "engine/server.h"
 #include "net/socket.h"
+#include "obs/alerts.h"
 #include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "storage/env.h"
 
 namespace mope::net {
@@ -119,6 +122,109 @@ TEST(HttpExpositionTest, UnknownRouteIs404AndNonGetIs405) {
   EXPECT_EQ(
       server.metrics()->GetCounter("net.http.bad_requests")->Value(), 2);
   EXPECT_EQ(server.metrics()->GetCounter("net.http.requests")->Value(), 2);
+}
+
+TEST(HttpExpositionTest, NeverObservedHistogramStillRendersAllSeries) {
+  engine::DbServer server = MakeServer();
+  // Registered but never Observe()d: every series must still be present at
+  // zero so temporal consumers get a continuous history from scrape one.
+  server.metrics()->GetHistogram("storage.wal.fsync_ns");
+  HttpExposition http(&server, HttpExpositionOptions{});
+
+  const std::string response = http.HandleRequest("GET", "/metrics");
+  EXPECT_NE(response.find("storage_wal_fsync_ns_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(response.find("storage_wal_fsync_ns_sum 0"), std::string::npos);
+  EXPECT_NE(response.find("storage_wal_fsync_ns_count 0"), std::string::npos);
+  EXPECT_NE(response.find("storage_wal_fsync_ns_p50 0"), std::string::npos);
+  EXPECT_NE(response.find("storage_wal_fsync_ns_p99 0"), std::string::npos);
+}
+
+TEST(HttpExpositionTest, VarsWithoutSamplerIs503) {
+  engine::DbServer server = MakeServer();
+  HttpExposition http(&server, HttpExpositionOptions{});
+  const std::string response = http.HandleRequest("GET", "/vars");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(response.find("time-series sampler disabled"), std::string::npos);
+  EXPECT_EQ(server.metrics()->GetCounter("net.http.bad_requests")->Value(),
+            1);
+}
+
+TEST(HttpExpositionTest, VarsServesSampledHistoryAsJson) {
+  engine::DbServer server = MakeServer();
+  obs::TimeSeriesOptions options;
+  options.window_capacity = 8;
+  obs::TimeSeriesSampler sampler(server.metrics(), options);
+  sampler.Ingest(10, "leakage.gap.margin", obs::MetricKind::kGauge,
+                 static_cast<uint64_t>(int64_t{42}));
+  sampler.Ingest(20, "leakage.gap.margin", obs::MetricKind::kGauge,
+                 static_cast<uint64_t>(int64_t{41}));
+  HttpExposition http(&server, HttpExpositionOptions{});
+  http.AttachTimeSeries(&sampler);
+
+  const std::string response =
+      http.HandleRequest("GET", "/vars?metric=leakage.gap&window=4");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"leakage.gap.margin\""),
+            std::string::npos);
+  EXPECT_NE(response.find("[10,42],[20,41]"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"window\":4"), std::string::npos);
+
+  // No metric param: the empty prefix matches the whole history.
+  EXPECT_NE(http.HandleRequest("GET", "/vars").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+}
+
+TEST(HttpExpositionTest, VarsRejectsBadWindowAndUnknownPrefix) {
+  engine::DbServer server = MakeServer();
+  obs::TimeSeriesOptions options;
+  options.window_capacity = 8;
+  obs::TimeSeriesSampler sampler(server.metrics(), options);
+  sampler.Ingest(10, "known", obs::MetricKind::kCounter, 1);
+  HttpExposition http(&server, HttpExpositionOptions{});
+  http.AttachTimeSeries(&sampler);
+
+  for (const char* target :
+       {"/vars?window=0", "/vars?window=9", "/vars?window=abc",
+        "/vars?window=99999999999999999999"}) {
+    const std::string response = http.HandleRequest("GET", target);
+    EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << target;
+    EXPECT_NE(response.find("window must be an integer in [1, 8]"),
+              std::string::npos)
+        << target;
+  }
+  const std::string missing =
+      http.HandleRequest("GET", "/vars?metric=no.such.prefix");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_EQ(server.metrics()->GetCounter("net.http.bad_requests")->Value(),
+            5);
+}
+
+TEST(HttpExpositionTest, AlertzWithoutEngineIs503) {
+  engine::DbServer server = MakeServer();
+  HttpExposition http(&server, HttpExpositionOptions{});
+  const std::string response = http.HandleRequest("GET", "/alertz");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(response.find("alert engine disabled"), std::string::npos);
+}
+
+TEST(HttpExpositionTest, AlertzRendersRuleStates) {
+  engine::DbServer server = MakeServer();
+  obs::AlertEngine engine(server.metrics());
+  ASSERT_TRUE(engine.AddRuleSpec("hot: temp > 10").ok());
+  engine.Observe(5, {{"temp", obs::MetricKind::kGauge,
+                      static_cast<uint64_t>(int64_t{99})}});
+  HttpExposition http(&server, HttpExpositionOptions{});
+  http.AttachAlerts(&engine);
+
+  const std::string response = http.HandleRequest("GET", "/alertz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"firing\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"hot\""), std::string::npos);
 }
 
 TEST(HttpExpositionTest, LiveEndpointServesMetricsOverTcp) {

@@ -1,0 +1,196 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "storage/env.h"
+
+namespace mope::obs {
+namespace {
+
+FlightRecorder::Options SmallOptions(const std::string& path) {
+  FlightRecorder::Options options;
+  options.ring_entries = 8;
+  options.max_threads = 1;  // single ring: eviction order is deterministic
+  options.path = path;
+  return options;
+}
+
+TEST(FlightRecorderTest, RecordPersistFormatRoundTrip) {
+  storage::InMemEnv env;
+  MetricsRegistry registry;
+  ManualClock clock(500);
+  FlightRecorder recorder(&env, SmallOptions("bb"), &clock, &registry);
+
+  recorder.Record(FlightRecorder::EventKind::kSpanBegin, "server.handle", 7);
+  clock.AdvanceNanos(10);
+  recorder.Record(FlightRecorder::EventKind::kSpanEnd, "server.handle", 7);
+  recorder.Record(FlightRecorder::EventKind::kEvent, "server.dispatch.done",
+                  42);
+  ASSERT_TRUE(recorder.Persist().ok());
+
+  auto raw = env.ReadFile("bb");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->rfind("mope-blackbox v1\n", 0), 0u) << *raw;
+  EXPECT_NE(raw->find("kind=span_begin name=server.handle trace=7"),
+            std::string::npos);
+  EXPECT_NE(raw->find("metrics\n"), std::string::npos);
+
+  auto dump = FlightRecorder::FormatDump(&env, "bb");
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_NE(dump->find("blackbox.events=3"), std::string::npos) << *dump;
+  EXPECT_NE(dump->find("blackbox.last_seq=3"), std::string::npos);
+  EXPECT_NE(dump->find("blackbox.last_trace_id=42"), std::string::npos);
+  // Events come back seq-sorted.
+  EXPECT_LT(dump->find("seq=1"), dump->find("seq=2"));
+  EXPECT_LT(dump->find("seq=2"), dump->find("seq=3"));
+}
+
+TEST(FlightRecorderTest, RingKeepsOnlyTheMostRecentEntries) {
+  storage::InMemEnv env;
+  FlightRecorder recorder(&env, SmallOptions("bb"));
+  for (uint64_t i = 1; i <= 20; ++i) {
+    recorder.Record(FlightRecorder::EventKind::kEvent, "e", i);
+  }
+  EXPECT_EQ(recorder.events_recorded(), 20u);
+  ASSERT_TRUE(recorder.Persist().ok());
+
+  auto dump = FlightRecorder::FormatDump(&env, "bb");
+  ASSERT_TRUE(dump.ok());
+  // 8-entry ring: only seq 13..20 survive.
+  EXPECT_NE(dump->find("blackbox.events=8"), std::string::npos) << *dump;
+  EXPECT_NE(dump->find("blackbox.last_seq=20"), std::string::npos);
+  EXPECT_NE(dump->find("blackbox.last_trace_id=20"), std::string::npos);
+  EXPECT_EQ(dump->find("event seq=12 "), std::string::npos);
+  EXPECT_NE(dump->find("event seq=13 "), std::string::npos);
+}
+
+TEST(FlightRecorderTest, PersistIfDirtySkipsWhenNothingNew) {
+  storage::InMemEnv env;
+  FlightRecorder recorder(&env, SmallOptions("bb"));
+  recorder.Record(FlightRecorder::EventKind::kEvent, "e", 1);
+  ASSERT_TRUE(recorder.PersistIfDirty().ok());
+  const uint64_t syncs_after_first = env.sync_count();
+
+  // No new events: the cheap path must not rewrite the file.
+  ASSERT_TRUE(recorder.PersistIfDirty().ok());
+  EXPECT_EQ(env.sync_count(), syncs_after_first);
+
+  recorder.Record(FlightRecorder::EventKind::kEvent, "e2", 2);
+  ASSERT_TRUE(recorder.PersistIfDirty().ok());
+  EXPECT_GT(env.sync_count(), syncs_after_first);
+  auto raw = env.ReadFile("bb");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("name=e2"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, NamesTruncateAtCapacity) {
+  storage::InMemEnv env;
+  FlightRecorder recorder(&env, SmallOptions("bb"));
+  const std::string long_name(2 * FlightRecorder::kNameCapacity, 'x');
+  recorder.Record(FlightRecorder::EventKind::kEvent, long_name.c_str(), 1);
+  ASSERT_TRUE(recorder.Persist().ok());
+  auto raw = env.ReadFile("bb");
+  ASSERT_TRUE(raw.ok());
+  const std::string truncated(FlightRecorder::kNameCapacity - 1, 'x');
+  EXPECT_NE(raw->find("name=" + truncated + " "), std::string::npos);
+  EXPECT_EQ(raw->find(truncated + "x"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, FatalDumpAppendsToSiblingAndMerges) {
+  storage::InMemEnv env;
+  ManualClock clock(100);
+  FlightRecorder recorder(&env, SmallOptions("bb"), &clock);
+  ASSERT_TRUE(recorder.PrepareFatalDump().ok());
+
+  recorder.Record(FlightRecorder::EventKind::kEvent, "before.crash", 9);
+  ASSERT_TRUE(recorder.Persist().ok());
+  recorder.Record(FlightRecorder::EventKind::kLog, "crash_imminent", 10);
+  recorder.FatalSignalDump(11);
+  // The latch makes a second (nested or repeated) signal a no-op.
+  recorder.FatalSignalDump(6);
+
+  auto fatal = env.ReadFile("bb.fatal");
+  ASSERT_TRUE(fatal.ok());
+  EXPECT_EQ(fatal->rfind("fatal signo=11\n", 0), 0u) << *fatal;
+  EXPECT_NE(fatal->find("name=crash_imminent trace=10"), std::string::npos);
+  EXPECT_NE(fatal->find("end\n"), std::string::npos);
+  EXPECT_EQ(fatal->find("signo=6"), std::string::npos);
+
+  // FormatDump merges the continuous box with the fatal dump, seq-deduped.
+  auto dump = FlightRecorder::FormatDump(&env, "bb");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->find("fatal signo=11"), std::string::npos) << *dump;
+  EXPECT_NE(dump->find("blackbox.events=2"), std::string::npos);
+  EXPECT_NE(dump->find("blackbox.last_trace_id=10"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, PersistSurvivesSimulatedCrash) {
+  storage::InMemEnv env;
+  FlightRecorder recorder(&env, SmallOptions("bb"));
+  recorder.Record(FlightRecorder::EventKind::kEvent, "last.request", 77);
+  ASSERT_TRUE(recorder.Persist().ok());
+
+  env.SimulateCrash();  // kill -9: WriteFileAtomic output must survive whole
+
+  auto dump = FlightRecorder::FormatDump(&env, "bb");
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_NE(dump->find("blackbox.last_trace_id=77"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, InstallFeedsTraceAndLogHooks) {
+  storage::InMemEnv env;
+  FlightRecorder recorder(&env, SmallOptions("bb"));
+  FlightRecorder::Install(&recorder);
+  ASSERT_EQ(FlightRecorder::Installed(), &recorder);
+
+  {
+    Trace trace("t");
+    const ScopedTraceActivation activation(&trace);
+    const uint32_t span = trace.StartSpan("hooked.span");
+    trace.EndSpan(span);
+  }
+  EXPECT_GE(recorder.events_recorded(), 2u);  // span begin + end
+
+  FlightRecorder::Install(nullptr);
+  EXPECT_EQ(FlightRecorder::Installed(), nullptr);
+  const uint64_t frozen = recorder.events_recorded();
+  {
+    Trace trace("t2");
+    trace.EndSpan(trace.StartSpan("unhooked"));
+  }
+  EXPECT_EQ(recorder.events_recorded(), frozen);
+
+  ASSERT_TRUE(recorder.Persist().ok());
+  auto raw = env.ReadFile("bb");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("kind=span_begin name=hooked.span"), std::string::npos);
+  EXPECT_NE(raw->find("kind=span_end name=hooked.span"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DestructorUninstallsItself) {
+  storage::InMemEnv env;
+  {
+    FlightRecorder recorder(&env, SmallOptions("bb"));
+    FlightRecorder::Install(&recorder);
+  }
+  EXPECT_EQ(FlightRecorder::Installed(), nullptr);
+}
+
+TEST(FlightRecorderTest, PersistWithoutPathIsAnError) {
+  storage::InMemEnv env;
+  FlightRecorder::Options options;
+  FlightRecorder recorder(&env, options);
+  EXPECT_TRUE(recorder.Persist().IsInvalidArgument());
+  EXPECT_TRUE(recorder.PrepareFatalDump().IsInvalidArgument());
+  recorder.FatalSignalDump(11);  // no prepared handle: must be a no-op
+}
+
+}  // namespace
+}  // namespace mope::obs

@@ -143,12 +143,44 @@ TEST(MetricsRegistryTest, RenderTextGolden) {
   EXPECT_GT(text.find("lat_ns_p50"), count_pos);
 }
 
-TEST(MetricsRegistryTest, RenderTextOmitsQuantilesForEmptyHistogram) {
+TEST(MetricsRegistryTest, RenderTextEmitsZeroSeriesForEmptyHistogram) {
+  // A never-observed histogram still renders a complete series — explicit
+  // zero bucket/sum/count lines plus zero quantile gauges — so a scraper's
+  // rate()/dashboard queries over a fresh series never gap.
   MetricsRegistry registry;
   registry.GetHistogram("idle");
   const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("idle_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("idle_sum 0\n"), std::string::npos);
   EXPECT_NE(text.find("idle_count 0\n"), std::string::npos);
-  EXPECT_EQ(text.find("idle_p50"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE idle_p50 gauge\nidle_p50 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("idle_p95 0\n"), std::string::npos);
+  EXPECT_NE(text.find("idle_p99 0\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TypedSnapshotCarriesKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetGauge("g")->Set(-2);
+  registry.GetHistogram("h")->Observe(5);
+
+  const std::vector<TypedSample> typed = registry.TypedSnapshot();
+  // Sorted by name; histogram buckets are skipped but count/sum/quantiles
+  // ride along with temporal kinds attached.
+  std::vector<std::string> names;
+  names.reserve(typed.size());
+  for (const auto& s : typed) names.push_back(s.name);
+  const std::vector<std::string> expected = {
+      "c", "g", "h.count", "h.p50", "h.p95", "h.p99", "h.sum"};
+  EXPECT_EQ(names, expected);
+  EXPECT_EQ(typed[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(typed[0].value, 3u);
+  EXPECT_EQ(typed[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(static_cast<int64_t>(typed[1].value), -2);
+  EXPECT_EQ(typed[2].kind, MetricKind::kCounter);  // h.count is monotone
+  EXPECT_EQ(typed[3].kind, MetricKind::kDerived);  // quantiles are levels
+  EXPECT_EQ(typed[6].kind, MetricKind::kCounter);  // h.sum is monotone
 }
 
 TEST(MetricsRegistryTest, RenderJsonGolden) {

@@ -1,0 +1,201 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alerts.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+
+namespace mope::obs {
+namespace {
+
+TEST(TimeSeriesSamplerTest, SampleOnceIsDeterministicUnderManualClock) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("engine.queries");
+  Gauge* g = registry.GetGauge("leakage.gap.margin");
+  ManualClock clock(1'000);
+
+  TimeSeriesOptions options;
+  options.window_capacity = 8;
+  TimeSeriesSampler sampler(&registry, options, &clock);
+
+  c->Increment(5);
+  g->Set(-3);
+  sampler.SampleOnce();
+  clock.AdvanceNanos(1'000'000'000);
+  c->Increment(7);
+  g->Set(4);
+  sampler.SampleOnce();
+
+  auto views = sampler.Query("engine.queries", 8);
+  ASSERT_TRUE(views.ok()) << views.status().ToString();
+  ASSERT_EQ(views->size(), 1u);
+  const SeriesView& view = (*views)[0];
+  EXPECT_EQ(view.kind, MetricKind::kCounter);
+  ASSERT_EQ(view.points.size(), 2u);
+  EXPECT_EQ(view.points[0].ts_ns, 1'000u);
+  EXPECT_EQ(view.points[0].value, 5u);
+  EXPECT_EQ(view.points[1].ts_ns, 1'000'001'000u);
+  EXPECT_EQ(view.points[1].value, 12u);
+  EXPECT_EQ(view.rollup.delta, 7u);
+  EXPECT_NEAR(view.rollup.rate_per_sec, 7.0, 1e-9);
+
+  auto gauge_views = sampler.Query("leakage.gap.margin", 8);
+  ASSERT_TRUE(gauge_views.ok());
+  const SeriesView& gauge_view = (*gauge_views)[0];
+  EXPECT_EQ(gauge_view.kind, MetricKind::kGauge);
+  // Signed rollups: min is -3, max 4, mean 0.5.
+  EXPECT_EQ(static_cast<int64_t>(gauge_view.rollup.min), -3);
+  EXPECT_EQ(static_cast<int64_t>(gauge_view.rollup.max), 4);
+  EXPECT_NEAR(gauge_view.rollup.mean, 0.5, 1e-9);
+
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+}
+
+TEST(TimeSeriesSamplerTest, RingEvictsOldestOnceFull) {
+  MetricsRegistry registry;
+  TimeSeriesOptions options;
+  options.window_capacity = 4;
+  TimeSeriesSampler sampler(&registry, options);
+
+  for (uint64_t i = 1; i <= 6; ++i) {
+    sampler.Ingest(i * 100, "m", MetricKind::kCounter, i);
+  }
+  auto views = sampler.Query("m", 4);
+  ASSERT_TRUE(views.ok());
+  const std::vector<SeriesPoint>& pts = (*views)[0].points;
+  ASSERT_EQ(pts.size(), 4u);
+  // Oldest-first, values 3..6 survive the eviction of 1 and 2.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pts[i].value, i + 3) << "point " << i;
+    EXPECT_EQ(pts[i].ts_ns, (i + 3) * 100) << "point " << i;
+  }
+
+  // A narrower window returns the tail of the retained points.
+  auto tail = sampler.Query("m", 2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ((*tail)[0].points.size(), 2u);
+  EXPECT_EQ((*tail)[0].points[0].value, 5u);
+  EXPECT_EQ((*tail)[0].points[1].value, 6u);
+}
+
+TEST(TimeSeriesSamplerTest, WindowValidationAndUnknownPrefix) {
+  MetricsRegistry registry;
+  TimeSeriesOptions options;
+  options.window_capacity = 8;
+  TimeSeriesSampler sampler(&registry, options);
+  sampler.Ingest(1, "known", MetricKind::kGauge, 0);
+
+  EXPECT_TRUE(sampler.Query("known", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(sampler.Query("known", 9).status().IsInvalidArgument());
+  EXPECT_TRUE(sampler.Query("unknown", 4).status().IsNotFound());
+  EXPECT_TRUE(sampler.RenderJson("unknown", 4).status().IsNotFound());
+}
+
+TEST(TimeSeriesSamplerTest, CounterDeltaIsResetAware) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry, TimeSeriesOptions{});
+  sampler.Ingest(0, "c", MetricKind::kCounter, 10);
+  sampler.Ingest(1'000'000'000, "c", MetricKind::kCounter, 25);
+  sampler.Ingest(2'000'000'000, "c", MetricKind::kCounter, 5);  // reset
+
+  auto views = sampler.Query("c", 8);
+  ASSERT_TRUE(views.ok());
+  // 10 -> 25 contributes 15; the reset to 5 contributes 5.
+  EXPECT_EQ((*views)[0].rollup.delta, 20u);
+  EXPECT_NEAR((*views)[0].rollup.rate_per_sec, 10.0, 1e-9);
+}
+
+TEST(TimeSeriesSamplerTest, SeriesCapDropsNewMetricsNotMemory) {
+  MetricsRegistry registry;
+  TimeSeriesOptions options;
+  options.max_series = 2;
+  TimeSeriesSampler sampler(&registry, options);
+
+  sampler.Ingest(1, "a", MetricKind::kGauge, 1);
+  sampler.Ingest(1, "b", MetricKind::kGauge, 2);
+  sampler.Ingest(1, "z.overflow", MetricKind::kGauge, 3);
+  sampler.Ingest(2, "a", MetricKind::kGauge, 4);  // existing: still accepted
+
+  EXPECT_EQ(sampler.series_count(), 2u);
+  EXPECT_EQ(registry.GetCounter("obs.timeseries.dropped_series")->Value(), 1u);
+  EXPECT_TRUE(sampler.Query("z.overflow", 4).status().IsNotFound());
+  auto a = sampler.Query("a", 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0].points.size(), 2u);
+}
+
+TEST(TimeSeriesSamplerTest, RenderJsonShape) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry, TimeSeriesOptions{});
+  sampler.Ingest(10, "net.bytes", MetricKind::kCounter, 100);
+  sampler.Ingest(20, "net.bytes", MetricKind::kCounter, 150);
+  sampler.Ingest(10, "leakage.gap.margin", MetricKind::kGauge,
+                 static_cast<uint64_t>(int64_t{-7}));
+
+  auto json = sampler.RenderJson("net.", 8);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"window\":8"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"name\":\"net.bytes\""), std::string::npos);
+  EXPECT_NE(json->find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json->find("[10,100],[20,150]"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"delta\":50"), std::string::npos);
+
+  // Gauge points render signed.
+  auto gauge_json = sampler.RenderJson("leakage.", 8);
+  ASSERT_TRUE(gauge_json.ok());
+  EXPECT_NE(gauge_json->find("[10,-7]"), std::string::npos) << *gauge_json;
+  // No counter-only rollup fields on a gauge series.
+  EXPECT_EQ(gauge_json->find("rate_per_sec"), std::string::npos);
+}
+
+TEST(TimeSeriesSamplerTest, SampleOncePushesSnapshotIntoAlertEngine) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("leakage.gap.margin");
+  ManualClock clock(1'000);
+  TimeSeriesSampler sampler(&registry, TimeSeriesOptions{}, &clock);
+  AlertEngine engine(&registry, &clock);
+  ASSERT_TRUE(engine.AddRuleSpec("margin_low: leakage.gap.margin < 0").ok());
+  sampler.SetAlertEngine(&engine);
+
+  g->Set(5);
+  sampler.SampleOnce();
+  EXPECT_EQ(engine.firing_count(), 0u);
+  g->Set(-1);
+  clock.AdvanceNanos(1'000'000'000);
+  sampler.SampleOnce();
+  EXPECT_EQ(engine.firing_count(), 1u);
+  EXPECT_EQ(registry.GetGauge("alerts.active")->Value(), 1);
+
+  // Detaching stops the pushes.
+  sampler.SetAlertEngine(nullptr);
+  g->Set(5);
+  clock.AdvanceNanos(1'000'000'000);
+  sampler.SampleOnce();
+  EXPECT_EQ(engine.firing_count(), 1u);
+}
+
+TEST(TimeSeriesSamplerTest, BackgroundThreadSamplesOnItsPeriod) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment();
+  TimeSeriesOptions options;
+  options.sample_period_ns = 1'000'000;  // 1ms
+  TimeSeriesSampler sampler(&registry, options);
+  sampler.Start();
+  // The run loop polls every 5ms; give it a few cycles.
+  while (sampler.samples_taken() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.Stop();
+  EXPECT_GE(sampler.samples_taken(), 2u);
+  EXPECT_TRUE(sampler.Query("c", 8).ok());
+}
+
+}  // namespace
+}  // namespace mope::obs

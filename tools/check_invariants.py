@@ -87,6 +87,20 @@ Machine-enforces the correctness conventions that code review used to carry:
                          histograms), and profiling-off still pays whatever
                          the override does. Applies to src/, tests/, bench/,
                          examples/.
+  R13 fatal-handler-unsafe
+                         (file-level check) A handler registered for a fatal
+                         signal (SIGSEGV/SIGABRT/SIGBUS/SIGILL/SIGFPE via
+                         std::signal or a sigaction assignment) may only call
+                         async-signal-safe code. Inside the handler body the
+                         linter bans the structured logger (MOPE_LOG takes
+                         the sink lock — self-deadlock if the signal landed
+                         mid-log), stdio, heap allocation (new/malloc and
+                         allocating std:: containers) and mutex acquisition.
+                         The sanctioned crash path is the flight recorder's
+                         FatalSignalDump() — pre-opened fd, lock-free rings,
+                         hand-rolled formatting — plus std::signal/std::raise
+                         to re-deliver with default disposition. Applies to
+                         every linted tree.
 
 A line may opt out with a trailing `// invariant-ok: <reason>` comment; the
 reason is mandatory and greppable. Exit status: 0 clean, 1 violations,
@@ -351,6 +365,89 @@ def check_operator_hooks(rel: str, lines: list[tuple[int, str, str]]
     return violations
 
 
+# R13: handlers registered for fatal signals. The direct std::signal form
+# names both the signal and the handler; the sigaction form only names the
+# handler, so it counts as fatal when the file mentions a fatal signal.
+FATAL_SIGNAL_RE = re.compile(r"\bSIG(?:SEGV|ABRT|BUS|ILL|FPE)\b")
+SIGNAL_REGISTER_RE = re.compile(
+    r"\b(?:std::)?signal\s*\(\s*SIG(?:SEGV|ABRT|BUS|ILL|FPE)\s*,\s*"
+    r"&?\s*([A-Za-z_]\w*)\s*\)")
+SIGACTION_HANDLER_RE = re.compile(
+    r"(?:\.|->)sa_(?:sigaction|handler)\s*=\s*&?\s*([A-Za-z_]\w*)")
+# Async-signal-UNSAFE constructs: the logger (sink lock), stdio (flockfile /
+# malloc inside), heap allocation, allocating containers, and mutexes. The
+# flight recorder's FatalSignalDump / std::signal / std::raise are the
+# sanctioned vocabulary and none of them match.
+UNSAFE_IN_FATAL_HANDLER_RE = re.compile(
+    r"\bMOPE_LOG\b|\bMOPE_CHECK\b|"
+    r"(?<![\w.>])v?(?:f|s|sn)?printf\s*\(|"
+    r"(?<![\w.>])(?:puts|fputs|fputc|putchar|fflush|fwrite)\s*\(|"
+    r"std::c(?:out|err|log)\b|"
+    r"\b(?:malloc|calloc|realloc|free)\s*\(|"
+    r"(?<!\w)new\s+[A-Za-z_:]|"
+    r"std::(?:string|to_string|vector|map|unordered_map|ostringstream)\b|"
+    r"\b(?:Writer)?MutexLock\b|\block_guard\b|\bunique_lock\b")
+
+
+def check_fatal_handlers(rel: str, lines: list[tuple[int, str, str]]
+                         ) -> list[str]:
+    """R13: fatal-signal handlers may only call the async-signal-safe
+    flight-recorder dump API (obs::FlightRecorder::FatalSignalDump) and
+    re-raise machinery — never the logger, stdio, the heap, or a mutex.
+
+    lines: (lineno, raw, comment-and-string-stripped code)."""
+    handlers = set()
+    file_mentions_fatal = any(FATAL_SIGNAL_RE.search(code)
+                              for _, _, code in lines)
+    for _, _, code in lines:
+        for m in SIGNAL_REGISTER_RE.finditer(code):
+            handlers.add(m.group(1))
+        if file_mentions_fatal:
+            for m in SIGACTION_HANDLER_RE.finditer(code):
+                handlers.add(m.group(1))
+    handlers -= {"SIG_DFL", "SIG_IGN"}
+    if not handlers:
+        return []
+
+    violations = []
+    for name in sorted(handlers):
+        # The handler's definition, if it lives in this file: brace-match the
+        # body of `... Name(int ...) {`.
+        definition_re = re.compile(
+            r"\b" + re.escape(name) + r"\s*\(\s*(?:int|const\s+int)\b")
+        in_body = False
+        depth = 0
+        seen_open = False
+        for lineno, raw, code in lines:
+            if not in_body:
+                if definition_re.search(code) and ";" not in code.split(
+                        name, 1)[1].split("{", 1)[0]:
+                    in_body = True
+                    depth = 0
+                    seen_open = False
+                else:
+                    continue
+            depth += code.count("{") - code.count("}")
+            if code.count("{") > 0:
+                seen_open = True
+            if seen_open and not ESCAPE_RE.search(raw):
+                m = UNSAFE_IN_FATAL_HANDLER_RE.search(code)
+                if m:
+                    violations.append(
+                        f"{rel}:{lineno}: [fatal-handler-unsafe] "
+                        f"`{m.group(0).strip()}` inside fatal-signal handler "
+                        f"{name}(): handlers run with arbitrary locks held "
+                        "and may only call async-signal-safe code — use "
+                        "obs::FlightRecorder::FatalSignalDump() (pre-opened "
+                        "fd, lock-free rings) and std::signal/std::raise to "
+                        "re-deliver\n"
+                        f"    {raw.strip()}"
+                    )
+            if seen_open and depth <= 0:
+                in_body = False
+    return violations
+
+
 def lint_file(root: Path, rel: str) -> list[str]:
     violations = []
     rules = [r for r in RULES if r.applies_to(rel)]
@@ -378,6 +475,7 @@ def lint_file(root: Path, rel: str) -> list[str]:
                 )
     violations.extend(check_mutex_annotations(rel, stripped_lines))
     violations.extend(check_operator_hooks(rel, stripped_lines))
+    violations.extend(check_fatal_handlers(rel, stripped_lines))
     return violations
 
 

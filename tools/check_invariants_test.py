@@ -230,6 +230,42 @@ class CatchesSeededViolations(unittest.TestCase):
         self.assertIn("mutex-unannotated", rule_ids(v))
 
 
+    def test_fatal_handler_logging_caught(self) -> None:
+        v = run_on_tree(
+            {"tools/bad_daemon.cc":
+                 "void Boom(int signo) {\n"
+                 '  MOPE_LOG(kError, "server", "crash").Arg("signo", signo);\n'
+                 "}\n"
+                 "void Setup() { std::signal(SIGSEGV, Boom); }\n"}
+        )
+        self.assertIn("fatal-handler-unsafe", rule_ids(v))
+
+    def test_fatal_handler_heap_and_stdio_caught(self) -> None:
+        v = run_on_tree(
+            {"examples/bad.cpp":
+                 "void OnAbort(int signo) {\n"
+                 "  std::string msg = std::to_string(signo);\n"
+                 "  char* p = static_cast<char*>(malloc(64));\n"
+                 "}\n"
+                 "void Setup() { std::signal(SIGABRT, OnAbort); }\n"}
+        )
+        self.assertEqual(
+            sum(1 for x in v if "fatal-handler-unsafe" in x), 2)
+
+    def test_fatal_handler_via_sigaction_caught(self) -> None:
+        v = run_on_tree(
+            {"examples/bad2.cpp":
+                 "void OnBus(int signo) {\n"
+                 "  std::cerr << signo;\n"
+                 "}\n"
+                 "void Setup(struct sigaction* sa) {\n"
+                 "  sa->sa_handler = OnBus;\n"
+                 "  sigaction(SIGBUS, sa, nullptr);\n"
+                 "}\n"}
+        )
+        self.assertIn("fatal-handler-unsafe", rule_ids(v))
+
+
 class NoFalsePositives(unittest.TestCase):
     def test_clean_file(self) -> None:
         v = run_on_tree(
@@ -482,6 +518,56 @@ class NoFalsePositives(unittest.TestCase):
                  "};\n"}
         )
         self.assertNotIn("operator-hook-override", rule_ids(v))
+
+    def test_sanctioned_fatal_handler_clean(self) -> None:
+        # The flight-recorder dump plus default-disposition re-raise is the
+        # approved crash path; nothing in it may trip R13.
+        v = run_on_tree(
+            {"tools/good_daemon.cc":
+                 "void HandleFatalSignal(int signo) {\n"
+                 "  if (auto* r = mope::obs::FlightRecorder::Installed()) {\n"
+                 "    r->FatalSignalDump(signo);\n"
+                 "  }\n"
+                 "  std::signal(signo, SIG_DFL);\n"
+                 "  std::raise(signo);\n"
+                 "}\n"
+                 "void Setup() { std::signal(SIGSEGV, HandleFatalSignal); }\n"}
+        )
+        self.assertNotIn("fatal-handler-unsafe", rule_ids(v))
+
+    def test_unsafe_code_outside_handler_not_r13(self) -> None:
+        # R13 binds only the handler body; ordinary functions in the same
+        # file may allocate freely.
+        v = run_on_tree(
+            {"examples/good.cpp":
+                 "void Quiet(int signo) { std::raise(signo); }\n"
+                 "void Setup() { std::signal(SIGILL, Quiet); }\n"
+                 "void Elsewhere() { std::string s(64, 'x'); }\n"}
+        )
+        self.assertNotIn("fatal-handler-unsafe", rule_ids(v))
+
+    def test_nonfatal_signal_handler_exempt_from_r13(self) -> None:
+        # SIGINT/SIGTERM handlers are ordinary shutdown paths, not R13's
+        # concern (the process is healthy; the logger and heap still work).
+        v = run_on_tree(
+            {"examples/good2.cpp":
+                 "void OnInt(int signo) {\n"
+                 "  std::string why = std::to_string(signo);\n"
+                 "}\n"
+                 "void Setup() { std::signal(SIGINT, OnInt); }\n"}
+        )
+        self.assertNotIn("fatal-handler-unsafe", rule_ids(v))
+
+    def test_fatal_handler_escape_comment(self) -> None:
+        v = run_on_tree(
+            {"examples/escaped.cpp":
+                 "void Boom(int signo) {\n"
+                 "  std::fputs(\"dying\\n\", stderr);  "
+                 "// invariant-ok: R13 single write(2)-like call, measured\n"
+                 "}\n"
+                 "void Setup() { std::signal(SIGFPE, Boom); }\n"}
+        )
+        self.assertNotIn("fatal-handler-unsafe", rule_ids(v))
 
     def test_real_repo_is_clean(self) -> None:
         root = Path(__file__).resolve().parent.parent

@@ -39,6 +39,15 @@
 ///   - --query-log-sample N profiles every Nth data-bearing request exactly
 ///     as a client's EXPLAIN ANALYZE would and logs it as a structured
 ///     `event=query` line with the full attributed resource profile.
+///   - --sample-every-ms N keeps in-process metric history (ring buffers,
+///     fixed memory budget) served as JSON on GET /vars; --alert-rule /
+///     --default-alerts evaluate declarative rules over those samples and
+///     expose firing state on GET /alertz plus edge-triggered `event=alert`
+///     log lines.
+///   - --blackbox FILE runs a crash flight recorder: the last trace/log
+///     events persist on request boundaries (survives kill -9) and fatal
+///     signals append an async-signal-safe dump to FILE.fatal;
+///     --dump-blackbox FILE pretty-prints either postmortem.
 ///
 /// With --tpch, a proxy process built with the *same seed* (default 0x5811,
 /// matching mope_shell) re-derives the identical MOPE key from its own rng
@@ -58,11 +67,16 @@
 #include <thread>
 #include <utility>
 
+#include <vector>
+
 #include "engine/snapshot.h"
 #include "net/http_exposition.h"
 #include "net/server.h"
+#include "obs/alerts.h"
+#include "obs/flight_recorder.h"
 #include "obs/leakage.h"
 #include "obs/log.h"
+#include "obs/timeseries.h"
 #include "ope/ope.h"
 #include "proxy/system.h"
 #include "storage/env.h"
@@ -73,6 +87,19 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+/// Fatal-signal handler: dump the flight recorder's rings, then re-raise
+/// with the default disposition so the process still dies with the right
+/// status. Linter rule R13 restricts this body to the async-signal-safe
+/// flight-recorder dump API (no logging, no allocation).
+void HandleFatalSignal(int signo) {
+  if (mope::obs::FlightRecorder* recorder =
+          mope::obs::FlightRecorder::Installed()) {
+    recorder->FatalSignalDump(signo);
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
 
 /// Strict port parse mirroring RegisterTcpScheme: digits only, in
 /// [0, 65535]. atoi would silently wrap 70000 to a different port and turn
@@ -137,7 +164,26 @@ void PrintUsage(const char* argv0) {
       "declared\n"
       "                      with (default: the TPC-H date domain); needed "
       "so\n"
-      "                      --snapshot mode knows the public parameter M\n",
+      "                      --snapshot mode knows the public parameter M\n"
+      "  --sample-every-ms N time-series sampler: snapshot the registry "
+      "every\n"
+      "                      N ms into in-process ring buffers (GET /vars)\n"
+      "  --alert-rule RULE   add one alert rule (repeatable), e.g.\n"
+      "                      'p99_slow: server.dispatch_ns.p99 > 1000000 "
+      "for 3';\n"
+      "                      implies --sample-every-ms 1000 unless set\n"
+      "  --default-alerts    add the built-in rule set (gap convergence,\n"
+      "                      chi-square criticality, dispatch p99, pool "
+      "miss\n"
+      "                      rate, WAL fsync stalls); implies sampling too\n"
+      "  --blackbox FILE     crash flight recorder: persist the last trace/"
+      "log\n"
+      "                      events to FILE on request boundaries and dump "
+      "to\n"
+      "                      FILE.fatal from fatal-signal handlers\n"
+      "  --dump-blackbox FILE  read a black box (+ .fatal sibling) written "
+      "by\n"
+      "                      --blackbox, print it sorted, and exit\n",
       argv0);
 }
 
@@ -165,6 +211,11 @@ int main(int argc, char** argv) {
   std::string slow_query_trace;
   uint64_t checkpoint_every = 0;
   uint64_t query_log_sample = 0;
+  uint64_t sample_every_ms = 0;
+  std::vector<std::string> alert_rules;
+  bool default_alerts = false;
+  std::string blackbox_path;
+  std::string dump_blackbox_path;
   double scale = 0.002;
   uint64_t seed = 0x5811;
   obs::LogLevel log_level = obs::LogLevel::kInfo;
@@ -230,6 +281,16 @@ int main(int argc, char** argv) {
                   raw);
         return 2;
       }
+    } else if (arg == "--sample-every-ms") {
+      sample_every_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--alert-rule") {
+      alert_rules.emplace_back(next());
+    } else if (arg == "--default-alerts") {
+      default_alerts = true;
+    } else if (arg == "--blackbox") {
+      blackbox_path = next();
+    } else if (arg == "--dump-blackbox") {
+      dump_blackbox_path = next();
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--audit-domain") {
@@ -243,10 +304,31 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Reader mode: print a previously written black box and exit. This is a
+  // postmortem tool, not a daemon run, so none of the serving flags apply.
+  if (!dump_blackbox_path.empty()) {
+    const Result<std::string> dump = obs::FlightRecorder::FormatDump(
+        storage::Env::Posix(), dump_blackbox_path);
+    if (!dump.ok()) {
+      FlagError("--dump-blackbox failed: %s\n",
+                dump.status().ToString().c_str());
+      return 1;
+    }
+    // The requested data dump, not an operational event; exempt like the
+    // usage text.
+    std::fprintf(stdout, "%s",  // invariant-ok: R11 --dump-blackbox output
+                 dump.value().c_str());
+    return 0;
+  }
   if (snapshot_path.empty() == !tpch) {
     FlagError("pick exactly one of --snapshot or --tpch\n", "");
     PrintUsage(argv[0]);
     return 2;
+  }
+  // Alert rules need samples to evaluate against; turn the sampler on at a
+  // 1s default cadence rather than silently doing nothing.
+  if ((default_alerts || !alert_rules.empty()) && sample_every_ms == 0) {
+    sample_every_ms = 1000;
   }
 
   // Configure the process logger before the first loggable event. From here
@@ -369,6 +451,61 @@ int main(int argc, char** argv) {
         .Arg("space", audit_config.space);
   }
 
+  // Crash flight recorder first: once installed, the trace/log hooks and
+  // the dispatcher's request-boundary persistence start feeding it, so the
+  // earliest serving events are already in the rings.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!blackbox_path.empty()) {
+    obs::FlightRecorder::Options recorder_options;
+    recorder_options.path = blackbox_path;
+    recorder = std::make_unique<obs::FlightRecorder>(
+        storage::Env::Posix(), recorder_options, nullptr, server->metrics());
+    const Status prepared = recorder->PrepareFatalDump();
+    if (!prepared.ok()) {
+      MOPE_LOG(kError, "main", "blackbox_prepare_failed")
+          .Arg("path", blackbox_path)
+          .Arg("status", prepared.ToString());
+      return 1;
+    }
+    obs::FlightRecorder::Install(recorder.get());
+    std::signal(SIGSEGV, HandleFatalSignal);
+    std::signal(SIGABRT, HandleFatalSignal);
+    std::signal(SIGBUS, HandleFatalSignal);
+    std::signal(SIGILL, HandleFatalSignal);
+    std::signal(SIGFPE, HandleFatalSignal);
+    MOPE_LOG(kInfo, "main", "blackbox_on").Arg("path", blackbox_path);
+  }
+
+  // Alert engine + time-series sampler. The sampler pushes each snapshot
+  // into the engine, so the engine must outlive the sampler; both hang off
+  // the server's registry.
+  std::unique_ptr<obs::AlertEngine> alert_engine;
+  if (default_alerts || !alert_rules.empty()) {
+    alert_engine = std::make_unique<obs::AlertEngine>(server->metrics());
+    if (default_alerts) alert_engine->AddDefaultRules();
+    for (const std::string& spec : alert_rules) {
+      const Status added = alert_engine->AddRuleSpec(spec);
+      if (!added.ok()) {
+        FlagError("--alert-rule rejected: %s\n", added.ToString().c_str());
+        return 2;
+      }
+    }
+    MOPE_LOG(kInfo, "main", "alerts_on")
+        .Arg("rules", static_cast<uint64_t>(alert_engine->rule_count()));
+  }
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  if (sample_every_ms > 0) {
+    obs::TimeSeriesOptions sampler_options;
+    sampler_options.sample_period_ns = sample_every_ms * 1'000'000;
+    sampler = std::make_unique<obs::TimeSeriesSampler>(server->metrics(),
+                                                       sampler_options);
+    sampler->SetAlertEngine(alert_engine.get());
+    sampler->Start();
+    MOPE_LOG(kInfo, "main", "sampler_on")
+        .Arg("period_ms", sample_every_ms)
+        .Arg("window", static_cast<uint64_t>(sampler->max_window()));
+  }
+
   // Slow-query instrumentation and periodic checkpointing ride the
   // dispatcher options; the trace export (if any) goes through the Env seam
   // so the write is atomic.
@@ -395,6 +532,8 @@ int main(int argc, char** argv) {
     http_options.host = options.host;
     http_options.port = http_port;
     http = std::make_unique<net::HttpExposition>(server, http_options);
+    http->AttachTimeSeries(sampler.get());
+    http->AttachAlerts(alert_engine.get());
     const Status started = http->Start();
     if (!started.ok()) {
       MOPE_LOG(kError, "main", "http_start_failed")
@@ -413,7 +552,18 @@ int main(int argc, char** argv) {
   }
   MOPE_LOG(kInfo, "main", "shutting_down");
   if (http != nullptr) http->Stop();
+  if (sampler != nullptr) sampler->Stop();
   (*daemon)->Stop();
+  if (recorder != nullptr) {
+    // Final persist, then uninstall before teardown so no late logging
+    // thread records into a dying recorder.
+    const Status persisted = recorder->Persist();
+    if (!persisted.ok()) {
+      MOPE_LOG(kWarn, "main", "blackbox_persist_failed")
+          .Arg("status", persisted.ToString());
+    }
+    obs::FlightRecorder::Install(nullptr);
+  }
   if (server->has_storage()) {
     // Clean-shutdown checkpoint: the next start reopens the paged indexes
     // from their checkpointed roots instead of rebuilding them.

@@ -14,6 +14,14 @@
 #      the replayed prefix, and a further restart must serve the identical
 #      count (recovery is idempotent).
 #
+# Scenario 1 additionally runs with --blackbox: the crash flight recorder
+# persists after every dispatch, so the box a kill -9 leaves behind must
+# decode via --dump-blackbox and its last trace id must name the final
+# query the server finished before dying.
+#
+# On failure, if SMOKE_ARTIFACT_DIR is set the black box and server log are
+# copied there for CI to upload.
+#
 # Usage: tools/smoke_recovery.sh [BUILD_DIR]   (default: build)
 
 set -eu
@@ -31,8 +39,19 @@ done
 dir1="$(mktemp -d)"
 dir2="$(mktemp -d)"
 server_log="$(mktemp)"
+blackbox="$dir1/blackbox.bin"
 server_pid=""
 cleanup() {
+  rc=$?
+  # Preserve the crash evidence for CI's failure artifact before the temp
+  # dirs vanish.
+  if [ "$rc" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR" 2>/dev/null || true
+    cp -f "$blackbox" "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+    cp -f "$blackbox.fatal" "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+    cp -f "$server_log" "$SMOKE_ARTIFACT_DIR/smoke_recovery_server.log" \
+        2>/dev/null || true
+  fi
   [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
   [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null || true
   rm -rf "$dir1" "$dir2" "$server_log"
@@ -41,11 +60,15 @@ trap cleanup EXIT
 
 QUERY='SELECT COUNT(*) FROM lineitem WHERE l_shipdate BETWEEN 100 AND 400'
 
-# start_daemon SCALE DATA_DIR: boot serverd, wait for it to listen, and set
-# $port / $server_pid.
+# start_daemon SCALE DATA_DIR [EXTRA_FLAGS...]: boot serverd, wait for it to
+# listen, and set $port / $server_pid.
 start_daemon() {
+  scale="$1"
+  data_dir="$2"
+  shift 2
   : >"$server_log"
-  "$SERVERD" --tpch --scale "$1" --port 0 --data-dir "$2" 2>"$server_log" &
+  "$SERVERD" --tpch --scale "$scale" --port 0 --data-dir "$data_dir" "$@" \
+      2>"$server_log" &
   server_pid=$!
   port=""
   for _ in $(seq 1 600); do
@@ -79,7 +102,7 @@ hard_kill() {
 }
 
 # --- Scenario 1: kill after checkpoint, answers must be identical. ---------
-start_daemon 0.002 "$dir1"
+start_daemon 0.002 "$dir1" --blackbox "$blackbox"
 echo "smoke_recovery: daemon up on port $port (data dir $dir1)"
 grep -q "event=checkpointed" "$server_log" || {
   echo "smoke_recovery: fresh data dir was not checkpointed after load" >&2
@@ -92,6 +115,19 @@ if [ -z "$expected" ] || [ "$expected" -eq 0 ]; then
   exit 1
 fi
 echo "smoke_recovery: baseline count = $expected"
+
+# The final statement before the kill: its trace id must be the last one the
+# flight recorder persisted (the recorder writes after every dispatch, so
+# even SIGKILL cannot lose the completed query).
+explain_out="$("$MOPE_SHELL" --connect "127.0.0.1:$port" \
+    -c "EXPLAIN ANALYZE $QUERY")"
+final_trace="$(echo "$explain_out" |
+    sed -n 's/^ *profile\.trace_id=\([0-9][0-9]*\)$/\1/p')"
+if [ -z "$final_trace" ]; then
+  echo "smoke_recovery: EXPLAIN ANALYZE reported no profile.trace_id" >&2
+  echo "$explain_out" >&2
+  exit 1
+fi
 hard_kill
 echo "smoke_recovery: daemon killed with SIGKILL"
 
@@ -101,6 +137,28 @@ for f in pages.db wal.log storage.meta; do
     exit 1
   }
 done
+
+# --- Black box: the kill-9 corpse must name the final query. ---------------
+[ -f "$blackbox" ] || {
+  echo "smoke_recovery: --blackbox file missing after SIGKILL" >&2
+  exit 1
+}
+dump="$("$SERVERD" --dump-blackbox "$blackbox")"
+echo "$dump" | grep -q "server.dispatch.done" || {
+  echo "smoke_recovery: black box has no dispatch.done events" >&2
+  echo "$dump" >&2
+  exit 1
+}
+box_trace="$(echo "$dump" |
+    sed -n 's/^blackbox\.last_trace_id=\([0-9][0-9]*\)$/\1/p')"
+if [ "$box_trace" != "$final_trace" ]; then
+  echo "smoke_recovery: black box last trace id ($box_trace) does not" \
+       "match the final query ($final_trace)" >&2
+  echo "$dump" | tail -n 20 >&2
+  exit 1
+fi
+echo "smoke_recovery: black box last trace id matches final query" \
+     "($final_trace)"
 
 start_daemon 0.002 "$dir1"
 grep -q "event=recovered .*tables=1" "$server_log" || {

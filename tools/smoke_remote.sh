@@ -20,6 +20,11 @@
 #     the statement,
 #   - the daemon's sampled query log (--query-log-sample) carries the same
 #     profile, joinable by the EXPLAIN ANALYZE trace id,
+#   - the in-process time-series sampler (--sample-every-ms) accumulates
+#     history: GET /vars returns >= 3 samples of leakage.gap.margin with
+#     monotonically increasing timestamps,
+#   - a low-threshold alert rule fires: GET /alertz reports it firing and
+#     the structured log carries the matching event=alert line,
 #   - shutdown writes the --metrics-out file atomically and the --metrics
 #     stderr dump still works.
 #
@@ -54,11 +59,16 @@ cleanup() {
 # collide. --slow-query-ms 0.001 makes every request "slow" so the query
 # below deterministically exercises the trace-export path, and
 # --checkpoint-every 1 puts real WAL + buffer-pool work inside it.
+# --sample-every-ms 200 keeps history accumulating fast enough to assert on;
+# the alert rule's threshold is deliberately trivial (any served frame) so
+# the firing edge is deterministic once the first query lands.
 "$SERVERD" --tpch --scale 0.002 --port 0 --metrics \
     --data-dir "$data_dir" --http-port 0 --audit \
     --slow-query-ms 0.001 --slow-query-trace "$trace_file" \
     --checkpoint-every 1 --metrics-out "$metrics_file" \
-    --query-log-sample 1 2>"$server_log" &
+    --query-log-sample 1 --sample-every-ms 200 \
+    --alert-rule 'frames_served_nonzero: net.server.frames_served >= 1' \
+    2>"$server_log" &
 server_pid=$!
 trap cleanup EXIT
 
@@ -168,6 +178,66 @@ $CURL "http://127.0.0.1:$http_port/statusz" | grep -q '"queries"' || {
   exit 1
 }
 echo "smoke_remote: /metrics + /healthz + /statusz live"
+
+# --- Time-series history: /vars accumulates leakage.gap.margin. ------------
+# At 200ms per sample three samples take ~600ms; poll rather than sleep so
+# the happy path stays fast. Timestamps must be strictly increasing — the
+# ring preserves sample order.
+vars_json=""
+points=0
+for _ in $(seq 1 100); do
+  vars_json="$($CURL \
+      "http://127.0.0.1:$http_port/vars?metric=leakage.gap.margin&window=16" \
+      || true)"
+  points="$(echo "$vars_json" | grep -o '\[[0-9][0-9]*,-\{0,1\}[0-9][0-9]*\]' \
+            | wc -l)"
+  [ "$points" -ge 3 ] && break
+  sleep 0.2
+done
+if [ "$points" -lt 3 ]; then
+  echo "smoke_remote: /vars never accumulated 3 leakage.gap.margin samples" >&2
+  echo "$vars_json" >&2
+  exit 1
+fi
+echo "$vars_json" | grep -q '"name":"leakage.gap.margin"' || {
+  echo "smoke_remote: /vars response names the wrong series" >&2
+  echo "$vars_json" >&2
+  exit 1
+}
+echo "$vars_json" | grep -o '\[[0-9][0-9]*,-\{0,1\}[0-9][0-9]*\]' |
+    sed 's/\[\([0-9]*\),.*/\1/' | sort -cn || {
+  echo "smoke_remote: /vars timestamps are not monotonically increasing" >&2
+  echo "$vars_json" >&2
+  exit 1
+}
+echo "smoke_remote: /vars history live ($points samples of leakage.gap.margin)"
+
+# --- Alert rule fires and lands in both /alertz and the log. ---------------
+# The rule breaches as soon as one frame is served; the engine evaluates on
+# the next sampling tick, so poll briefly for the firing edge.
+alertz_json=""
+for _ in $(seq 1 100); do
+  alertz_json="$($CURL "http://127.0.0.1:$http_port/alertz" || true)"
+  echo "$alertz_json" | grep -q '"firing":[1-9]' && break
+  sleep 0.2
+done
+echo "$alertz_json" | grep -q '"firing":[1-9]' || {
+  echo "smoke_remote: /alertz never reported a firing rule" >&2
+  echo "$alertz_json" >&2
+  exit 1
+}
+echo "$alertz_json" |
+    grep -q '"name":"frames_served_nonzero","rule":"frames_served_nonzero: net.server.frames_served >= 1","firing":true' || {
+  echo "smoke_remote: /alertz does not show frames_served_nonzero firing" >&2
+  echo "$alertz_json" >&2
+  exit 1
+}
+grep -q 'event=alert rule=frames_served_nonzero state=firing' "$server_log" || {
+  echo "smoke_remote: no event=alert log line for frames_served_nonzero" >&2
+  grep "event=alert" "$server_log" >&2 || true
+  exit 1
+}
+echo "smoke_remote: alert frames_served_nonzero firing (/alertz <-> log)"
 
 # --- Live EXPLAIN ANALYZE <-> /metrics reconciliation. ---------------------
 # Bracket one EXPLAIN ANALYZE with two /metrics scrapes: the profile's
